@@ -1,0 +1,76 @@
+"""Benchmarks regenerating Figures 17-20 (the prediction models)."""
+
+import pytest
+
+from repro.experiments.fig17_latency_model import (
+    format_latency_model_table,
+    run_latency_model_study,
+)
+from repro.experiments.fig18_19_untouched import (
+    build_untouched_dataset,
+    format_untouched_model_table,
+    run_production_timeline,
+    run_untouched_model_study,
+)
+from repro.experiments.fig20_combined import format_combined_table, run_combined_model_study
+from repro.experiments.untouched_distribution import (
+    format_untouched_distribution,
+    run_untouched_distribution,
+)
+from repro.workloads.catalog import build_catalog
+from repro.workloads.sensitivity import SCENARIO_182, SCENARIO_222
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_catalog(seed=7)
+
+
+@pytest.mark.benchmark(group="fig17-latency-model")
+def test_bench_fig17_latency_insensitivity_model(benchmark, catalog):
+    study = benchmark(
+        run_latency_model_study, catalog=catalog, samples_per_workload=2, seed=31
+    )
+    print()
+    print(format_latency_model_table(study))
+    assert study.insensitive_at_2pct_fp["RandomForest"] > \
+        study.insensitive_at_2pct_fp["Memory-bound"]
+
+
+@pytest.mark.benchmark(group="fig18-untouched-model")
+def test_bench_fig18_untouched_memory_model(benchmark):
+    dataset = build_untouched_dataset(n_vms=800, seed=41)
+    study = benchmark(run_untouched_model_study, dataset=dataset, n_estimators=40, seed=43)
+    print()
+    print(format_untouched_model_table(study))
+    assert study.accuracy_gain > 1.0
+
+
+@pytest.mark.benchmark(group="fig19-production-timeline")
+def test_bench_fig19_production_timeline(benchmark):
+    timeline = benchmark(run_production_timeline, n_days=5, vms_per_day=120, seed=47)
+    print()
+    print("Figure 19 -- day / untouched% / OP%:")
+    for day, avg, op in zip(timeline.days, timeline.average_untouched_percent,
+                            timeline.overprediction_percent):
+        print(f"  day {int(day)}: {avg:.1f}% untouched, {op:.1f}% overpredictions")
+    assert len(timeline.days) == 4
+
+
+@pytest.mark.benchmark(group="fig20-combined-model")
+def test_bench_fig20_combined_model(benchmark, catalog):
+    study = benchmark(
+        run_combined_model_study, scenario=SCENARIO_182, catalog=catalog,
+        error_budgets=(0.0, 1.0, 2.0, 4.0, 6.0), seed=51,
+    )
+    print()
+    print(format_combined_table([study]))
+    assert study.pool_dram_at_misprediction(2.0) > 10.0
+
+
+@pytest.mark.benchmark(group="section3-2-untouched-distribution")
+def test_bench_untouched_memory_distribution(benchmark):
+    study = benchmark(run_untouched_distribution, n_clusters=5, vms_per_cluster=400, seed=71)
+    print()
+    print(format_untouched_distribution(study))
+    assert 30.0 <= study.fleet_percentile(50) <= 70.0

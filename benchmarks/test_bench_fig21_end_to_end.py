@@ -1,0 +1,77 @@
+"""Benchmark regenerating Figure 21 (end-to-end DRAM savings) plus ablations."""
+
+import pytest
+
+from repro.cluster.pool import PoolDimensioner, fixed_fraction_policy
+from repro.cluster.tracegen import TraceGenConfig, TraceGenerator
+from repro.experiments.fig21_end_to_end import (
+    format_end_to_end_table,
+    run_end_to_end_study,
+)
+
+
+@pytest.mark.benchmark(group="fig21-end-to-end")
+def test_bench_fig21_dram_savings(benchmark):
+    study = benchmark(
+        run_end_to_end_study, n_servers=32, duration_days=1.5,
+        pool_sizes=(2, 8, 16, 32), seed=61,
+    )
+    print()
+    print(format_end_to_end_table(study))
+    assert (study.savings_percent("pond_182", 16)
+            >= study.savings_percent("static_15pct", 16))
+
+
+@pytest.mark.benchmark(group="ablation-provisioning")
+def test_bench_ablation_provisioning_methodology(benchmark):
+    """Ablation: peak-observation provisioning vs constrained capacity search.
+
+    DESIGN.md calls out the provisioning-model choice; this benchmark compares
+    the default (uniform peak observation) with the capacity-search mode on the
+    same trace and the same fixed-fraction policy.
+    """
+    cfg = TraceGenConfig(cluster_id="ablation", n_servers=12, duration_days=1.0,
+                         target_core_utilization=0.85, seed=77)
+    trace = TraceGenerator(cfg).generate()
+    dimensioner = PoolDimensioner(n_servers=12, search_steps=5)
+    policy = fixed_fraction_policy(0.3)
+
+    def run_both():
+        peak = dimensioner.evaluate(trace, 16, policy)
+        search = dimensioner.evaluate_capacity_search(trace, 16, policy)
+        return peak, search
+
+    peak, search = benchmark(run_both)
+    print()
+    print("Provisioning ablation (30% fixed pool fraction, 16-socket pool):")
+    print(f"  peak-observation: {peak.required_dram_percent:.1f}% of baseline DRAM")
+    print(f"  capacity-search:  {search.required_dram_percent:.1f}% of baseline DRAM")
+    assert peak.required_dram_percent > 0
+    assert search.required_dram_percent > 0
+
+
+@pytest.mark.benchmark(group="ablation-pool-fraction")
+def test_bench_ablation_pool_fraction_sweep(benchmark):
+    """Ablation: DRAM savings as the fixed pool fraction grows (0-50 %).
+
+    A 24-server cluster gives three 8-server pool groups; smaller clusters can
+    show negative savings because a single group's worst-case peak dominates.
+    """
+    cfg = TraceGenConfig(cluster_id="fraction-sweep", n_servers=24, duration_days=1.0,
+                         target_core_utilization=0.85, seed=78)
+    trace = TraceGenerator(cfg).generate()
+    dimensioner = PoolDimensioner(n_servers=24)
+
+    def sweep():
+        return {
+            fraction: dimensioner.evaluate(trace, 16, fixed_fraction_policy(fraction))
+            for fraction in (0.0, 0.1, 0.3, 0.5)
+        }
+
+    results = benchmark(sweep)
+    print()
+    for fraction, savings in results.items():
+        print(f"  {int(fraction * 100):>3d}% pool fraction -> "
+              f"{savings.required_dram_percent:.1f}% of baseline DRAM")
+    assert (results[0.5].required_dram_percent
+            <= results[0.1].required_dram_percent + 1.0)

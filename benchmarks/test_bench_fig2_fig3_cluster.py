@@ -1,0 +1,48 @@
+"""Benchmarks regenerating Figure 2 (stranding) and Figure 3 (pool-size sweep).
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Each benchmark prints the
+regenerated table so the numbers can be compared against the paper (see
+EXPERIMENTS.md for the recorded comparison).
+"""
+
+import pytest
+
+from repro.experiments.fig2_stranding import (
+    format_stranding_table,
+    run_rack_timeseries,
+    run_stranding_study,
+)
+from repro.experiments.fig3_pool_size import format_pool_size_table, run_pool_size_study
+
+
+@pytest.mark.benchmark(group="fig2-stranding")
+def test_bench_fig2a_stranding_vs_utilization(benchmark):
+    study = benchmark(
+        run_stranding_study, n_clusters=6, n_servers=10, duration_days=1.5, seed=5
+    )
+    print()
+    print(format_stranding_table(study))
+    means = [b.mean_stranded_percent for b in study.buckets]
+    assert means[-1] >= means[0]
+
+
+@pytest.mark.benchmark(group="fig2-stranding")
+def test_bench_fig2b_stranding_over_time(benchmark):
+    series = benchmark(
+        run_rack_timeseries, n_racks=4, n_servers=8, duration_days=3.0,
+        shift_day=1.5, seed=9,
+    )
+    assert len(series) == 4
+
+
+@pytest.mark.benchmark(group="fig3-pool-size")
+def test_bench_fig3_pool_size_sweep(benchmark):
+    study = benchmark(
+        run_pool_size_study, n_servers=24, duration_days=1.5,
+        pool_sizes=(2, 8, 16, 32), seed=13,
+    )
+    print()
+    print(format_pool_size_table(study))
+    for fraction in study.fractions:
+        assert (study.required_dram_percent(fraction, 32)
+                <= study.required_dram_percent(fraction, 2) + 0.5)

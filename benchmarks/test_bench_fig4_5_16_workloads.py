@@ -1,0 +1,40 @@
+"""Benchmarks regenerating Figures 4/5 (slowdowns) and Figure 16 (spill study)."""
+
+import pytest
+
+from repro.experiments.fig4_5_sensitivity import (
+    format_sensitivity_summary,
+    run_sensitivity_study,
+    slowdown_cdf,
+)
+from repro.experiments.fig16_spill import format_spill_table, run_spill_study
+from repro.workloads.catalog import build_catalog
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_catalog(seed=7)
+
+
+@pytest.mark.benchmark(group="fig4-5-sensitivity")
+def test_bench_fig4_workload_slowdowns(benchmark, catalog):
+    study = benchmark(run_sensitivity_study, catalog=catalog)
+    print()
+    print(format_sensitivity_summary(study))
+    buckets = study.bucket_fractions("182")
+    assert buckets["below_5_percent"] > buckets["above_25_percent"]
+
+
+@pytest.mark.benchmark(group="fig4-5-sensitivity")
+def test_bench_fig5_slowdown_cdf(benchmark, catalog):
+    study = run_sensitivity_study(catalog=catalog)
+    grid, cdf = benchmark(slowdown_cdf, study.slowdowns_222)
+    assert cdf[-1] == pytest.approx(1.0)
+
+
+@pytest.mark.benchmark(group="fig16-spill")
+def test_bench_fig16_spill_study(benchmark, catalog):
+    study = benchmark(run_spill_study, catalog=catalog)
+    print()
+    print(format_spill_table(study))
+    assert study.distribution_stats(100.0)["median"] >= study.distribution_stats(10.0)["median"]

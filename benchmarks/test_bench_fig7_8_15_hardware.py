@@ -1,0 +1,32 @@
+"""Benchmarks regenerating Figures 7/8 (latency) and Figure 15 (zNUMA traffic)."""
+
+import pytest
+
+from repro.experiments.fig7_8_latency import format_latency_table, run_latency_study
+from repro.experiments.fig15_znuma import format_znuma_table, run_znuma_study
+from repro.experiments.offlining import format_offlining_table, run_offlining_study
+
+
+@pytest.mark.benchmark(group="fig7-8-latency")
+def test_bench_fig7_8_latency_model(benchmark):
+    study = benchmark(run_latency_study)
+    print()
+    print(format_latency_table(study))
+    assert study.pond_ns(8) == pytest.approx(155.0)
+    assert study.pond_ns(16) == pytest.approx(180.0)
+
+
+@pytest.mark.benchmark(group="fig15-znuma")
+def test_bench_fig15_znuma_traffic(benchmark):
+    results = benchmark(run_znuma_study)
+    print()
+    print(format_znuma_table(results))
+    assert all(r.znuma_traffic_percent < 1.0 for r in results)
+
+
+@pytest.mark.benchmark(group="finding10-offlining")
+def test_bench_finding10_offlining_speeds(benchmark):
+    study = benchmark(run_offlining_study, n_vm_cycles=200, seed=81)
+    print()
+    print(format_offlining_table(study))
+    assert study.total_offlined_gb > 0

@@ -1,0 +1,71 @@
+"""Micro-benchmarks for the substrates: ML models, simulator, and control plane.
+
+These are not paper figures; they track the performance of the building blocks
+so regressions in the heavy dependencies (tree building, trace replay, slice
+management) are visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.simulator import ClusterSimulator
+from repro.cluster.tracegen import TraceGenConfig, TraceGenerator
+from repro.core.control_plane.pool_manager import PoolManager
+from repro.cxl.emc import EMCDevice
+from repro.hypervisor.host import Host
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.gbm import QuantileGradientBoostingRegressor
+
+
+@pytest.mark.benchmark(group="substrate-ml")
+def test_bench_random_forest_training(benchmark):
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(400, 7))
+    y = ((X[:, 0] + X[:, 3]) > 0).astype(int)
+    forest = benchmark(
+        lambda: RandomForestClassifier(n_estimators=20, max_depth=6, random_state=0).fit(X, y)
+    )
+    assert forest.score(X, y) > 0.85
+
+
+@pytest.mark.benchmark(group="substrate-ml")
+def test_bench_quantile_gbm_training(benchmark):
+    rng = np.random.default_rng(1)
+    X = rng.uniform(size=(500, 10))
+    y = X[:, 0] * 0.5 + rng.normal(0, 0.05, size=500)
+    model = benchmark(
+        lambda: QuantileGradientBoostingRegressor(
+            alpha=0.05, n_estimators=30, max_depth=3, min_samples_leaf=20, random_state=0
+        ).fit(X, y)
+    )
+    assert np.isfinite(model.predict(X)).all()
+
+
+@pytest.mark.benchmark(group="substrate-simulator")
+def test_bench_cluster_trace_replay(benchmark):
+    cfg = TraceGenConfig(cluster_id="bench", n_servers=16, duration_days=1.0,
+                         target_core_utilization=0.85, seed=99)
+    trace = TraceGenerator(cfg).generate()
+    simulator = ClusterSimulator(n_servers=16, sample_interval_s=3600.0)
+    result = benchmark(simulator.run, trace)
+    assert result.placed_vms > 0
+
+
+@pytest.mark.benchmark(group="substrate-control-plane")
+def test_bench_pool_manager_slice_churn(benchmark):
+    def churn():
+        emc = EMCDevice("bench-emc", capacity_gb=512, n_ports=8)
+        manager = PoolManager(emc)
+        hosts = [Host(f"bench-h{i}", total_cores=48, local_memory_gb=384.0)
+                 for i in range(4)]
+        for host in hosts:
+            manager.register_host(host)
+        for i in range(200):
+            host = hosts[i % 4]
+            manager.add_capacity(host.host_id, 4)
+            manager.queue_release(host.host_id, 4)
+            manager.process_releases()
+        return manager
+
+    manager = benchmark(churn)
+    assert manager.unassigned_pool_gb == 512

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""End-to-end DRAM savings: Pond vs a static pooling strawman (Figure 21).
+
+Trains Pond's prediction models, solves the Eq.(1) trade-off for the
+configured PDM/TP, and replays a synthetic cluster trace to compare the DRAM
+that must be provisioned under Pond, under a static 15 % policy, and without
+pooling.
+
+Run with ``python examples/pond_vs_static_savings.py [--quick]``.
+"""
+
+import argparse
+
+from repro.core.config import PondConfig
+from repro.experiments.fig20_combined import run_combined_model_study
+from repro.experiments.fig21_end_to_end import (
+    format_end_to_end_table,
+    run_end_to_end_study,
+)
+from repro.workloads.catalog import build_catalog
+from repro.workloads.sensitivity import SCENARIO_182, SCENARIO_222
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="smaller cluster and models")
+    args = parser.parse_args()
+
+    config = PondConfig(pdm_percent=5.0, tail_percentage=98.0)
+    catalog = build_catalog(seed=7)
+
+    print("=== solving the combined model (Figure 20) ===")
+    operating_points = {}
+    for label, scenario in (("182", SCENARIO_182), ("222", SCENARIO_222)):
+        study = run_combined_model_study(scenario=scenario, catalog=catalog, seed=51)
+        point = study.operating_point_at_2pct
+        operating_points[label] = point
+        print(f"  {scenario.name}: LI={point.li_percent:.1f}%  UM={point.um_percent:.1f}%  "
+              f"pool DRAM={point.pool_dram_percent:.1f}%  "
+              f"mispredictions={point.scheduling_misprediction_percent:.2f}%")
+
+    print("\n=== end-to-end savings (Figure 21) ===")
+    study = run_end_to_end_study(
+        config=config,
+        n_servers=16 if args.quick else 32,
+        duration_days=1.0 if args.quick else 2.5,
+        operating_points=operating_points,
+        seed=61,
+    )
+    print(format_end_to_end_table(study))
+
+    for pool_size in (16, 32):
+        if pool_size in study.pool_sizes:
+            pond = study.savings_percent("pond_182", pool_size)
+            static = study.savings_percent("static_15pct", pool_size)
+            print(f"\nat a {pool_size}-socket pool: Pond saves {pond:.1f}% of DRAM "
+                  f"vs {static:.1f}% for the static strawman")
+
+
+if __name__ == "__main__":
+    main()

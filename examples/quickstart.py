@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Quickstart: the Pond pipeline on a single host, end to end.
+
+This example walks through the paper's core workflow at the smallest useful
+scale:
+
+1. build the CXL pool hardware (an EMC) and a host,
+2. train Pond's two prediction models on synthetic telemetry,
+3. schedule a handful of VMs through the Pond scheduler (zNUMA sizing,
+   slice onlining),
+4. run the QoS monitor and mitigate a deliberately mispredicted VM.
+
+Run with ``python examples/quickstart.py``.
+"""
+
+import numpy as np
+
+from repro.core.config import PondConfig
+from repro.core.control_plane.mitigation import MitigationManager
+from repro.core.control_plane.pool_manager import PoolManager
+from repro.core.control_plane.qos_monitor import QoSMonitor, QoSVerdict
+from repro.core.control_plane.scheduler import PondScheduler
+from repro.core.prediction.latency_model import LatencyInsensitivityModel
+from repro.core.prediction.untouched_model import UntouchedMemoryPredictor
+from repro.cxl.emc import EMCDevice
+from repro.cxl.latency import LatencyModel
+from repro.experiments.fig18_19_untouched import build_untouched_dataset
+from repro.hypervisor.host import Host
+from repro.hypervisor.vm import VMRequest
+from repro.workloads.catalog import build_catalog
+from repro.workloads.generator import PMUFeatureGenerator
+from repro.workloads.sensitivity import SCENARIO_182, slowdown_under_spill
+
+
+def main() -> None:
+    config = PondConfig(pdm_percent=5.0, tail_percentage=98.0, pool_size_sockets=16)
+    print("=== Pond quickstart ===")
+    print(f"PDM = {config.pdm_percent}%  TP = {config.tail_percentage}%  "
+          f"pool = {config.pool_size_sockets} sockets")
+
+    # 1. Hardware: latency of the chosen pool size, one EMC, one host.
+    latency = LatencyModel()
+    pool_ns = latency.pond_pool(config.pool_size_sockets).total_ns
+    print(f"pool access latency: {pool_ns:.0f} ns "
+          f"({latency.pond_pool(config.pool_size_sockets).percent_of_local():.0f}% of local)")
+    emc = EMCDevice("emc-0", capacity_gb=512, n_ports=16)
+    host = Host("host-0", total_cores=48, local_memory_gb=384.0, pool_latency_ns=pool_ns)
+    pool_manager = PoolManager(emc)
+    pool_manager.register_host(host)
+
+    # 2. Train the prediction models on synthetic offline runs.
+    catalog = build_catalog(seed=7)
+    generator = PMUFeatureGenerator(seed=1)
+    training = generator.training_set(catalog, SCENARIO_182, samples_per_workload=2)
+    latency_model = LatencyInsensitivityModel(pdm_percent=config.pdm_percent,
+                                              n_estimators=30, random_state=1)
+    latency_model.fit(training.features, training.slowdowns)
+    latency_model.calibrate_threshold(training.features, training.slowdowns,
+                                      fp_target_percent=2.0)
+    dataset = build_untouched_dataset(n_vms=600, seed=1)
+    untouched_model = UntouchedMemoryPredictor(quantile=0.05, n_estimators=40,
+                                               random_state=1)
+    untouched_model.fit(dataset.metadata_rows, dataset.untouched_fractions)
+    print(f"trained on {len(training)} offline runs and {len(dataset)} VM histories")
+
+    # 3. Schedule VMs through the Figure 13 decision tree.
+    rng = np.random.default_rng(2)
+    workloads = {w.name: w for w in catalog}
+    chosen = list(workloads)[:6]
+    vm_workload = {}
+
+    def insensitivity_predictor(request: VMRequest):
+        workload = vm_workload[request.vm_id]
+        features = generator.feature_vector(workload, rng).reshape(1, -1)
+        return bool(latency_model.predict_insensitive(features)[0])
+
+    def untouched_predictor(request: VMRequest) -> float:
+        row = {
+            "memory_gb": request.memory_gb, "cores": request.cores,
+            "vm_family": request.vm_type, "guest_os": request.guest_os,
+            "region": request.region,
+            "history_percentiles": list(np.full(5, 0.4)),
+        }
+        return untouched_model.predict_znuma_gb(row, request.memory_gb)
+
+    scheduler = PondScheduler(config, pool_manager, insensitivity_predictor,
+                              untouched_predictor)
+    placed = []
+    print("\n--- scheduling decisions ---")
+    for i, name in enumerate(chosen):
+        request = VMRequest.create(cores=4, memory_gb=32.0, workload_name=name)
+        vm_workload[request.vm_id] = workloads[name]
+        vm = scheduler.schedule(request, host, start_time_s=float(i))
+        decision = scheduler.decisions[request.vm_id]
+        kind = ("fully pool-backed" if decision.fully_pool_backed
+                else "zNUMA" if decision.uses_pool else "all local")
+        print(f"  {name:<22} -> local {vm.local_memory_gb:5.1f} GB, "
+              f"pool {vm.pool_memory_gb:5.1f} GB  ({kind})")
+        placed.append(vm)
+
+    # 4. Simulate guest behaviour, monitor QoS, and mitigate if needed.
+    for vm in placed:
+        touched = vm.total_memory_gb * float(rng.uniform(0.4, 1.0))
+        vm.record_touch(touched)
+
+    def slowdown_estimator(vm):
+        workload = vm_workload[vm.vm_id]
+        spill = min(1.0, vm.spilled_gb / max(vm.touched_memory_gb, 1e-9))
+        return slowdown_under_spill(workload, SCENARIO_182, spill)
+
+    monitor = QoSMonitor(config, slowdown_estimator)
+    mitigator = MitigationManager()
+    print("\n--- QoS monitoring ---")
+    for vm in placed:
+        decision = monitor.check_vm(vm)
+        line = f"  {vm_workload[vm.vm_id].name:<22} {decision.verdict.value:<16} " \
+               f"spill {decision.spilled_gb:4.1f} GB  est. slowdown " \
+               f"{decision.estimated_slowdown_percent:4.1f}%"
+        print(line)
+        if decision.verdict is QoSVerdict.MITIGATE:
+            record = mitigator.mitigate(host, vm.vm_id)
+            print(f"    -> mitigated via {record.method} in {record.duration_s * 1000:.0f} ms")
+
+    print("\npool slices assigned to host:", pool_manager.host_pool_gb(host.host_id), "GB")
+    print("unassigned pool capacity:   ", pool_manager.unassigned_pool_gb, "GB")
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

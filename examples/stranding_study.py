@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Datacenter stranding study (paper Section 3.1, Figures 2 and 3).
+
+Simulates a fleet of clusters with different utilisation levels, reports how
+much DRAM is stranded as core allocation grows, and then estimates how much
+DRAM a CXL pool of different sizes would save under fixed pool fractions.
+
+Run with ``python examples/stranding_study.py [--quick]``.
+"""
+
+import argparse
+
+from repro.experiments.fig2_stranding import (
+    format_stranding_table,
+    run_rack_timeseries,
+    run_stranding_study,
+)
+from repro.experiments.fig3_pool_size import format_pool_size_table, run_pool_size_study
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="use a smaller fleet for a faster run")
+    args = parser.parse_args()
+
+    n_clusters = 6 if args.quick else 16
+    n_servers = 12 if args.quick else 32
+    duration = 2.0 if args.quick else 6.0
+
+    print("=== stranding vs scheduled cores (Figure 2a) ===")
+    study = run_stranding_study(n_clusters=n_clusters, n_servers=n_servers,
+                                duration_days=duration, seed=5)
+    print(format_stranding_table(study))
+
+    print("\n=== stranding over time with a workload shift (Figure 2b) ===")
+    series = run_rack_timeseries(n_racks=4, n_servers=max(8, n_servers // 2),
+                                 duration_days=max(4.0, duration), shift_day=duration / 2,
+                                 seed=9)
+    for rack, (days, values) in series.items():
+        shape = " ".join(f"{v:4.1f}" for v in values[:: max(1, len(values) // 8)])
+        print(f"  {rack}: stranded% by day -> {shape}")
+
+    print("\n=== DRAM needed vs pool size (Figure 3) ===")
+    pool_study = run_pool_size_study(n_servers=n_servers, duration_days=duration, seed=13)
+    print(format_pool_size_table(pool_study))
+    best = min(
+        (pool_study.required_dram_percent(f, s), f, s)
+        for f in pool_study.fractions for s in pool_study.pool_sizes
+    )
+    print(f"\nbest configuration: {int(best[1] * 100)}% pool fraction on a "
+          f"{best[2]}-socket pool -> {100 - best[0]:.1f}% DRAM savings")
+
+
+if __name__ == "__main__":
+    main()

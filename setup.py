@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` falls back to the legacy setup.py
+code path when PEP-517 wheel building is unavailable (this offline environment
+has setuptools but not wheel).  All project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""Pond: CXL-based memory pooling for cloud platforms -- full-stack reproduction.
+
+This library reproduces the system described in "Pond: CXL-Based Memory
+Pooling Systems for Cloud Platforms" (ASPLOS 2023).  The public API is
+organised by layer:
+
+* :mod:`repro.cxl` -- the hardware layer (latency model, EMC, topologies).
+* :mod:`repro.hypervisor` -- the system-software layer (zNUMA, page tables,
+  telemetry, hosts).
+* :mod:`repro.cluster` -- the datacenter substrate (traces, scheduling,
+  simulation, stranding).
+* :mod:`repro.workloads` -- the 158-workload study and behavioural models.
+* :mod:`repro.ml` -- the from-scratch ML substrate (random forest, GBM).
+* :mod:`repro.core` -- Pond proper: prediction models, the Eq.(1) optimiser,
+  the control plane, and allocation policies.
+* :mod:`repro.experiments` -- drivers that regenerate every paper figure.
+
+Quickstart::
+
+    from repro.core import PondConfig
+    from repro.experiments import run_all_experiments
+
+    results = run_all_experiments(quick=True)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

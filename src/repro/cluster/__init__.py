@@ -1,0 +1,50 @@
+"""Cluster substrate: traces, scheduling, and datacenter-scale simulation.
+
+The paper's stranding analysis (Section 3.1) and end-to-end savings results
+(Section 6.5) are driven by VM-to-server traces from 100 Azure clusters over
+75 days.  Those traces are proprietary; this package provides:
+
+* :mod:`repro.cluster.server` / :mod:`repro.cluster.vm_types` -- server and VM
+  SKU definitions matching the paper's hardware (two-socket servers, a mix of
+  VM sizes with varying DRAM-to-core ratios).
+* :mod:`repro.cluster.trace` -- the VM arrival/departure trace format with
+  CSV round-tripping.
+* :mod:`repro.cluster.tracegen` -- a synthetic trace generator whose knobs
+  (target core utilisation, DRAM:core skew, lifetime distribution, customer
+  mix) reproduce the statistical conditions that cause stranding.
+* :mod:`repro.cluster.scheduler` -- the NUMA-aware bin-packing VM scheduler.
+* :mod:`repro.cluster.simulator` -- an event-driven cluster simulator tracking
+  per-server and per-pool memory at VM-event granularity.
+* :mod:`repro.cluster.stranding` -- stranding metrics (Figure 2).
+* :mod:`repro.cluster.pool` -- pool dimensioning / DRAM-savings estimation
+  (Figures 3 and 21).
+"""
+
+from repro.cluster.server import ServerConfig, ClusterServer
+from repro.cluster.vm_types import VMType, VM_TYPE_CATALOG, sample_vm_type
+from repro.cluster.trace import VMTraceRecord, ClusterTrace
+from repro.cluster.tracegen import TraceGenerator, TraceGenConfig
+from repro.cluster.scheduler import VMScheduler, PlacementError
+from repro.cluster.simulator import ClusterSimulator, SimulationResult
+from repro.cluster.stranding import StrandingAnalyzer, stranding_vs_utilization
+from repro.cluster.pool import PoolDimensioner, PoolSavings
+
+__all__ = [
+    "ServerConfig",
+    "ClusterServer",
+    "VMType",
+    "VM_TYPE_CATALOG",
+    "sample_vm_type",
+    "VMTraceRecord",
+    "ClusterTrace",
+    "TraceGenerator",
+    "TraceGenConfig",
+    "VMScheduler",
+    "PlacementError",
+    "ClusterSimulator",
+    "SimulationResult",
+    "StrandingAnalyzer",
+    "stranding_vs_utilization",
+    "PoolDimensioner",
+    "PoolSavings",
+]

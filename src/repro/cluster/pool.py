@@ -1,0 +1,307 @@
+"""Pool dimensioning and DRAM-savings estimation (paper Figures 3 and 21).
+
+The DRAM-savings argument works as follows.  Servers are deployed with one
+uniform DRAM configuration, so without pooling the fleet must size *every*
+server so that the VM schedule still fits -- and because VM mixes differ
+across servers, the average server then strands the difference.  With
+pooling, a share of every VM's memory (fixed or predicted by Pond) is served
+from a pool shared by ``pool_size_sockets`` sockets; servers can be
+provisioned with less local DRAM, and each pool absorbs the per-server
+deviations.  The bigger the pool, the better the statistical multiplexing,
+with diminishing returns (Figure 3).
+
+Following the paper's methodology ("the simulator ... schedules VMs on the
+same nodes as in the trace and changes their memory allocation to match the
+policy; for rare cases where a VM does not fit on a server, the simulator
+moves the VMs to another server"), the *required* DRAM is found by a
+capacity search: the smallest uniform per-server DRAM such that the
+memory-constrained replay of the trace still places (almost) every VM, given
+a pool provisioned from the observed per-group demand.  A faster
+peak-observation mode is kept for ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.simulator import ClusterSimulator, PoolPolicy, SimulationResult
+from repro.cluster.server import ServerConfig
+from repro.cluster.trace import ClusterTrace, VMTraceRecord
+
+__all__ = ["PoolSavings", "PoolDimensioner", "fixed_fraction_policy"]
+
+
+def fixed_fraction_policy(fraction: float) -> PoolPolicy:
+    """Policy allocating a fixed fraction of every VM's memory on the pool."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+
+    def policy(record: VMTraceRecord) -> float:
+        return record.memory_gb * fraction
+
+    return policy
+
+
+@dataclass(frozen=True)
+class PoolSavings:
+    """Required DRAM under a pooling configuration, relative to no pooling."""
+
+    pool_size_sockets: int
+    baseline_dram_gb: float
+    required_local_dram_gb: float
+    required_pool_dram_gb: float
+    average_pool_fraction: float
+
+    @property
+    def required_total_dram_gb(self) -> float:
+        return self.required_local_dram_gb + self.required_pool_dram_gb
+
+    @property
+    def required_dram_percent(self) -> float:
+        """Required DRAM as a percent of the no-pooling baseline (Figure 3 y-axis)."""
+        if self.baseline_dram_gb <= 0:
+            return 100.0
+        return 100.0 * self.required_total_dram_gb / self.baseline_dram_gb
+
+    @property
+    def savings_percent(self) -> float:
+        return 100.0 - self.required_dram_percent
+
+
+class PoolDimensioner:
+    """Estimates DRAM requirements for different pool sizes and policies."""
+
+    def __init__(
+        self,
+        n_servers: int,
+        server_config: Optional[ServerConfig] = None,
+        sample_interval_s: float = 3600.0,
+        search_steps: int = 7,
+        rejection_tolerance: float = 0.002,
+        pool_headroom: float = 1.05,
+    ) -> None:
+        if n_servers < 1:
+            raise ValueError("need at least one server")
+        if search_steps < 1:
+            raise ValueError("search_steps must be >= 1")
+        if rejection_tolerance < 0:
+            raise ValueError("rejection_tolerance cannot be negative")
+        if pool_headroom < 1.0:
+            raise ValueError("pool_headroom must be >= 1.0")
+        self.n_servers = n_servers
+        self.server_config = server_config or ServerConfig()
+        self.sample_interval_s = sample_interval_s
+        self.search_steps = search_steps
+        self.rejection_tolerance = rejection_tolerance
+        self.pool_headroom = pool_headroom
+        self._baseline_cache: Dict[object, float] = {}
+        self._rejection_cache: Dict[int, int] = {}
+
+    # -- simulation helpers -----------------------------------------------------------
+    def _simulate(
+        self,
+        trace: ClusterTrace,
+        policy: Optional[PoolPolicy],
+        pool_size_sockets: int,
+        pool_capacity_gb: float,
+        dram_per_server_gb: Optional[float],
+    ) -> SimulationResult:
+        if dram_per_server_gb is None:
+            config = self.server_config
+            constrain = False
+        else:
+            config = ServerConfig(
+                name="search-candidate",
+                sockets=self.server_config.sockets,
+                cores_per_socket=self.server_config.cores_per_socket,
+                dram_per_socket_gb=max(1.0, dram_per_server_gb / self.server_config.sockets),
+            )
+            constrain = True
+        simulator = ClusterSimulator(
+            n_servers=self.n_servers,
+            server_config=config,
+            pool_size_sockets=pool_size_sockets,
+            pool_capacity_gb_per_group=pool_capacity_gb,
+            constrain_memory=constrain,
+            sample_interval_s=self.sample_interval_s,
+        )
+        return simulator.run(trace, policy=policy)
+
+    def _core_only_rejections(self, trace: ClusterTrace) -> int:
+        """Rejections due to core/NUMA fragmentation alone (memory unconstrained)."""
+        key = id(trace)
+        if key not in self._rejection_cache:
+            result = self._simulate(trace, None, 0, float("inf"), None)
+            self._rejection_cache[key] = result.rejected_vms
+        return self._rejection_cache[key]
+
+    def _rejection_budget(self, trace: ClusterTrace) -> int:
+        return self._core_only_rejections(trace) + max(1, int(self.rejection_tolerance * len(trace)))
+
+    def _min_uniform_server_dram(
+        self,
+        trace: ClusterTrace,
+        policy: Optional[PoolPolicy],
+        pool_size_sockets: int,
+        pool_capacity_gb: float,
+    ) -> float:
+        """Binary-search the smallest uniform per-server DRAM that still fits."""
+        budget = self._rejection_budget(trace)
+        hi = self.server_config.total_dram_gb
+        lo = 0.0
+        # Ensure the upper bound is actually feasible; if not, widen it.
+        for _ in range(4):
+            result = self._simulate(trace, policy, pool_size_sockets, pool_capacity_gb, hi)
+            if result.rejected_vms <= budget:
+                break
+            hi *= 1.5
+        else:
+            return hi
+        for _ in range(self.search_steps):
+            mid = (lo + hi) / 2.0
+            result = self._simulate(trace, policy, pool_size_sockets, pool_capacity_gb, mid)
+            if result.rejected_vms <= budget:
+                hi = mid
+            else:
+                lo = mid
+        return hi
+
+    # -- baseline ------------------------------------------------------------------
+    def baseline_required_dram_gb(self, trace: ClusterTrace) -> float:
+        """Required DRAM with every VM entirely on local memory (no pooling)."""
+        key = id(trace)
+        if key not in self._baseline_cache:
+            per_server = self._min_uniform_server_dram(trace, None, 0, 0.0)
+            self._baseline_cache[key] = per_server * self.n_servers
+        return self._baseline_cache[key]
+
+    # -- pooled configurations --------------------------------------------------------
+    def evaluate(
+        self,
+        trace: ClusterTrace,
+        pool_size_sockets: int,
+        policy: PoolPolicy,
+    ) -> PoolSavings:
+        """Required DRAM when ``policy`` decides pool allocations.
+
+        Uniform provisioning from observed demand: every server is bought with
+        the DRAM of the worst per-server *local* peak, every pool blade with
+        the worst per-group *pool* peak.  The no-pooling baseline provisions
+        every server for the worst per-server *total* peak, which is exactly
+        the over-provisioning that manifests as stranding.
+
+        ``pool_size_sockets`` must be a multiple of the server socket count;
+        a value of 0 degenerates to the no-pooling baseline.
+        """
+        baseline = self.peak_baseline_required_dram_gb(trace)
+        if pool_size_sockets == 0:
+            return PoolSavings(
+                pool_size_sockets=0,
+                baseline_dram_gb=baseline,
+                required_local_dram_gb=baseline,
+                required_pool_dram_gb=0.0,
+                average_pool_fraction=0.0,
+            )
+        result = self._simulate(trace, policy, pool_size_sockets, float("inf"), None)
+        uniform_pool_gb = self._uniform_pool_requirement_gb(result, pool_size_sockets)
+        return PoolSavings(
+            pool_size_sockets=pool_size_sockets,
+            baseline_dram_gb=baseline,
+            required_local_dram_gb=result.uniform_required_local_dram_gb,
+            required_pool_dram_gb=uniform_pool_gb,
+            average_pool_fraction=result.average_pool_fraction,
+        )
+
+    def _uniform_pool_requirement_gb(self, result: SimulationResult,
+                                     pool_size_sockets: int) -> float:
+        """Uniform pool provisioning, normalised per server.
+
+        Pool blades are deployed with one capacity per attached server, so the
+        requirement is the worst per-server pool demand across groups times the
+        number of servers.  Normalising per server keeps the answer meaningful
+        when the last pool group has fewer servers than the others.
+        """
+        if not result.pool_peak_gb:
+            return 0.0
+        servers_per_group = max(1, pool_size_sockets // self.server_config.sockets)
+        worst_per_server = 0.0
+        for group, peak in result.pool_peak_gb.items():
+            group_start = group * servers_per_group
+            group_size = min(servers_per_group, self.n_servers - group_start)
+            if group_size <= 0:
+                continue
+            worst_per_server = max(worst_per_server, peak / group_size)
+        return worst_per_server * self.n_servers
+
+    def peak_baseline_required_dram_gb(self, trace: ClusterTrace) -> float:
+        """No-pooling baseline under uniform peak-observation provisioning."""
+        key = ("peak", id(trace))
+        if key not in self._baseline_cache:
+            result = self._simulate(trace, None, 0, 0.0, None)
+            self._baseline_cache[key] = result.uniform_required_local_dram_gb
+        return self._baseline_cache[key]
+
+    def evaluate_capacity_search(
+        self,
+        trace: ClusterTrace,
+        pool_size_sockets: int,
+        policy: PoolPolicy,
+    ) -> PoolSavings:
+        """Ablation mode: find the smallest uniform server DRAM that still fits.
+
+        The memory-constrained replay lets the scheduler divert VMs to other
+        servers (the paper's "moves the VMs to another server"), so this mode
+        credits rescheduling slack to the *local* side; the pool is provisioned
+        from the unconstrained per-group peak.  Used by the provisioning-
+        methodology ablation benchmark.
+        """
+        baseline = self.baseline_required_dram_gb(trace)
+        if pool_size_sockets == 0:
+            return PoolSavings(
+                pool_size_sockets=0,
+                baseline_dram_gb=baseline,
+                required_local_dram_gb=baseline,
+                required_pool_dram_gb=0.0,
+                average_pool_fraction=0.0,
+            )
+        unconstrained = self._simulate(
+            trace, policy, pool_size_sockets, float("inf"), None
+        )
+        if unconstrained.pool_peak_gb:
+            per_group_pool = self.pool_headroom * max(unconstrained.pool_peak_gb.values())
+            n_groups = len(unconstrained.pool_peak_gb)
+        else:
+            per_group_pool = 0.0
+            n_groups = 0
+        per_server = self._min_uniform_server_dram(
+            trace, policy, pool_size_sockets, per_group_pool
+        )
+        return PoolSavings(
+            pool_size_sockets=pool_size_sockets,
+            baseline_dram_gb=baseline,
+            required_local_dram_gb=per_server * self.n_servers,
+            required_pool_dram_gb=per_group_pool * n_groups,
+            average_pool_fraction=unconstrained.average_pool_fraction,
+        )
+
+    def sweep_pool_sizes(
+        self,
+        trace: ClusterTrace,
+        pool_sizes: Sequence[int],
+        policy: PoolPolicy,
+    ) -> List[PoolSavings]:
+        """Evaluate the same policy across multiple pool sizes (Figure 3 rows)."""
+        return [self.evaluate(trace, size, policy) for size in pool_sizes]
+
+    def sweep_fixed_fractions(
+        self,
+        trace: ClusterTrace,
+        pool_sizes: Sequence[int],
+        fractions: Sequence[float],
+    ) -> Dict[float, List[PoolSavings]]:
+        """The full Figure 3 grid: fixed pool fractions x pool sizes."""
+        return {
+            fraction: self.sweep_pool_sizes(trace, pool_sizes, fixed_fraction_policy(fraction))
+            for fraction in fractions
+        }

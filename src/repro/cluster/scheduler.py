@@ -1,0 +1,92 @@
+"""NUMA-aware bin-packing VM scheduler for the cluster simulator.
+
+Azure's scheduler solves a multi-dimensional bin-packing problem (cores,
+memory, plus the pool dimension once Pond is deployed).  The simulator only
+needs placement decisions that reproduce the stranding phenomenon, so the
+scheduler here implements the standard best-fit heuristic the literature uses
+for VM packing:
+
+* candidate servers must fit the VM's cores and local memory within a single
+  NUMA node (the hypervisor avoids NUMA spanning; the paper observes spanning
+  for only 2-3 % of VMs, which we ignore),
+* if pool memory is requested, the server's pool group must have enough free
+  pool capacity,
+* among the candidates, the server with the fewest free cores after placement
+  wins (best fit on the scarce dimension, which is what packs cores tightly
+  and exposes memory stranding).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.server import ClusterServer
+
+__all__ = ["VMScheduler", "PlacementError"]
+
+
+class PlacementError(RuntimeError):
+    """Raised when no server can host a VM request."""
+
+
+class VMScheduler:
+    """Best-fit scheduler over a fixed set of servers and pool groups."""
+
+    def __init__(self, servers: Sequence[ClusterServer],
+                 pool_free_gb: Optional[Dict[int, float]] = None,
+                 server_pool_group: Optional[Dict[str, int]] = None) -> None:
+        if not servers:
+            raise ValueError("the scheduler needs at least one server")
+        self.servers: List[ClusterServer] = list(servers)
+        #: pool group id -> free pool GB (shared by the simulator).
+        self.pool_free_gb: Dict[int, float] = pool_free_gb if pool_free_gb is not None else {}
+        #: server id -> pool group id.
+        self.server_pool_group: Dict[str, int] = server_pool_group or {}
+
+    def _pool_free_for(self, server: ClusterServer) -> float:
+        group = self.server_pool_group.get(server.server_id)
+        if group is None:
+            return 0.0
+        return self.pool_free_gb.get(group, 0.0)
+
+    def select_server(self, cores: int, local_gb: float, pool_gb: float) -> ClusterServer:
+        """Pick the best-fit server for the request; raise if none fits."""
+        best: Optional[ClusterServer] = None
+        best_key = None
+        for server in self.servers:
+            if not server.can_place(cores, local_gb, self._pool_free_for(server), pool_gb):
+                continue
+            # Best fit: fewest free cores remaining, then least free memory.
+            key = (server.free_cores - cores, server.free_local_gb - local_gb)
+            if best_key is None or key < best_key:
+                best = server
+                best_key = key
+        if best is None:
+            raise PlacementError(
+                f"no server fits {cores} cores, {local_gb:.1f} GB local, "
+                f"{pool_gb:.1f} GB pool"
+            )
+        return best
+
+    def place(self, vm_id: str, cores: int, local_gb: float, pool_gb: float) -> ClusterServer:
+        """Select a server and commit the placement, including pool accounting."""
+        server = self.select_server(cores, local_gb, pool_gb)
+        server.place(vm_id, cores, local_gb, pool_gb)
+        if pool_gb > 0:
+            group = self.server_pool_group.get(server.server_id)
+            if group is None:
+                server.remove(vm_id)
+                raise PlacementError(
+                    f"server {server.server_id} is not in any pool group but "
+                    f"{pool_gb:.1f} GB of pool memory was requested"
+                )
+            self.pool_free_gb[group] -= pool_gb
+        return server
+
+    def remove(self, vm_id: str, server: ClusterServer) -> None:
+        """Remove a VM from its server and return its pool memory to the group."""
+        _, _, _, pool_gb = server.remove(vm_id)
+        if pool_gb > 0:
+            group = self.server_pool_group.get(server.server_id)
+            if group is not None:
+                self.pool_free_gb[group] += pool_gb

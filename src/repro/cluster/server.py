@@ -1,0 +1,176 @@
+"""Server SKUs and lightweight per-server accounting for cluster simulation.
+
+The paper's evaluation servers are two-socket machines (Intel Skylake 8157M
+with 2 x 384 GB, AMD EPYC 7452 with 2 x 512 GB).  The cluster simulator needs
+to process millions of VM events, so :class:`ClusterServer` keeps only the
+counters the stranding and pooling analyses need (used cores and memory per
+NUMA node, plus peak memory usage) rather than the full hypervisor object
+model in :mod:`repro.hypervisor.host`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["ServerConfig", "ClusterServer"]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Hardware shape of one server SKU."""
+
+    name: str = "two-socket-192"
+    sockets: int = 2
+    cores_per_socket: int = 24
+    dram_per_socket_gb: float = 192.0
+
+    def __post_init__(self) -> None:
+        if self.sockets < 1:
+            raise ValueError("a server needs at least one socket")
+        if self.cores_per_socket < 1:
+            raise ValueError("cores_per_socket must be >= 1")
+        if self.dram_per_socket_gb <= 0:
+            raise ValueError("dram_per_socket_gb must be positive")
+
+    @property
+    def total_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def total_dram_gb(self) -> float:
+        return self.sockets * self.dram_per_socket_gb
+
+    @property
+    def dram_per_core_gb(self) -> float:
+        return self.total_dram_gb / self.total_cores
+
+
+class ClusterServer:
+    """Per-server core/memory accounting at NUMA-node granularity."""
+
+    def __init__(self, server_id: str, config: ServerConfig) -> None:
+        self.server_id = server_id
+        self.config = config
+        self.node_used_cores: List[int] = [0] * config.sockets
+        self.node_used_local_gb: List[float] = [0.0] * config.sockets
+        self.pool_used_gb: float = 0.0
+        # vm_id -> (node, cores, local_gb, pool_gb)
+        self._placements: Dict[str, Tuple[int, int, float, float]] = {}
+        self.peak_local_gb: float = 0.0
+        self.peak_pool_gb: float = 0.0
+
+    # -- capacity ------------------------------------------------------------------
+    @property
+    def total_cores(self) -> int:
+        return self.config.total_cores
+
+    @property
+    def total_dram_gb(self) -> float:
+        return self.config.total_dram_gb
+
+    @property
+    def used_cores(self) -> int:
+        return sum(self.node_used_cores)
+
+    @property
+    def used_local_gb(self) -> float:
+        return sum(self.node_used_local_gb)
+
+    @property
+    def free_cores(self) -> int:
+        return self.total_cores - self.used_cores
+
+    @property
+    def free_local_gb(self) -> float:
+        return self.total_dram_gb - self.used_local_gb
+
+    def node_free_cores(self, node: int) -> int:
+        return self.config.cores_per_socket - self.node_used_cores[node]
+
+    def node_free_local_gb(self, node: int) -> float:
+        return self.config.dram_per_socket_gb - self.node_used_local_gb[node]
+
+    @property
+    def core_utilization(self) -> float:
+        return self.used_cores / self.total_cores
+
+    @property
+    def stranded_gb(self) -> float:
+        """Memory stranded on this server: free DRAM when all cores are rented."""
+        if self.free_cores > 0:
+            return 0.0
+        return self.free_local_gb
+
+    @property
+    def n_vms(self) -> int:
+        return len(self._placements)
+
+    # -- placement -------------------------------------------------------------------
+    def find_numa_node(self, cores: int, local_gb: float) -> Optional[int]:
+        """Best NUMA node that fits ``cores`` and ``local_gb``, or ``None``.
+
+        Mirrors the hypervisor's preference to place small VMs entirely within
+        one NUMA node; the fullest node that still fits is chosen (best fit).
+        """
+        best_node = None
+        best_free = None
+        for node in range(self.config.sockets):
+            if self.node_free_cores(node) >= cores and \
+                    self.node_free_local_gb(node) >= local_gb - 1e-9:
+                free = self.node_free_cores(node)
+                if best_free is None or free < best_free:
+                    best_node = node
+                    best_free = free
+        return best_node
+
+    def can_place(self, cores: int, local_gb: float, pool_available_gb: float,
+                  pool_gb: float) -> bool:
+        if pool_gb > pool_available_gb + 1e-9:
+            return False
+        return self.find_numa_node(cores, local_gb) is not None
+
+    def place(self, vm_id: str, cores: int, local_gb: float, pool_gb: float) -> int:
+        """Place a VM; returns the NUMA node used.  Raises if it does not fit."""
+        if vm_id in self._placements:
+            raise ValueError(f"VM {vm_id!r} already placed on {self.server_id}")
+        if cores < 1 or local_gb < 0 or pool_gb < 0:
+            raise ValueError("invalid placement request")
+        node = self.find_numa_node(cores, local_gb)
+        if node is None:
+            raise RuntimeError(
+                f"server {self.server_id}: no NUMA node fits {cores} cores / "
+                f"{local_gb:.1f} GB"
+            )
+        self.node_used_cores[node] += cores
+        self.node_used_local_gb[node] += local_gb
+        self.pool_used_gb += pool_gb
+        self._placements[vm_id] = (node, cores, local_gb, pool_gb)
+        self.peak_local_gb = max(self.peak_local_gb, self.used_local_gb)
+        self.peak_pool_gb = max(self.peak_pool_gb, self.pool_used_gb)
+        return node
+
+    def remove(self, vm_id: str) -> Tuple[int, int, float, float]:
+        """Remove a VM; returns its (node, cores, local_gb, pool_gb)."""
+        placement = self._placements.pop(vm_id, None)
+        if placement is None:
+            raise KeyError(f"server {self.server_id} has no VM {vm_id!r}")
+        node, cores, local_gb, pool_gb = placement
+        self.node_used_cores[node] -= cores
+        self.node_used_local_gb[node] -= local_gb
+        self.pool_used_gb -= pool_gb
+        return placement
+
+    def has_vm(self, vm_id: str) -> bool:
+        return vm_id in self._placements
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "used_cores": float(self.used_cores),
+            "total_cores": float(self.total_cores),
+            "used_local_gb": self.used_local_gb,
+            "total_dram_gb": self.total_dram_gb,
+            "pool_used_gb": self.pool_used_gb,
+            "stranded_gb": self.stranded_gb,
+            "n_vms": float(self.n_vms),
+        }

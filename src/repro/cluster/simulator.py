@@ -1,0 +1,258 @@
+"""Event-driven cluster simulator.
+
+The simulator replays a VM trace against a cluster of servers, mirroring the
+paper's evaluation methodology: "The simulator implements different memory
+allocation policies and tracks each server and each pool's memory capacity at
+second accuracy" (Section 6.1).
+
+Two usage modes matter:
+
+* **Stranding analysis** (Figure 2): memory-constrained placement with no
+  pool; the simulator samples core utilisation and stranded memory over time.
+* **Pool dimensioning** (Figures 3 and 21): placement constrained by cores
+  (memory effectively unconstrained), with a per-VM allocation policy deciding
+  how much of each VM's memory goes to the pool.  The per-server local peaks
+  and per-pool-group peaks then give the DRAM that *would have to be
+  provisioned* under that policy, which is how DRAM savings are computed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.scheduler import PlacementError, VMScheduler
+from repro.cluster.server import ClusterServer, ServerConfig
+from repro.cluster.trace import ClusterTrace, VMTraceRecord
+
+__all__ = ["ClusterSimulator", "SimulationResult", "SimulationSample"]
+
+#: A policy maps a trace record to the GB of the VM's memory placed on the pool.
+PoolPolicy = Callable[[VMTraceRecord], float]
+
+
+@dataclass(frozen=True)
+class SimulationSample:
+    """One periodic snapshot of cluster state."""
+
+    time_s: float
+    core_utilization: float
+    scheduled_cores_percent: float
+    used_local_gb: float
+    used_pool_gb: float
+    stranded_gb: float
+    stranded_percent: float
+    running_vms: int
+
+
+@dataclass
+class SimulationResult:
+    """Output of one simulation run."""
+
+    samples: List[SimulationSample] = field(default_factory=list)
+    server_peak_local_gb: Dict[str, float] = field(default_factory=dict)
+    server_peak_total_gb: Dict[str, float] = field(default_factory=dict)
+    pool_peak_gb: Dict[int, float] = field(default_factory=dict)
+    placed_vms: int = 0
+    rejected_vms: int = 0
+    total_pool_gb_allocated: float = 0.0
+    total_memory_gb_allocated: float = 0.0
+
+    # -- aggregate views ---------------------------------------------------------
+    @property
+    def required_local_dram_gb(self) -> float:
+        """DRAM that must be provisioned across servers (sum of local peaks)."""
+        return float(sum(self.server_peak_local_gb.values()))
+
+    @property
+    def required_pool_dram_gb(self) -> float:
+        """DRAM that must be provisioned across pools (sum of pool peaks)."""
+        return float(sum(self.pool_peak_gb.values()))
+
+    @property
+    def required_total_dram_gb(self) -> float:
+        return self.required_local_dram_gb + self.required_pool_dram_gb
+
+    @property
+    def uniform_required_local_dram_gb(self) -> float:
+        """Local DRAM when every server is provisioned identically.
+
+        Servers are bought with one DRAM configuration, so without pooling the
+        fleet must size *every* server for the worst per-server peak it might
+        see -- which is exactly why the average server strands memory.  This
+        is the provisioning model behind the paper's Figures 3 and 21.
+        """
+        if not self.server_peak_local_gb:
+            return 0.0
+        return float(len(self.server_peak_local_gb) * max(self.server_peak_local_gb.values()))
+
+    @property
+    def uniform_required_total_dram_gb(self) -> float:
+        """Uniform per-server provisioning plus per-pool peaks."""
+        return self.uniform_required_local_dram_gb + self.required_pool_dram_gb
+
+    @property
+    def average_pool_fraction(self) -> float:
+        """Average fraction of allocated VM memory placed on pools."""
+        if self.total_memory_gb_allocated <= 0:
+            return 0.0
+        return self.total_pool_gb_allocated / self.total_memory_gb_allocated
+
+    def sample_array(self, attribute: str) -> np.ndarray:
+        return np.array([getattr(s, attribute) for s in self.samples])
+
+
+class ClusterSimulator:
+    """Replays one cluster trace against a simulated cluster."""
+
+    def __init__(
+        self,
+        n_servers: int,
+        server_config: Optional[ServerConfig] = None,
+        pool_size_sockets: int = 0,
+        pool_capacity_gb_per_group: float = float("inf"),
+        constrain_memory: bool = True,
+        sample_interval_s: float = 3600.0,
+    ) -> None:
+        if n_servers < 1:
+            raise ValueError("need at least one server")
+        if sample_interval_s <= 0:
+            raise ValueError("sample interval must be positive")
+        if pool_size_sockets < 0:
+            raise ValueError("pool size cannot be negative")
+        self.server_config = server_config or ServerConfig()
+        if pool_size_sockets and pool_size_sockets % self.server_config.sockets != 0:
+            raise ValueError(
+                "pool_size_sockets must be a multiple of the server socket count"
+            )
+        self.n_servers = n_servers
+        self.pool_size_sockets = pool_size_sockets
+        self.pool_capacity_gb_per_group = pool_capacity_gb_per_group
+        self.constrain_memory = constrain_memory
+        self.sample_interval_s = sample_interval_s
+
+    # -- construction of the simulated cluster -----------------------------------
+    def _build_cluster(self) -> Tuple[List[ClusterServer], Dict[str, int], Dict[int, float]]:
+        config = self.server_config
+        if not self.constrain_memory:
+            # Memory-unconstrained placement: provision servers with effectively
+            # unlimited DRAM so the peak-tracking determines requirements.
+            config = ServerConfig(
+                name=config.name + "-unconstrained",
+                sockets=config.sockets,
+                cores_per_socket=config.cores_per_socket,
+                dram_per_socket_gb=1e9,
+            )
+        servers = [
+            ClusterServer(server_id=f"server-{i:04d}", config=config)
+            for i in range(self.n_servers)
+        ]
+        server_pool_group: Dict[str, int] = {}
+        pool_free: Dict[int, float] = {}
+        if self.pool_size_sockets:
+            servers_per_group = max(1, self.pool_size_sockets // self.server_config.sockets)
+            for i, server in enumerate(servers):
+                group = i // servers_per_group
+                server_pool_group[server.server_id] = group
+                pool_free.setdefault(group, self.pool_capacity_gb_per_group)
+        return servers, server_pool_group, pool_free
+
+    # -- main loop --------------------------------------------------------------------
+    def run(self, trace: ClusterTrace, policy: Optional[PoolPolicy] = None,
+            horizon_s: Optional[float] = None) -> SimulationResult:
+        """Replay ``trace``; ``policy`` decides each VM's pool memory in GB.
+
+        ``horizon_s`` bounds the sampling window; by default it is the time of
+        the last VM arrival, so long-lived VMs departing far in the future do
+        not dilute the time series with an emptying cluster.
+        """
+        servers, server_pool_group, pool_free = self._build_cluster()
+        scheduler = VMScheduler(servers, pool_free, server_pool_group)
+        result = SimulationResult()
+
+        # Departure events: (time, sequence, vm_id, server).
+        departures: List[Tuple[float, int, str, ClusterServer]] = []
+        seq = 0
+        next_sample_time = 0.0
+        pool_used: Dict[int, float] = {g: 0.0 for g in pool_free}
+        pool_peak: Dict[int, float] = {g: 0.0 for g in pool_free}
+
+        def process_departures(until_s: float) -> None:
+            nonlocal pool_used
+            while departures and departures[0][0] <= until_s:
+                _, _, vm_id, server = heapq.heappop(departures)
+                group = server_pool_group.get(server.server_id)
+                if group is not None and server.has_vm(vm_id):
+                    pool_gb = server._placements[vm_id][3]
+                    pool_used[group] -= pool_gb
+                scheduler.remove(vm_id, server)
+
+        def take_sample(time_s: float) -> None:
+            total_cores = sum(s.total_cores for s in servers)
+            used_cores = sum(s.used_cores for s in servers)
+            used_local = sum(s.used_local_gb for s in servers)
+            used_pool = sum(pool_used.values())
+            stranded = sum(s.stranded_gb for s in servers)
+            total_dram = self.n_servers * self.server_config.total_dram_gb
+            result.samples.append(
+                SimulationSample(
+                    time_s=time_s,
+                    core_utilization=used_cores / total_cores,
+                    scheduled_cores_percent=100.0 * used_cores / total_cores,
+                    used_local_gb=used_local,
+                    used_pool_gb=used_pool,
+                    stranded_gb=stranded,
+                    stranded_percent=100.0 * stranded / total_dram,
+                    running_vms=sum(s.n_vms for s in servers),
+                )
+            )
+
+        for record in trace:
+            process_departures(record.arrival_s)
+            while next_sample_time <= record.arrival_s:
+                take_sample(next_sample_time)
+                next_sample_time += self.sample_interval_s
+
+            pool_gb = 0.0
+            if policy is not None and self.pool_size_sockets:
+                pool_gb = float(np.clip(policy(record), 0.0, record.memory_gb))
+            local_gb = record.memory_gb - pool_gb
+
+            try:
+                server = scheduler.place(record.vm_id, record.cores, local_gb, pool_gb)
+            except PlacementError:
+                result.rejected_vms += 1
+                continue
+
+            result.placed_vms += 1
+            result.total_memory_gb_allocated += record.memory_gb
+            result.total_pool_gb_allocated += pool_gb
+            group = server_pool_group.get(server.server_id)
+            if group is not None and pool_gb > 0:
+                pool_used[group] += pool_gb
+                pool_peak[group] = max(pool_peak[group], pool_used[group])
+            seq += 1
+            heapq.heappush(departures, (record.departure_s, seq, record.vm_id, server))
+
+        # Drain remaining departures and finish sampling up to the horizon.
+        end_time = horizon_s if horizon_s is not None else trace.arrival_span_s
+        while next_sample_time <= end_time:
+            process_departures(next_sample_time)
+            take_sample(next_sample_time)
+            next_sample_time += self.sample_interval_s
+        # Always capture the final cluster state at the horizon so short traces
+        # (shorter than one sample interval) still produce a meaningful sample.
+        process_departures(end_time)
+        take_sample(end_time)
+        process_departures(float("inf"))
+
+        for server in servers:
+            result.server_peak_local_gb[server.server_id] = server.peak_local_gb
+            result.server_peak_total_gb[server.server_id] = (
+                server.peak_local_gb + server.peak_pool_gb
+            )
+        result.pool_peak_gb = dict(pool_peak)
+        return result

@@ -1,0 +1,129 @@
+"""Stranding analysis over simulation results (paper Figure 2).
+
+Memory is *stranded* when a server's cores are fully rented but free DRAM
+remains; that DRAM is technically available but practically unrentable.  The
+helpers here aggregate the simulator's time-series samples the same way the
+paper presents them:
+
+* :func:`stranding_vs_utilization` -- daily-average stranded memory bucketed
+  by the percentage of scheduled CPU cores, with 5th/95th percentile error
+  bars (Figure 2a).
+* :class:`StrandingAnalyzer` -- per-cluster summaries and rack-level time
+  series (Figure 2b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.simulator import SimulationResult
+
+__all__ = ["StrandingBucket", "stranding_vs_utilization", "StrandingAnalyzer"]
+
+
+@dataclass(frozen=True)
+class StrandingBucket:
+    """Aggregate stranding statistics for one scheduled-cores bucket."""
+
+    scheduled_cores_percent: float
+    mean_stranded_percent: float
+    p5_stranded_percent: float
+    p95_stranded_percent: float
+    n_samples: int
+
+
+def stranding_vs_utilization(
+    results: Sequence[SimulationResult],
+    bucket_edges: Sequence[float] = (55, 65, 75, 85, 95, 100),
+    min_samples: int = 1,
+) -> List[StrandingBucket]:
+    """Bucket stranding samples by scheduled-core percentage (Figure 2a).
+
+    Each bucket is labelled by its centre; samples from all provided
+    simulation results are merged before bucketing.
+    """
+    if len(bucket_edges) < 2:
+        raise ValueError("need at least two bucket edges")
+    scheduled = np.concatenate(
+        [r.sample_array("scheduled_cores_percent") for r in results]
+    ) if results else np.array([])
+    stranded = np.concatenate(
+        [r.sample_array("stranded_percent") for r in results]
+    ) if results else np.array([])
+    buckets: List[StrandingBucket] = []
+    for lo, hi in zip(bucket_edges[:-1], bucket_edges[1:]):
+        mask = (scheduled >= lo) & (scheduled < hi)
+        count = int(mask.sum())
+        if count < min_samples:
+            continue
+        values = stranded[mask]
+        buckets.append(
+            StrandingBucket(
+                scheduled_cores_percent=(lo + hi) / 2.0,
+                mean_stranded_percent=float(values.mean()),
+                p5_stranded_percent=float(np.percentile(values, 5)),
+                p95_stranded_percent=float(np.percentile(values, 95)),
+                n_samples=count,
+            )
+        )
+    return buckets
+
+
+class StrandingAnalyzer:
+    """Per-cluster stranding summaries and rack-level time series."""
+
+    def __init__(self, results: Dict[str, SimulationResult]) -> None:
+        if not results:
+            raise ValueError("need at least one simulation result")
+        self.results = dict(results)
+
+    def cluster_mean_stranding(self) -> Dict[str, float]:
+        """Mean stranded-memory percentage per cluster."""
+        return {
+            cluster: float(result.sample_array("stranded_percent").mean())
+            if result.samples else 0.0
+            for cluster, result in self.results.items()
+        }
+
+    def fleet_percentile(self, percentile: float) -> float:
+        """Percentile of stranding across all samples of all clusters."""
+        values = np.concatenate(
+            [r.sample_array("stranded_percent") for r in self.results.values()
+             if r.samples]
+        )
+        if values.size == 0:
+            raise RuntimeError("no samples available")
+        return float(np.percentile(values, percentile))
+
+    def time_series(self, cluster: str) -> Tuple[np.ndarray, np.ndarray]:
+        """(time_days, stranded_percent) series for one cluster (Figure 2b)."""
+        result = self.results.get(cluster)
+        if result is None:
+            raise KeyError(f"unknown cluster {cluster!r}")
+        times = result.sample_array("time_s") / 86_400.0
+        stranded = result.sample_array("stranded_percent")
+        return times, stranded
+
+    def daily_average(self, cluster: str) -> Tuple[np.ndarray, np.ndarray]:
+        """Average the stranding series per day (the paper's daily averages)."""
+        times, stranded = self.time_series(cluster)
+        if times.size == 0:
+            return np.array([]), np.array([])
+        days = np.floor(times).astype(int)
+        unique_days = np.unique(days)
+        averages = np.array([stranded[days == d].mean() for d in unique_days])
+        return unique_days.astype(float), averages
+
+    def stranding_increase_after(self, cluster: str, day: float) -> float:
+        """Change in mean stranding after ``day`` vs before (Figure 2b shift)."""
+        days, averages = self.daily_average(cluster)
+        if days.size == 0:
+            raise RuntimeError("no samples for cluster")
+        before = averages[days < day]
+        after = averages[days >= day]
+        if before.size == 0 or after.size == 0:
+            raise ValueError("day splits the series into an empty half")
+        return float(after.mean() - before.mean())

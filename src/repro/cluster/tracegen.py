@@ -1,0 +1,245 @@
+"""Synthetic VM trace generation calibrated to the paper's cluster statistics.
+
+The generator produces per-cluster VM arrival/departure traces with the
+statistical properties that drive stranding and pooling savings:
+
+* a target steady-state core utilisation (the x-axis of Figure 2a),
+* a VM mix whose DRAM:core ratio deviates from the servers' ratio (the root
+  cause of stranding),
+* heavy-tailed lifetimes (most VMs are short, a few live for days),
+* a customer population with consistent untouched-memory behaviour (from
+  :class:`repro.workloads.memory_behavior.UntouchedMemoryModel`), and
+* optional mid-trace workload shifts (the day-36 event in Figure 2b).
+
+Arrivals follow a Poisson process whose rate is derived from Little's law so
+that the requested utilisation is reached in steady state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.server import ServerConfig
+from repro.cluster.trace import ClusterTrace, VMTraceRecord
+from repro.cluster.vm_types import VMType, sample_vm_type
+from repro.workloads.memory_behavior import UntouchedMemoryModel
+
+__all__ = ["TraceGenConfig", "TraceGenerator"]
+
+DAY_S = 86_400.0
+HOUR_S = 3_600.0
+
+
+@dataclass
+class TraceGenConfig:
+    """Knobs controlling one cluster's synthetic trace."""
+
+    cluster_id: str = "cluster-0"
+    n_servers: int = 40
+    server_config: ServerConfig = field(default_factory=ServerConfig)
+    duration_days: float = 10.0
+    target_core_utilization: float = 0.80
+    mean_lifetime_hours: float = 6.0
+    lifetime_sigma: float = 1.4
+    family_weights: Optional[Dict[str, float]] = None
+    n_customers: int = 100
+    region: str = "region-0"
+    #: If set, multiply the memory-optimised family weight by this factor from
+    #: ``shift_day`` onwards (the Figure 2b workload-change event).
+    shift_day: Optional[float] = None
+    shift_memory_factor: float = 3.0
+    #: Start the trace with a steady-state population already running at t=0
+    #: (residual lifetimes drawn from the equilibrium distribution).  Without
+    #: this, heavy-tailed lifetimes make the cluster take many days to reach
+    #: its target utilisation.
+    warm_start: bool = True
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_servers < 1:
+            raise ValueError("need at least one server")
+        if self.duration_days <= 0:
+            raise ValueError("duration must be positive")
+        if not 0.0 < self.target_core_utilization <= 1.0:
+            raise ValueError("target utilisation must be in (0, 1]")
+        if self.mean_lifetime_hours <= 0:
+            raise ValueError("mean lifetime must be positive")
+        if self.n_customers < 1:
+            raise ValueError("need at least one customer")
+
+    @property
+    def total_cores(self) -> int:
+        return self.n_servers * self.server_config.total_cores
+
+    @property
+    def duration_s(self) -> float:
+        return self.duration_days * DAY_S
+
+
+class TraceGenerator:
+    """Generates synthetic cluster traces from a :class:`TraceGenConfig`."""
+
+    #: Workload names attached to VMs, used to look up latency sensitivity.
+    _WORKLOAD_POOL = (
+        "web-frontend", "api-server", "redis-cache", "mysql-oltp", "spark-batch",
+        "ml-training", "video-transcode", "analytics-olap", "ci-runner",
+        "game-server", "mail-relay", "search-index",
+    )
+
+    def __init__(self, config: TraceGenConfig,
+                 memory_model: Optional[UntouchedMemoryModel] = None) -> None:
+        self.config = config
+        self.memory_model = memory_model or UntouchedMemoryModel(
+            n_customers=config.n_customers, seed=config.seed + 1000
+        )
+        self._rng = np.random.default_rng(config.seed)
+
+    # -- arrival-rate calibration ---------------------------------------------------
+    def _expected_cores_per_vm(self) -> float:
+        rng = np.random.default_rng(self.config.seed + 7)
+        samples = [sample_vm_type(rng, self.config.family_weights).cores for _ in range(500)]
+        return float(np.mean(samples))
+
+    def arrival_rate_per_s(self) -> float:
+        """Poisson arrival rate achieving the target utilisation (Little's law).
+
+        target_used_cores = rate * mean_lifetime * mean_cores_per_vm
+        """
+        cfg = self.config
+        target_used_cores = cfg.target_core_utilization * cfg.total_cores
+        mean_lifetime_s = cfg.mean_lifetime_hours * HOUR_S
+        mean_cores = self._expected_cores_per_vm()
+        return target_used_cores / (mean_lifetime_s * mean_cores)
+
+    # -- sampling helpers -------------------------------------------------------------
+    def _sample_lifetime_s(self) -> float:
+        cfg = self.config
+        mean_s = cfg.mean_lifetime_hours * HOUR_S
+        # Lognormal with the requested mean: mu = ln(mean) - sigma^2/2.
+        sigma = cfg.lifetime_sigma
+        mu = np.log(mean_s) - sigma**2 / 2.0
+        return float(np.clip(self._rng.lognormal(mu, sigma), 60.0, 90.0 * DAY_S))
+
+    def _family_weights_at(self, time_s: float) -> Optional[Dict[str, float]]:
+        cfg = self.config
+        if cfg.shift_day is None or time_s < cfg.shift_day * DAY_S:
+            return cfg.family_weights
+        weights = dict(cfg.family_weights or {})
+        base = weights.get("memory_optimized", 0.20)
+        weights["memory_optimized"] = base * cfg.shift_memory_factor
+        return weights
+
+    def _sample_customer(self) -> str:
+        # Zipf-like popularity: a few customers create most VMs.
+        n = self.config.n_customers
+        ranks = np.arange(1, n + 1, dtype=float)
+        probs = 1.0 / ranks
+        probs /= probs.sum()
+        idx = int(self._rng.choice(n, p=probs))
+        customer_pool = self.memory_model.customer_ids
+        return customer_pool[idx % len(customer_pool)]
+
+    def _make_record(self, cfg: TraceGenConfig, vm_index: int, arrival_s: float,
+                     lifetime_s: float) -> VMTraceRecord:
+        vm_type = sample_vm_type(self._rng, self._family_weights_at(arrival_s))
+        customer = self._sample_customer()
+        untouched = self.memory_model.sample_untouched_fraction(
+            customer, vm_type.family, self._rng
+        )
+        return VMTraceRecord(
+            vm_id=f"{cfg.cluster_id}-vm-{vm_index}",
+            cluster_id=cfg.cluster_id,
+            arrival_s=arrival_s,
+            lifetime_s=lifetime_s,
+            cores=vm_type.cores,
+            memory_gb=vm_type.memory_gb,
+            customer_id=customer,
+            vm_family=vm_type.family,
+            guest_os="linux" if self._rng.uniform() < 0.7 else "windows",
+            region=cfg.region,
+            workload_name=str(self._rng.choice(self._WORKLOAD_POOL)),
+            untouched_fraction=untouched,
+        )
+
+    def _warm_start_records(self, rate: float) -> List[VMTraceRecord]:
+        """VMs already running at t=0, approximating the steady-state population.
+
+        The number in the system follows Little's law (rate x mean lifetime);
+        residual lifetimes are drawn from the equilibrium (length-biased)
+        distribution of the lognormal lifetime model.
+        """
+        cfg = self.config
+        mean_s = cfg.mean_lifetime_hours * HOUR_S
+        n_initial = int(round(rate * mean_s))
+        sigma = cfg.lifetime_sigma
+        mu = np.log(mean_s) - sigma**2 / 2.0
+        records: List[VMTraceRecord] = []
+        for i in range(n_initial):
+            # Length-biased lognormal has location mu + sigma^2; the residual
+            # lifetime of an in-progress VM is uniform over its total lifetime.
+            total = float(np.clip(self._rng.lognormal(mu + sigma**2, sigma), 60.0, 90.0 * DAY_S))
+            residual = max(60.0, float(self._rng.uniform(0.0, total)))
+            records.append(self._make_record(cfg, i, 0.0, residual))
+        return records
+
+    # -- generation --------------------------------------------------------------------
+    def generate(self) -> ClusterTrace:
+        """Generate the full trace for this cluster."""
+        cfg = self.config
+        rate = self.arrival_rate_per_s()
+        records: List[VMTraceRecord] = []
+        vm_index = 0
+        if cfg.warm_start:
+            records = self._warm_start_records(rate)
+            vm_index = len(records)
+        time_s = 0.0
+        while True:
+            time_s += float(self._rng.exponential(1.0 / rate))
+            if time_s >= cfg.duration_s:
+                break
+            records.append(
+                self._make_record(cfg, vm_index, time_s, self._sample_lifetime_s())
+            )
+            vm_index += 1
+        return ClusterTrace(records, cluster_id=cfg.cluster_id)
+
+
+def generate_fleet(
+    n_clusters: int,
+    base_config: Optional[TraceGenConfig] = None,
+    utilization_range: Sequence[float] = (0.55, 0.95),
+    seed: int = 3,
+) -> List[ClusterTrace]:
+    """Generate traces for a fleet of clusters with varying utilisation.
+
+    Utilisations are evenly spread across ``utilization_range`` so the
+    stranding-vs-utilisation analysis (Figure 2a) has samples in every bucket.
+    """
+    if n_clusters < 1:
+        raise ValueError("need at least one cluster")
+    lo, hi = utilization_range
+    if not 0.0 < lo <= hi <= 1.0:
+        raise ValueError("utilization_range must satisfy 0 < lo <= hi <= 1")
+    base = base_config or TraceGenConfig()
+    traces: List[ClusterTrace] = []
+    for i in range(n_clusters):
+        frac = 0.5 if n_clusters == 1 else i / (n_clusters - 1)
+        util = lo + (hi - lo) * frac
+        cfg = TraceGenConfig(
+            cluster_id=f"cluster-{i:03d}",
+            n_servers=base.n_servers,
+            server_config=base.server_config,
+            duration_days=base.duration_days,
+            target_core_utilization=util,
+            mean_lifetime_hours=base.mean_lifetime_hours,
+            lifetime_sigma=base.lifetime_sigma,
+            family_weights=base.family_weights,
+            n_customers=base.n_customers,
+            region=f"region-{i % 3}",
+            seed=seed + i,
+        )
+        traces.append(TraceGenerator(cfg).generate())
+    return traces

@@ -1,0 +1,114 @@
+"""VM SKU catalog and sampling.
+
+Cloud VMs come in families with different DRAM-to-core ratios; the mismatch
+between the VM mix's aggregate ratio and the servers' ratio is what produces
+stranding (paper Section 2).  The catalog below mirrors typical public-cloud
+families (general purpose ~4 GB/core, memory optimised ~8 GB/core, compute
+optimised ~2 GB/core) across several core counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["VMType", "VM_TYPE_CATALOG", "sample_vm_type", "vm_mix_dram_per_core"]
+
+
+@dataclass(frozen=True)
+class VMType:
+    """One rentable VM shape."""
+
+    name: str
+    family: str
+    cores: int
+    memory_gb: float
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError("cores must be >= 1")
+        if self.memory_gb <= 0:
+            raise ValueError("memory must be positive")
+
+    @property
+    def memory_per_core_gb(self) -> float:
+        return self.memory_gb / self.cores
+
+
+def _family(prefix: str, family: str, gb_per_core: float, core_counts: Sequence[int]) -> List[VMType]:
+    return [
+        VMType(name=f"{prefix}{c}", family=family, cores=c, memory_gb=c * gb_per_core)
+        for c in core_counts
+    ]
+
+
+#: The rentable VM catalog: three families spanning 2-48 cores.
+VM_TYPE_CATALOG: List[VMType] = (
+    _family("D", "general", 4.0, (2, 4, 8, 16, 32, 48))
+    + _family("E", "memory_optimized", 8.0, (2, 4, 8, 16, 32, 48))
+    + _family("F", "compute_optimized", 2.0, (2, 4, 8, 16, 32, 48))
+    + _family("B", "burstable", 4.0, (1, 2, 4))
+)
+
+_CATALOG_BY_NAME: Dict[str, VMType] = {t.name: t for t in VM_TYPE_CATALOG}
+
+#: Default popularity of each family.  General-purpose VMs dominate by count;
+#: memory-optimised VMs carry a large share of memory, which keeps the VM
+#: mix's aggregate DRAM:core ratio at roughly 70-80 % of the servers' ratio --
+#: the regime in which core exhaustion strands the remaining DRAM.
+DEFAULT_FAMILY_WEIGHTS: Dict[str, float] = {
+    "general": 0.42,
+    "memory_optimized": 0.36,
+    "compute_optimized": 0.14,
+    "burstable": 0.08,
+}
+
+#: Smaller VMs are far more common than large ones; the steep exponent keeps
+#: the typical server hosting dozens of VMs, as in production clusters.
+_SIZE_WEIGHT_EXPONENT = -1.8
+
+
+def get_vm_type(name: str) -> VMType:
+    if name not in _CATALOG_BY_NAME:
+        raise KeyError(f"unknown VM type {name!r}")
+    return _CATALOG_BY_NAME[name]
+
+
+def sample_vm_type(
+    rng: np.random.Generator,
+    family_weights: Optional[Dict[str, float]] = None,
+) -> VMType:
+    """Sample a VM type: family by weight, size by a power-law popularity."""
+    weights = dict(DEFAULT_FAMILY_WEIGHTS)
+    if family_weights:
+        weights.update(family_weights)
+    families = sorted(weights)
+    probs = np.array([max(0.0, weights[f]) for f in families], dtype=float)
+    if probs.sum() <= 0:
+        raise ValueError("family weights must not all be zero")
+    probs /= probs.sum()
+    family = str(rng.choice(families, p=probs))
+    candidates = [t for t in VM_TYPE_CATALOG if t.family == family]
+    size_weights = np.array([t.cores ** _SIZE_WEIGHT_EXPONENT for t in candidates])
+    size_weights /= size_weights.sum()
+    idx = int(rng.choice(len(candidates), p=size_weights))
+    return candidates[idx]
+
+
+def vm_mix_dram_per_core(
+    rng: np.random.Generator,
+    n_samples: int = 1000,
+    family_weights: Optional[Dict[str, float]] = None,
+) -> float:
+    """Estimate the aggregate DRAM:core ratio of a sampled VM mix."""
+    if n_samples < 1:
+        raise ValueError("n_samples must be >= 1")
+    total_cores = 0
+    total_memory = 0.0
+    for _ in range(n_samples):
+        t = sample_vm_type(rng, family_weights)
+        total_cores += t.cores
+        total_memory += t.memory_gb
+    return total_memory / total_cores

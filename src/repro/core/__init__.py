@@ -1,0 +1,51 @@
+"""Pond's core: configuration, prediction models, control plane, and policies.
+
+This package is the paper's primary contribution -- the pieces that turn a
+CXL pool plus hypervisor support into a system that meets cloud performance
+targets:
+
+* :mod:`repro.core.config` -- the PDM/TP configuration knobs.
+* :mod:`repro.core.prediction` -- the latency-insensitivity model, the
+  untouched-memory model, and the combined Eq.(1) optimiser.
+* :mod:`repro.core.control_plane` -- the Pool Manager, the prediction-driven
+  VM scheduler, the QoS monitor, and the mitigation manager.
+* :mod:`repro.core.policies` -- memory-allocation policies used in the
+  cluster-scale savings simulations (all-local, static fraction, Pond).
+"""
+
+from repro.core.config import PondConfig
+from repro.core.prediction.latency_model import (
+    LatencyInsensitivityModel,
+    DramBoundHeuristic,
+    MemoryBoundHeuristic,
+)
+from repro.core.prediction.untouched_model import UntouchedMemoryPredictor
+from repro.core.prediction.combined import CombinedModelOptimizer, CombinedOperatingPoint
+from repro.core.control_plane.pool_manager import PoolManager
+from repro.core.control_plane.scheduler import PondScheduler, SchedulingDecision
+from repro.core.control_plane.qos_monitor import QoSMonitor, QoSVerdict
+from repro.core.control_plane.mitigation import MitigationManager
+from repro.core.policies import (
+    AllLocalPolicy,
+    StaticFractionPolicy,
+    PondTracePolicy,
+)
+
+__all__ = [
+    "PondConfig",
+    "LatencyInsensitivityModel",
+    "DramBoundHeuristic",
+    "MemoryBoundHeuristic",
+    "UntouchedMemoryPredictor",
+    "CombinedModelOptimizer",
+    "CombinedOperatingPoint",
+    "PoolManager",
+    "PondScheduler",
+    "SchedulingDecision",
+    "QoSMonitor",
+    "QoSVerdict",
+    "MitigationManager",
+    "AllLocalPolicy",
+    "StaticFractionPolicy",
+    "PondTracePolicy",
+]

@@ -1,0 +1,97 @@
+"""Pond configuration (paper Section 4).
+
+Pond exposes exactly two externally-set parameters:
+
+* **PDM** -- the performance degradation margin: the allowable slowdown of a
+  workload relative to running entirely on NUMA-local DRAM (e.g. 1-10 %).
+* **TP** -- the tail percentage: the share of VMs that must stay within the
+  PDM (e.g. 98 %), which bounds the combined model's error budget via Eq.(1)
+  and determines how often the QoS monitor must mitigate.
+
+Everything else (pool size, slice granularity, latency scenario, QoS
+mitigation budget) is deployment configuration collected here so that the
+control plane, the policies, and the experiment drivers share one source of
+truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.workloads.sensitivity import LatencyScenario, SCENARIO_182
+
+__all__ = ["PondConfig"]
+
+
+@dataclass(frozen=True)
+class PondConfig:
+    """Deployment-level Pond configuration."""
+
+    #: Performance degradation margin, percent slowdown allowed per VM.
+    pdm_percent: float = 5.0
+    #: Target percentage of VMs that must stay within the PDM.
+    tail_percentage: float = 98.0
+    #: Number of CPU sockets sharing one pool.
+    pool_size_sockets: int = 16
+    #: Pool memory slice granularity in GB.
+    slice_gb: int = 1
+    #: Emulated CXL latency scenario used for performance modelling.
+    scenario: LatencyScenario = field(default_factory=lambda: SCENARIO_182)
+    #: Fraction of mispredicted VMs the QoS monitor can mitigate (paper: 1 %).
+    qos_mitigation_budget_percent: float = 1.0
+    #: Pool memory buffer (in slices per host) kept free for instant VM starts.
+    pool_buffer_slices_per_host: int = 8
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.pdm_percent <= 100.0:
+            raise ValueError("pdm_percent must be in (0, 100]")
+        if not 0.0 < self.tail_percentage <= 100.0:
+            raise ValueError("tail_percentage must be in (0, 100]")
+        if self.pool_size_sockets < 2:
+            raise ValueError("pool_size_sockets must be >= 2")
+        if self.slice_gb < 1:
+            raise ValueError("slice_gb must be >= 1")
+        if self.qos_mitigation_budget_percent < 0:
+            raise ValueError("mitigation budget cannot be negative")
+        if self.pool_buffer_slices_per_host < 0:
+            raise ValueError("pool buffer cannot be negative")
+
+    @property
+    def error_budget_percent(self) -> float:
+        """The Eq.(1) right-hand side: 100 - TP, split between FP and OP."""
+        return 100.0 - self.tail_percentage
+
+    @property
+    def scheduling_misprediction_target_percent(self) -> float:
+        """Mispredictions the scheduler may make before QoS mitigation runs out.
+
+        The QoS monitor can mitigate up to ``qos_mitigation_budget_percent``
+        of VMs, so the combined model can be allowed that much extra error on
+        top of the raw 100 - TP budget.
+        """
+        return self.error_budget_percent + self.qos_mitigation_budget_percent
+
+    def with_pdm(self, pdm_percent: float) -> "PondConfig":
+        """Copy of this config with a different PDM."""
+        return PondConfig(
+            pdm_percent=pdm_percent,
+            tail_percentage=self.tail_percentage,
+            pool_size_sockets=self.pool_size_sockets,
+            slice_gb=self.slice_gb,
+            scenario=self.scenario,
+            qos_mitigation_budget_percent=self.qos_mitigation_budget_percent,
+            pool_buffer_slices_per_host=self.pool_buffer_slices_per_host,
+        )
+
+    def with_scenario(self, scenario: LatencyScenario) -> "PondConfig":
+        """Copy of this config with a different latency scenario."""
+        return PondConfig(
+            pdm_percent=self.pdm_percent,
+            tail_percentage=self.tail_percentage,
+            pool_size_sockets=self.pool_size_sockets,
+            slice_gb=self.slice_gb,
+            scenario=scenario,
+            qos_mitigation_budget_percent=self.qos_mitigation_budget_percent,
+            pool_buffer_slices_per_host=self.pool_buffer_slices_per_host,
+        )

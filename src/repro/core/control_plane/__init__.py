@@ -1,0 +1,26 @@
+"""Pond's distributed control plane (paper Section 4.3, Figure 11).
+
+* :mod:`repro.core.control_plane.pool_manager` -- the Pool Manager colocated
+  with the EMCs: onlines/offlines 1 GB slices, keeps the free buffer that
+  takes slice offlining off the VM-start critical path.
+* :mod:`repro.core.control_plane.scheduler` -- the prediction-driven VM
+  scheduling workflow (path A in Figure 11 / decision tree in Figure 13).
+* :mod:`repro.core.control_plane.qos_monitor` -- continuous QoS monitoring of
+  running VMs (path B).
+* :mod:`repro.core.control_plane.mitigation` -- the mitigation manager that
+  migrates mispredicted VMs to all-local memory.
+"""
+
+from repro.core.control_plane.pool_manager import PoolManager
+from repro.core.control_plane.scheduler import PondScheduler, SchedulingDecision
+from repro.core.control_plane.qos_monitor import QoSMonitor, QoSVerdict
+from repro.core.control_plane.mitigation import MitigationManager
+
+__all__ = [
+    "PoolManager",
+    "PondScheduler",
+    "SchedulingDecision",
+    "QoSMonitor",
+    "QoSVerdict",
+    "MitigationManager",
+]

@@ -1,0 +1,97 @@
+"""Mitigation manager: the one-time memory reconfiguration (paper Section 4.2).
+
+When the QoS monitor flags a VM, the mitigation manager performs Pond's
+one-time correction: the hypervisor temporarily disables the virtualization
+accelerator, copies all of the VM's pool memory to local DRAM (about 50 ms per
+GB), re-enables the accelerator, and the VM runs all-local from then on.  If
+the host lacks free local memory, the fallback is a live migration to another
+host (modelled here as a slower, whole-memory copy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.hypervisor.host import Host, HostCapacityError
+from repro.hypervisor.vm import VMInstance
+
+__all__ = ["MitigationManager", "MitigationRecord"]
+
+#: Live migration to another host copies all memory at roughly this rate.
+LIVE_MIGRATION_S_PER_GB = 0.2
+
+
+@dataclass(frozen=True)
+class MitigationRecord:
+    """One executed (or failed) mitigation."""
+
+    vm_id: str
+    method: str          # "local_copy", "live_migration", or "failed"
+    moved_gb: float
+    duration_s: float
+
+
+class MitigationManager:
+    """Executes mitigations requested by the QoS monitor."""
+
+    def __init__(self) -> None:
+        self.records: List[MitigationRecord] = []
+
+    def mitigate(self, host: Host, vm_id: str,
+                 fallback_host: Optional[Host] = None) -> MitigationRecord:
+        """Move the VM's pool memory to local DRAM, falling back to migration.
+
+        Returns the record of what happened; a record with method ``failed``
+        means neither the local copy nor the fallback migration was possible.
+        """
+        vm = host.vms.get(vm_id)
+        if vm is None:
+            raise KeyError(f"host {host.host_id} has no VM {vm_id!r}")
+        pool_gb = vm.pool_memory_gb
+        if pool_gb <= 0:
+            record = MitigationRecord(vm_id, "local_copy", 0.0, 0.0)
+            self.records.append(record)
+            return record
+
+        try:
+            duration = host.mitigate_vm(vm_id)
+            record = MitigationRecord(vm_id, "local_copy", pool_gb, duration)
+        except HostCapacityError:
+            if fallback_host is None:
+                record = MitigationRecord(vm_id, "failed", 0.0, 0.0)
+            else:
+                record = self._live_migrate(host, fallback_host, vm)
+        self.records.append(record)
+        return record
+
+    def _live_migrate(self, source: Host, target: Host, vm: VMInstance) -> MitigationRecord:
+        """Move the VM to ``target`` with an all-local allocation."""
+        request = vm.request
+        if target.free_cores < request.cores or \
+                target.free_local_gb < request.memory_gb - 1e-9:
+            return MitigationRecord(vm.vm_id, "failed", 0.0, 0.0)
+        source.terminate_vm(vm.vm_id, time_s=max(vm.start_time_s, 0.0))
+        new_vm = target.place_vm(
+            request, local_gb=request.memory_gb, pool_gb=0.0,
+            start_time_s=vm.start_time_s,
+        )
+        new_vm.record_touch(vm.touched_memory_gb)
+        new_vm.mitigated = True
+        duration = LIVE_MIGRATION_S_PER_GB * request.memory_gb
+        return MitigationRecord(vm.vm_id, "live_migration", request.memory_gb, duration)
+
+    # -- accounting -------------------------------------------------------------------------
+    @property
+    def n_mitigations(self) -> int:
+        return sum(1 for r in self.records if r.method != "failed")
+
+    @property
+    def n_failures(self) -> int:
+        return sum(1 for r in self.records if r.method == "failed")
+
+    def total_moved_gb(self) -> float:
+        return sum(r.moved_gb for r in self.records)
+
+    def total_duration_s(self) -> float:
+        return sum(r.duration_s for r in self.records)

@@ -1,0 +1,188 @@
+"""The Pool Manager (paper Sections 4.1-4.3, Figure 9).
+
+The Pool Manager (PM) is colocated with the EMCs and assigns 1 GB slices of
+pool memory to hosts:
+
+* ``Add_capacity(host, slice)`` interrupts the host driver, which hot-plugs
+  the address range and brings the memory online (microseconds per GB), and
+  records the host in the EMC's permission table.
+* ``Release_capacity(host, slice)`` offlines the slice on the host (10-100 ms
+  per GB) and clears the permission entry.
+
+Because offlining is slow, the PM keeps a buffer of unallocated pool memory
+per host and performs releases *asynchronously* after VM departures, so VM
+starts never wait on reclamation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.cxl.emc import EMCDevice, EMCError
+from repro.hypervisor.host import Host
+from repro.hypervisor.slices import SliceTransitionModel
+
+__all__ = ["PoolManager", "PoolManagerError"]
+
+
+class PoolManagerError(RuntimeError):
+    """Raised for invalid Pool Manager operations."""
+
+
+@dataclass
+class _PendingRelease:
+    """A queued asynchronous slice release."""
+
+    host_id: str
+    n_slices: int
+    queued_at_s: float
+
+
+class PoolManager:
+    """Assigns pool slices to hosts and reclaims them asynchronously."""
+
+    def __init__(
+        self,
+        emc: EMCDevice,
+        transition_model: Optional[SliceTransitionModel] = None,
+        slice_gb: int = 1,
+    ) -> None:
+        if slice_gb < 1:
+            raise ValueError("slice_gb must be >= 1")
+        self.emc = emc
+        self.slice_gb = slice_gb
+        self.transitions = transition_model or SliceTransitionModel(seed=0)
+        self.hosts: Dict[str, Host] = {}
+        self._release_queue: Deque[_PendingRelease] = deque()
+        #: Completed onlining/offlining wall-clock time, for Finding-10 accounting.
+        self.total_online_s: float = 0.0
+        self.total_offline_s: float = 0.0
+
+    # -- host registration -----------------------------------------------------------
+    def register_host(self, host: Host) -> int:
+        """Attach a host to the EMC; returns the CXL port id."""
+        if host.host_id in self.hosts:
+            raise PoolManagerError(f"host {host.host_id!r} already registered")
+        port = self.emc.attach_host(host.host_id)
+        self.hosts[host.host_id] = host
+        return port
+
+    def unregister_host(self, host_id: str) -> None:
+        if host_id not in self.hosts:
+            raise PoolManagerError(f"host {host_id!r} is not registered")
+        host = self.hosts.pop(host_id)
+        assigned = len(self.emc.slices_of(host_id))
+        if assigned:
+            host.offline_pool_memory(assigned * self.slice_gb)
+            self.transitions.offline_slices(assigned)
+        self.emc.detach_host(host_id)
+
+    # -- capacity assignment -------------------------------------------------------------
+    def add_capacity(self, host_id: str, n_slices: int) -> float:
+        """Online ``n_slices`` slices on the host; returns the onlining time (s)."""
+        host = self._host(host_id)
+        if n_slices < 0:
+            raise ValueError("slice count cannot be negative")
+        if n_slices == 0:
+            return 0.0
+        if n_slices > self.emc.free_slices:
+            raise PoolManagerError(
+                f"pool exhausted: requested {n_slices} slices, "
+                f"{self.emc.free_slices} free"
+            )
+        for _ in range(n_slices):
+            self.emc.assign_slice(host_id)
+        host.online_pool_memory(n_slices * self.slice_gb)
+        record = self.transitions.online_slices(n_slices)
+        self.total_online_s += record.duration_s
+        return record.duration_s
+
+    def release_capacity(self, host_id: str, n_slices: int) -> float:
+        """Synchronously offline ``n_slices`` from the host (slow path)."""
+        host = self._host(host_id)
+        if n_slices < 0:
+            raise ValueError("slice count cannot be negative")
+        if n_slices == 0:
+            return 0.0
+        owned = self.emc.slices_of(host_id)
+        if n_slices > len(owned):
+            raise PoolManagerError(
+                f"host {host_id!r} owns {len(owned)} slices, cannot release {n_slices}"
+            )
+        free_gb = host.free_pool_gb
+        if n_slices * self.slice_gb > free_gb + 1e-9:
+            raise PoolManagerError(
+                f"host {host_id!r} has only {free_gb:.1f} GB of unallocated pool memory"
+            )
+        host.offline_pool_memory(n_slices * self.slice_gb)
+        for slice_index in owned[-n_slices:]:
+            self.emc.release_slice(host_id, slice_index)
+        record = self.transitions.offline_slices(n_slices)
+        self.total_offline_s += record.duration_s
+        return record.duration_s
+
+    # -- asynchronous release (the fast path after VM departure) ---------------------------
+    def queue_release(self, host_id: str, n_slices: int, now_s: float = 0.0) -> None:
+        """Queue an asynchronous release; processed by :meth:`process_releases`."""
+        self._host(host_id)
+        if n_slices < 0:
+            raise ValueError("slice count cannot be negative")
+        if n_slices == 0:
+            return
+        self._release_queue.append(_PendingRelease(host_id, n_slices, now_s))
+
+    def process_releases(self, max_slices: Optional[int] = None) -> float:
+        """Drain the release queue (up to ``max_slices``); returns time spent (s).
+
+        Queued amounts are clamped to what is actually free and owned at
+        processing time: a mitigation or a later VM start may legitimately have
+        consumed pool memory that was free when the release was queued.
+        """
+        total_s = 0.0
+        processed = 0
+        while self._release_queue:
+            pending = self._release_queue[0]
+            host = self._host(pending.host_id)
+            owned = len(self.emc.slices_of(pending.host_id))
+            free = int(host.free_pool_gb // self.slice_gb)
+            releasable = min(pending.n_slices, owned, free)
+            if max_slices is not None and processed + releasable > max_slices:
+                break
+            self._release_queue.popleft()
+            if releasable > 0:
+                total_s += self.release_capacity(pending.host_id, releasable)
+                processed += releasable
+        return total_s
+
+    @property
+    def pending_release_slices(self) -> int:
+        return sum(p.n_slices for p in self._release_queue)
+
+    # -- buffer management ------------------------------------------------------------------
+    def ensure_buffer(self, host_id: str, buffer_slices: int) -> int:
+        """Top up the host's free pool memory to ``buffer_slices``; returns slices added."""
+        host = self._host(host_id)
+        if buffer_slices < 0:
+            raise ValueError("buffer cannot be negative")
+        current = int(host.free_pool_gb // self.slice_gb)
+        needed = max(0, buffer_slices - current)
+        available = min(needed, self.emc.free_slices)
+        if available > 0:
+            self.add_capacity(host_id, available)
+        return available
+
+    # -- queries -----------------------------------------------------------------------------
+    def host_pool_gb(self, host_id: str) -> int:
+        return len(self.emc.slices_of(host_id)) * self.slice_gb
+
+    @property
+    def unassigned_pool_gb(self) -> int:
+        return self.emc.free_gb
+
+    def _host(self, host_id: str) -> Host:
+        host = self.hosts.get(host_id)
+        if host is None:
+            raise PoolManagerError(f"host {host_id!r} is not registered")
+        return host

@@ -1,0 +1,95 @@
+"""QoS monitoring of running VMs (paper Sections 4.3-4.4, path B in Figure 11).
+
+The monitor periodically inspects every running VM:
+
+* For zNUMA VMs it checks whether the untouched-memory prediction was too
+  optimistic -- i.e. whether the guest's touched working set has grown beyond
+  the local allocation and is spilling onto the pool.
+* For VMs with any pool exposure whose working set spills (or that are fully
+  pool-backed), it re-evaluates latency sensitivity from live core-PMU
+  telemetry; if the predicted slowdown exceeds the PDM, it asks the mitigation
+  manager to migrate the VM to all-local memory.
+
+The monitor itself never moves memory; it only produces verdicts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.core.config import PondConfig
+from repro.hypervisor.vm import VMInstance
+
+__all__ = ["QoSVerdict", "QoSDecision", "QoSMonitor"]
+
+#: Estimates a VM's current slowdown (percent) from live telemetry features.
+SlowdownEstimator = Callable[[VMInstance], float]
+
+
+class QoSVerdict(str, enum.Enum):
+    """Outcome of one QoS check for one VM."""
+
+    OK = "ok"                          # no pool exposure or no spill
+    SPILL_TOLERATED = "spill_tolerated"  # spilling but within the PDM
+    MITIGATE = "mitigate"              # exceeds the PDM; migrate to local
+
+
+@dataclass(frozen=True)
+class QoSDecision:
+    """A verdict plus the evidence it was based on."""
+
+    vm_id: str
+    verdict: QoSVerdict
+    spilled_gb: float
+    estimated_slowdown_percent: float
+
+
+class QoSMonitor:
+    """Evaluates running VMs against the PDM and flags mitigation candidates."""
+
+    def __init__(self, config: PondConfig, slowdown_estimator: SlowdownEstimator) -> None:
+        self.config = config
+        self.slowdown_estimator = slowdown_estimator
+        self.history: List[QoSDecision] = []
+
+    def check_vm(self, vm: VMInstance) -> QoSDecision:
+        """Evaluate one VM and record the decision."""
+        if vm.pool_memory_gb <= 0:
+            decision = QoSDecision(vm.vm_id, QoSVerdict.OK, 0.0, 0.0)
+        else:
+            spilled = vm.spilled_gb
+            fully_pool_backed = vm.local_memory_gb == 0
+            if spilled <= 0 and not fully_pool_backed:
+                # Correctly sized zNUMA: the pool node is effectively untouched.
+                decision = QoSDecision(vm.vm_id, QoSVerdict.OK, 0.0, 0.0)
+            else:
+                slowdown = float(self.slowdown_estimator(vm))
+                if slowdown > self.config.pdm_percent:
+                    verdict = QoSVerdict.MITIGATE
+                else:
+                    verdict = QoSVerdict.SPILL_TOLERATED
+                decision = QoSDecision(vm.vm_id, verdict, spilled, slowdown)
+        self.history.append(decision)
+        return decision
+
+    def check_all(self, vms: Dict[str, VMInstance]) -> List[QoSDecision]:
+        """Evaluate every running VM; returns only the mitigation candidates."""
+        return [
+            decision
+            for vm in vms.values()
+            if (decision := self.check_vm(vm)).verdict is QoSVerdict.MITIGATE
+        ]
+
+    # -- accounting -----------------------------------------------------------------------
+    def mitigation_rate_percent(self) -> float:
+        """Share of checks that resulted in a mitigation verdict."""
+        if not self.history:
+            return 0.0
+        mitigations = sum(1 for d in self.history if d.verdict is QoSVerdict.MITIGATE)
+        return 100.0 * mitigations / len(self.history)
+
+    def within_mitigation_budget(self) -> bool:
+        """Whether mitigations stay within the configured QoS budget."""
+        return self.mitigation_rate_percent() <= self.config.qos_mitigation_budget_percent

@@ -1,0 +1,150 @@
+"""Prediction-driven VM scheduling (paper Section 4.3, Figures 11 and 13).
+
+The scheduling workflow for an incoming VM request:
+
+1. If the customer has *workload history*, query the latency-insensitivity
+   model; insensitive VMs are allocated entirely on pool DRAM.
+2. Otherwise (or when predicted sensitive), query the untouched-memory model;
+   VMs with predicted untouched memory get a GB-aligned zNUMA node of that
+   size backed by the pool, and the rest of their memory locally.
+3. VMs with no predicted untouched memory get all-local allocations.
+4. Before the VM starts, the Pool Manager onlines the needed slices on the
+   target host (onlining is fast, so it does not delay the VM start); a
+   buffer of free pool memory is maintained so offlining never blocks starts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.core.config import PondConfig
+from repro.core.control_plane.pool_manager import PoolManager
+from repro.hypervisor.host import Host, HostCapacityError
+from repro.hypervisor.vm import VMInstance, VMRequest
+
+__all__ = ["SchedulingDecision", "PondScheduler"]
+
+#: Predicts whether a VM (given its request) is latency insensitive; returns
+#: ``None`` when there is no workload history to base a prediction on.
+InsensitivityPredictor = Callable[[VMRequest], Optional[bool]]
+#: Predicts a VM's untouched memory in GB from its request metadata.
+UntouchedPredictor = Callable[[VMRequest], float]
+
+
+@dataclass(frozen=True)
+class SchedulingDecision:
+    """The memory split chosen for one VM plus the reasoning behind it."""
+
+    vm_id: str
+    local_gb: float
+    pool_gb: float
+    predicted_insensitive: Optional[bool]
+    had_history: bool
+    predicted_untouched_gb: float
+
+    @property
+    def uses_pool(self) -> bool:
+        return self.pool_gb > 0
+
+    @property
+    def fully_pool_backed(self) -> bool:
+        return self.local_gb == 0 and self.pool_gb > 0
+
+    @property
+    def pool_fraction(self) -> float:
+        total = self.local_gb + self.pool_gb
+        return self.pool_gb / total if total > 0 else 0.0
+
+
+class PondScheduler:
+    """Places VM requests on hosts using Pond's prediction pipeline."""
+
+    def __init__(
+        self,
+        config: PondConfig,
+        pool_manager: PoolManager,
+        insensitivity_predictor: InsensitivityPredictor,
+        untouched_predictor: UntouchedPredictor,
+    ) -> None:
+        self.config = config
+        self.pool_manager = pool_manager
+        self.insensitivity_predictor = insensitivity_predictor
+        self.untouched_predictor = untouched_predictor
+        self.decisions: Dict[str, SchedulingDecision] = {}
+
+    # -- the Figure 13 decision tree -------------------------------------------------------
+    def decide(self, request: VMRequest) -> SchedulingDecision:
+        """Decide the local/pool split for a request (no placement side effects)."""
+        insensitive = self.insensitivity_predictor(request)
+        had_history = insensitive is not None
+
+        if had_history and insensitive:
+            decision = SchedulingDecision(
+                vm_id=request.vm_id,
+                local_gb=0.0,
+                pool_gb=request.memory_gb,
+                predicted_insensitive=True,
+                had_history=True,
+                predicted_untouched_gb=request.memory_gb,
+            )
+        else:
+            untouched_gb = max(0.0, float(self.untouched_predictor(request)))
+            slice_gb = self.config.slice_gb
+            pool_gb = min(
+                request.memory_gb,
+                math.floor(untouched_gb / slice_gb) * slice_gb,
+            )
+            decision = SchedulingDecision(
+                vm_id=request.vm_id,
+                local_gb=request.memory_gb - pool_gb,
+                pool_gb=float(pool_gb),
+                predicted_insensitive=insensitive,
+                had_history=had_history,
+                predicted_untouched_gb=untouched_gb,
+            )
+        self.decisions[request.vm_id] = decision
+        return decision
+
+    # -- placement ---------------------------------------------------------------------------
+    def schedule(self, request: VMRequest, host: Host,
+                 start_time_s: float = 0.0) -> VMInstance:
+        """Decide, online pool slices on the host, and place the VM.
+
+        Raises :class:`~repro.hypervisor.host.HostCapacityError` if the host
+        cannot fit the VM even after onlining pool memory.
+        """
+        decision = self.decide(request)
+        if decision.pool_gb > 0:
+            needed_slices = math.ceil(decision.pool_gb / self.config.slice_gb)
+            have_slices = int(host.free_pool_gb // self.config.slice_gb)
+            missing = max(0, needed_slices - have_slices)
+            if missing > 0:
+                if missing > self.pool_manager.unassigned_pool_gb // self.config.slice_gb:
+                    raise HostCapacityError(
+                        f"pool exhausted while scheduling VM {request.vm_id}"
+                    )
+                self.pool_manager.add_capacity(host.host_id, missing)
+        vm = host.place_vm(
+            request,
+            local_gb=decision.local_gb,
+            pool_gb=decision.pool_gb,
+            start_time_s=start_time_s,
+        )
+        # Keep the start-time buffer topped up for the next arrival.
+        self.pool_manager.ensure_buffer(
+            host.host_id, self.config.pool_buffer_slices_per_host
+        )
+        return vm
+
+    # -- departure path ------------------------------------------------------------------------
+    def handle_departure(self, host: Host, vm_id: str, time_s: float) -> None:
+        """Terminate the VM and queue its pool slices for asynchronous release."""
+        vm = host.terminate_vm(vm_id, time_s)
+        if vm.pool_memory_gb > 0:
+            releasable = int(host.free_pool_gb // self.config.slice_gb)
+            buffer_slices = self.config.pool_buffer_slices_per_host
+            to_release = max(0, releasable - buffer_slices)
+            if to_release > 0:
+                self.pool_manager.queue_release(host.host_id, to_release, now_s=time_s)

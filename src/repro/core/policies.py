@@ -1,0 +1,191 @@
+"""Memory-allocation policies for the cluster-scale savings simulations.
+
+The end-to-end evaluation (paper Section 6.5, Figure 21) compares:
+
+* an **all-local** baseline (no pooling),
+* a **static** strawman that puts a fixed percentage (15 %) of every VM's
+  memory on the pool, and
+* **Pond**, which per VM either (a) places the whole VM on the pool when the
+  latency-insensitivity model says it is safe, or (b) places the predicted
+  untouched memory on the pool (GB-aligned, rounded down).
+
+These policies operate on :class:`~repro.cluster.trace.VMTraceRecord` objects
+(the simulator's unit of work), so Pond's behaviour is modelled through its
+*operating point*: the fraction of VMs it labels insensitive (LI), the false
+positive rate among them (FP), and how aggressively it harvests untouched
+memory (controlled by the prediction quantile / overprediction rate OP).
+Mispredictions are tracked per VM so the experiments can verify the
+scheduling-misprediction constraint.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.cluster.trace import VMTraceRecord
+from repro.core.prediction.combined import CombinedOperatingPoint
+
+__all__ = ["AllLocalPolicy", "StaticFractionPolicy", "PondTracePolicy", "PolicyStats"]
+
+
+@dataclass
+class PolicyStats:
+    """Per-policy accounting of decisions and mispredictions."""
+
+    n_vms: int = 0
+    n_fully_pool_backed: int = 0
+    n_znuma: int = 0
+    n_all_local: int = 0
+    n_mispredictions: int = 0
+    pool_gb: float = 0.0
+    total_gb: float = 0.0
+
+    @property
+    def misprediction_percent(self) -> float:
+        return 100.0 * self.n_mispredictions / self.n_vms if self.n_vms else 0.0
+
+    @property
+    def pool_fraction_percent(self) -> float:
+        return 100.0 * self.pool_gb / self.total_gb if self.total_gb else 0.0
+
+
+class AllLocalPolicy:
+    """Every VM gets all of its memory on NUMA-local DRAM (the baseline)."""
+
+    def __init__(self) -> None:
+        self.stats = PolicyStats()
+
+    def __call__(self, record: VMTraceRecord) -> float:
+        self.stats.n_vms += 1
+        self.stats.n_all_local += 1
+        self.stats.total_gb += record.memory_gb
+        return 0.0
+
+
+class StaticFractionPolicy:
+    """The strawman: a fixed fraction of every VM's memory goes to the pool.
+
+    A VM is counted as a misprediction when its pool share exceeds its actual
+    untouched memory (it will touch pool memory) *and* it is latency
+    sensitive enough that the resulting spill exceeds the PDM; the paper
+    estimates about 1/4 of touching VMs exceed a 5 % PDM.
+    """
+
+    def __init__(self, fraction: float = 0.15,
+                 touch_violation_probability: float = 0.25,
+                 seed: int = 0) -> None:
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        if not 0.0 <= touch_violation_probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        self.fraction = fraction
+        self.touch_violation_probability = touch_violation_probability
+        self._rng = np.random.default_rng(seed)
+        self.stats = PolicyStats()
+
+    def __call__(self, record: VMTraceRecord) -> float:
+        pool_gb = record.memory_gb * self.fraction
+        self.stats.n_vms += 1
+        self.stats.n_znuma += 1
+        self.stats.total_gb += record.memory_gb
+        self.stats.pool_gb += pool_gb
+        if pool_gb > record.untouched_gb + 1e-9:
+            if self._rng.uniform() < self.touch_violation_probability:
+                self.stats.n_mispredictions += 1
+        return pool_gb
+
+
+class PondTracePolicy:
+    """Pond's allocation behaviour at a given combined-model operating point.
+
+    Parameters
+    ----------
+    operating_point:
+        The solved Eq.(1) operating point (LI %, FP %, OP %, UM %).
+    prediction_quantile:
+        How conservatively untouched memory is predicted: the prediction is
+        this fraction of the VM's actual untouched memory for correctly
+        predicted VMs.  Overpredicted VMs (an ``op_percent`` share) instead
+        receive a prediction *above* their actual untouched memory.
+    slice_gb:
+        zNUMA sizes are rounded down to this granularity.
+    """
+
+    def __init__(
+        self,
+        operating_point: CombinedOperatingPoint,
+        prediction_quantile: float = 0.8,
+        overprediction_excess: float = 0.15,
+        slice_gb: int = 1,
+        touch_violation_probability: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 < prediction_quantile <= 1.0:
+            raise ValueError("prediction_quantile must be in (0, 1]")
+        if overprediction_excess < 0:
+            raise ValueError("overprediction_excess cannot be negative")
+        if slice_gb < 1:
+            raise ValueError("slice_gb must be >= 1")
+        self.point = operating_point
+        self.prediction_quantile = prediction_quantile
+        self.overprediction_excess = overprediction_excess
+        self.slice_gb = slice_gb
+        self.touch_violation_probability = touch_violation_probability
+        self.seed = seed
+        self.stats = PolicyStats()
+
+    def _vm_rng(self, record: VMTraceRecord) -> np.random.Generator:
+        """Deterministic per-VM randomness: the same VM always gets the same
+        decision, no matter how many simulator passes consume the policy."""
+        digest = abs(hash((record.vm_id, self.seed))) % (2**32)
+        return np.random.default_rng(digest)
+
+    # -- per-VM decision ---------------------------------------------------------------
+    def __call__(self, record: VMTraceRecord) -> float:
+        """Return the VM's pool memory in GB.
+
+        Capacity modelling note: Pond's production scheduler treats pool
+        memory as an additional bin-packing dimension, spreading fully
+        pool-backed VMs across hosts and pool groups.  The per-server effect
+        of that balancing is captured here by having every VM contribute its
+        *expected* pool share (LI-probability-weighted) to capacity, while the
+        misprediction accounting still uses per-VM draws -- see DESIGN.md.
+        """
+        rng = self._vm_rng(record)
+        self.stats.n_vms += 1
+        self.stats.total_gb += record.memory_gb
+        li = self.point.li_percent / 100.0
+
+        # zNUMA branch: size the pool share from the predicted untouched memory.
+        overpredicted = rng.uniform() < self.point.op_percent / 100.0
+        if overpredicted:
+            predicted_fraction = min(
+                0.99, record.untouched_fraction + self.overprediction_excess
+            )
+        else:
+            predicted_fraction = record.untouched_fraction * self.prediction_quantile
+        predicted_gb = predicted_fraction * record.memory_gb
+        znuma_gb = math.floor(predicted_gb / self.slice_gb) * self.slice_gb
+        znuma_gb = float(min(znuma_gb, record.memory_gb))
+
+        # Misprediction accounting uses per-VM draws of the actual decision.
+        if rng.uniform() < li:
+            self.stats.n_fully_pool_backed += 1
+            if rng.uniform() < self.point.fp_percent / 100.0:
+                self.stats.n_mispredictions += 1
+        elif znuma_gb <= 0:
+            self.stats.n_all_local += 1
+        else:
+            self.stats.n_znuma += 1
+            if znuma_gb > record.untouched_gb + 1e-9:
+                # The VM spills; only a fraction of spilling VMs exceed the PDM.
+                if rng.uniform() < self.touch_violation_probability:
+                    self.stats.n_mispredictions += 1
+
+        pool_gb = li * record.memory_gb + (1.0 - li) * znuma_gb
+        self.stats.pool_gb += pool_gb
+        return pool_gb

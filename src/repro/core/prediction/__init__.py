@@ -1,0 +1,35 @@
+"""Pond's prediction models (paper Section 4.4).
+
+* :mod:`repro.core.prediction.features` -- feature encoding for both models:
+  TMA counter vectors for latency insensitivity, VM metadata + customer
+  history percentiles for untouched memory.
+* :mod:`repro.core.prediction.latency_model` -- the RandomForest latency-
+  insensitivity classifier and the threshold heuristics it is compared to.
+* :mod:`repro.core.prediction.untouched_model` -- the gradient-boosted
+  quantile regressor for untouched memory.
+* :mod:`repro.core.prediction.combined` -- the Eq.(1) optimiser balancing the
+  two models' error budgets.
+"""
+
+from repro.core.prediction.features import (
+    VMMetadataEncoder,
+    telemetry_features,
+)
+from repro.core.prediction.latency_model import (
+    LatencyInsensitivityModel,
+    DramBoundHeuristic,
+    MemoryBoundHeuristic,
+)
+from repro.core.prediction.untouched_model import UntouchedMemoryPredictor
+from repro.core.prediction.combined import CombinedModelOptimizer, CombinedOperatingPoint
+
+__all__ = [
+    "VMMetadataEncoder",
+    "telemetry_features",
+    "LatencyInsensitivityModel",
+    "DramBoundHeuristic",
+    "MemoryBoundHeuristic",
+    "UntouchedMemoryPredictor",
+    "CombinedModelOptimizer",
+    "CombinedOperatingPoint",
+]

@@ -1,0 +1,154 @@
+"""The combined prediction model and the Eq.(1) optimisation (paper Section 4.4).
+
+Pond has to split a single error budget between its two models:
+
+* labelling more workloads latency-insensitive (LI) puts more DRAM on the pool
+  but raises the false-positive rate (FP),
+* harvesting more untouched memory (UM) also puts more DRAM on the pool but
+  raises the overprediction rate (OP).
+
+Equation (1) maximises ``LI + UM`` subject to ``FP + OP <= 100 - TP``.  The
+optimiser here consumes the two empirical trade-off curves (Figures 17/18),
+grid-searches the split of the error budget, and reports the chosen operating
+point together with the derived quantities the evaluation uses:
+
+* the average fraction of DRAM placed on pools
+  (``LI + (1 - LI) * UM`` -- insensitive VMs are fully pool-backed, the rest
+  contribute their untouched share), and
+* the expected scheduling-misprediction rate, i.e. the share of VMs that will
+  exceed the PDM (false positives plus the fraction of overpredicted VMs whose
+  spill actually causes a violation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["CombinedOperatingPoint", "CombinedModelOptimizer"]
+
+
+@dataclass(frozen=True)
+class CombinedOperatingPoint:
+    """One feasible operating point of the combined model (all values percent)."""
+
+    fp_percent: float
+    op_percent: float
+    li_percent: float
+    um_percent: float
+    #: Probability that an overpredicted VM actually exceeds the PDM.
+    op_violation_probability: float = 0.25
+
+    @property
+    def objective(self) -> float:
+        """The Eq.(1) objective: LI + UM."""
+        return self.li_percent + self.um_percent
+
+    @property
+    def pool_dram_percent(self) -> float:
+        """Average share of DRAM placed on pools at this operating point."""
+        li = self.li_percent / 100.0
+        um = self.um_percent / 100.0
+        return 100.0 * (li + (1.0 - li) * um)
+
+    @property
+    def scheduling_misprediction_percent(self) -> float:
+        """Expected share of VMs exceeding the PDM before QoS mitigation."""
+        li = self.li_percent / 100.0
+        fp = self.fp_percent / 100.0
+        op = self.op_percent / 100.0
+        return 100.0 * (li * fp + op * self.op_violation_probability)
+
+
+class CombinedModelOptimizer:
+    """Solves Eq.(1) given the two models' empirical trade-off curves.
+
+    Parameters
+    ----------
+    li_curve:
+        Callable mapping an FP budget (percent) to the largest achievable LI
+        (percent of workloads labelled insensitive).  Typically
+        ``TradeoffCurve.max_insensitive_at_fp`` from the latency model.
+    um_curve:
+        Callable mapping an OP budget (percent) to the largest achievable UM
+        (average untouched-memory percent).  Built from the untouched model's
+        trade-off curve.
+    op_violation_probability:
+        Probability that an overprediction leads to a PDM violation (the paper
+        estimates ~1/4 from the Figure 16 spill study).
+    """
+
+    def __init__(
+        self,
+        li_curve: Callable[[float], float],
+        um_curve: Callable[[float], float],
+        op_violation_probability: float = 0.25,
+    ) -> None:
+        if not 0.0 <= op_violation_probability <= 1.0:
+            raise ValueError("op_violation_probability must be in [0, 1]")
+        self.li_curve = li_curve
+        self.um_curve = um_curve
+        self.op_violation_probability = op_violation_probability
+
+    def solve(self, error_budget_percent: float,
+              n_grid: int = 101) -> CombinedOperatingPoint:
+        """Find the FP/OP split maximising LI + UM within the error budget."""
+        if error_budget_percent < 0:
+            raise ValueError("error budget cannot be negative")
+        if n_grid < 2:
+            raise ValueError("n_grid must be >= 2")
+        best: Optional[CombinedOperatingPoint] = None
+        for fp in np.linspace(0.0, error_budget_percent, n_grid):
+            op = error_budget_percent - fp
+            point = CombinedOperatingPoint(
+                fp_percent=float(fp),
+                op_percent=float(op),
+                li_percent=float(self.li_curve(float(fp))),
+                um_percent=float(self.um_curve(float(op))),
+                op_violation_probability=self.op_violation_probability,
+            )
+            if best is None or point.objective > best.objective:
+                best = point
+        assert best is not None
+        return best
+
+    def sweep(self, error_budgets_percent: Sequence[float],
+              n_grid: int = 101) -> Tuple[np.ndarray, np.ndarray]:
+        """Figure 20 data: pool-DRAM percent vs scheduling mispredictions.
+
+        Returns (pool_dram_percent, misprediction_percent) arrays, one entry
+        per error budget.
+        """
+        pool = []
+        mispred = []
+        for budget in error_budgets_percent:
+            point = self.solve(budget, n_grid=n_grid)
+            pool.append(point.pool_dram_percent)
+            mispred.append(point.scheduling_misprediction_percent)
+        return np.array(pool), np.array(mispred)
+
+    @staticmethod
+    def curve_from_points(x_percent: Sequence[float],
+                          y_percent: Sequence[float]) -> Callable[[float], float]:
+        """Build a budget -> value curve from measured (budget, value) points.
+
+        The returned callable gives the best ``y`` achievable with a budget of
+        at most ``x`` (monotone envelope of the measured points).
+        """
+        x = np.asarray(x_percent, dtype=float)
+        y = np.asarray(y_percent, dtype=float)
+        if x.shape != y.shape or x.size == 0:
+            raise ValueError("x and y must be non-empty and of equal length")
+        order = np.argsort(x)
+        x_sorted = x[order]
+        y_sorted = np.maximum.accumulate(y[order])
+
+        def curve(budget: float) -> float:
+            mask = x_sorted <= budget + 1e-9
+            if not mask.any():
+                return 0.0
+            return float(y_sorted[mask].max())
+
+        return curve

@@ -1,0 +1,118 @@
+"""Feature encoding for Pond's two prediction models.
+
+The latency-insensitivity model consumes core-PMU (TMA) counter vectors; the
+untouched-memory model consumes VM metadata plus customer-history percentiles
+(paper Figures 12 and 14).  Neither model may use anything that requires
+looking inside the VM -- only telemetry available for opaque VMs.
+
+:class:`VMMetadataEncoder` turns the categorical metadata (VM family, guest
+OS, region) into a stable numeric encoding learned from the training
+population, and concatenates the numeric features (memory, cores, history
+percentiles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.hypervisor.telemetry import VMTelemetry
+
+__all__ = ["VMMetadataEncoder", "telemetry_features", "METADATA_CATEGORICAL_FIELDS"]
+
+#: Categorical metadata fields used by the untouched-memory model.
+METADATA_CATEGORICAL_FIELDS = ("vm_family", "guest_os", "region")
+
+
+def telemetry_features(telemetry: VMTelemetry,
+                       percentiles: Sequence[float] = (50, 90, 99)) -> np.ndarray:
+    """Latency-model feature vector from a VM's runtime telemetry.
+
+    Uses per-counter percentiles over the VM's samples, which is what lets the
+    QoS monitor re-evaluate latency sensitivity continuously at runtime.
+    """
+    return telemetry.percentile_features(percentiles)
+
+
+@dataclass
+class _CategoryTable:
+    """Stable string -> index mapping with an explicit unknown bucket."""
+
+    values: Dict[str, int] = field(default_factory=dict)
+
+    def fit(self, observed: Sequence[str]) -> None:
+        for value in sorted(set(observed)):
+            if value not in self.values:
+                self.values[value] = len(self.values)
+
+    def encode(self, value: str) -> int:
+        # Unknown categories map to -1 so the trees can isolate them.
+        return self.values.get(value, -1)
+
+    @property
+    def n_categories(self) -> int:
+        return len(self.values)
+
+
+class VMMetadataEncoder:
+    """Encodes VM metadata rows into numeric vectors for the untouched model.
+
+    A metadata row is a dictionary with keys:
+
+    ``memory_gb``, ``cores`` (numeric), ``vm_family``, ``guest_os``,
+    ``region`` (categorical), and ``history_percentiles`` (a sequence of the
+    customer's recent untouched-memory percentiles, e.g. 0/25/50/75/100).
+    """
+
+    def __init__(self, n_history_percentiles: int = 5) -> None:
+        if n_history_percentiles < 1:
+            raise ValueError("need at least one history percentile")
+        self.n_history_percentiles = n_history_percentiles
+        self._tables: Dict[str, _CategoryTable] = {
+            name: _CategoryTable() for name in METADATA_CATEGORICAL_FIELDS
+        }
+        self._fitted = False
+
+    # -- fitting --------------------------------------------------------------------
+    def fit(self, rows: Sequence[Dict]) -> "VMMetadataEncoder":
+        if not rows:
+            raise ValueError("cannot fit the encoder on an empty dataset")
+        for name in METADATA_CATEGORICAL_FIELDS:
+            self._tables[name].fit([str(row.get(name, "")) for row in rows])
+        self._fitted = True
+        return self
+
+    # -- encoding --------------------------------------------------------------------
+    def encode_row(self, row: Dict) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError("encoder must be fitted before encoding")
+        numeric = [
+            float(row.get("memory_gb", 0.0)),
+            float(row.get("cores", 0.0)),
+        ]
+        categorical = [
+            float(self._tables[name].encode(str(row.get(name, ""))))
+            for name in METADATA_CATEGORICAL_FIELDS
+        ]
+        history = list(row.get("history_percentiles", []))
+        if len(history) < self.n_history_percentiles:
+            # Missing history: pad with a pessimistic zero-untouched signal.
+            history = history + [0.0] * (self.n_history_percentiles - len(history))
+        history = [float(h) for h in history[: self.n_history_percentiles]]
+        return np.array(numeric + categorical + history, dtype=float)
+
+    def encode(self, rows: Sequence[Dict]) -> np.ndarray:
+        return np.vstack([self.encode_row(row) for row in rows])
+
+    @property
+    def feature_names(self) -> List[str]:
+        names = ["memory_gb", "cores"]
+        names += list(METADATA_CATEGORICAL_FIELDS)
+        names += [f"history_p{i}" for i in range(self.n_history_percentiles)]
+        return names
+
+    @property
+    def n_features(self) -> int:
+        return 2 + len(METADATA_CATEGORICAL_FIELDS) + self.n_history_percentiles

@@ -1,0 +1,181 @@
+"""Latency-insensitivity prediction (paper Sections 4.4, 6.4.1, Figure 17).
+
+A VM is *latency insensitive* if running it entirely on pool memory keeps its
+slowdown within the PDM.  Pond trains a RandomForest on core-PMU (TMA)
+features with offline slowdown measurements as labels, and parameterises it by
+a target false-positive rate: the model only labels the workloads it is most
+confident about, trading coverage (how many workloads can go on the pool)
+against false positives (workloads that will need mitigation).
+
+Two threshold heuristics serve as baselines (Figure 17): "memory bound" and
+"DRAM bound" label a workload insensitive when the respective TMA counter is
+below a threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.metrics import insensitive_tradeoff_curve
+from repro.hypervisor.telemetry import TMA_FEATURE_NAMES
+
+__all__ = [
+    "LatencyInsensitivityModel",
+    "DramBoundHeuristic",
+    "MemoryBoundHeuristic",
+    "TradeoffCurve",
+]
+
+
+@dataclass(frozen=True)
+class TradeoffCurve:
+    """Insensitive-fraction vs false-positive-rate curve (both in percent)."""
+
+    insensitive_percent: np.ndarray
+    false_positive_percent: np.ndarray
+
+    def max_insensitive_at_fp(self, fp_target_percent: float) -> float:
+        """Largest insensitive fraction achievable at or below the FP target."""
+        mask = self.false_positive_percent <= fp_target_percent + 1e-9
+        if not mask.any():
+            return 0.0
+        return float(self.insensitive_percent[mask].max())
+
+
+class LatencyInsensitivityModel:
+    """RandomForest classifier over TMA features with an FP-rate knob."""
+
+    def __init__(
+        self,
+        pdm_percent: float = 5.0,
+        n_estimators: int = 60,
+        max_depth: Optional[int] = 8,
+        random_state: int = 0,
+    ) -> None:
+        if pdm_percent <= 0:
+            raise ValueError("pdm_percent must be positive")
+        self.pdm_percent = pdm_percent
+        self.forest = RandomForestClassifier(
+            n_estimators=n_estimators,
+            max_depth=max_depth,
+            max_features="sqrt",
+            random_state=random_state,
+        )
+        self._fitted = False
+        self.threshold_: float = 0.5
+
+    # -- training ------------------------------------------------------------------
+    def fit(self, features: np.ndarray, slowdowns_percent: np.ndarray) -> "LatencyInsensitivityModel":
+        """Train on offline-run features and measured slowdowns (percent)."""
+        features = np.asarray(features, dtype=float)
+        slowdowns = np.asarray(slowdowns_percent, dtype=float)
+        if features.shape[0] != slowdowns.shape[0]:
+            raise ValueError("features and slowdowns must have matching lengths")
+        labels = (slowdowns <= self.pdm_percent).astype(int)
+        if len(np.unique(labels)) < 2:
+            raise ValueError(
+                "training data needs both sensitive and insensitive examples"
+            )
+        self.forest.fit(features, labels)
+        self._fitted = True
+        return self
+
+    # -- scoring ---------------------------------------------------------------------
+    def insensitivity_score(self, features: np.ndarray) -> np.ndarray:
+        """Probability that each sample is latency insensitive."""
+        if not self._fitted:
+            raise RuntimeError("model has not been fitted")
+        proba = self.forest.predict_proba(np.asarray(features, dtype=float))
+        insensitive_col = int(np.where(self.forest.classes_ == 1)[0][0])
+        return proba[:, insensitive_col]
+
+    def predict_insensitive(self, features: np.ndarray,
+                            threshold: Optional[float] = None) -> np.ndarray:
+        """Binary insensitive predictions at the given (or calibrated) threshold."""
+        scores = self.insensitivity_score(features)
+        cut = self.threshold_ if threshold is None else threshold
+        return (scores >= cut).astype(int)
+
+    # -- calibration against an FP-rate target ------------------------------------------
+    def calibrate_threshold(
+        self,
+        features: np.ndarray,
+        slowdowns_percent: np.ndarray,
+        fp_target_percent: float,
+    ) -> float:
+        """Pick the lowest score threshold keeping FP rate within the target.
+
+        The FP rate is measured the way the paper does: among samples labelled
+        insensitive, the share whose slowdown actually exceeds the PDM.
+        """
+        if fp_target_percent < 0:
+            raise ValueError("FP target cannot be negative")
+        scores = self.insensitivity_score(features)
+        slowdowns = np.asarray(slowdowns_percent, dtype=float)
+        sensitive = slowdowns > self.pdm_percent
+        order = np.argsort(-scores, kind="mergesort")
+        best_threshold = 1.0 + 1e-9  # Degenerate: label nothing insensitive.
+        cum_fp = 0
+        for rank, idx in enumerate(order, start=1):
+            if sensitive[idx]:
+                cum_fp += 1
+            fp_rate = 100.0 * cum_fp / rank
+            if fp_rate <= fp_target_percent:
+                best_threshold = float(scores[idx])
+        self.threshold_ = best_threshold
+        return best_threshold
+
+    def tradeoff_curve(self, features: np.ndarray,
+                       slowdowns_percent: np.ndarray) -> TradeoffCurve:
+        """The Figure 17 curve for this model on the given evaluation set."""
+        scores = self.insensitivity_score(features)
+        fractions, fps = insensitive_tradeoff_curve(
+            scores, np.asarray(slowdowns_percent, dtype=float), self.pdm_percent
+        )
+        return TradeoffCurve(insensitive_percent=fractions, false_positive_percent=fps)
+
+
+class _CounterHeuristic:
+    """Threshold heuristic on a single TMA counter (lower counter => insensitive)."""
+
+    counter_name: str = ""
+
+    def __init__(self, pdm_percent: float = 5.0) -> None:
+        if pdm_percent <= 0:
+            raise ValueError("pdm_percent must be positive")
+        self.pdm_percent = pdm_percent
+        self._index = TMA_FEATURE_NAMES.index(self.counter_name)
+
+    def insensitivity_score(self, features: np.ndarray) -> np.ndarray:
+        """Higher score = more likely insensitive = lower counter value."""
+        features = np.asarray(features, dtype=float)
+        return -features[:, self._index]
+
+    def tradeoff_curve(self, features: np.ndarray,
+                       slowdowns_percent: np.ndarray) -> TradeoffCurve:
+        scores = self.insensitivity_score(features)
+        fractions, fps = insensitive_tradeoff_curve(
+            scores, np.asarray(slowdowns_percent, dtype=float), self.pdm_percent
+        )
+        return TradeoffCurve(insensitive_percent=fractions, false_positive_percent=fps)
+
+    def predict_insensitive(self, features: np.ndarray, threshold: float) -> np.ndarray:
+        """Insensitive when the counter is below ``threshold``."""
+        features = np.asarray(features, dtype=float)
+        return (features[:, self._index] <= threshold).astype(int)
+
+
+class DramBoundHeuristic(_CounterHeuristic):
+    """Threshold on the DRAM-latency-bound TMA counter (the stronger heuristic)."""
+
+    counter_name = "dram_latency_bound"
+
+
+class MemoryBoundHeuristic(_CounterHeuristic):
+    """Threshold on the memory-bound TMA counter (the weaker heuristic)."""
+
+    counter_name = "memory_bound"

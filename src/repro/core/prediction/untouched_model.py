@@ -1,0 +1,147 @@
+"""Untouched-memory prediction (paper Sections 4.4, 6.4.2, Figures 14, 18, 19).
+
+The model predicts how much of a VM's memory will remain untouched over its
+lifetime, using only scheduling-time metadata: VM shape, guest OS, location,
+and -- most importantly -- percentiles of the untouched memory observed in the
+customer's previous VMs.  Pond trains a gradient-boosted regressor with a
+*quantile* objective so the prediction errs on the side of under-prediction:
+an under-predicted VM simply keeps more local memory, whereas an
+over-predicted VM may spill its working set onto the pool and need QoS
+mitigation.
+
+The prediction is converted to a GB-aligned zNUMA size by rounding down
+(paper Section 4.4).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.prediction.features import VMMetadataEncoder
+from repro.ml.gbm import QuantileGradientBoostingRegressor
+from repro.ml.metrics import overprediction_tradeoff_curve
+
+__all__ = ["UntouchedMemoryPredictor", "FixedFractionBaseline"]
+
+
+class UntouchedMemoryPredictor:
+    """Quantile-GBM predictor of a VM's untouched-memory fraction."""
+
+    def __init__(
+        self,
+        quantile: float = 0.03,
+        n_estimators: int = 60,
+        learning_rate: float = 0.1,
+        max_depth: int = 3,
+        min_samples_leaf: int = 25,
+        random_state: int = 0,
+    ) -> None:
+        if not 0.0 < quantile < 1.0:
+            raise ValueError("quantile must be in (0, 1)")
+        self.quantile = quantile
+        self.encoder = VMMetadataEncoder()
+        # Shallow trees with large leaves: the conditional quantile must be
+        # estimated from enough samples per leaf or the model memorises noise
+        # and its overprediction rate drifts above the target quantile.
+        self.gbm = QuantileGradientBoostingRegressor(
+            alpha=quantile,
+            n_estimators=n_estimators,
+            learning_rate=learning_rate,
+            max_depth=max_depth,
+            min_samples_leaf=min_samples_leaf,
+            random_state=random_state,
+        )
+        self._fitted = False
+
+    # -- training -------------------------------------------------------------------
+    def fit(self, metadata_rows: Sequence[Dict],
+            untouched_fractions: Sequence[float]) -> "UntouchedMemoryPredictor":
+        """Train on metadata rows and observed minimum untouched fractions."""
+        untouched = np.asarray(untouched_fractions, dtype=float)
+        if len(metadata_rows) != len(untouched):
+            raise ValueError("metadata and labels must have matching lengths")
+        if len(metadata_rows) == 0:
+            raise ValueError("cannot train on an empty dataset")
+        if np.any((untouched < 0) | (untouched > 1)):
+            raise ValueError("untouched fractions must be in [0, 1]")
+        self.encoder.fit(metadata_rows)
+        features = self.encoder.encode(metadata_rows)
+        self.gbm.fit(features, untouched)
+        self._fitted = True
+        return self
+
+    # -- prediction ------------------------------------------------------------------
+    def predict_fraction(self, metadata_rows: Sequence[Dict]) -> np.ndarray:
+        """Predicted untouched fraction per VM (clipped to [0, 1))."""
+        if not self._fitted:
+            raise RuntimeError("model has not been fitted")
+        features = self.encoder.encode(metadata_rows)
+        return np.clip(self.gbm.predict(features), 0.0, 0.99)
+
+    def predict_znuma_gb(self, metadata_row: Dict, memory_gb: float,
+                         slice_gb: int = 1) -> float:
+        """GB-aligned zNUMA (pool) size for one VM, rounded down."""
+        if memory_gb <= 0:
+            raise ValueError("memory_gb must be positive")
+        if slice_gb < 1:
+            raise ValueError("slice_gb must be >= 1")
+        fraction = float(self.predict_fraction([metadata_row])[0])
+        raw_gb = fraction * memory_gb
+        aligned = math.floor(raw_gb / slice_gb) * slice_gb
+        return float(min(aligned, memory_gb))
+
+    # -- evaluation -------------------------------------------------------------------
+    def overprediction_rate(self, metadata_rows: Sequence[Dict],
+                            actual_untouched: Sequence[float]) -> float:
+        """Percent of VMs whose prediction exceeds the actual untouched fraction."""
+        predicted = self.predict_fraction(metadata_rows)
+        actual = np.asarray(actual_untouched, dtype=float)
+        return float(np.mean(predicted > actual + 1e-12)) * 100.0
+
+    def average_untouched_percent(self, metadata_rows: Sequence[Dict]) -> float:
+        """Average predicted untouched memory (percent of VM memory)."""
+        return float(np.mean(self.predict_fraction(metadata_rows))) * 100.0
+
+    def tradeoff_curve(self, metadata_rows: Sequence[Dict],
+                       actual_untouched: Sequence[float], n_points: int = 50):
+        """Figure-18-style curve: average untouched percent vs overprediction rate."""
+        predicted = self.predict_fraction(metadata_rows)
+        actual = np.asarray(actual_untouched, dtype=float)
+        return overprediction_tradeoff_curve(predicted, actual, n_points=n_points)
+
+
+@dataclass
+class FixedFractionBaseline:
+    """Strawman that assumes the same untouched fraction for every VM (Figure 18)."""
+
+    fraction: float = 0.15
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+
+    def predict_fraction(self, metadata_rows: Sequence[Dict]) -> np.ndarray:
+        return np.full(len(metadata_rows), self.fraction)
+
+    def overprediction_rate(self, metadata_rows: Sequence[Dict],
+                            actual_untouched: Sequence[float]) -> float:
+        actual = np.asarray(actual_untouched, dtype=float)
+        return float(np.mean(self.fraction > actual + 1e-12)) * 100.0
+
+    def average_untouched_percent(self, metadata_rows: Sequence[Dict]) -> float:
+        return self.fraction * 100.0
+
+    def tradeoff_curve(self, metadata_rows: Sequence[Dict],
+                       actual_untouched: Sequence[float], n_points: int = 50):
+        """Sweep the fixed fraction from 0 to 50 % (the Figure 18 strawman line)."""
+        actual = np.asarray(actual_untouched, dtype=float)
+        fractions = np.linspace(0.0, 0.5, n_points)
+        avg = fractions * 100.0
+        op = np.array([
+            float(np.mean(f > actual + 1e-12)) * 100.0 for f in fractions
+        ])
+        return avg, op

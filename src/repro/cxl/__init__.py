@@ -1,0 +1,41 @@
+"""CXL hardware layer: latency model, pool topologies, and the EMC device.
+
+This package models the hardware layer of Pond (paper Section 4.1):
+
+* :mod:`repro.cxl.latency` -- the analytic latency composition behind
+  Figures 7 and 8 (port, retimer, switch, EMC NOC, memory controller).
+* :mod:`repro.cxl.topology` -- constructs pool topologies (direct attach,
+  multi-headed EMC, switch-only, switch + EMC) for a given pool size.
+* :mod:`repro.cxl.emc` -- the External Memory Controller device model: CXL
+  ports, the HDM decoder address range per host, and the 1 GB slice permission
+  table with dynamic slice assignment.
+* :mod:`repro.cxl.hdm` -- host-managed device memory decoders mapping EMC
+  capacity into each host's physical address space.
+"""
+
+from repro.cxl.latency import (
+    LatencyComponents,
+    LatencyModel,
+    LOCAL_DRAM_LATENCY_NS,
+    pond_pool_latency_ns,
+    switch_only_latency_ns,
+)
+from repro.cxl.topology import PoolTopology, TopologyKind, build_topology
+from repro.cxl.emc import EMCDevice, EMCError, SlicePermissionError
+from repro.cxl.hdm import HDMDecoder, AddressRange
+
+__all__ = [
+    "LatencyComponents",
+    "LatencyModel",
+    "LOCAL_DRAM_LATENCY_NS",
+    "pond_pool_latency_ns",
+    "switch_only_latency_ns",
+    "PoolTopology",
+    "TopologyKind",
+    "build_topology",
+    "EMCDevice",
+    "EMCError",
+    "SlicePermissionError",
+    "HDMDecoder",
+    "AddressRange",
+]

@@ -1,0 +1,214 @@
+"""External Memory Controller (EMC) device model (paper Section 4.1).
+
+The EMC is a multi-headed CXL memory device: it exposes multiple x8 CXL ports
+(one per host), a set of DDR5 channels behind on-chip memory controllers, and
+a slice permission table that enforces Pond's ownership model.  Memory is
+assigned to hosts in 1 GB slices; each slice belongs to at most one host at a
+time and any access from a non-owner is a fatal memory error.
+
+The model tracks:
+
+* per-port host attachment,
+* the permission table (slice -> owner host id),
+* per-slice assignment history (for offlining-latency accounting),
+* capacity bookkeeping queried by the Pool Manager.
+
+Paper sizing note: "Tracking 1024 slices (1 TB) and 64 hosts (6 bits) requires
+768 B of EMC state" -- :meth:`EMCDevice.permission_table_bytes` reproduces the
+arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+__all__ = ["EMCDevice", "EMCError", "SlicePermissionError", "EMCPort"]
+
+
+class EMCError(RuntimeError):
+    """Raised for invalid EMC management operations."""
+
+
+class SlicePermissionError(EMCError):
+    """Raised when a host accesses a slice it does not own (fatal memory error)."""
+
+
+@dataclass
+class EMCPort:
+    """One x8 CXL port of the EMC, attachable to a single host."""
+
+    port_id: int
+    host_id: Optional[str] = None
+
+    @property
+    def attached(self) -> bool:
+        return self.host_id is not None
+
+
+@dataclass
+class _SliceState:
+    owner: Optional[str] = None
+    assignments: int = 0
+
+
+class EMCDevice:
+    """A multi-headed EMC with ``capacity_gb`` of DDR5 behind ``n_ports`` ports."""
+
+    def __init__(
+        self,
+        emc_id: str,
+        capacity_gb: int,
+        n_ports: int = 16,
+        slice_gb: int = 1,
+        ddr5_channels: int = 12,
+    ) -> None:
+        if capacity_gb <= 0:
+            raise ValueError("capacity_gb must be positive")
+        if n_ports < 1:
+            raise ValueError("n_ports must be >= 1")
+        if slice_gb <= 0 or capacity_gb % slice_gb != 0:
+            raise ValueError("capacity must be a positive multiple of slice_gb")
+        self.emc_id = emc_id
+        self.capacity_gb = capacity_gb
+        self.slice_gb = slice_gb
+        self.ddr5_channels = ddr5_channels
+        self.n_slices = capacity_gb // slice_gb
+        self.ports: List[EMCPort] = [EMCPort(port_id=i) for i in range(n_ports)]
+        self._slices: List[_SliceState] = [_SliceState() for _ in range(self.n_slices)]
+        self._host_slices: Dict[str, Set[int]] = {}
+
+    # -- port management -------------------------------------------------------
+    def attach_host(self, host_id: str) -> int:
+        """Attach ``host_id`` to the first free port and return the port id."""
+        if host_id in self._attached_hosts():
+            raise EMCError(f"host {host_id!r} is already attached to {self.emc_id}")
+        for port in self.ports:
+            if not port.attached:
+                port.host_id = host_id
+                self._host_slices.setdefault(host_id, set())
+                return port.port_id
+        raise EMCError(f"no free CXL port on EMC {self.emc_id}")
+
+    def detach_host(self, host_id: str) -> None:
+        """Detach a host; all of its slices are returned to the free pool."""
+        if host_id not in self._attached_hosts():
+            raise EMCError(f"host {host_id!r} is not attached to {self.emc_id}")
+        for slice_index in sorted(self._host_slices.get(host_id, set())):
+            self.release_slice(host_id, slice_index)
+        for port in self.ports:
+            if port.host_id == host_id:
+                port.host_id = None
+        self._host_slices.pop(host_id, None)
+
+    def _attached_hosts(self) -> Set[str]:
+        return {p.host_id for p in self.ports if p.attached}
+
+    @property
+    def attached_hosts(self) -> List[str]:
+        return sorted(self._attached_hosts())
+
+    # -- slice assignment --------------------------------------------------------
+    def assign_slice(self, host_id: str, slice_index: Optional[int] = None) -> int:
+        """Assign a free slice to ``host_id`` (Add_capacity in the paper).
+
+        If ``slice_index`` is ``None`` the lowest-numbered free slice is used.
+        Returns the assigned slice index.
+        """
+        if host_id not in self._attached_hosts():
+            raise EMCError(f"host {host_id!r} is not attached to EMC {self.emc_id}")
+        if slice_index is None:
+            slice_index = self._first_free_slice()
+            if slice_index is None:
+                raise EMCError(f"EMC {self.emc_id} has no free slices")
+        self._check_slice(slice_index)
+        state = self._slices[slice_index]
+        if state.owner is not None:
+            raise EMCError(
+                f"slice {slice_index} already owned by {state.owner!r}"
+            )
+        state.owner = host_id
+        state.assignments += 1
+        self._host_slices[host_id].add(slice_index)
+        return slice_index
+
+    def release_slice(self, host_id: str, slice_index: int) -> None:
+        """Release a slice back to the pool (Release_capacity in the paper)."""
+        self._check_slice(slice_index)
+        state = self._slices[slice_index]
+        if state.owner != host_id:
+            raise EMCError(
+                f"slice {slice_index} is owned by {state.owner!r}, not {host_id!r}"
+            )
+        state.owner = None
+        self._host_slices[host_id].discard(slice_index)
+
+    def _first_free_slice(self) -> Optional[int]:
+        for i, state in enumerate(self._slices):
+            if state.owner is None:
+                return i
+        return None
+
+    def _check_slice(self, slice_index: int) -> None:
+        if not 0 <= slice_index < self.n_slices:
+            raise IndexError(
+                f"slice index {slice_index} out of range (0..{self.n_slices - 1})"
+            )
+
+    # -- access permission check ----------------------------------------------
+    def check_access(self, host_id: str, slice_index: int) -> None:
+        """Validate a load/store from ``host_id`` to ``slice_index``.
+
+        Mirrors the EMC's per-access permission check; a mismatch is a fatal
+        memory error, modelled here as :class:`SlicePermissionError`.
+        """
+        self._check_slice(slice_index)
+        owner = self._slices[slice_index].owner
+        if owner != host_id:
+            raise SlicePermissionError(
+                f"host {host_id!r} accessed slice {slice_index} owned by {owner!r}"
+            )
+
+    # -- bookkeeping -------------------------------------------------------------
+    def owner_of(self, slice_index: int) -> Optional[str]:
+        self._check_slice(slice_index)
+        return self._slices[slice_index].owner
+
+    def slices_of(self, host_id: str) -> List[int]:
+        return sorted(self._host_slices.get(host_id, set()))
+
+    @property
+    def free_slices(self) -> int:
+        return sum(1 for s in self._slices if s.owner is None)
+
+    @property
+    def free_gb(self) -> int:
+        return self.free_slices * self.slice_gb
+
+    @property
+    def assigned_gb(self) -> int:
+        return (self.n_slices - self.free_slices) * self.slice_gb
+
+    def utilization(self) -> float:
+        """Fraction of EMC capacity currently assigned to hosts."""
+        return self.assigned_gb / self.capacity_gb
+
+    def permission_table_bytes(self, n_hosts: Optional[int] = None) -> int:
+        """State needed to track slice ownership, per the paper's arithmetic.
+
+        Each slice needs ``ceil(log2(n_hosts))`` bits to store its owner; the
+        paper's example (1024 slices, 64 hosts) yields 768 bytes.
+        """
+        hosts = n_hosts if n_hosts is not None else max(len(self.ports), 2)
+        bits_per_slice = max(1, math.ceil(math.log2(hosts)))
+        return math.ceil(self.n_slices * bits_per_slice / 8)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "capacity_gb": float(self.capacity_gb),
+            "assigned_gb": float(self.assigned_gb),
+            "free_gb": float(self.free_gb),
+            "attached_hosts": float(len(self.attached_hosts)),
+            "utilization": self.utilization(),
+        }

@@ -1,0 +1,111 @@
+"""Host-managed Device Memory (HDM) decoders and address ranges.
+
+CXL.mem maps device memory into a host's physical address space through HDM
+decoders programmed at boot (paper Section 4.2: "Hosts discover local and pool
+capacity through CXL device discovery and map them to their address space").
+This module models that mapping at 1 GB-slice granularity so that the EMC and
+the hypervisor agree on which host physical addresses belong to the pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["AddressRange", "HDMDecoder"]
+
+GB = 1024**3
+
+
+@dataclass(frozen=True)
+class AddressRange:
+    """A half-open physical address range ``[base, base + size)`` in bytes."""
+
+    base: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.size <= 0:
+            raise ValueError("address range must have base >= 0 and size > 0")
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.end
+
+    def overlaps(self, other: "AddressRange") -> bool:
+        return self.base < other.end and other.base < self.end
+
+    @property
+    def size_gb(self) -> float:
+        return self.size / GB
+
+
+class HDMDecoder:
+    """Maps EMC slices into a host's physical address space.
+
+    The decoder exposes the EMC's entire capacity as a contiguous
+    hot-pluggable range beginning at ``pool_base``.  Individual 1 GB slices
+    start "offline" and are enabled/disabled as the Pool Manager assigns and
+    reclaims them.
+    """
+
+    def __init__(self, pool_base: int, capacity_gb: int, slice_gb: int = 1) -> None:
+        if capacity_gb <= 0:
+            raise ValueError("capacity_gb must be positive")
+        if slice_gb <= 0:
+            raise ValueError("slice_gb must be positive")
+        if capacity_gb % slice_gb != 0:
+            raise ValueError("capacity must be a multiple of the slice size")
+        self.pool_range = AddressRange(pool_base, capacity_gb * GB)
+        self.slice_gb = slice_gb
+        self.n_slices = capacity_gb // slice_gb
+        self._online: List[bool] = [False] * self.n_slices
+
+    # -- slice/address translation ------------------------------------------
+    def slice_range(self, slice_index: int) -> AddressRange:
+        """Physical address range backing slice ``slice_index``."""
+        self._check_slice(slice_index)
+        base = self.pool_range.base + slice_index * self.slice_gb * GB
+        return AddressRange(base, self.slice_gb * GB)
+
+    def slice_of_address(self, address: int) -> Optional[int]:
+        """Slice index containing ``address``, or ``None`` if outside the pool."""
+        if not self.pool_range.contains(address):
+            return None
+        return (address - self.pool_range.base) // (self.slice_gb * GB)
+
+    # -- online state ----------------------------------------------------------
+    def online(self, slice_index: int) -> None:
+        self._check_slice(slice_index)
+        self._online[slice_index] = True
+
+    def offline(self, slice_index: int) -> None:
+        self._check_slice(slice_index)
+        self._online[slice_index] = False
+
+    def is_online(self, slice_index: int) -> bool:
+        self._check_slice(slice_index)
+        return self._online[slice_index]
+
+    def online_slices(self) -> List[int]:
+        return [i for i, state in enumerate(self._online) if state]
+
+    @property
+    def online_capacity_gb(self) -> int:
+        return sum(self._online) * self.slice_gb
+
+    def _check_slice(self, slice_index: int) -> None:
+        if not 0 <= slice_index < self.n_slices:
+            raise IndexError(
+                f"slice index {slice_index} out of range (0..{self.n_slices - 1})"
+            )
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "capacity_gb": self.n_slices * self.slice_gb,
+            "online_gb": self.online_capacity_gb,
+            "offline_gb": self.n_slices * self.slice_gb - self.online_capacity_gb,
+        }

@@ -1,0 +1,201 @@
+"""Analytic CXL latency composition model (paper Figures 7 and 8).
+
+The paper derives pool access latency by composing per-component latencies
+measured or estimated for CXL hardware:
+
+===========================  ======  ==================================
+Component                    ns      Notes
+===========================  ======  ==================================
+Core/LLC/Fabric              40      on-CPU portion of any DRAM access
+Memory controller + DRAM     45      either local MC or the EMC's MC
+CXL port (round trip)        25      Intel Sapphire Rapids measurement
+Flight time (<500 mm)        5       board propagation
+Retimer (>500 mm)            5+20+5  propagation + retimer both directions
+EMC address check + NOC      15      ACL 5 ns + on-chip network 10 ns
+Switch (ports + ARB + NOC)   70      25+10+10+25
+===========================  ======  ==================================
+
+The resulting end-to-end figures match the paper:
+
+* local DRAM: 85 ns,
+* 8-socket Pond: 155 ns (182 % of local),
+* 16-socket Pond: 180 ns (212 %),
+* 32/64-socket Pond: >270 ns (318 %),
+* a switch-only design is roughly 1/3 slower than Pond's multi-headed EMC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = [
+    "LatencyComponents",
+    "LatencyBreakdown",
+    "LatencyModel",
+    "LOCAL_DRAM_LATENCY_NS",
+    "pond_pool_latency_ns",
+    "switch_only_latency_ns",
+]
+
+
+@dataclass(frozen=True)
+class LatencyComponents:
+    """Per-component latencies (nanoseconds) used to compose access paths."""
+
+    core_llc_fabric_ns: float = 40.0
+    mc_dram_ns: float = 45.0
+    cxl_port_ns: float = 25.0
+    flight_time_ns: float = 5.0
+    retimer_ns: float = 30.0  # 5 ns propagation + 20 ns retimer + 5 ns propagation
+    emc_acl_ns: float = 5.0
+    emc_noc_ns: float = 10.0
+    switch_port_ns: float = 25.0
+    switch_arb_ns: float = 10.0
+    switch_noc_ns: float = 10.0
+
+    @property
+    def emc_internal_ns(self) -> float:
+        """Address-check plus on-chip-network latency inside the EMC."""
+        return self.emc_acl_ns + self.emc_noc_ns
+
+    @property
+    def switch_ns(self) -> float:
+        """Total latency added by one CXL switch (two ports + ARB + NOC)."""
+        return 2 * self.switch_port_ns + self.switch_arb_ns + self.switch_noc_ns
+
+
+#: Default components; LOCAL_DRAM_LATENCY_NS is the 85 ns paper baseline.
+DEFAULT_COMPONENTS = LatencyComponents()
+LOCAL_DRAM_LATENCY_NS = (
+    DEFAULT_COMPONENTS.core_llc_fabric_ns + DEFAULT_COMPONENTS.mc_dram_ns
+)
+
+#: Pool sizes (sockets) that fit a single multi-headed EMC without retimers.
+MAX_SOCKETS_WITHOUT_RETIMER = 8
+#: Pool sizes (sockets) that fit a single multi-headed EMC (with retimers).
+MAX_SOCKETS_DIRECT_EMC = 16
+
+
+@dataclass
+class LatencyBreakdown:
+    """An itemised access path, preserving the order of traversed components."""
+
+    items: List = field(default_factory=list)  # list of (name, ns)
+
+    def add(self, name: str, ns: float) -> "LatencyBreakdown":
+        self.items.append((name, float(ns)))
+        return self
+
+    @property
+    def total_ns(self) -> float:
+        return float(sum(ns for _, ns in self.items))
+
+    def as_dict(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for name, ns in self.items:
+            out[name] = out.get(name, 0.0) + ns
+        return out
+
+    def percent_of_local(self, local_ns: float = LOCAL_DRAM_LATENCY_NS) -> float:
+        """Total latency expressed as a percentage of the local baseline."""
+        return 100.0 * self.total_ns / local_ns
+
+
+class LatencyModel:
+    """Builds latency breakdowns for local DRAM and different pool designs."""
+
+    def __init__(self, components: LatencyComponents = DEFAULT_COMPONENTS) -> None:
+        self.components = components
+
+    # -- baselines ------------------------------------------------------------
+    def local_dram(self) -> LatencyBreakdown:
+        c = self.components
+        return (
+            LatencyBreakdown()
+            .add("core_llc_fabric", c.core_llc_fabric_ns)
+            .add("mc_dram", c.mc_dram_ns)
+        )
+
+    # -- Pond multi-headed EMC designs -----------------------------------------
+    def pond_pool(self, pool_sockets: int) -> LatencyBreakdown:
+        """Access path for a Pond pool of ``pool_sockets`` CPU sockets.
+
+        Up to 8 sockets connect to the EMC over short traces (no retimer);
+        9-16 sockets need retimers; beyond 16 sockets a CXL switch layer is
+        inserted between the hosts and multiple EMCs.
+        """
+        if pool_sockets < 1:
+            raise ValueError("pool size must be >= 1 socket")
+        c = self.components
+        b = LatencyBreakdown()
+        b.add("core_llc_fabric", c.core_llc_fabric_ns)
+        b.add("host_cxl_port", c.cxl_port_ns)
+        if pool_sockets <= MAX_SOCKETS_WITHOUT_RETIMER:
+            b.add("flight_time", c.flight_time_ns)
+        else:
+            b.add("retimer", c.retimer_ns)
+        if pool_sockets > MAX_SOCKETS_DIRECT_EMC:
+            b.add("switch", c.switch_ns)
+            b.add("retimer", c.retimer_ns)
+        b.add("emc_cxl_port", c.cxl_port_ns)
+        b.add("emc_acl_noc", c.emc_internal_ns)
+        b.add("mc_dram", c.mc_dram_ns)
+        return b
+
+    # -- switch-only comparison design ------------------------------------------
+    def switch_only_pool(self, pool_sockets: int) -> LatencyBreakdown:
+        """Access path for a design that pools only through CXL switches.
+
+        Every pool size pays at least one switch traversal (single-headed
+        memory devices hang off the switch); very large pools (>32 sockets)
+        need a second switch level, and any pool larger than 8 sockets needs
+        retimers for distance.
+        """
+        if pool_sockets < 1:
+            raise ValueError("pool size must be >= 1 socket")
+        c = self.components
+        b = LatencyBreakdown()
+        b.add("core_llc_fabric", c.core_llc_fabric_ns)
+        b.add("host_cxl_port", c.cxl_port_ns)
+        if pool_sockets <= MAX_SOCKETS_WITHOUT_RETIMER:
+            b.add("flight_time", c.flight_time_ns)
+        else:
+            b.add("retimer", c.retimer_ns)
+        b.add("switch", c.switch_ns)
+        if pool_sockets > 32:
+            b.add("switch", c.switch_ns)
+        if pool_sockets > MAX_SOCKETS_WITHOUT_RETIMER:
+            b.add("retimer", c.retimer_ns)
+        b.add("device_cxl_port", c.cxl_port_ns)
+        b.add("device_internal", c.emc_internal_ns)
+        b.add("mc_dram", c.mc_dram_ns)
+        return b
+
+    # -- figure-level sweeps -----------------------------------------------------
+    def latency_vs_pool_size(self, pool_sizes=(1, 8, 16, 32, 64)) -> Dict[int, Dict[str, float]]:
+        """Figure 8 data: latency of Pond vs switch-only per pool size.
+
+        Pool size 1 means no pooling (local DRAM) for both designs.
+        """
+        out: Dict[int, Dict[str, float]] = {}
+        for size in pool_sizes:
+            if size <= 1:
+                local = self.local_dram().total_ns
+                out[size] = {"pond_ns": local, "switch_only_ns": local}
+            else:
+                out[size] = {
+                    "pond_ns": self.pond_pool(size).total_ns,
+                    "switch_only_ns": self.switch_only_pool(size).total_ns,
+                }
+        return out
+
+
+def pond_pool_latency_ns(pool_sockets: int, components: LatencyComponents = DEFAULT_COMPONENTS) -> float:
+    """Convenience wrapper returning Pond's end-to-end pool latency in ns."""
+    return LatencyModel(components).pond_pool(pool_sockets).total_ns
+
+
+def switch_only_latency_ns(pool_sockets: int, components: LatencyComponents = DEFAULT_COMPONENTS) -> float:
+    """Convenience wrapper returning the switch-only design latency in ns."""
+    return LatencyModel(components).switch_only_pool(pool_sockets).total_ns

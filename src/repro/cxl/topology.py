@@ -1,0 +1,177 @@
+"""Pool topology construction for different pool sizes (paper Figure 6).
+
+The optimal Pond design point depends on the pool size (number of CPU sockets
+sharing a pool):
+
+* **<= 8 sockets** -- one multi-headed EMC, 64 PCIe 5.0 lanes, 6 DDR5
+  channels (half an AMD Genoa IO-die of silicon area).
+* **<= 16 sockets** -- one multi-headed EMC, 128 lanes, 12 DDR5 channels
+  (comparable to a full Genoa IOD); retimers are needed for trace length.
+* **32-64 sockets** -- CXL switches in front of multiple multi-headed EMCs.
+
+A *switch-only* comparison topology (single-headed memory devices behind
+switches) is also supported for the Figure 8 latency comparison.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.cxl.emc import EMCDevice
+from repro.cxl.latency import LatencyModel, LatencyComponents, DEFAULT_COMPONENTS
+
+__all__ = ["TopologyKind", "PoolTopology", "build_topology"]
+
+#: PCIe 5.0 lanes per x8 CXL host link.
+LANES_PER_HOST_LINK = 8
+#: DDR5 channels provisioned per 8 attached sockets (matches Figure 6).
+DDR5_CHANNELS_PER_8_SOCKETS = 6
+#: Approximate silicon area of an AMD Genoa IO-die in mm^2 (Figure 6).
+GENOA_IOD_AREA_MM2 = 397.0
+
+
+class TopologyKind(str, enum.Enum):
+    """How hosts reach pool memory."""
+
+    DIRECT_EMC = "direct_emc"          # hosts wired straight to a multi-headed EMC
+    SWITCHED_EMC = "switched_emc"      # hosts -> CXL switches -> multi-headed EMCs
+    SWITCH_ONLY = "switch_only"        # hosts -> CXL switches -> single-headed devices
+
+
+@dataclass
+class PoolTopology:
+    """A constructed pool: EMC devices, switch count, lane/channel budget."""
+
+    kind: TopologyKind
+    pool_sockets: int
+    emcs: List[EMCDevice] = field(default_factory=list)
+    n_switches: int = 0
+    retimers_required: bool = False
+    components: LatencyComponents = DEFAULT_COMPONENTS
+
+    @property
+    def total_pool_capacity_gb(self) -> int:
+        return sum(emc.capacity_gb for emc in self.emcs)
+
+    @property
+    def pcie5_lanes(self) -> int:
+        """Host-facing PCIe 5.0 lanes required across the pool's EMCs/switches."""
+        return self.pool_sockets * LANES_PER_HOST_LINK
+
+    @property
+    def ddr5_channels(self) -> int:
+        return sum(emc.ddr5_channels for emc in self.emcs)
+
+    @property
+    def estimated_emc_area_mm2(self) -> float:
+        """Rough EMC silicon area scaled against the Genoa IOD reference."""
+        # A 16-socket EMC ~ one IOD; an 8-socket EMC ~ half an IOD.
+        area = 0.0
+        for emc in self.emcs:
+            ports = len(emc.ports)
+            area += GENOA_IOD_AREA_MM2 * min(1.0, ports / 16.0)
+        return area
+
+    def access_latency_ns(self) -> float:
+        """End-to-end pool access latency for this topology."""
+        model = LatencyModel(self.components)
+        if self.kind is TopologyKind.SWITCH_ONLY:
+            return model.switch_only_pool(self.pool_sockets).total_ns
+        return model.pond_pool(self.pool_sockets).total_ns
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "pool_sockets": float(self.pool_sockets),
+            "n_emcs": float(len(self.emcs)),
+            "n_switches": float(self.n_switches),
+            "capacity_gb": float(self.total_pool_capacity_gb),
+            "pcie5_lanes": float(self.pcie5_lanes),
+            "ddr5_channels": float(self.ddr5_channels),
+            "latency_ns": self.access_latency_ns(),
+        }
+
+
+def build_topology(
+    pool_sockets: int,
+    pool_capacity_gb: int,
+    kind: TopologyKind = None,
+    components: LatencyComponents = DEFAULT_COMPONENTS,
+) -> PoolTopology:
+    """Construct the pool topology the paper recommends for ``pool_sockets``.
+
+    Parameters
+    ----------
+    pool_sockets:
+        Number of CPU sockets sharing the pool (2-64 in the paper).
+    pool_capacity_gb:
+        Total pool DRAM capacity behind the EMC(s).
+    kind:
+        Force a topology kind; by default small pools use DIRECT_EMC and
+        pools above 16 sockets use SWITCHED_EMC.
+    """
+    if pool_sockets < 2:
+        raise ValueError("a pool needs at least 2 sockets")
+    if pool_capacity_gb <= 0:
+        raise ValueError("pool capacity must be positive")
+
+    if kind is None:
+        kind = TopologyKind.DIRECT_EMC if pool_sockets <= 16 else TopologyKind.SWITCHED_EMC
+
+    topo = PoolTopology(
+        kind=kind,
+        pool_sockets=pool_sockets,
+        retimers_required=pool_sockets > 8,
+        components=components,
+    )
+
+    if kind is TopologyKind.DIRECT_EMC:
+        if pool_sockets > 16:
+            raise ValueError("a single multi-headed EMC supports at most 16 sockets")
+        ports = 8 if pool_sockets <= 8 else 16
+        channels = DDR5_CHANNELS_PER_8_SOCKETS * (1 if pool_sockets <= 8 else 2)
+        topo.emcs = [
+            EMCDevice(
+                emc_id="emc-0",
+                capacity_gb=pool_capacity_gb,
+                n_ports=ports,
+                ddr5_channels=channels,
+            )
+        ]
+        topo.n_switches = 0
+    elif kind is TopologyKind.SWITCHED_EMC:
+        # Figure 6: hosts connect through switches to 4 multi-headed EMCs.
+        n_emcs = 4
+        per_emc = max(1, pool_capacity_gb // n_emcs)
+        topo.emcs = [
+            EMCDevice(
+                emc_id=f"emc-{i}",
+                capacity_gb=per_emc,
+                n_ports=16,
+                ddr5_channels=2 * DDR5_CHANNELS_PER_8_SOCKETS,
+            )
+            for i in range(n_emcs)
+        ]
+        # One switch per 8 hosts (x8 links into the switch fabric).
+        topo.n_switches = max(1, (pool_sockets + 7) // 8)
+    elif kind is TopologyKind.SWITCH_ONLY:
+        # Single-headed devices: one device per 4 sockets of capacity share.
+        n_devices = max(1, pool_sockets // 4)
+        per_device = max(1, pool_capacity_gb // n_devices)
+        topo.emcs = [
+            EMCDevice(
+                emc_id=f"dev-{i}",
+                capacity_gb=per_device,
+                n_ports=1,
+                ddr5_channels=2,
+            )
+            for i in range(n_devices)
+        ]
+        topo.n_switches = max(1, (pool_sockets + 15) // 16)
+        if pool_sockets > 32:
+            topo.n_switches += 1
+    else:  # pragma: no cover - exhaustive enum
+        raise ValueError(f"unknown topology kind: {kind}")
+
+    return topo

@@ -1,0 +1,27 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Every driver exposes a ``run_*`` function returning a plain data object with
+the same rows/series the paper reports, plus a ``format_*`` helper producing a
+text table.  ``run_all_experiments`` executes the full set (with a ``quick``
+flag for CI-sized runs) and is used by EXPERIMENTS.md and the benchmark
+harness.
+
+| Driver                                   | Paper reference            |
+|------------------------------------------|----------------------------|
+| :mod:`repro.experiments.fig2_stranding`  | Figure 2a / 2b             |
+| :mod:`repro.experiments.fig3_pool_size`  | Figure 3                   |
+| :mod:`repro.experiments.fig4_5_sensitivity` | Figures 4 and 5         |
+| :mod:`repro.experiments.untouched_distribution` | Section 3.2          |
+| :mod:`repro.experiments.fig7_8_latency`  | Figures 7 and 8            |
+| :mod:`repro.experiments.fig15_znuma`     | Figure 15                  |
+| :mod:`repro.experiments.fig16_spill`     | Figure 16                  |
+| :mod:`repro.experiments.fig17_latency_model` | Figure 17              |
+| :mod:`repro.experiments.fig18_19_untouched`  | Figures 18 and 19      |
+| :mod:`repro.experiments.fig20_combined`  | Figure 20                  |
+| :mod:`repro.experiments.fig21_end_to_end` | Figure 21                 |
+| :mod:`repro.experiments.offlining`       | Finding 10                 |
+"""
+
+from repro.experiments.runner import run_all_experiments
+
+__all__ = ["run_all_experiments"]

@@ -1,0 +1,93 @@
+"""Figure 16: slowdown under different pool allocations (zNUMA sizing study).
+
+Each workload is run with 7 zNUMA sizes expressed as the percentage of its
+memory footprint that spills onto the pool: 0 % (correct prediction) plus
+10/20/40/60/75/100 %.  With a correct prediction the slowdown distribution
+matches all-local (run-to-run noise only); as soon as the working set spills,
+slowdowns appear and grow with the spilled fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.workloads.catalog import WorkloadCatalog, build_catalog
+from repro.workloads.sensitivity import (
+    LatencyScenario,
+    SCENARIO_182,
+    slowdown_under_spill,
+)
+
+__all__ = ["SpillStudy", "run_spill_study", "format_spill_table"]
+
+#: The paper's seven pool-allocation settings (percent of footprint spilled),
+#: plus the all-local baseline handled separately.
+DEFAULT_SPILL_PERCENTS = (0.0, 10.0, 20.0, 40.0, 60.0, 75.0, 100.0)
+
+
+@dataclass
+class SpillStudy:
+    """Slowdown distributions per spilled-percentage setting."""
+
+    spill_percents: List[float]
+    #: spill percent -> slowdown array over the catalog workloads.
+    slowdowns: Dict[float, np.ndarray]
+    all_local_noise: np.ndarray
+
+    def distribution_stats(self, spill_percent: float) -> Dict[str, float]:
+        values = self.slowdowns[spill_percent]
+        return {
+            "median": float(np.median(values)),
+            "p90": float(np.percentile(values, 90)),
+            "max": float(values.max()),
+        }
+
+
+def run_spill_study(
+    catalog: Optional[WorkloadCatalog] = None,
+    scenario: LatencyScenario = SCENARIO_182,
+    spill_percents: Sequence[float] = DEFAULT_SPILL_PERCENTS,
+    noise_std_percent: float = 0.4,
+    seed: int = 21,
+) -> SpillStudy:
+    """Evaluate slowdown for every (workload, zNUMA size) combination."""
+    catalog = catalog or build_catalog()
+    rng = np.random.default_rng(seed)
+    slowdowns: Dict[float, np.ndarray] = {}
+    for percent in spill_percents:
+        values = [
+            slowdown_under_spill(
+                w, scenario, percent / 100.0,
+                noise_rng=rng, noise_std_percent=noise_std_percent,
+            )
+            for w in catalog
+        ]
+        slowdowns[percent] = np.array(values)
+    # The all-local baseline only has run-to-run noise.
+    all_local = np.abs(rng.normal(0.0, noise_std_percent, size=len(catalog)))
+    return SpillStudy(
+        spill_percents=list(spill_percents),
+        slowdowns=slowdowns,
+        all_local_noise=all_local,
+    )
+
+
+def format_spill_table(study: SpillStudy) -> str:
+    """Text table matching the Figure 16 violin-plot summary."""
+    lines = [
+        "Figure 16 -- slowdown vs pool memory (spilled working set)",
+        f"{'pool memory [%]':>16} {'median [%]':>11} {'p90 [%]':>9} {'max [%]':>9}",
+        f"{'all local':>16} {np.median(study.all_local_noise):>11.1f} "
+        f"{np.percentile(study.all_local_noise, 90):>9.1f} "
+        f"{study.all_local_noise.max():>9.1f}",
+    ]
+    for percent in study.spill_percents:
+        stats = study.distribution_stats(percent)
+        lines.append(
+            f"{percent:>16.0f} {stats['median']:>11.1f} {stats['p90']:>9.1f} "
+            f"{stats['max']:>9.1f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Figure 17: the latency-insensitivity model vs counter heuristics.
+
+The RandomForest over all TMA counters is compared against threshold
+heuristics on the memory-bound and DRAM-latency-bound counters.  The figure
+sweeps the fraction of workloads labelled insensitive against the resulting
+false-positive rate (insensitive labels given to workloads that actually
+exceed the PDM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.prediction.latency_model import (
+    DramBoundHeuristic,
+    LatencyInsensitivityModel,
+    MemoryBoundHeuristic,
+    TradeoffCurve,
+)
+from repro.ml.model_selection import train_test_split
+from repro.workloads.catalog import WorkloadCatalog, build_catalog
+from repro.workloads.generator import PMUFeatureGenerator
+from repro.workloads.sensitivity import LatencyScenario, SCENARIO_182
+
+__all__ = ["LatencyModelStudy", "run_latency_model_study", "format_latency_model_table"]
+
+
+@dataclass
+class LatencyModelStudy:
+    """Trade-off curves of the three predictors plus headline numbers."""
+
+    pdm_percent: float
+    curves: Dict[str, TradeoffCurve]
+    #: Insensitive share achievable at a 2 % false-positive budget, per predictor.
+    insensitive_at_2pct_fp: Dict[str, float]
+
+
+def run_latency_model_study(
+    catalog: Optional[WorkloadCatalog] = None,
+    scenario: LatencyScenario = SCENARIO_182,
+    pdm_percent: float = 5.0,
+    samples_per_workload: int = 3,
+    test_size: float = 0.5,
+    seed: int = 31,
+) -> LatencyModelStudy:
+    """Train the models on offline runs and evaluate their trade-off curves."""
+    catalog = catalog or build_catalog()
+    generator = PMUFeatureGenerator(seed=seed)
+    training = generator.training_set(
+        catalog, scenario, samples_per_workload=samples_per_workload
+    )
+    X_train, X_test, y_train, y_test = train_test_split(
+        training.features, training.slowdowns, test_size=test_size, random_state=seed
+    )
+
+    forest = LatencyInsensitivityModel(pdm_percent=pdm_percent, random_state=seed)
+    forest.fit(X_train, y_train)
+
+    dram = DramBoundHeuristic(pdm_percent=pdm_percent)
+    memory = MemoryBoundHeuristic(pdm_percent=pdm_percent)
+
+    curves = {
+        "RandomForest": forest.tradeoff_curve(X_test, y_test),
+        "DRAM-bound": dram.tradeoff_curve(X_test, y_test),
+        "Memory-bound": memory.tradeoff_curve(X_test, y_test),
+    }
+    at_2pct = {
+        name: curve.max_insensitive_at_fp(2.0) for name, curve in curves.items()
+    }
+    return LatencyModelStudy(
+        pdm_percent=pdm_percent,
+        curves=curves,
+        insensitive_at_2pct_fp=at_2pct,
+    )
+
+
+def format_latency_model_table(study: LatencyModelStudy) -> str:
+    """Text summary matching the Figure 17 narrative."""
+    lines = [
+        f"Figure 17 -- latency insensitivity model (PDM = {study.pdm_percent:.0f}%)",
+        f"{'predictor':>14} {'insensitive @ 2% FP':>21}",
+    ]
+    for name, value in study.insensitive_at_2pct_fp.items():
+        lines.append(f"{name:>14} {value:>20.1f}%")
+    lines.append("")
+    lines.append("trade-off curves (insensitive% -> FP%):")
+    for name, curve in study.curves.items():
+        points = list(zip(curve.insensitive_percent, curve.false_positive_percent))
+        sampled = points[:: max(1, len(points) // 6)]
+        rendered = ", ".join(f"{x:.0f}%->{y:.1f}%" for x, y in sampled)
+        lines.append(f"  {name}: {rendered}")
+    return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Figure 20: the combined prediction model (Eq.(1)) trade-off.
+
+The combined model balances the latency-insensitivity model's false-positive
+budget against the untouched-memory model's overprediction budget, maximising
+the average share of DRAM that can be placed on pools for a given scheduling
+misprediction target.  The figure sweeps that target and plots pool DRAM share
+vs the resulting misprediction rate, for the 182 % and 222 % latency
+scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.prediction.combined import CombinedModelOptimizer, CombinedOperatingPoint
+from repro.experiments.fig17_latency_model import run_latency_model_study
+from repro.experiments.fig18_19_untouched import (
+    build_untouched_dataset,
+    run_untouched_model_study,
+)
+from repro.workloads.catalog import WorkloadCatalog, build_catalog
+from repro.workloads.sensitivity import LatencyScenario, SCENARIO_182, SCENARIO_222
+
+__all__ = ["CombinedModelStudy", "run_combined_model_study", "format_combined_table"]
+
+
+@dataclass
+class CombinedModelStudy:
+    """Figure 20 outputs for one latency scenario."""
+
+    scenario_name: str
+    error_budgets: np.ndarray
+    pool_dram_percent: np.ndarray
+    misprediction_percent: np.ndarray
+    operating_point_at_2pct: CombinedOperatingPoint
+
+    def pool_dram_at_misprediction(self, target_percent: float) -> float:
+        """Largest pool-DRAM share whose misprediction rate is within the target."""
+        mask = self.misprediction_percent <= target_percent + 1e-9
+        if not mask.any():
+            return 0.0
+        return float(self.pool_dram_percent[mask].max())
+
+
+def build_optimizer(
+    catalog: Optional[WorkloadCatalog] = None,
+    scenario: LatencyScenario = SCENARIO_182,
+    pdm_percent: float = 5.0,
+    seed: int = 51,
+) -> CombinedModelOptimizer:
+    """Construct the Eq.(1) optimiser from the two models' measured curves."""
+    catalog = catalog or build_catalog()
+    latency_study = run_latency_model_study(
+        catalog=catalog, scenario=scenario, pdm_percent=pdm_percent, seed=seed
+    )
+    li_curve_obj = latency_study.curves["RandomForest"]
+    li_curve = li_curve_obj.max_insensitive_at_fp
+
+    untouched_study = run_untouched_model_study(
+        dataset=build_untouched_dataset(n_vms=1200, seed=seed), seed=seed
+    )
+    um_avg, um_op = untouched_study.gbm_curve
+    um_curve = CombinedModelOptimizer.curve_from_points(um_op, um_avg)
+
+    return CombinedModelOptimizer(li_curve=li_curve, um_curve=um_curve)
+
+
+def run_combined_model_study(
+    scenario: LatencyScenario = SCENARIO_182,
+    catalog: Optional[WorkloadCatalog] = None,
+    pdm_percent: float = 5.0,
+    error_budgets: Sequence[float] = tuple(np.linspace(0.0, 10.0, 21)),
+    seed: int = 51,
+) -> CombinedModelStudy:
+    """Sweep the error budget and report the Figure 20 curve."""
+    optimizer = build_optimizer(
+        catalog=catalog, scenario=scenario, pdm_percent=pdm_percent, seed=seed
+    )
+    pool, mispred = optimizer.sweep(error_budgets)
+    point = optimizer.solve(2.0)
+    return CombinedModelStudy(
+        scenario_name=scenario.name,
+        error_budgets=np.asarray(error_budgets, dtype=float),
+        pool_dram_percent=pool,
+        misprediction_percent=mispred,
+        operating_point_at_2pct=point,
+    )
+
+
+def format_combined_table(studies: List[CombinedModelStudy]) -> str:
+    """Text summary matching the Figure 20 narrative."""
+    lines = ["Figure 20 -- combined model: pool DRAM vs scheduling mispredictions"]
+    for study in studies:
+        lines.append(f"  scenario {study.scenario_name}:")
+        for budget, pool, mispred in zip(
+            study.error_budgets, study.pool_dram_percent, study.misprediction_percent
+        ):
+            lines.append(
+                f"    error budget {budget:>5.1f}% -> pool DRAM {pool:>5.1f}%, "
+                f"mispredictions {mispred:>4.2f}%"
+            )
+        lines.append(
+            f"    at a 2% misprediction target: "
+            f"{study.pool_dram_at_misprediction(2.0):.1f}% of DRAM on pools"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""Figure 21: end-to-end DRAM savings under performance constraints.
+
+The end-to-end simulation evaluates, per pool size, the DRAM required when
+VM memory is split between local and pool DRAM by:
+
+* **Pond** at the operating point its combined model chooses under the
+  configured PDM/TP (for both the 182 % and 222 % latency scenarios -- the
+  higher latency makes the insensitivity model more conservative and thus
+  saves less), and
+* the **static** strawman that puts 15 % of every VM's memory on the pool.
+
+The scheduling-misprediction rate of every policy is also tracked to verify
+the TP constraint holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.pool import PoolDimensioner, PoolSavings
+from repro.cluster.tracegen import TraceGenConfig, TraceGenerator
+from repro.core.config import PondConfig
+from repro.core.policies import PondTracePolicy, StaticFractionPolicy
+from repro.core.prediction.combined import CombinedOperatingPoint
+from repro.workloads.sensitivity import SCENARIO_182, SCENARIO_222
+
+__all__ = ["EndToEndStudy", "run_end_to_end_study", "format_end_to_end_table"]
+
+DEFAULT_POOL_SIZES = (2, 8, 16, 32, 64)
+
+#: Default operating points used when the caller does not supply solved ones.
+#: They match the paper's Figure 20 outcome at a ~2 % misprediction target:
+#: the 182 % scenario can place more VMs fully on the pool than the 222 % one.
+DEFAULT_OPERATING_POINTS: Dict[str, CombinedOperatingPoint] = {
+    "182": CombinedOperatingPoint(fp_percent=1.5, op_percent=2.0,
+                                  li_percent=30.0, um_percent=22.0),
+    "222": CombinedOperatingPoint(fp_percent=1.5, op_percent=2.0,
+                                  li_percent=18.0, um_percent=22.0),
+}
+
+
+@dataclass
+class EndToEndStudy:
+    """Required-DRAM percentages per policy and pool size (Figure 21)."""
+
+    pool_sizes: List[int]
+    #: policy label -> list of PoolSavings aligned with ``pool_sizes``.
+    savings: Dict[str, List[PoolSavings]]
+    #: policy label -> scheduling misprediction percent observed.
+    misprediction_percent: Dict[str, float]
+
+    def required_dram_percent(self, policy: str, pool_size: int) -> float:
+        for entry in self.savings[policy]:
+            if entry.pool_size_sockets == pool_size:
+                return entry.required_dram_percent
+        raise KeyError(f"no entry for policy {policy!r} at pool size {pool_size}")
+
+    def savings_percent(self, policy: str, pool_size: int) -> float:
+        return 100.0 - self.required_dram_percent(policy, pool_size)
+
+
+def run_end_to_end_study(
+    config: Optional[PondConfig] = None,
+    n_servers: int = 32,
+    duration_days: float = 3.0,
+    target_utilization: float = 0.85,
+    pool_sizes: Sequence[int] = DEFAULT_POOL_SIZES,
+    operating_points: Optional[Dict[str, CombinedOperatingPoint]] = None,
+    static_fraction: float = 0.15,
+    seed: int = 61,
+) -> EndToEndStudy:
+    """Run the Figure 21 sweep on one synthetic cluster trace."""
+    config = config or PondConfig()
+    points = operating_points or DEFAULT_OPERATING_POINTS
+    cfg = TraceGenConfig(
+        cluster_id="end-to-end",
+        n_servers=n_servers,
+        duration_days=duration_days,
+        target_core_utilization=target_utilization,
+        seed=seed,
+    )
+    trace = TraceGenerator(cfg).generate()
+    dimensioner = PoolDimensioner(n_servers=n_servers)
+    usable_sizes = [s for s in pool_sizes if s <= n_servers * cfg.server_config.sockets]
+
+    savings: Dict[str, List[PoolSavings]] = {}
+    mispredictions: Dict[str, float] = {}
+
+    policies = {
+        "pond_182": PondTracePolicy(points["182"], slice_gb=config.slice_gb, seed=seed),
+        "pond_222": PondTracePolicy(points["222"], slice_gb=config.slice_gb, seed=seed + 1),
+        "static_15pct": StaticFractionPolicy(fraction=static_fraction, seed=seed + 2),
+    }
+    for label, policy in policies.items():
+        savings[label] = dimensioner.sweep_pool_sizes(trace, usable_sizes, policy)
+        mispredictions[label] = policy.stats.misprediction_percent
+
+    return EndToEndStudy(
+        pool_sizes=list(usable_sizes),
+        savings=savings,
+        misprediction_percent=mispredictions,
+    )
+
+
+def format_end_to_end_table(study: EndToEndStudy) -> str:
+    """Text table matching the Figure 21 presentation."""
+    lines = [
+        "Figure 21 -- required overall DRAM [%] vs pool size",
+        "policy \\ sockets    " + " ".join(f"{s:>7d}" for s in study.pool_sizes),
+    ]
+    for policy in study.savings:
+        row = [f"{policy:>18} "]
+        for size in study.pool_sizes:
+            row.append(f"{study.required_dram_percent(policy, size):>7.1f}")
+        lines.append(" ".join(row))
+    lines.append("")
+    for policy, rate in study.misprediction_percent.items():
+        lines.append(f"  {policy}: {rate:.2f}% scheduling mispredictions")
+    return "\n".join(lines)

@@ -1,0 +1,123 @@
+"""Figure 2: memory stranding at fleet scale.
+
+(a) Daily-average stranded memory bucketed by the percentage of scheduled CPU
+    cores, with 5th/95th-percentile error bars.
+(b) Stranding over time for a set of racks, including a workload-shift event
+    that suddenly increases stranding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.simulator import ClusterSimulator
+from repro.cluster.stranding import StrandingAnalyzer, StrandingBucket, stranding_vs_utilization
+from repro.cluster.tracegen import TraceGenConfig, TraceGenerator, generate_fleet
+
+__all__ = ["StrandingStudy", "run_stranding_study", "run_rack_timeseries", "format_stranding_table"]
+
+
+@dataclass
+class StrandingStudy:
+    """Results backing Figure 2a plus fleet-level percentiles."""
+
+    buckets: List[StrandingBucket]
+    fleet_p5: float
+    fleet_p95: float
+    fleet_max: float
+    n_clusters: int
+
+
+def run_stranding_study(
+    n_clusters: int = 12,
+    n_servers: int = 24,
+    duration_days: float = 4.0,
+    utilization_range: Tuple[float, float] = (0.55, 0.97),
+    seed: int = 5,
+) -> StrandingStudy:
+    """Simulate a fleet of clusters and aggregate stranding (Figure 2a)."""
+    base = TraceGenConfig(
+        n_servers=n_servers,
+        duration_days=duration_days,
+        mean_lifetime_hours=6.0,
+    )
+    traces = generate_fleet(
+        n_clusters, base_config=base, utilization_range=utilization_range, seed=seed
+    )
+    results = {}
+    for trace in traces:
+        simulator = ClusterSimulator(
+            n_servers=n_servers,
+            constrain_memory=True,
+            sample_interval_s=3600.0,
+        )
+        results[trace.cluster_id] = simulator.run(trace)
+    analyzer = StrandingAnalyzer(results)
+    buckets = stranding_vs_utilization(list(results.values()))
+    all_samples = np.concatenate(
+        [r.sample_array("stranded_percent") for r in results.values() if r.samples]
+    )
+    return StrandingStudy(
+        buckets=buckets,
+        fleet_p5=float(np.percentile(all_samples, 5)),
+        fleet_p95=float(np.percentile(all_samples, 95)),
+        fleet_max=float(all_samples.max()),
+        n_clusters=n_clusters,
+    )
+
+
+def run_rack_timeseries(
+    n_racks: int = 8,
+    n_servers: int = 16,
+    duration_days: float = 8.0,
+    shift_day: float = 4.0,
+    seed: int = 9,
+) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
+    """Stranding-over-time series for a set of racks (Figure 2b).
+
+    Half of the racks experience a workload change at ``shift_day`` that
+    increases the share of memory-optimised VMs, driving stranding up.
+    """
+    series: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+    for rack in range(n_racks):
+        shifted = rack % 2 == 0
+        cfg = TraceGenConfig(
+            cluster_id=f"rack-{rack}",
+            n_servers=n_servers,
+            duration_days=duration_days,
+            target_core_utilization=0.85,
+            shift_day=shift_day if shifted else None,
+            shift_memory_factor=3.0,
+            seed=seed + rack,
+        )
+        trace = TraceGenerator(cfg).generate()
+        simulator = ClusterSimulator(
+            n_servers=n_servers, constrain_memory=True, sample_interval_s=3600.0
+        )
+        result = simulator.run(trace)
+        analyzer = StrandingAnalyzer({cfg.cluster_id: result})
+        series[cfg.cluster_id] = analyzer.daily_average(cfg.cluster_id)
+    return series
+
+
+def format_stranding_table(study: StrandingStudy) -> str:
+    """Text table matching the Figure 2a presentation."""
+    lines = [
+        "Figure 2a -- stranded memory vs scheduled CPU cores",
+        f"{'cores sched [%]':>16} {'mean stranded [%]':>19} {'p5 [%]':>8} {'p95 [%]':>9}",
+    ]
+    for bucket in study.buckets:
+        lines.append(
+            f"{bucket.scheduled_cores_percent:>16.0f} "
+            f"{bucket.mean_stranded_percent:>19.1f} "
+            f"{bucket.p5_stranded_percent:>8.1f} "
+            f"{bucket.p95_stranded_percent:>9.1f}"
+        )
+    lines.append(
+        f"fleet: p5={study.fleet_p5:.1f}%  p95={study.fleet_p95:.1f}%  "
+        f"max={study.fleet_max:.1f}%  ({study.n_clusters} clusters)"
+    )
+    return "\n".join(lines)

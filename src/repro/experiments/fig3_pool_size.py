@@ -1,0 +1,76 @@
+"""Figure 3: required DRAM vs pool size for fixed pool-memory percentages.
+
+With a fixed 10 %, 30 %, or 50 % of every VM's memory allocated on the pool,
+the required overall DRAM (relative to no pooling) falls as the pool spans
+more sockets, with diminishing returns beyond 16-32 sockets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.cluster.pool import PoolDimensioner, PoolSavings
+from repro.cluster.tracegen import TraceGenConfig, TraceGenerator
+
+__all__ = ["PoolSizeStudy", "run_pool_size_study", "format_pool_size_table"]
+
+DEFAULT_POOL_SIZES = (2, 8, 16, 32, 64)
+DEFAULT_FRACTIONS = (0.10, 0.30, 0.50)
+
+
+@dataclass
+class PoolSizeStudy:
+    """Required-DRAM percentages per (pool fraction, pool size)."""
+
+    pool_sizes: List[int]
+    fractions: List[float]
+    #: fraction -> list of PoolSavings aligned with ``pool_sizes``.
+    savings: Dict[float, List[PoolSavings]]
+
+    def required_dram_percent(self, fraction: float, pool_size: int) -> float:
+        row = self.savings[fraction]
+        for entry in row:
+            if entry.pool_size_sockets == pool_size:
+                return entry.required_dram_percent
+        raise KeyError(f"no entry for pool size {pool_size}")
+
+
+def run_pool_size_study(
+    n_servers: int = 32,
+    duration_days: float = 3.0,
+    target_utilization: float = 0.85,
+    pool_sizes: Sequence[int] = DEFAULT_POOL_SIZES,
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+    seed: int = 13,
+) -> PoolSizeStudy:
+    """Run the Figure 3 sweep on one synthetic cluster trace."""
+    cfg = TraceGenConfig(
+        cluster_id="pool-study",
+        n_servers=n_servers,
+        duration_days=duration_days,
+        target_core_utilization=target_utilization,
+        seed=seed,
+    )
+    trace = TraceGenerator(cfg).generate()
+    dimensioner = PoolDimensioner(n_servers=n_servers)
+    usable_sizes = [s for s in pool_sizes if s <= n_servers * cfg.server_config.sockets]
+    savings = dimensioner.sweep_fixed_fractions(trace, usable_sizes, fractions)
+    return PoolSizeStudy(
+        pool_sizes=list(usable_sizes),
+        fractions=list(fractions),
+        savings=savings,
+    )
+
+
+def format_pool_size_table(study: PoolSizeStudy) -> str:
+    """Text table matching the Figure 3 presentation."""
+    header = "Figure 3 -- required overall DRAM [%] vs pool size"
+    columns = "pool frac \\ sockets " + " ".join(f"{s:>7d}" for s in study.pool_sizes)
+    lines = [header, columns]
+    for fraction in study.fractions:
+        row = [f"{int(round(fraction * 100)):>18d}% "]
+        for size in study.pool_sizes:
+            row.append(f"{study.required_dram_percent(fraction, size):>7.1f}")
+        lines.append(" ".join(row))
+    return "\n".join(lines)

@@ -1,0 +1,121 @@
+"""Figures 4 and 5: workload slowdowns under emulated CXL latency.
+
+Figure 4 shows per-workload slowdowns (158 workloads) under the 182 % and
+222 % latency scenarios; Figure 5 shows the CDF of those slowdowns.  The
+summary statistics the paper quotes in Section 3.3 (share of workloads below
+1 %, below 5 %, above 25 % slowdown) are computed here as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.workloads.catalog import WorkloadCatalog, WorkloadClass, build_catalog
+from repro.workloads.sensitivity import (
+    LatencyScenario,
+    SCENARIO_182,
+    SCENARIO_222,
+    slowdown_under_latency,
+)
+
+__all__ = [
+    "SensitivityStudy",
+    "run_sensitivity_study",
+    "slowdown_cdf",
+    "format_sensitivity_summary",
+]
+
+
+@dataclass
+class SensitivityStudy:
+    """Per-workload slowdowns for both latency scenarios."""
+
+    workload_names: List[str]
+    workload_classes: List[str]
+    slowdowns_182: np.ndarray
+    slowdowns_222: np.ndarray
+
+    def bucket_fractions(self, scenario: str = "182") -> Dict[str, float]:
+        """The Section 3.3 buckets: <1 %, 1-5 %, >25 % slowdown."""
+        values = self.slowdowns_182 if scenario == "182" else self.slowdowns_222
+        return {
+            "below_1_percent": float((values < 1.0).mean()),
+            "below_5_percent": float((values < 5.0).mean()),
+            "above_25_percent": float((values > 25.0).mean()),
+        }
+
+    def class_summary(self, scenario: str = "182") -> Dict[str, Dict[str, float]]:
+        """Per-class min/median/max slowdown (the Figure 4 grouping)."""
+        values = self.slowdowns_182 if scenario == "182" else self.slowdowns_222
+        classes = np.array(self.workload_classes)
+        out: Dict[str, Dict[str, float]] = {}
+        for cls in sorted(set(self.workload_classes)):
+            mask = classes == cls
+            sub = values[mask]
+            out[cls] = {
+                "min": float(sub.min()),
+                "median": float(np.median(sub)),
+                "max": float(sub.max()),
+                "n": int(mask.sum()),
+            }
+        return out
+
+
+def run_sensitivity_study(
+    catalog: Optional[WorkloadCatalog] = None,
+    scenario_a: LatencyScenario = SCENARIO_182,
+    scenario_b: LatencyScenario = SCENARIO_222,
+    seed: Optional[int] = 17,
+) -> SensitivityStudy:
+    """Measure every catalog workload under both latency scenarios."""
+    catalog = catalog or build_catalog()
+    rng = np.random.default_rng(seed) if seed is not None else None
+    names: List[str] = []
+    classes: List[str] = []
+    slow_a: List[float] = []
+    slow_b: List[float] = []
+    for workload in catalog:
+        names.append(workload.name)
+        classes.append(workload.workload_class.value)
+        slow_a.append(slowdown_under_latency(workload, scenario_a, noise_rng=rng))
+        slow_b.append(slowdown_under_latency(workload, scenario_b, noise_rng=rng))
+    return SensitivityStudy(
+        workload_names=names,
+        workload_classes=classes,
+        slowdowns_182=np.array(slow_a),
+        slowdowns_222=np.array(slow_b),
+    )
+
+
+def slowdown_cdf(slowdowns: np.ndarray,
+                 grid: Optional[np.ndarray] = None) -> Tuple[np.ndarray, np.ndarray]:
+    """Figure 5: CDF of slowdowns evaluated on a percent grid."""
+    slowdowns = np.asarray(slowdowns, dtype=float)
+    if slowdowns.size == 0:
+        raise ValueError("empty slowdown array")
+    if grid is None:
+        grid = np.linspace(0.0, max(100.0, float(slowdowns.max())), 201)
+    cdf = np.array([(slowdowns <= x).mean() for x in grid])
+    return grid, cdf
+
+
+def format_sensitivity_summary(study: SensitivityStudy) -> str:
+    """Text summary matching the Section 3.3 narrative."""
+    lines = ["Figures 4/5 -- workload sensitivity to memory latency"]
+    for label, scenario in (("182%", "182"), ("222%", "222")):
+        buckets = study.bucket_fractions(scenario)
+        lines.append(
+            f"  at {label} latency: "
+            f"{100 * buckets['below_1_percent']:.0f}% of workloads <1% slowdown, "
+            f"{100 * buckets['below_5_percent']:.0f}% <5%, "
+            f"{100 * buckets['above_25_percent']:.0f}% >25%"
+        )
+    lines.append(f"{'class':>16} {'min':>7} {'median':>8} {'max':>8}  (at 182%)")
+    for cls, stats in study.class_summary("182").items():
+        lines.append(
+            f"{cls:>16} {stats['min']:>7.1f} {stats['median']:>8.1f} {stats['max']:>8.1f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""Figures 7 and 8: pool access latency vs pool size and design.
+
+Figure 7 breaks Pond's end-to-end pool latency into its components for pool
+sizes of 1 (local), 8, 16, and 32/64 sockets.  Figure 8 compares Pond's
+multi-headed-EMC design with a switch-only design across pool sizes; Pond is
+about one third faster for the small pools it targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.cxl.latency import LatencyBreakdown, LatencyModel, LOCAL_DRAM_LATENCY_NS
+
+__all__ = ["LatencyStudy", "run_latency_study", "format_latency_table"]
+
+DEFAULT_POOL_SIZES = (1, 8, 16, 32, 64)
+
+
+@dataclass
+class LatencyStudy:
+    """Per-pool-size latency breakdowns and the Pond vs switch-only comparison."""
+
+    pool_sizes: List[int]
+    pond_breakdowns: Dict[int, LatencyBreakdown]
+    switch_only_ns: Dict[int, float]
+    local_ns: float
+
+    def pond_ns(self, pool_size: int) -> float:
+        if pool_size <= 1:
+            return self.local_ns
+        return self.pond_breakdowns[pool_size].total_ns
+
+    def pond_percent_of_local(self, pool_size: int) -> float:
+        return 100.0 * self.pond_ns(pool_size) / self.local_ns
+
+    def reduction_vs_switch_only(self, pool_size: int) -> float:
+        """Fractional latency reduction of Pond vs the switch-only design."""
+        if pool_size <= 1:
+            return 0.0
+        switch = self.switch_only_ns[pool_size]
+        return (switch - self.pond_ns(pool_size)) / switch
+
+
+def run_latency_study(pool_sizes: Sequence[int] = DEFAULT_POOL_SIZES) -> LatencyStudy:
+    """Compute the Figure 7/8 latency numbers from the composition model."""
+    model = LatencyModel()
+    breakdowns: Dict[int, LatencyBreakdown] = {}
+    switch_only: Dict[int, float] = {}
+    for size in pool_sizes:
+        if size > 1:
+            breakdowns[size] = model.pond_pool(size)
+            switch_only[size] = model.switch_only_pool(size).total_ns
+        else:
+            switch_only[size] = model.local_dram().total_ns
+    return LatencyStudy(
+        pool_sizes=list(pool_sizes),
+        pond_breakdowns=breakdowns,
+        switch_only_ns=switch_only,
+        local_ns=model.local_dram().total_ns,
+    )
+
+
+def format_latency_table(study: LatencyStudy) -> str:
+    """Text table matching the Figure 7/8 presentation."""
+    lines = [
+        "Figures 7/8 -- pool access latency",
+        f"{'pool sockets':>13} {'Pond [ns]':>10} {'% of local':>11} "
+        f"{'switch-only [ns]':>17} {'Pond saves':>11}",
+    ]
+    for size in study.pool_sizes:
+        pond = study.pond_ns(size)
+        lines.append(
+            f"{size:>13d} {pond:>10.0f} {study.pond_percent_of_local(size):>10.0f}% "
+            f"{study.switch_only_ns[size]:>17.0f} "
+            f"{100 * study.reduction_vs_switch_only(size):>10.0f}%"
+        )
+    lines.append("")
+    lines.append("Latency breakdown (Figure 7):")
+    for size, breakdown in study.pond_breakdowns.items():
+        parts = ", ".join(f"{name}={ns:.0f}ns" for name, ns in breakdown.items)
+        lines.append(f"  {size}-socket Pond: {parts} -> {breakdown.total_ns:.0f}ns")
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Finding 10: pool memory offlining speeds stay low across VM starts.
+
+Pond's asynchronous release strategy means VM starts never wait on slice
+offlining; the simulation here replays a stream of VM departures/starts
+through the Pool Manager and verifies that the offlining speed required stays
+below 1 GB/s for 99.99 % of VM starts (and below 10 GB/s for 99.999 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cxl.emc import EMCDevice
+from repro.core.control_plane.pool_manager import PoolManager
+from repro.hypervisor.host import Host
+from repro.hypervisor.slices import SliceTransitionModel
+
+__all__ = ["OffliningStudy", "run_offlining_study", "format_offlining_table"]
+
+
+@dataclass
+class OffliningStudy:
+    """Offlining-speed percentiles across simulated VM start/stop churn."""
+
+    speeds_gb_per_s: np.ndarray
+    p9999_gb_per_s: float
+    p99999_gb_per_s: float
+    total_offlined_gb: int
+
+    def percentile(self, percentile: float) -> float:
+        return float(np.percentile(self.speeds_gb_per_s, percentile))
+
+
+def run_offlining_study(
+    n_hosts: int = 8,
+    pool_capacity_gb: int = 512,
+    n_vm_cycles: int = 400,
+    mean_pool_gb_per_vm: float = 8.0,
+    seed: int = 81,
+) -> OffliningStudy:
+    """Churn VMs through a pool and measure per-release offlining speeds."""
+    if n_vm_cycles < 1:
+        raise ValueError("need at least one VM cycle")
+    rng = np.random.default_rng(seed)
+    emc = EMCDevice("emc-offline", capacity_gb=pool_capacity_gb, n_ports=max(n_hosts, 8))
+    transitions = SliceTransitionModel(seed=seed)
+    manager = PoolManager(emc, transition_model=transitions)
+    hosts = []
+    for i in range(n_hosts):
+        host = Host(host_id=f"host-{i}", total_cores=48, local_memory_gb=384.0)
+        manager.register_host(host)
+        hosts.append(host)
+
+    for _ in range(n_vm_cycles):
+        host = hosts[int(rng.integers(0, n_hosts))]
+        slices = max(1, int(rng.poisson(mean_pool_gb_per_vm)))
+        slices = min(slices, manager.unassigned_pool_gb)
+        if slices <= 0:
+            # Pool exhausted: drain the asynchronous release queue first.
+            manager.process_releases()
+            continue
+        manager.add_capacity(host.host_id, slices)
+        # The VM departs; its slices become free on the host and are queued for
+        # asynchronous release, then processed off the critical path.
+        manager.queue_release(host.host_id, slices)
+        manager.process_releases()
+
+    records = transitions.offline_records()
+    speeds = np.array([r.gb_per_second for r in records]) if records else np.array([0.0])
+    return OffliningStudy(
+        speeds_gb_per_s=speeds,
+        p9999_gb_per_s=float(np.percentile(speeds, 99.99)) if records else 0.0,
+        p99999_gb_per_s=float(np.percentile(speeds, 99.999)) if records else 0.0,
+        total_offlined_gb=int(sum(r.slice_count for r in records)),
+    )
+
+
+def format_offlining_table(study: OffliningStudy) -> str:
+    """Text summary matching Finding 10."""
+    return "\n".join([
+        "Finding 10 -- pool memory offlining speeds",
+        f"  offlined {study.total_offlined_gb} GB across {len(study.speeds_gb_per_s)} releases",
+        f"  median offlining speed: {study.percentile(50):.2f} GB/s",
+        f"  99.99th percentile: {study.p9999_gb_per_s:.2f} GB/s",
+        f"  99.999th percentile: {study.p99999_gb_per_s:.2f} GB/s",
+    ])

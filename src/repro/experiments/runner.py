@@ -1,0 +1,187 @@
+"""Run every paper experiment and collect the formatted outputs.
+
+``run_all_experiments(quick=True)`` uses reduced problem sizes so the full
+sweep completes in a couple of minutes (used by tests and the EXPERIMENTS.md
+regeneration); ``quick=False`` uses the paper-scale defaults of each driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.experiments import fig2_stranding
+from repro.experiments import fig3_pool_size
+from repro.experiments import fig4_5_sensitivity
+from repro.experiments import fig7_8_latency
+from repro.experiments import fig15_znuma
+from repro.experiments import fig16_spill
+from repro.experiments import fig17_latency_model
+from repro.experiments import fig18_19_untouched
+from repro.experiments import fig20_combined
+from repro.experiments import fig21_end_to_end
+from repro.experiments import offlining
+from repro.experiments import untouched_distribution
+from repro.workloads.catalog import build_catalog
+from repro.workloads.sensitivity import SCENARIO_182, SCENARIO_222
+
+__all__ = ["ExperimentReport", "run_all_experiments"]
+
+
+@dataclass
+class ExperimentReport:
+    """Raw result objects plus formatted text, keyed by experiment id."""
+
+    results: Dict[str, object] = field(default_factory=dict)
+    formatted: Dict[str, str] = field(default_factory=dict)
+
+    def text(self) -> str:
+        blocks = [self.formatted[key] for key in sorted(self.formatted)]
+        return "\n\n".join(blocks)
+
+
+def run_all_experiments(quick: bool = True, seed: int = 7) -> ExperimentReport:
+    """Execute every figure driver and collect results.
+
+    Parameters
+    ----------
+    quick:
+        Use reduced cluster/model sizes (minutes instead of hours).
+    seed:
+        Base seed shared across drivers for reproducibility.
+    """
+    report = ExperimentReport()
+    catalog = build_catalog(seed=seed)
+
+    # Figure 2 -- stranding.
+    stranding = fig2_stranding.run_stranding_study(
+        n_clusters=6 if quick else 20,
+        n_servers=12 if quick else 40,
+        duration_days=2.0 if quick else 10.0,
+        seed=seed,
+    )
+    report.results["fig2_stranding"] = stranding
+    report.formatted["fig2_stranding"] = fig2_stranding.format_stranding_table(stranding)
+
+    # Figure 3 -- pool size sweep.
+    pool_study = fig3_pool_size.run_pool_size_study(
+        n_servers=16 if quick else 32,
+        duration_days=1.5 if quick else 5.0,
+        seed=seed,
+    )
+    report.results["fig3_pool_size"] = pool_study
+    report.formatted["fig3_pool_size"] = fig3_pool_size.format_pool_size_table(pool_study)
+
+    # Figures 4/5 -- workload sensitivity.
+    sensitivity = fig4_5_sensitivity.run_sensitivity_study(catalog=catalog)
+    report.results["fig4_5_sensitivity"] = sensitivity
+    report.formatted["fig4_5_sensitivity"] = (
+        fig4_5_sensitivity.format_sensitivity_summary(sensitivity)
+    )
+
+    # Section 3.2 -- untouched memory distribution.
+    untouched_dist = untouched_distribution.run_untouched_distribution(
+        n_clusters=5 if quick else 20,
+        vms_per_cluster=300 if quick else 2000,
+        seed=seed,
+    )
+    report.results["untouched_distribution"] = untouched_dist
+    report.formatted["untouched_distribution"] = (
+        untouched_distribution.format_untouched_distribution(untouched_dist)
+    )
+
+    # Figures 7/8 -- latency.
+    latency = fig7_8_latency.run_latency_study()
+    report.results["fig7_8_latency"] = latency
+    report.formatted["fig7_8_latency"] = fig7_8_latency.format_latency_table(latency)
+
+    # Figure 15 -- zNUMA.
+    znuma = fig15_znuma.run_znuma_study()
+    report.results["fig15_znuma"] = znuma
+    report.formatted["fig15_znuma"] = fig15_znuma.format_znuma_table(znuma)
+
+    # Figure 16 -- spill.
+    spill = fig16_spill.run_spill_study(catalog=catalog)
+    report.results["fig16_spill"] = spill
+    report.formatted["fig16_spill"] = fig16_spill.format_spill_table(spill)
+
+    # Figure 17 -- latency insensitivity model.
+    latency_model = fig17_latency_model.run_latency_model_study(
+        catalog=catalog,
+        samples_per_workload=2 if quick else 3,
+        seed=seed,
+    )
+    report.results["fig17_latency_model"] = latency_model
+    report.formatted["fig17_latency_model"] = (
+        fig17_latency_model.format_latency_model_table(latency_model)
+    )
+
+    # Figures 18/19 -- untouched memory model.
+    untouched_dataset = fig18_19_untouched.build_untouched_dataset(
+        n_vms=800 if quick else 3000, seed=seed
+    )
+    untouched_model = fig18_19_untouched.run_untouched_model_study(
+        dataset=untouched_dataset,
+        n_estimators=30 if quick else 80,
+        seed=seed,
+    )
+    report.results["fig18_untouched_model"] = untouched_model
+    report.formatted["fig18_untouched_model"] = (
+        fig18_19_untouched.format_untouched_model_table(untouched_model)
+    )
+    timeline = fig18_19_untouched.run_production_timeline(
+        n_days=6 if quick else 20,
+        vms_per_day=120 if quick else 400,
+        seed=seed,
+    )
+    report.results["fig19_production_timeline"] = timeline
+    report.formatted["fig19_production_timeline"] = "\n".join([
+        "Figure 19 -- untouched memory model in production",
+        *(
+            f"  day {int(day)}: untouched {avg:.1f}%, overpredictions {op:.1f}% "
+            f"(target {timeline.op_target_percent:.0f}%)"
+            for day, avg, op in zip(
+                timeline.days, timeline.average_untouched_percent,
+                timeline.overprediction_percent,
+            )
+        ),
+    ])
+
+    # Figure 20 -- combined model.
+    combined_182 = fig20_combined.run_combined_model_study(
+        scenario=SCENARIO_182, catalog=catalog, seed=seed
+    )
+    combined_222 = fig20_combined.run_combined_model_study(
+        scenario=SCENARIO_222, catalog=catalog, seed=seed
+    )
+    report.results["fig20_combined"] = [combined_182, combined_222]
+    report.formatted["fig20_combined"] = fig20_combined.format_combined_table(
+        [combined_182, combined_222]
+    )
+
+    # Figure 21 -- end-to-end savings.
+    end_to_end = fig21_end_to_end.run_end_to_end_study(
+        n_servers=16 if quick else 48,
+        duration_days=1.5 if quick else 5.0,
+        seed=seed,
+    )
+    report.results["fig21_end_to_end"] = end_to_end
+    report.formatted["fig21_end_to_end"] = fig21_end_to_end.format_end_to_end_table(end_to_end)
+
+    # Finding 10 -- offlining speeds.
+    offline_study = offlining.run_offlining_study(
+        n_vm_cycles=150 if quick else 1000, seed=seed
+    )
+    report.results["offlining"] = offline_study
+    report.formatted["offlining"] = offlining.format_offlining_table(offline_study)
+
+    return report
+
+
+def main() -> None:  # pragma: no cover - convenience CLI
+    report = run_all_experiments(quick=True)
+    print(report.text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,49 @@
+"""Hypervisor and system-software layer (paper Section 4.2).
+
+This package models the host-side pieces of Pond:
+
+* :mod:`repro.hypervisor.vm` -- VM descriptors (cores, memory, metadata).
+* :mod:`repro.hypervisor.numa` -- NUMA and zero-core zNUMA virtual topologies,
+  including the SLIT-style distance matrix exposed to guests.
+* :mod:`repro.hypervisor.guest_os` -- a guest-OS memory allocator that
+  preferentially fills the local vNUMA node before spilling to zNUMA.
+* :mod:`repro.hypervisor.page_table` -- hypervisor (second-level) page tables
+  with access bits and periodic access-bit scanning.
+* :mod:`repro.hypervisor.telemetry` -- core-PMU / TMA counter samples and the
+  guest-committed-memory counter used to label untouched memory.
+* :mod:`repro.hypervisor.slices` -- 1 GB slice online/offline timing model.
+* :mod:`repro.hypervisor.host` -- a host hypervisor combining local DRAM,
+  pool slices, memory partitions, and running VMs.
+"""
+
+from repro.hypervisor.vm import VMInstance, VMRequest
+from repro.hypervisor.numa import NUMANode, VirtualNUMATopology, build_vm_topology
+from repro.hypervisor.guest_os import GuestMemoryAllocator, AccessProfile
+from repro.hypervisor.page_table import HypervisorPageTable, AccessBitScanner
+from repro.hypervisor.telemetry import (
+    TMACounters,
+    PMUSample,
+    VMTelemetry,
+    GuestCommittedCounter,
+)
+from repro.hypervisor.slices import SliceTransitionModel
+from repro.hypervisor.host import Host, MemoryPartition
+
+__all__ = [
+    "VMInstance",
+    "VMRequest",
+    "NUMANode",
+    "VirtualNUMATopology",
+    "build_vm_topology",
+    "GuestMemoryAllocator",
+    "AccessProfile",
+    "HypervisorPageTable",
+    "AccessBitScanner",
+    "TMACounters",
+    "PMUSample",
+    "VMTelemetry",
+    "GuestCommittedCounter",
+    "SliceTransitionModel",
+    "Host",
+    "MemoryPartition",
+]

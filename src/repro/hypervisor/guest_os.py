@@ -1,0 +1,152 @@
+"""Guest-OS memory allocation behaviour on (z)NUMA topologies.
+
+The zNUMA insight (paper Sections 4.2 and 6.2) is that an unmodified guest OS
+preferentially allocates from NUMA nodes that have CPUs before touching a
+CPU-less node.  If the local node is sized to the VM's actual working set,
+the zNUMA (pool) node stays effectively untouched -- the paper measures
+0.06-0.38 % of accesses landing on it, attributed mostly to per-node kernel
+metadata that Linux allocates on every node.
+
+:class:`GuestMemoryAllocator` models first-touch allocation over a
+:class:`~repro.hypervisor.numa.VirtualNUMATopology`, and
+:class:`AccessProfile` summarises where a workload's accesses land given its
+working-set size, which feeds the Figure 15/16 experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.hypervisor.numa import NUMANode, VirtualNUMATopology
+
+__all__ = ["GuestMemoryAllocator", "AccessProfile", "KERNEL_METADATA_FRACTION"]
+
+#: Fraction of a node's memory the guest kernel touches as per-node metadata
+#: (page structs, per-node slabs).  This is what produces the small residual
+#: zNUMA traffic the paper measures even with perfect predictions.
+KERNEL_METADATA_FRACTION = 0.002
+
+
+@dataclass
+class AccessProfile:
+    """Where a workload's memory accesses land, per NUMA node."""
+
+    allocated_gb: Dict[int, float] = field(default_factory=dict)
+    accesses: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def total_accesses(self) -> float:
+        return sum(self.accesses.values())
+
+    def traffic_fraction(self, node_id: int) -> float:
+        """Fraction of all accesses that hit ``node_id`` (0..1)."""
+        total = self.total_accesses
+        if total <= 0:
+            return 0.0
+        return self.accesses.get(node_id, 0.0) / total
+
+    def znuma_traffic_fraction(self, topology: VirtualNUMATopology) -> float:
+        return sum(self.traffic_fraction(n.node_id) for n in topology.znuma_nodes)
+
+
+class GuestMemoryAllocator:
+    """First-touch allocation over a virtual NUMA topology.
+
+    The allocator fills nodes in :meth:`VirtualNUMATopology.allocation_order`,
+    i.e. local nodes before zNUMA nodes, matching Linux's default policy for
+    CPU-less nodes.  Kernel metadata is pinned on every node up front.
+    """
+
+    def __init__(self, topology: VirtualNUMATopology,
+                 kernel_metadata_fraction: float = KERNEL_METADATA_FRACTION) -> None:
+        if not 0.0 <= kernel_metadata_fraction < 1.0:
+            raise ValueError("kernel_metadata_fraction must be in [0, 1)")
+        self.topology = topology
+        self.kernel_metadata_fraction = kernel_metadata_fraction
+        self._allocated: Dict[int, float] = {}
+        self._kernel: Dict[int, float] = {}
+        for node in topology.nodes:
+            kernel_gb = node.memory_gb * kernel_metadata_fraction
+            self._kernel[node.node_id] = kernel_gb
+            self._allocated[node.node_id] = kernel_gb
+
+    # -- allocation ---------------------------------------------------------------
+    def allocate(self, size_gb: float) -> Dict[int, float]:
+        """Allocate ``size_gb`` of guest memory, preferring local nodes.
+
+        Returns a mapping node_id -> GB taken from that node.  Raises
+        ``MemoryError`` if the topology cannot satisfy the request.
+        """
+        if size_gb < 0:
+            raise ValueError("allocation size cannot be negative")
+        remaining = size_gb
+        placement: Dict[int, float] = {}
+        for node in self.topology.allocation_order():
+            if remaining <= 1e-12:
+                break
+            free = self.free_gb(node.node_id)
+            take = min(free, remaining)
+            if take > 0:
+                placement[node.node_id] = placement.get(node.node_id, 0.0) + take
+                self._allocated[node.node_id] += take
+                remaining -= take
+        if remaining > 1e-9:
+            raise MemoryError(
+                f"guest out of memory: {remaining:.3f} GB could not be allocated"
+            )
+        return placement
+
+    def free(self, node_id: int, size_gb: float) -> None:
+        if size_gb < 0:
+            raise ValueError("free size cannot be negative")
+        current = self._allocated.get(node_id)
+        if current is None:
+            raise KeyError(f"unknown NUMA node {node_id}")
+        floor = self._kernel[node_id]
+        if current - size_gb < floor - 1e-9:
+            raise ValueError("cannot free below the kernel-metadata floor")
+        self._allocated[node_id] = max(floor, current - size_gb)
+
+    # -- accounting ---------------------------------------------------------------
+    def allocated_gb(self, node_id: int) -> float:
+        return self._allocated[node_id]
+
+    def free_gb(self, node_id: int) -> float:
+        node = self.topology.node(node_id)
+        return max(0.0, node.memory_gb - self._allocated[node_id])
+
+    def total_allocated_gb(self) -> float:
+        return sum(self._allocated.values())
+
+    def znuma_allocated_gb(self) -> float:
+        return sum(
+            self._allocated[n.node_id] - self._kernel[n.node_id]
+            for n in self.topology.znuma_nodes
+        )
+
+    # -- access modelling ------------------------------------------------------------
+    def run_workload(
+        self,
+        working_set_gb: float,
+        kernel_access_weight: float = 1.0,
+    ) -> AccessProfile:
+        """Allocate and "run" a workload with the given working set.
+
+        The access profile assumes accesses are uniform over the touched
+        working set, plus a small stream of kernel-metadata accesses to every
+        node weighted by ``kernel_access_weight`` -- this reproduces the tiny
+        but non-zero zNUMA traffic the paper measures (Figure 15).
+        """
+        placement = self.allocate(working_set_gb)
+        profile = AccessProfile()
+        for node_id, gb in placement.items():
+            profile.allocated_gb[node_id] = gb
+            profile.accesses[node_id] = gb
+        for node in self.topology.nodes:
+            kernel_gb = self._kernel[node.node_id] * kernel_access_weight
+            if kernel_gb > 0:
+                profile.accesses[node.node_id] = (
+                    profile.accesses.get(node.node_id, 0.0) + kernel_gb
+                )
+        return profile

@@ -1,0 +1,245 @@
+"""Host hypervisor model: local DRAM, pool slices, memory partitions, VMs.
+
+A :class:`Host` corresponds to one server (one or two CPU sockets) running
+Azure's hypervisor with Pond support:
+
+* Local DRAM is preallocated to VMs on the same NUMA node as their cores.
+* Pool memory arrives as 1 GB slices onlined by the Pool Manager; it lives in
+  a *hypervisor-only memory partition* so host agents and drivers cannot
+  fragment it (paper Section 4.2).
+* VMs are placed with a local/pool split decided by the control plane and see
+  the pool portion as a zNUMA node.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.hypervisor.vm import VMInstance, VMRequest
+from repro.hypervisor.numa import VirtualNUMATopology, build_vm_topology
+
+__all__ = ["Host", "MemoryPartition", "HostCapacityError"]
+
+
+class HostCapacityError(RuntimeError):
+    """Raised when a VM cannot be placed because a resource is exhausted."""
+
+
+@dataclass
+class MemoryPartition:
+    """A named partition of host memory with simple allocation accounting.
+
+    Pond uses a hypervisor-only partition for pool slices so that host agents
+    (which allocate from the host-local partition) cannot fragment the 1 GB
+    ranges that must later be offlined contiguously.
+    """
+
+    name: str
+    capacity_gb: float
+    allocated_gb: float = 0.0
+    hypervisor_only: bool = False
+
+    def __post_init__(self) -> None:
+        if self.capacity_gb < 0:
+            raise ValueError("capacity cannot be negative")
+        if self.allocated_gb < 0 or self.allocated_gb > self.capacity_gb + 1e-9:
+            raise ValueError("allocated memory out of range")
+
+    @property
+    def free_gb(self) -> float:
+        return max(0.0, self.capacity_gb - self.allocated_gb)
+
+    def allocate(self, size_gb: float) -> None:
+        if size_gb < 0:
+            raise ValueError("allocation cannot be negative")
+        if size_gb > self.free_gb + 1e-9:
+            raise HostCapacityError(
+                f"partition {self.name!r}: requested {size_gb:.1f} GB, free {self.free_gb:.1f} GB"
+            )
+        self.allocated_gb += size_gb
+
+    def release(self, size_gb: float) -> None:
+        if size_gb < 0:
+            raise ValueError("release cannot be negative")
+        if size_gb > self.allocated_gb + 1e-9:
+            raise ValueError("cannot release more than is allocated")
+        self.allocated_gb = max(0.0, self.allocated_gb - size_gb)
+
+    def grow(self, size_gb: float) -> None:
+        if size_gb < 0:
+            raise ValueError("growth cannot be negative")
+        self.capacity_gb += size_gb
+
+    def shrink(self, size_gb: float) -> None:
+        if size_gb < 0:
+            raise ValueError("shrink cannot be negative")
+        if self.capacity_gb - size_gb < self.allocated_gb - 1e-9:
+            raise HostCapacityError(
+                f"partition {self.name!r}: cannot shrink below allocated memory"
+            )
+        self.capacity_gb = max(0.0, self.capacity_gb - size_gb)
+
+
+class Host:
+    """One server: cores, local DRAM, an (initially empty) pool partition, VMs."""
+
+    def __init__(
+        self,
+        host_id: str,
+        total_cores: int,
+        local_memory_gb: float,
+        pool_latency_ns: Optional[float] = None,
+        host_reserved_gb: float = 0.0,
+    ) -> None:
+        if total_cores < 1:
+            raise ValueError("a host needs at least one core")
+        if local_memory_gb <= 0:
+            raise ValueError("a host needs local memory")
+        if not 0 <= host_reserved_gb < local_memory_gb:
+            raise ValueError("host reservation must be within local memory")
+        self.host_id = host_id
+        self.total_cores = total_cores
+        self.pool_latency_ns = pool_latency_ns
+        self.local_partition = MemoryPartition(
+            name="host-local", capacity_gb=local_memory_gb - host_reserved_gb
+        )
+        self.host_reserved = MemoryPartition(
+            name="host-reserved", capacity_gb=host_reserved_gb,
+            allocated_gb=host_reserved_gb,
+        )
+        self.pool_partition = MemoryPartition(
+            name="pool", capacity_gb=0.0, hypervisor_only=True
+        )
+        self.vms: Dict[str, VMInstance] = {}
+        self.used_cores = 0
+
+    # -- pool slice plumbing (driven by the Pool Manager) ----------------------
+    def online_pool_memory(self, size_gb: float) -> None:
+        """Add onlined pool slices to the hypervisor-only partition."""
+        self.pool_partition.grow(size_gb)
+
+    def offline_pool_memory(self, size_gb: float) -> None:
+        """Remove (offline) unallocated pool slices for return to the pool."""
+        self.pool_partition.shrink(size_gb)
+
+    # -- capacity queries ---------------------------------------------------------
+    @property
+    def free_cores(self) -> int:
+        return self.total_cores - self.used_cores
+
+    @property
+    def free_local_gb(self) -> float:
+        return self.local_partition.free_gb
+
+    @property
+    def free_pool_gb(self) -> float:
+        return self.pool_partition.free_gb
+
+    @property
+    def total_local_gb(self) -> float:
+        return self.local_partition.capacity_gb + self.host_reserved.capacity_gb
+
+    @property
+    def stranded_memory_gb(self) -> float:
+        """Local memory that cannot be rented because all cores are in use."""
+        if self.free_cores > 0:
+            return 0.0
+        return self.free_local_gb
+
+    def can_place(self, request: VMRequest, local_gb: float, pool_gb: float) -> bool:
+        if abs(local_gb + pool_gb - request.memory_gb) > 1e-6:
+            return False
+        return (
+            request.cores <= self.free_cores
+            and local_gb <= self.free_local_gb + 1e-9
+            and pool_gb <= self.free_pool_gb + 1e-9
+        )
+
+    # -- VM lifecycle -----------------------------------------------------------
+    def place_vm(
+        self,
+        request: VMRequest,
+        local_gb: float,
+        pool_gb: float,
+        start_time_s: float = 0.0,
+    ) -> VMInstance:
+        """Place a VM with the given local/pool split; raises if it does not fit."""
+        if local_gb < 0 or pool_gb < 0:
+            raise ValueError("memory split cannot be negative")
+        if not self.can_place(request, local_gb, pool_gb):
+            raise HostCapacityError(
+                f"host {self.host_id}: cannot place VM {request.vm_id} "
+                f"(cores {request.cores}/{self.free_cores}, local {local_gb:.1f}/"
+                f"{self.free_local_gb:.1f} GB, pool {pool_gb:.1f}/{self.free_pool_gb:.1f} GB)"
+            )
+        self.local_partition.allocate(local_gb)
+        self.pool_partition.allocate(pool_gb)
+        self.used_cores += request.cores
+        vm = VMInstance(
+            request=request,
+            host_id=self.host_id,
+            local_memory_gb=local_gb,
+            pool_memory_gb=pool_gb,
+            start_time_s=start_time_s,
+        )
+        self.vms[request.vm_id] = vm
+        return vm
+
+    def terminate_vm(self, vm_id: str, time_s: float) -> VMInstance:
+        """Terminate a VM and release its memory and cores.
+
+        Pool memory is released back into the host's pool partition as *free*
+        capacity; the Pool Manager asynchronously offlines it later.
+        """
+        vm = self.vms.pop(vm_id, None)
+        if vm is None:
+            raise KeyError(f"host {self.host_id} has no VM {vm_id!r}")
+        vm.terminate(time_s)
+        self.local_partition.release(vm.local_memory_gb)
+        self.pool_partition.release(vm.pool_memory_gb)
+        self.used_cores -= vm.request.cores
+        return vm
+
+    def mitigate_vm(self, vm_id: str) -> float:
+        """Move a VM entirely to local memory (QoS mitigation).
+
+        Returns the migration time in seconds; raises if there is not enough
+        free local memory for the one-time correction.
+        """
+        vm = self.vms.get(vm_id)
+        if vm is None:
+            raise KeyError(f"host {self.host_id} has no VM {vm_id!r}")
+        needed = vm.pool_memory_gb
+        if needed > self.free_local_gb + 1e-9:
+            raise HostCapacityError(
+                f"host {self.host_id}: not enough local memory to mitigate VM {vm_id}"
+            )
+        self.local_partition.allocate(needed)
+        self.pool_partition.release(needed)
+        return vm.migrate_to_local()
+
+    def vm_topology(self, vm_id: str) -> VirtualNUMATopology:
+        """Virtual NUMA topology (with zNUMA if applicable) for a placed VM."""
+        vm = self.vms.get(vm_id)
+        if vm is None:
+            raise KeyError(f"host {self.host_id} has no VM {vm_id!r}")
+        return build_vm_topology(
+            cores=vm.request.cores,
+            local_memory_gb=vm.local_memory_gb,
+            pool_memory_gb=vm.pool_memory_gb,
+            pool_latency_ns=self.pool_latency_ns,
+        )
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "total_cores": float(self.total_cores),
+            "used_cores": float(self.used_cores),
+            "local_gb": self.local_partition.capacity_gb,
+            "local_free_gb": self.free_local_gb,
+            "pool_gb": self.pool_partition.capacity_gb,
+            "pool_free_gb": self.free_pool_gb,
+            "stranded_gb": self.stranded_memory_gb,
+            "n_vms": float(len(self.vms)),
+        }

@@ -1,0 +1,168 @@
+"""NUMA and zNUMA virtual topologies exposed to guest VMs.
+
+Pond exposes pool memory to a guest as a *zero-core virtual NUMA node*
+(zNUMA): a NUMA node that has memory but no CPUs, exactly like Linux's
+CPU-less NUMA support.  The hypervisor builds the topology by adding a
+``node_memblk`` entry without a matching ``node_cpuid`` entry in the
+ACPI SRAT, and publishes the access latency ratio in the SLIT distance
+matrix so NUMA-aware guests know the zNUMA node is slower.
+
+This module models that topology: nodes with cores and memory, the distance
+matrix, and helpers the guest allocator uses to order allocation targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.cxl.latency import LOCAL_DRAM_LATENCY_NS
+
+__all__ = ["NUMANode", "VirtualNUMATopology", "build_vm_topology"]
+
+#: ACPI SLIT encodes the local-node distance as 10; remote distances scale
+#: proportionally to relative latency.
+SLIT_LOCAL_DISTANCE = 10
+
+
+@dataclass
+class NUMANode:
+    """One virtual NUMA node: a set of vCPUs plus a memory block."""
+
+    node_id: int
+    cores: int
+    memory_gb: float
+    latency_ns: float = LOCAL_DRAM_LATENCY_NS
+
+    def __post_init__(self) -> None:
+        if self.cores < 0:
+            raise ValueError("core count cannot be negative")
+        if self.memory_gb < 0:
+            raise ValueError("memory cannot be negative")
+        if self.latency_ns <= 0:
+            raise ValueError("latency must be positive")
+
+    @property
+    def is_znuma(self) -> bool:
+        """A zNUMA node has memory but zero cores."""
+        return self.cores == 0 and self.memory_gb > 0
+
+
+class VirtualNUMATopology:
+    """The NUMA topology a guest observes: nodes plus a SLIT distance matrix."""
+
+    def __init__(self, nodes: Sequence[NUMANode]) -> None:
+        if not nodes:
+            raise ValueError("a topology needs at least one node")
+        ids = [n.node_id for n in nodes]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate NUMA node ids")
+        if all(n.cores == 0 for n in nodes):
+            raise ValueError("at least one node must have CPUs")
+        self.nodes: List[NUMANode] = list(nodes)
+
+    # -- structure ---------------------------------------------------------------
+    @property
+    def total_memory_gb(self) -> float:
+        return sum(n.memory_gb for n in self.nodes)
+
+    @property
+    def total_cores(self) -> int:
+        return sum(n.cores for n in self.nodes)
+
+    @property
+    def local_nodes(self) -> List[NUMANode]:
+        return [n for n in self.nodes if not n.is_znuma]
+
+    @property
+    def znuma_nodes(self) -> List[NUMANode]:
+        return [n for n in self.nodes if n.is_znuma]
+
+    @property
+    def has_znuma(self) -> bool:
+        return len(self.znuma_nodes) > 0
+
+    @property
+    def znuma_memory_gb(self) -> float:
+        return sum(n.memory_gb for n in self.znuma_nodes)
+
+    def node(self, node_id: int) -> NUMANode:
+        for n in self.nodes:
+            if n.node_id == node_id:
+                return n
+        raise KeyError(f"no NUMA node with id {node_id}")
+
+    # -- SLIT distance matrix ------------------------------------------------------
+    def slit_matrix(self) -> np.ndarray:
+        """ACPI SLIT-style distance matrix derived from node latencies.
+
+        Entry (i, j) is the relative cost of node i's CPUs accessing node j's
+        memory, normalised so the local access is 10 (the ACPI convention).
+        Zero-core nodes reuse the minimum local latency as their "from" base
+        (they never issue accesses, but ACPI still requires a full matrix).
+        """
+        n = len(self.nodes)
+        base = min(node.latency_ns for node in self.local_nodes)
+        matrix = np.zeros((n, n), dtype=int)
+        for i, src in enumerate(self.nodes):
+            for j, dst in enumerate(self.nodes):
+                if i == j:
+                    matrix[i, j] = SLIT_LOCAL_DISTANCE
+                else:
+                    ratio = dst.latency_ns / base
+                    matrix[i, j] = max(
+                        SLIT_LOCAL_DISTANCE + 1, int(round(SLIT_LOCAL_DISTANCE * ratio))
+                    )
+        return matrix
+
+    def allocation_order(self) -> List[NUMANode]:
+        """Nodes in the order a NUMA-aware first-touch allocator prefers them.
+
+        Local (has-CPU) nodes come first ordered by latency, then zNUMA nodes
+        by latency -- which is exactly the bias Pond relies on to keep the
+        zNUMA node untouched when the local node is sized correctly.
+        """
+        local = sorted(self.local_nodes, key=lambda n: n.latency_ns)
+        znuma = sorted(self.znuma_nodes, key=lambda n: n.latency_ns)
+        return local + znuma
+
+    def describe(self) -> str:
+        """Human-readable summary resembling ``numactl --hardware`` output."""
+        lines = [f"available: {len(self.nodes)} nodes"]
+        for n in self.nodes:
+            kind = "zNUMA" if n.is_znuma else "local"
+            lines.append(
+                f"node {n.node_id} ({kind}): cpus={n.cores} mem={n.memory_gb:.1f}GB "
+                f"latency={n.latency_ns:.0f}ns"
+            )
+        return "\n".join(lines)
+
+
+def build_vm_topology(
+    cores: int,
+    local_memory_gb: float,
+    pool_memory_gb: float,
+    pool_latency_ns: Optional[float] = None,
+    local_latency_ns: float = LOCAL_DRAM_LATENCY_NS,
+) -> VirtualNUMATopology:
+    """Build the virtual topology Pond gives a VM.
+
+    All vCPUs and the local memory live on node 0; if any pool memory is
+    allocated, it is exposed as zNUMA node 1 with the pool's access latency.
+    """
+    if cores < 1:
+        raise ValueError("a VM needs at least one core")
+    if local_memory_gb < 0 or pool_memory_gb < 0:
+        raise ValueError("memory sizes cannot be negative")
+    if local_memory_gb + pool_memory_gb <= 0:
+        raise ValueError("the VM needs some memory")
+    nodes = [NUMANode(node_id=0, cores=cores, memory_gb=local_memory_gb,
+                      latency_ns=local_latency_ns)]
+    if pool_memory_gb > 0:
+        latency = pool_latency_ns if pool_latency_ns is not None else 2.0 * local_latency_ns
+        nodes.append(
+            NUMANode(node_id=1, cores=0, memory_gb=pool_memory_gb, latency_ns=latency)
+        )
+    return VirtualNUMATopology(nodes)

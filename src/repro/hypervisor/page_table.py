@@ -1,0 +1,177 @@
+"""Hypervisor (second-level) page tables with access bits.
+
+Pond labels untouched memory by scanning access bits in the hypervisor page
+tables: "We scan and reset access bits every 30 minutes, which takes 10s"
+(paper Section 5).  Because Pond only needs *untouched* pages, the bits do
+not need to be reset frequently -- a page whose bit has never been set since
+VM start is untouched.
+
+The model here tracks per-page access bits at a configurable page size and
+provides the scanner that produces the untouched-memory labels used to train
+the GBM model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["HypervisorPageTable", "AccessBitScanner", "ScanResult"]
+
+#: Default page granularity for access-bit tracking (2 MB large pages).
+DEFAULT_PAGE_MB = 2.0
+
+
+class HypervisorPageTable:
+    """Second-level address translation table for one VM.
+
+    Pages are indexed 0..n_pages-1 over the VM's guest-physical space; the
+    mapping of pages onto local vs pool memory follows the zNUMA split (local
+    pages first, pool pages after), matching how the hypervisor backs the
+    guest address space.
+    """
+
+    def __init__(self, vm_memory_gb: float, local_memory_gb: float,
+                 page_mb: float = DEFAULT_PAGE_MB) -> None:
+        if vm_memory_gb <= 0:
+            raise ValueError("VM memory must be positive")
+        if not 0 <= local_memory_gb <= vm_memory_gb + 1e-9:
+            raise ValueError("local memory must be within [0, vm_memory_gb]")
+        if page_mb <= 0:
+            raise ValueError("page size must be positive")
+        self.page_mb = page_mb
+        self.n_pages = max(1, int(round(vm_memory_gb * 1024 / page_mb)))
+        self.n_local_pages = min(
+            self.n_pages, int(round(local_memory_gb * 1024 / page_mb))
+        )
+        self._access_bits = np.zeros(self.n_pages, dtype=bool)
+        self._ever_accessed = np.zeros(self.n_pages, dtype=bool)
+
+    # -- page classification -----------------------------------------------------
+    def is_pool_page(self, page_index: int) -> bool:
+        self._check_page(page_index)
+        return page_index >= self.n_local_pages
+
+    @property
+    def vm_memory_gb(self) -> float:
+        return self.n_pages * self.page_mb / 1024.0
+
+    @property
+    def local_memory_gb(self) -> float:
+        return self.n_local_pages * self.page_mb / 1024.0
+
+    @property
+    def pool_memory_gb(self) -> float:
+        return (self.n_pages - self.n_local_pages) * self.page_mb / 1024.0
+
+    # -- access recording ---------------------------------------------------------
+    def touch(self, page_index: int) -> None:
+        """Record a guest access to a page (sets the access bit)."""
+        self._check_page(page_index)
+        self._access_bits[page_index] = True
+        self._ever_accessed[page_index] = True
+
+    def touch_range(self, start_page: int, n_pages: int) -> None:
+        if n_pages < 0:
+            raise ValueError("n_pages cannot be negative")
+        if n_pages == 0:
+            return
+        self._check_page(start_page)
+        end = start_page + n_pages
+        if end > self.n_pages:
+            raise IndexError("touch range exceeds the page table")
+        self._access_bits[start_page:end] = True
+        self._ever_accessed[start_page:end] = True
+
+    def touch_gb(self, touched_gb: float) -> None:
+        """Touch the first ``touched_gb`` of guest memory (first-touch order)."""
+        if touched_gb < 0:
+            raise ValueError("touched_gb cannot be negative")
+        pages = min(self.n_pages, int(round(touched_gb * 1024 / self.page_mb)))
+        if pages > 0:
+            self.touch_range(0, pages)
+
+    def _check_page(self, page_index: int) -> None:
+        if not 0 <= page_index < self.n_pages:
+            raise IndexError(f"page {page_index} out of range 0..{self.n_pages - 1}")
+
+    # -- queries ----------------------------------------------------------------
+    @property
+    def accessed_pages(self) -> int:
+        return int(self._access_bits.sum())
+
+    @property
+    def ever_accessed_pages(self) -> int:
+        return int(self._ever_accessed.sum())
+
+    @property
+    def untouched_pages(self) -> int:
+        return self.n_pages - self.ever_accessed_pages
+
+    @property
+    def untouched_gb(self) -> float:
+        return self.untouched_pages * self.page_mb / 1024.0
+
+    @property
+    def untouched_fraction(self) -> float:
+        return self.untouched_pages / self.n_pages
+
+    def reset_access_bits(self) -> None:
+        """Clear the (volatile) access bits; the ever-accessed record persists."""
+        self._access_bits[:] = False
+
+
+@dataclass
+class ScanResult:
+    """Outcome of one access-bit scan of a VM's page table."""
+
+    scan_time_s: float
+    accessed_pages: int
+    untouched_pages: int
+    untouched_gb: float
+    untouched_fraction: float
+
+
+class AccessBitScanner:
+    """Periodic access-bit scanner (default: every 30 minutes, 10 s per scan)."""
+
+    def __init__(self, interval_s: float = 1800.0, scan_duration_s: float = 10.0,
+                 reset_bits: bool = False) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval must be positive")
+        if scan_duration_s < 0:
+            raise ValueError("scan duration cannot be negative")
+        self.interval_s = interval_s
+        self.scan_duration_s = scan_duration_s
+        self.reset_bits = reset_bits
+        self.history: List[ScanResult] = []
+
+    def scan(self, table: HypervisorPageTable, now_s: float) -> ScanResult:
+        """Scan one page table and record the result."""
+        result = ScanResult(
+            scan_time_s=now_s,
+            accessed_pages=table.accessed_pages,
+            untouched_pages=table.untouched_pages,
+            untouched_gb=table.untouched_gb,
+            untouched_fraction=table.untouched_fraction,
+        )
+        if self.reset_bits:
+            table.reset_access_bits()
+        self.history.append(result)
+        return result
+
+    def minimum_untouched_fraction(self) -> Optional[float]:
+        """Label used for model training: the minimum untouched fraction seen.
+
+        The untouched-memory model is trained on "the minimum untouched memory
+        over each VM's lifetime" (paper Figure 14).
+        """
+        if not self.history:
+            return None
+        return min(r.untouched_fraction for r in self.history)
+
+    def overhead_fraction(self) -> float:
+        """Fraction of wall-clock time spent scanning (10 s / 30 min by default)."""
+        return self.scan_duration_s / self.interval_s

@@ -1,0 +1,170 @@
+"""Opaque-VM telemetry: core-PMU (TMA) counters and hypervisor memory counters.
+
+Pond requires two kinds of telemetry that work for opaque VMs (paper
+Sections 4.2 and 5):
+
+1. **Core-PMU counters**, summarised by the Top-down Microarchitecture
+   Analysis (TMA) method: backend-bound, memory-bound, store-bound and
+   DRAM-latency-bound pipeline-slot fractions, plus LLC misses-per-instruction,
+   memory bandwidth, and memory parallelism.  These are the features of the
+   latency-insensitivity model.  Sampling is cheap: once per second, ~1 ms.
+2. **Hypervisor memory counters**: the guest-committed-memory counter (an
+   overestimate of used memory, available for 98 % of VMs) and access-bit
+   scans from :mod:`repro.hypervisor.page_table`.
+
+:class:`VMTelemetry` aggregates per-VM samples exactly the way the production
+pipeline does before they are written to the central training database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, asdict
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "TMACounters",
+    "PMUSample",
+    "VMTelemetry",
+    "GuestCommittedCounter",
+    "TMA_FEATURE_NAMES",
+]
+
+#: Canonical feature order used by the latency-insensitivity model.
+TMA_FEATURE_NAMES = (
+    "backend_bound",
+    "memory_bound",
+    "store_bound",
+    "dram_latency_bound",
+    "llc_mpi",
+    "memory_bandwidth_gbps",
+    "memory_parallelism",
+)
+
+
+@dataclass(frozen=True)
+class TMACounters:
+    """One snapshot of the TMA pipeline-slot breakdown and memory counters.
+
+    Pipeline-slot fractions are in [0, 1]; ``llc_mpi`` is LLC misses per
+    thousand instructions; bandwidth is in GB/s; parallelism is the average
+    number of outstanding memory requests (MLP).
+    """
+
+    backend_bound: float
+    memory_bound: float
+    store_bound: float
+    dram_latency_bound: float
+    llc_mpi: float
+    memory_bandwidth_gbps: float
+    memory_parallelism: float
+
+    def __post_init__(self) -> None:
+        for name in ("backend_bound", "memory_bound", "store_bound", "dram_latency_bound"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.llc_mpi < 0 or self.memory_bandwidth_gbps < 0 or self.memory_parallelism < 0:
+            raise ValueError("counter values cannot be negative")
+        if self.memory_bound > self.backend_bound + 1e-9:
+            raise ValueError("memory_bound cannot exceed backend_bound")
+        if self.dram_latency_bound > self.memory_bound + 1e-9:
+            raise ValueError("dram_latency_bound cannot exceed memory_bound")
+
+    def as_vector(self) -> np.ndarray:
+        """Feature vector in :data:`TMA_FEATURE_NAMES` order."""
+        return np.array([getattr(self, name) for name in TMA_FEATURE_NAMES], dtype=float)
+
+    def as_dict(self) -> Dict[str, float]:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class PMUSample:
+    """A timestamped TMA snapshot attributed to one VM."""
+
+    vm_id: str
+    time_s: float
+    counters: TMACounters
+    sample_cost_ms: float = 1.0
+
+
+class VMTelemetry:
+    """Per-VM telemetry aggregation (means/percentiles of counter samples)."""
+
+    def __init__(self, vm_id: str, sample_interval_s: float = 1.0) -> None:
+        if sample_interval_s <= 0:
+            raise ValueError("sample interval must be positive")
+        self.vm_id = vm_id
+        self.sample_interval_s = sample_interval_s
+        self.samples: List[PMUSample] = []
+
+    def record(self, sample: PMUSample) -> None:
+        if sample.vm_id != self.vm_id:
+            raise ValueError(
+                f"sample belongs to {sample.vm_id!r}, telemetry tracks {self.vm_id!r}"
+            )
+        self.samples.append(sample)
+
+    def record_counters(self, time_s: float, counters: TMACounters) -> None:
+        self.record(PMUSample(vm_id=self.vm_id, time_s=time_s, counters=counters))
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.samples)
+
+    def feature_matrix(self) -> np.ndarray:
+        if not self.samples:
+            raise RuntimeError("no telemetry samples recorded")
+        return np.vstack([s.counters.as_vector() for s in self.samples])
+
+    def mean_features(self) -> np.ndarray:
+        """Mean of each TMA feature over the VM's samples."""
+        return self.feature_matrix().mean(axis=0)
+
+    def percentile_features(self, percentiles: Sequence[float] = (50, 90, 99)) -> np.ndarray:
+        """Concatenated per-feature percentiles, the richer model input."""
+        matrix = self.feature_matrix()
+        chunks = [np.percentile(matrix, p, axis=0) for p in percentiles]
+        return np.concatenate(chunks)
+
+    def overhead_fraction(self, sample_cost_ms: float = 1.0) -> float:
+        """Telemetry overhead: 1 ms per 1 s sample => 0.1 %."""
+        return (sample_cost_ms / 1000.0) / self.sample_interval_s
+
+
+class GuestCommittedCounter:
+    """Hypervisor counter tracking guest-committed memory over time.
+
+    Guest-committed memory overestimates the truly used memory, so it gives a
+    conservative (lower) bound on untouched memory; Pond combines it with
+    access-bit scans.  The counter is available for 98 % of VMs.
+    """
+
+    AVAILABILITY = 0.98
+
+    def __init__(self, vm_memory_gb: float) -> None:
+        if vm_memory_gb <= 0:
+            raise ValueError("VM memory must be positive")
+        self.vm_memory_gb = vm_memory_gb
+        self._history: List[tuple] = []  # (time_s, committed_gb)
+
+    def record(self, time_s: float, committed_gb: float) -> None:
+        if committed_gb < 0:
+            raise ValueError("committed memory cannot be negative")
+        committed_gb = min(committed_gb, self.vm_memory_gb)
+        self._history.append((time_s, committed_gb))
+
+    @property
+    def peak_committed_gb(self) -> float:
+        if not self._history:
+            return 0.0
+        return max(c for _, c in self._history)
+
+    def untouched_estimate_gb(self) -> float:
+        """Conservative untouched estimate: total minus peak committed."""
+        return max(0.0, self.vm_memory_gb - self.peak_committed_gb)
+
+    def untouched_estimate_fraction(self) -> float:
+        return self.untouched_estimate_gb() / self.vm_memory_gb

@@ -1,0 +1,150 @@
+"""VM request and VM instance descriptors.
+
+A :class:`VMRequest` captures what the cloud control plane knows *before*
+placement: core count, memory size, and the opaque-VM metadata Pond's
+untouched-memory model consumes (customer id, VM type, guest OS, region,
+workload name when available).  A :class:`VMInstance` is a placed VM with its
+local/pool memory split and lifetime bookkeeping.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["VMRequest", "VMInstance"]
+
+_vm_counter = itertools.count()
+
+
+@dataclass
+class VMRequest:
+    """An incoming VM allocation request with its scheduling-time metadata."""
+
+    vm_id: str
+    cores: int
+    memory_gb: float
+    customer_id: str = "anonymous"
+    vm_type: str = "general"
+    guest_os: str = "linux"
+    region: str = "region-0"
+    availability_zone: str = "az-0"
+    workload_name: Optional[str] = None
+    lifetime_hours: float = 1.0
+    arrival_time_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError("a VM needs at least one core")
+        if self.memory_gb <= 0:
+            raise ValueError("a VM needs positive memory")
+        if self.lifetime_hours <= 0:
+            raise ValueError("lifetime must be positive")
+
+    @classmethod
+    def create(cls, cores: int, memory_gb: float, **kwargs) -> "VMRequest":
+        """Create a request with an auto-generated id."""
+        return cls(vm_id=f"vm-{next(_vm_counter)}", cores=cores, memory_gb=memory_gb, **kwargs)
+
+    @property
+    def memory_per_core_gb(self) -> float:
+        return self.memory_gb / self.cores
+
+    def metadata(self) -> Dict[str, str]:
+        """Metadata dictionary used as features by the untouched-memory model."""
+        return {
+            "customer_id": self.customer_id,
+            "vm_type": self.vm_type,
+            "guest_os": self.guest_os,
+            "region": self.region,
+            "availability_zone": self.availability_zone,
+            "workload_name": self.workload_name or "",
+        }
+
+
+@dataclass
+class VMInstance:
+    """A running VM with its local/pool memory split.
+
+    ``pool_memory_gb`` is the zNUMA node size; ``local_memory_gb`` is what was
+    preallocated on the host's NUMA-local DRAM.  ``touched_memory_gb`` is
+    updated from telemetry over the VM's lifetime.
+    """
+
+    request: VMRequest
+    host_id: str
+    local_memory_gb: float
+    pool_memory_gb: float
+    start_time_s: float = 0.0
+    end_time_s: Optional[float] = None
+    touched_memory_gb: float = 0.0
+    mitigated: bool = False
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.local_memory_gb < 0 or self.pool_memory_gb < 0:
+            raise ValueError("memory allocations cannot be negative")
+        total = self.local_memory_gb + self.pool_memory_gb
+        if abs(total - self.request.memory_gb) > 1e-6:
+            raise ValueError(
+                f"local ({self.local_memory_gb}) + pool ({self.pool_memory_gb}) must equal "
+                f"the requested memory ({self.request.memory_gb})"
+            )
+
+    @property
+    def vm_id(self) -> str:
+        return self.request.vm_id
+
+    @property
+    def total_memory_gb(self) -> float:
+        return self.local_memory_gb + self.pool_memory_gb
+
+    @property
+    def pool_fraction(self) -> float:
+        """Fraction of the VM's memory placed on the pool (0..1)."""
+        return self.pool_memory_gb / self.total_memory_gb
+
+    @property
+    def untouched_memory_gb(self) -> float:
+        return max(0.0, self.total_memory_gb - self.touched_memory_gb)
+
+    @property
+    def spilled_gb(self) -> float:
+        """How much of the *touched* working set spilled onto the pool.
+
+        The guest OS fills local memory first, so spill only occurs once the
+        touched working set exceeds the local allocation.
+        """
+        return max(0.0, self.touched_memory_gb - self.local_memory_gb)
+
+    @property
+    def is_running(self) -> bool:
+        return self.end_time_s is None
+
+    def record_touch(self, touched_gb: float) -> None:
+        """Update the high-water mark of touched guest memory."""
+        if touched_gb < 0:
+            raise ValueError("touched memory cannot be negative")
+        self.touched_memory_gb = min(
+            self.total_memory_gb, max(self.touched_memory_gb, touched_gb)
+        )
+
+    def terminate(self, time_s: float) -> None:
+        if self.end_time_s is not None:
+            raise RuntimeError(f"VM {self.vm_id} already terminated")
+        if time_s < self.start_time_s:
+            raise ValueError("termination time precedes start time")
+        self.end_time_s = time_s
+
+    def migrate_to_local(self) -> float:
+        """One-time mitigation: move all pool memory to local DRAM.
+
+        Returns the migration time in seconds (the paper reports ~50 ms per GB
+        of pool memory copied while virtualization acceleration is disabled).
+        """
+        moved_gb = self.pool_memory_gb
+        self.local_memory_gb += moved_gb
+        self.pool_memory_gb = 0.0
+        self.mitigated = True
+        return 0.050 * moved_gb

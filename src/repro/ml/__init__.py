@@ -1,0 +1,55 @@
+"""From-scratch machine-learning substrate used by Pond's prediction models.
+
+The paper trains a scikit-learn ``RandomForest`` classifier (latency
+insensitivity) and a LightGBM gradient-boosted quantile regressor (untouched
+memory).  Neither library can be installed in this offline environment, so
+this package implements the required algorithms directly on top of numpy:
+
+* :mod:`repro.ml.tree` -- CART decision trees (classification and regression).
+* :mod:`repro.ml.forest` -- bootstrap-aggregated random forests.
+* :mod:`repro.ml.gbm` -- gradient boosting, including pinball (quantile) loss.
+* :mod:`repro.ml.metrics` -- the precision/recall-style trade-off metrics the
+  paper reports (false-positive-rate curves, overprediction-rate curves).
+* :mod:`repro.ml.model_selection` -- train/test splitting and k-fold CV.
+
+The implementations intentionally mirror the external APIs (``fit`` /
+``predict`` / ``predict_proba``) so that Pond's model wrappers in
+:mod:`repro.core.prediction` read exactly like the production code described
+in the paper (Section 5).
+"""
+
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
+from repro.ml.gbm import GradientBoostingRegressor, QuantileGradientBoostingRegressor
+from repro.ml.metrics import (
+    accuracy_score,
+    confusion_counts,
+    false_positive_rate,
+    mean_absolute_error,
+    mean_pinball_loss,
+    precision_recall_curve,
+    precision_score,
+    recall_score,
+    roc_auc_score,
+)
+from repro.ml.model_selection import KFold, train_test_split
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "RandomForestClassifier",
+    "RandomForestRegressor",
+    "GradientBoostingRegressor",
+    "QuantileGradientBoostingRegressor",
+    "accuracy_score",
+    "confusion_counts",
+    "false_positive_rate",
+    "mean_absolute_error",
+    "mean_pinball_loss",
+    "precision_recall_curve",
+    "precision_score",
+    "recall_score",
+    "roc_auc_score",
+    "KFold",
+    "train_test_split",
+]

@@ -1,0 +1,197 @@
+"""Metrics used to evaluate Pond's prediction models.
+
+The paper reports model quality through two custom trade-off curves rather
+than standard accuracy numbers:
+
+* Figure 17 sweeps the *fraction of workloads labelled latency-insensitive*
+  against the resulting *false-positive rate* (an insensitive label given to a
+  workload whose slowdown exceeds the PDM).
+* Figure 18 sweeps the *average untouched memory harvested* against the
+  *overprediction rate* (VMs whose actual usage exceeds the prediction).
+
+The helpers here compute both curves plus the standard metrics
+(precision/recall/AUC/pinball loss) used in unit tests and ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "accuracy_score",
+    "precision_score",
+    "recall_score",
+    "confusion_counts",
+    "false_positive_rate",
+    "precision_recall_curve",
+    "roc_auc_score",
+    "mean_absolute_error",
+    "mean_pinball_loss",
+    "insensitive_tradeoff_curve",
+    "overprediction_tradeoff_curve",
+]
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if len(y_true) == 0:
+        raise ValueError("empty input")
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_counts(y_true, y_pred) -> Tuple[int, int, int, int]:
+    """Return (tp, fp, tn, fn) for binary 0/1 labels."""
+    y_true = np.asarray(y_true).astype(bool)
+    y_pred = np.asarray(y_pred).astype(bool)
+    tp = int(np.sum(y_true & y_pred))
+    fp = int(np.sum(~y_true & y_pred))
+    tn = int(np.sum(~y_true & ~y_pred))
+    fn = int(np.sum(y_true & ~y_pred))
+    return tp, fp, tn, fn
+
+
+def precision_score(y_true, y_pred) -> float:
+    tp, fp, _, _ = confusion_counts(y_true, y_pred)
+    if tp + fp == 0:
+        return 0.0
+    return tp / (tp + fp)
+
+
+def recall_score(y_true, y_pred) -> float:
+    tp, _, _, fn = confusion_counts(y_true, y_pred)
+    if tp + fn == 0:
+        return 0.0
+    return tp / (tp + fn)
+
+
+def false_positive_rate(y_true, y_pred) -> float:
+    """Fraction of *predicted positives* that are actually negative.
+
+    Note this matches the paper's use of "false positives" in Figure 17:
+    among workloads the model marks insensitive, the share that in fact
+    exceed the PDM.  (It is 1 - precision, not the ROC-style FPR.)
+    """
+    tp, fp, _, _ = confusion_counts(y_true, y_pred)
+    if tp + fp == 0:
+        return 0.0
+    return fp / (tp + fp)
+
+
+def precision_recall_curve(y_true, scores):
+    """Return (precisions, recalls, thresholds) sweeping the score threshold."""
+    y_true = np.asarray(y_true).astype(bool)
+    scores = np.asarray(scores, dtype=float)
+    order = np.argsort(-scores, kind="mergesort")
+    y_sorted = y_true[order]
+    scores_sorted = scores[order]
+    tp = np.cumsum(y_sorted)
+    fp = np.cumsum(~y_sorted)
+    precisions = tp / np.maximum(tp + fp, 1)
+    total_pos = max(int(y_true.sum()), 1)
+    recalls = tp / total_pos
+    return precisions, recalls, scores_sorted
+
+
+def roc_auc_score(y_true, scores) -> float:
+    """Area under the ROC curve via the rank-sum (Mann-Whitney) formulation."""
+    y_true = np.asarray(y_true).astype(bool)
+    scores = np.asarray(scores, dtype=float)
+    n_pos = int(y_true.sum())
+    n_neg = int((~y_true).sum())
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("roc_auc_score requires both classes to be present")
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty(len(scores), dtype=float)
+    sorted_scores = scores[order]
+    # Average ranks for ties.
+    i = 0
+    while i < len(sorted_scores):
+        j = i
+        while j + 1 < len(sorted_scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[order[i : j + 1]] = (i + j) / 2.0 + 1.0
+        i = j + 1
+    rank_sum_pos = float(ranks[y_true].sum())
+    auc = (rank_sum_pos - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg)
+    return float(auc)
+
+
+def mean_absolute_error(y_true, y_pred) -> float:
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def mean_pinball_loss(y_true, y_pred, alpha: float = 0.5) -> float:
+    """Average pinball (quantile) loss at quantile ``alpha``."""
+    if not 0.0 < alpha < 1.0:
+        raise ValueError("alpha must be in (0, 1)")
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    diff = y_true - y_pred
+    return float(np.mean(np.where(diff >= 0, alpha * diff, (alpha - 1.0) * diff)))
+
+
+def insensitive_tradeoff_curve(scores, slowdowns, pdm_percent: float, n_points: int = 50):
+    """Figure-17-style curve: insensitive fraction vs false-positive rate.
+
+    Parameters
+    ----------
+    scores:
+        Model scores where *higher means more likely insensitive*.
+    slowdowns:
+        Measured slowdown (percent) of each workload when fully pool-backed.
+    pdm_percent:
+        The performance degradation margin; a workload is truly insensitive if
+        its slowdown is <= this margin.
+
+    Returns
+    -------
+    (fractions, fp_rates): arrays of the same length.  ``fractions[i]`` is the
+    share of workloads labelled insensitive when the threshold admits the top
+    scores; ``fp_rates[i]`` is the share of those labelled workloads whose
+    true slowdown exceeds the PDM.
+    """
+    scores = np.asarray(scores, dtype=float)
+    slowdowns = np.asarray(slowdowns, dtype=float)
+    if scores.shape != slowdowns.shape:
+        raise ValueError("scores and slowdowns must have the same shape")
+    n = len(scores)
+    if n == 0:
+        raise ValueError("empty input")
+    truly_sensitive = slowdowns > pdm_percent
+    order = np.argsort(-scores, kind="mergesort")
+    sensitive_sorted = truly_sensitive[order]
+    cum_fp = np.cumsum(sensitive_sorted)
+    counts = np.arange(1, n + 1)
+    fractions_all = counts / n
+    fp_all = cum_fp / counts
+    # Downsample to n_points evenly spaced cut-offs for plotting-style output.
+    idx = np.unique(np.linspace(0, n - 1, num=min(n_points, n)).astype(int))
+    return fractions_all[idx] * 100.0, fp_all[idx] * 100.0
+
+
+def overprediction_tradeoff_curve(predicted_untouched, actual_untouched, n_points: int = 50):
+    """Figure-18-style curve: average untouched memory vs overprediction rate.
+
+    Both inputs are fractions of each VM's memory (0..1).  The curve is swept
+    by scaling the predictions from 0 % to 100 % of their value; larger scales
+    harvest more memory but overpredict more VMs.
+    """
+    predicted = np.asarray(predicted_untouched, dtype=float)
+    actual = np.asarray(actual_untouched, dtype=float)
+    if predicted.shape != actual.shape:
+        raise ValueError("inputs must have the same shape")
+    if len(predicted) == 0:
+        raise ValueError("empty input")
+    scales = np.linspace(0.0, 1.5, n_points)
+    avg_untouched = np.empty(n_points)
+    op_rate = np.empty(n_points)
+    for i, s in enumerate(scales):
+        scaled = np.clip(predicted * s, 0.0, 1.0)
+        avg_untouched[i] = float(np.mean(scaled)) * 100.0
+        op_rate[i] = float(np.mean(scaled > actual + 1e-12)) * 100.0
+    return avg_untouched, op_rate

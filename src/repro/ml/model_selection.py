@@ -1,0 +1,91 @@
+"""Train/test splitting and k-fold cross-validation helpers.
+
+The paper evaluates the latency-insensitivity model with "a 100-fold
+validation based on randomly splitting into equal-sized training and testing
+datasets" (Section 6.4.1) and evaluates the untouched-memory model by
+training nightly and testing on the subsequent day (Section 6.4.2).  The
+utilities here support both protocols.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["train_test_split", "KFold", "repeated_random_split"]
+
+
+def train_test_split(*arrays, test_size: float = 0.5, random_state: Optional[int] = None):
+    """Randomly split any number of same-length arrays into train/test parts.
+
+    Returns the splits interleaved as ``a_train, a_test, b_train, b_test, ...``
+    mirroring the scikit-learn convention the paper's prototype uses.
+    """
+    if not arrays:
+        raise ValueError("at least one array is required")
+    if not 0.0 < test_size < 1.0:
+        raise ValueError("test_size must be in (0, 1)")
+    n = len(arrays[0])
+    for arr in arrays:
+        if len(arr) != n:
+            raise ValueError("all arrays must have the same length")
+    if n < 2:
+        raise ValueError("need at least two samples to split")
+    rng = np.random.default_rng(random_state)
+    perm = rng.permutation(n)
+    n_test = max(1, int(round(test_size * n)))
+    n_test = min(n_test, n - 1)
+    test_idx = perm[:n_test]
+    train_idx = perm[n_test:]
+    out = []
+    for arr in arrays:
+        arr = np.asarray(arr)
+        out.append(arr[train_idx])
+        out.append(arr[test_idx])
+    return tuple(out)
+
+
+class KFold:
+    """Deterministic k-fold splitter over ``n_samples`` row indices."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = True, random_state: Optional[int] = None):
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, n_samples: int) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        if n_samples < self.n_splits:
+            raise ValueError("n_samples must be >= n_splits")
+        indices = np.arange(n_samples)
+        if self.shuffle:
+            rng = np.random.default_rng(self.random_state)
+            indices = rng.permutation(n_samples)
+        folds = np.array_split(indices, self.n_splits)
+        for i in range(self.n_splits):
+            test_idx = folds[i]
+            train_idx = np.concatenate([folds[j] for j in range(self.n_splits) if j != i])
+            yield train_idx, test_idx
+
+
+def repeated_random_split(
+    n_samples: int,
+    n_repeats: int = 100,
+    test_size: float = 0.5,
+    random_state: Optional[int] = None,
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield ``n_repeats`` random (train, test) index pairs.
+
+    This is the "100-fold validation based on randomly splitting into
+    equal-sized training and testing datasets" protocol from Section 6.4.1.
+    """
+    if n_samples < 2:
+        raise ValueError("need at least two samples")
+    rng = np.random.default_rng(random_state)
+    n_test = max(1, int(round(test_size * n_samples)))
+    n_test = min(n_test, n_samples - 1)
+    for _ in range(n_repeats):
+        perm = rng.permutation(n_samples)
+        yield perm[n_test:], perm[:n_test]

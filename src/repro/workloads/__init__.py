@@ -1,0 +1,49 @@
+"""Workload substrate: the 158-workload study and its behavioural models.
+
+The paper characterises 158 cloud workloads (Redis, VoltDB, Spark, GAPBS,
+TPC-H, SPEC CPU 2017, PARSEC, SPLASH2x, and 13 proprietary Azure workloads)
+under emulated CXL latency.  The real measurements require the authors'
+two-socket testbed; this package synthesises an equivalent workload catalog
+whose *distributions* match the fractions the paper reports:
+
+* :mod:`repro.workloads.catalog` -- the 158 named workloads with latent
+  latency/bandwidth sensitivity, footprints, and class labels.
+* :mod:`repro.workloads.sensitivity` -- slowdown as a function of memory
+  latency and of how much of the working set spills onto the pool.
+* :mod:`repro.workloads.generator` -- synthesises core-PMU (TMA) counter
+  features that are *correlated but not identical* to the true sensitivity,
+  which is what makes the Figure 17 prediction problem non-trivial.
+* :mod:`repro.workloads.memory_behavior` -- untouched-memory behaviour of VM
+  populations (Section 3.2) used to train the untouched-memory model.
+"""
+
+from repro.workloads.catalog import (
+    Workload,
+    WorkloadCatalog,
+    WorkloadClass,
+    build_catalog,
+)
+from repro.workloads.sensitivity import (
+    LatencyScenario,
+    SCENARIO_182,
+    SCENARIO_222,
+    slowdown_under_latency,
+    slowdown_under_spill,
+)
+from repro.workloads.generator import PMUFeatureGenerator
+from repro.workloads.memory_behavior import UntouchedMemoryModel, VMMemoryBehavior
+
+__all__ = [
+    "Workload",
+    "WorkloadCatalog",
+    "WorkloadClass",
+    "build_catalog",
+    "LatencyScenario",
+    "SCENARIO_182",
+    "SCENARIO_222",
+    "slowdown_under_latency",
+    "slowdown_under_spill",
+    "PMUFeatureGenerator",
+    "UntouchedMemoryModel",
+    "VMMemoryBehavior",
+]

@@ -1,0 +1,181 @@
+"""Workload slowdown models under CXL latency and under zNUMA spill.
+
+Two behaviours are modelled, corresponding to the paper's two experiment
+families:
+
+1. **Full-pool slowdown** (Figures 4, 5): when a workload's entire memory is
+   pool-backed, its slowdown is driven by the latency ratio of pool vs local
+   DRAM plus a bandwidth term (the CXL x8 link offers ~3/8 of the local
+   socket's bandwidth on the evaluation machines).
+
+2. **Spill slowdown** (Figure 16): when untouched memory is overpredicted,
+   part of the *touched* working set lands on the zNUMA node.  Slowdown
+   appears as soon as any working set spills and grows towards the full-pool
+   slowdown as the spilled fraction approaches 1.
+
+Both are deterministic functions of the workload's latent parameters, with an
+optional run-to-run noise term to reproduce the small variation the paper
+observes between repetitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.cxl.latency import LOCAL_DRAM_LATENCY_NS
+from repro.workloads.catalog import Workload
+
+__all__ = [
+    "LatencyScenario",
+    "SCENARIO_182",
+    "SCENARIO_222",
+    "slowdown_under_latency",
+    "slowdown_under_spill",
+    "scenario_for_pool_size",
+]
+
+
+@dataclass(frozen=True)
+class LatencyScenario:
+    """An emulated CXL latency configuration (paper Section 6.1)."""
+
+    name: str
+    local_latency_ns: float
+    pool_latency_ns: float
+    local_bandwidth_gbps: float = 80.0
+    pool_bandwidth_gbps: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.local_latency_ns <= 0 or self.pool_latency_ns <= 0:
+            raise ValueError("latencies must be positive")
+        if self.pool_latency_ns < self.local_latency_ns:
+            raise ValueError("pool latency cannot be lower than local latency")
+        if self.local_bandwidth_gbps <= 0 or self.pool_bandwidth_gbps <= 0:
+            raise ValueError("bandwidths must be positive")
+
+    @property
+    def latency_ratio(self) -> float:
+        """Pool latency as a multiple of local latency (1.82, 2.22, ...)."""
+        return self.pool_latency_ns / self.local_latency_ns
+
+    @property
+    def latency_increase_percent(self) -> float:
+        """The paper's "182 %" / "222 %" style figure."""
+        return 100.0 * self.latency_ratio
+
+    @property
+    def excess_latency_ratio(self) -> float:
+        """(pool - local) / local; the driver of latency-bound slowdown."""
+        return self.latency_ratio - 1.0
+
+    @property
+    def bandwidth_penalty(self) -> float:
+        """Fractional bandwidth loss of the pool relative to local DRAM."""
+        return max(0.0, 1.0 - self.pool_bandwidth_gbps / self.local_bandwidth_gbps)
+
+
+#: The Intel evaluation configuration: 78 ns local, 142 ns remote (182 %).
+SCENARIO_182 = LatencyScenario(
+    name="intel-skylake-182",
+    local_latency_ns=78.0,
+    pool_latency_ns=142.0,
+    local_bandwidth_gbps=80.0,
+    pool_bandwidth_gbps=30.0,
+)
+
+#: The AMD evaluation configuration: 115 ns local, 255 ns remote (222 %).
+SCENARIO_222 = LatencyScenario(
+    name="amd-epyc-222",
+    local_latency_ns=115.0,
+    pool_latency_ns=255.0,
+    local_bandwidth_gbps=80.0,
+    pool_bandwidth_gbps=30.0,
+)
+
+#: Slowdown reduction for NUMA-aware workloads (the proprietary services
+#: include data-placement optimisations, paper Section 3.3).
+_NUMA_AWARE_RELIEF = 0.65
+
+
+def slowdown_under_latency(
+    workload: Workload,
+    scenario: LatencyScenario,
+    noise_rng: Optional[np.random.Generator] = None,
+    noise_std_percent: float = 0.4,
+) -> float:
+    """Percent slowdown of ``workload`` when fully backed by pool memory.
+
+    The model is ``latency_sensitivity * excess_latency + bandwidth_sensitivity
+    * bandwidth_penalty`` expressed in percent, with a NUMA-awareness relief
+    factor for the proprietary workloads and optional run-to-run noise.
+    """
+    latency_term = workload.latency_sensitivity * scenario.excess_latency_ratio
+    bandwidth_term = workload.bandwidth_sensitivity * scenario.bandwidth_penalty
+    slowdown = 100.0 * (latency_term + bandwidth_term)
+    if workload.numa_aware:
+        slowdown *= _NUMA_AWARE_RELIEF
+    if noise_rng is not None and noise_std_percent > 0:
+        slowdown += float(noise_rng.normal(0.0, noise_std_percent))
+    return max(0.0, slowdown)
+
+
+def slowdown_under_spill(
+    workload: Workload,
+    scenario: LatencyScenario,
+    spill_fraction: float,
+    noise_rng: Optional[np.random.Generator] = None,
+    noise_std_percent: float = 0.4,
+) -> float:
+    """Percent slowdown when ``spill_fraction`` of the working set is on zNUMA.
+
+    ``spill_fraction`` is the fraction of the *touched* working set that lands
+    on the pool (0 = correctly sized zNUMA, 1 = fully pool-backed).  The
+    fraction of memory accesses hitting the pool follows ``spill_fraction **
+    access_skew``; a skew below 1 produces the "immediate impact" shape of
+    Figure 16 (the spilled pages are accessed more than proportionally).
+    """
+    if not 0.0 <= spill_fraction <= 1.0:
+        raise ValueError("spill_fraction must be in [0, 1]")
+    if spill_fraction == 0.0:
+        base = 0.0
+    else:
+        access_fraction = spill_fraction ** workload.access_skew
+        base = slowdown_under_latency(workload, scenario) * access_fraction
+    if noise_rng is not None and noise_std_percent > 0:
+        base += abs(float(noise_rng.normal(0.0, noise_std_percent)))
+    return max(0.0, base)
+
+
+def scenario_for_pool_size(
+    pool_sockets: int,
+    local_latency_ns: float = LOCAL_DRAM_LATENCY_NS,
+    local_bandwidth_gbps: float = 80.0,
+    pool_bandwidth_gbps: float = 30.0,
+) -> LatencyScenario:
+    """Build a scenario whose pool latency comes from the CXL topology model."""
+    from repro.cxl.latency import pond_pool_latency_ns
+
+    pool_ns = pond_pool_latency_ns(pool_sockets) if pool_sockets > 1 else local_latency_ns
+    pool_ns = max(pool_ns, local_latency_ns)
+    return LatencyScenario(
+        name=f"pond-{pool_sockets}-sockets",
+        local_latency_ns=local_latency_ns,
+        pool_latency_ns=pool_ns,
+        local_bandwidth_gbps=local_bandwidth_gbps,
+        pool_bandwidth_gbps=pool_bandwidth_gbps,
+    )
+
+
+def slowdown_distribution(
+    workloads: Sequence[Workload],
+    scenario: LatencyScenario,
+    seed: Optional[int] = None,
+) -> np.ndarray:
+    """Slowdowns (percent) of a workload collection under ``scenario``."""
+    rng = np.random.default_rng(seed) if seed is not None else None
+    return np.array(
+        [slowdown_under_latency(w, scenario, noise_rng=rng) for w in workloads]
+    )

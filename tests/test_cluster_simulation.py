@@ -1,0 +1,219 @@
+"""Tests for the cluster scheduler, simulator, stranding analysis, and pooling."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.pool import PoolDimensioner, fixed_fraction_policy
+from repro.cluster.scheduler import PlacementError, VMScheduler
+from repro.cluster.server import ClusterServer, ServerConfig
+from repro.cluster.simulator import ClusterSimulator
+from repro.cluster.stranding import StrandingAnalyzer, stranding_vs_utilization
+from repro.cluster.trace import ClusterTrace, VMTraceRecord
+from repro.cluster.tracegen import TraceGenConfig, TraceGenerator
+
+
+def make_trace(n_vms=60, cores=4, memory_gb=16.0, lifetime_s=7200.0, spacing_s=60.0,
+               untouched=0.5):
+    records = [
+        VMTraceRecord(
+            vm_id=f"vm-{i}", cluster_id="test", arrival_s=i * spacing_s,
+            lifetime_s=lifetime_s, cores=cores, memory_gb=memory_gb,
+            untouched_fraction=untouched,
+        )
+        for i in range(n_vms)
+    ]
+    return ClusterTrace(records)
+
+
+class TestVMScheduler:
+    def make_servers(self, n=2):
+        return [ClusterServer(f"s{i}", ServerConfig()) for i in range(n)]
+
+    def test_best_fit_prefers_fuller_server(self):
+        servers = self.make_servers(2)
+        servers[0].place("warm", 20, 64.0, 0.0)
+        scheduler = VMScheduler(servers)
+        chosen = scheduler.select_server(4, 16.0, 0.0)
+        assert chosen.server_id == "s0"
+
+    def test_placement_error_when_nothing_fits(self):
+        servers = self.make_servers(1)
+        scheduler = VMScheduler(servers)
+        with pytest.raises(PlacementError):
+            scheduler.select_server(1000, 16.0, 0.0)
+
+    def test_pool_accounting_on_place_and_remove(self):
+        servers = self.make_servers(2)
+        pool_free = {0: 100.0}
+        groups = {s.server_id: 0 for s in servers}
+        scheduler = VMScheduler(servers, pool_free, groups)
+        server = scheduler.place("vm1", 4, 8.0, 32.0)
+        assert pool_free[0] == pytest.approx(68.0)
+        scheduler.remove("vm1", server)
+        assert pool_free[0] == pytest.approx(100.0)
+
+    def test_pool_capacity_limits_placement(self):
+        servers = self.make_servers(1)
+        scheduler = VMScheduler(servers, {0: 8.0}, {"s0": 0})
+        with pytest.raises(PlacementError):
+            scheduler.place("vm1", 4, 8.0, 32.0)
+
+    def test_pool_request_without_group_rejected(self):
+        servers = self.make_servers(1)
+        scheduler = VMScheduler(servers)
+        with pytest.raises(PlacementError):
+            scheduler.place("vm1", 2, 4.0, 4.0)
+        # The failed placement must not leak core/memory accounting.
+        assert servers[0].used_cores == 0
+
+    def test_empty_server_list_rejected(self):
+        with pytest.raises(ValueError):
+            VMScheduler([])
+
+
+class TestClusterSimulator:
+    def test_all_vms_placed_on_adequate_cluster(self):
+        trace = make_trace(n_vms=40)
+        sim = ClusterSimulator(n_servers=4, sample_interval_s=600.0)
+        result = sim.run(trace)
+        assert result.placed_vms == 40
+        assert result.rejected_vms == 0
+
+    def test_departures_release_capacity(self):
+        # VMs live 1 hour and arrive every 6 minutes: concurrency ~10 VMs.
+        trace = make_trace(n_vms=100, lifetime_s=3600.0, spacing_s=360.0)
+        sim = ClusterSimulator(n_servers=2, sample_interval_s=600.0)
+        result = sim.run(trace)
+        assert result.placed_vms == 100
+        running = result.sample_array("running_vms")
+        assert running.max() <= 15
+
+    def test_rejections_when_cluster_too_small(self):
+        trace = make_trace(n_vms=60, cores=16, spacing_s=1.0, lifetime_s=864000.0)
+        sim = ClusterSimulator(n_servers=1, sample_interval_s=3600.0)
+        result = sim.run(trace)
+        assert result.rejected_vms > 0
+
+    def test_stranding_reported_when_cores_exhausted(self):
+        # 24-core VMs with tiny memory: cores run out long before memory.
+        trace = make_trace(n_vms=8, cores=24, memory_gb=8.0, spacing_s=1.0,
+                           lifetime_s=86400.0)
+        sim = ClusterSimulator(n_servers=2, sample_interval_s=600.0)
+        result = sim.run(trace)
+        stranded = result.sample_array("stranded_percent")
+        assert stranded.max() > 50.0
+
+    def test_pool_policy_moves_memory_to_pool(self):
+        trace = make_trace(n_vms=30)
+        sim = ClusterSimulator(n_servers=4, pool_size_sockets=4,
+                               constrain_memory=False, sample_interval_s=600.0)
+        result = sim.run(trace, policy=fixed_fraction_policy(0.5))
+        assert result.average_pool_fraction == pytest.approx(0.5, abs=0.01)
+        assert result.required_pool_dram_gb > 0
+
+    def test_peak_accounting_consistency(self):
+        trace = make_trace(n_vms=30)
+        sim = ClusterSimulator(n_servers=4, constrain_memory=False,
+                               sample_interval_s=600.0)
+        result = sim.run(trace)
+        assert result.required_local_dram_gb <= result.uniform_required_local_dram_gb + 1e-6
+        assert result.uniform_required_local_dram_gb <= 4 * max(
+            result.server_peak_local_gb.values()
+        ) + 1e-6
+
+    def test_pool_size_must_align_with_sockets(self):
+        with pytest.raises(ValueError):
+            ClusterSimulator(n_servers=2, pool_size_sockets=3)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterSimulator(n_servers=0)
+        with pytest.raises(ValueError):
+            ClusterSimulator(n_servers=1, sample_interval_s=0.0)
+
+
+class TestStrandingAnalysis:
+    def run_cluster(self, utilization, seed=0):
+        cfg = TraceGenConfig(n_servers=6, duration_days=1.0,
+                             target_core_utilization=utilization, seed=seed)
+        trace = TraceGenerator(cfg).generate()
+        sim = ClusterSimulator(n_servers=6, sample_interval_s=3600.0)
+        return sim.run(trace)
+
+    def test_stranding_increases_with_utilization(self):
+        low = self.run_cluster(0.5, seed=1)
+        high = self.run_cluster(0.95, seed=1)
+        assert (high.sample_array("stranded_percent").mean()
+                >= low.sample_array("stranded_percent").mean())
+
+    def test_bucketed_curve_structure(self):
+        results = [self.run_cluster(u, seed=i) for i, u in enumerate((0.6, 0.8, 0.95))]
+        buckets = stranding_vs_utilization(results)
+        assert len(buckets) >= 1
+        for bucket in buckets:
+            assert bucket.p5_stranded_percent <= bucket.mean_stranded_percent
+            assert bucket.mean_stranded_percent <= bucket.p95_stranded_percent
+
+    def test_analyzer_percentiles_and_series(self):
+        result = self.run_cluster(0.9, seed=2)
+        analyzer = StrandingAnalyzer({"c0": result})
+        assert analyzer.fleet_percentile(95) >= analyzer.fleet_percentile(5)
+        days, series = analyzer.daily_average("c0")
+        assert len(days) == len(series)
+        with pytest.raises(KeyError):
+            analyzer.time_series("missing")
+
+    def test_analyzer_requires_results(self):
+        with pytest.raises(ValueError):
+            StrandingAnalyzer({})
+
+
+class TestPoolDimensioner:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        cfg = TraceGenConfig(n_servers=8, duration_days=1.0,
+                             target_core_utilization=0.85, seed=3)
+        return TraceGenerator(cfg).generate()
+
+    def test_pooling_reduces_required_dram(self, trace):
+        dimensioner = PoolDimensioner(n_servers=8)
+        savings = dimensioner.evaluate(trace, pool_size_sockets=8,
+                                       policy=fixed_fraction_policy(0.5))
+        assert savings.required_dram_percent < 100.0
+        assert savings.savings_percent > 0.0
+
+    def test_larger_pools_save_at_least_as_much(self, trace):
+        dimensioner = PoolDimensioner(n_servers=8)
+        sweep = dimensioner.sweep_pool_sizes(trace, [2, 8, 16],
+                                             fixed_fraction_policy(0.5))
+        required = [s.required_dram_percent for s in sweep]
+        assert required[0] >= required[1] >= required[2] - 1.0
+
+    def test_higher_pool_fraction_saves_more(self, trace):
+        dimensioner = PoolDimensioner(n_servers=8)
+        grid = dimensioner.sweep_fixed_fractions(trace, [16], [0.1, 0.5])
+        assert (grid[0.5][0].required_dram_percent
+                <= grid[0.1][0].required_dram_percent)
+
+    def test_pool_size_zero_degenerates_to_baseline(self, trace):
+        dimensioner = PoolDimensioner(n_servers=8)
+        savings = dimensioner.evaluate(trace, 0, fixed_fraction_policy(0.3))
+        assert savings.required_dram_percent == pytest.approx(100.0)
+        assert savings.required_pool_dram_gb == 0.0
+
+    def test_average_pool_fraction_reported(self, trace):
+        dimensioner = PoolDimensioner(n_servers=8)
+        savings = dimensioner.evaluate(trace, 8, fixed_fraction_policy(0.3))
+        assert savings.average_pool_fraction == pytest.approx(0.3, abs=0.02)
+
+    def test_capacity_search_mode_runs(self, trace):
+        dimensioner = PoolDimensioner(n_servers=8, search_steps=4)
+        savings = dimensioner.evaluate_capacity_search(
+            trace, 8, fixed_fraction_policy(0.3)
+        )
+        assert savings.required_total_dram_gb > 0
+        assert savings.baseline_dram_gb > 0
+
+    def test_fixed_fraction_policy_validation(self):
+        with pytest.raises(ValueError):
+            fixed_fraction_policy(1.5)

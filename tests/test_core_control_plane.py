@@ -1,0 +1,246 @@
+"""Tests for the Pool Manager, Pond scheduler, QoS monitor, and mitigation manager."""
+
+import pytest
+
+from repro.core.config import PondConfig
+from repro.core.control_plane.mitigation import MitigationManager
+from repro.core.control_plane.pool_manager import PoolManager, PoolManagerError
+from repro.core.control_plane.qos_monitor import QoSMonitor, QoSVerdict
+from repro.core.control_plane.scheduler import PondScheduler
+from repro.cxl.emc import EMCDevice
+from repro.hypervisor.host import Host, HostCapacityError
+from repro.hypervisor.slices import SliceTransitionModel
+from repro.hypervisor.vm import VMRequest
+
+
+def make_host(host_id="h1", cores=48, memory_gb=384.0):
+    return Host(host_id=host_id, total_cores=cores, local_memory_gb=memory_gb,
+                pool_latency_ns=180.0)
+
+
+def make_pool_manager(capacity_gb=128, n_hosts=2):
+    emc = EMCDevice("emc", capacity_gb=capacity_gb, n_ports=max(4, n_hosts))
+    manager = PoolManager(emc, transition_model=SliceTransitionModel(seed=0))
+    hosts = [make_host(f"h{i}") for i in range(n_hosts)]
+    for host in hosts:
+        manager.register_host(host)
+    return manager, hosts
+
+
+class TestPoolManager:
+    def test_add_and_release_capacity(self):
+        manager, hosts = make_pool_manager()
+        host = hosts[0]
+        manager.add_capacity(host.host_id, 16)
+        assert host.pool_partition.capacity_gb == pytest.approx(16.0)
+        assert manager.host_pool_gb(host.host_id) == 16
+        manager.release_capacity(host.host_id, 8)
+        assert host.pool_partition.capacity_gb == pytest.approx(8.0)
+        assert manager.unassigned_pool_gb == 128 - 8
+
+    def test_cannot_release_allocated_slices(self):
+        manager, hosts = make_pool_manager()
+        host = hosts[0]
+        manager.add_capacity(host.host_id, 8)
+        request = VMRequest.create(cores=4, memory_gb=16.0)
+        host.place_vm(request, local_gb=8.0, pool_gb=8.0)
+        with pytest.raises(PoolManagerError):
+            manager.release_capacity(host.host_id, 8)
+
+    def test_pool_exhaustion_raises(self):
+        manager, hosts = make_pool_manager(capacity_gb=8)
+        with pytest.raises(PoolManagerError):
+            manager.add_capacity(hosts[0].host_id, 16)
+
+    def test_asynchronous_release_queue(self):
+        manager, hosts = make_pool_manager()
+        host = hosts[0]
+        manager.add_capacity(host.host_id, 12)
+        manager.queue_release(host.host_id, 12, now_s=0.0)
+        assert manager.pending_release_slices == 12
+        manager.process_releases()
+        assert manager.pending_release_slices == 0
+        assert manager.unassigned_pool_gb == 128
+
+    def test_ensure_buffer_tops_up(self):
+        manager, hosts = make_pool_manager()
+        host = hosts[0]
+        added = manager.ensure_buffer(host.host_id, buffer_slices=8)
+        assert added == 8
+        assert manager.ensure_buffer(host.host_id, buffer_slices=8) == 0
+
+    def test_unknown_host_rejected(self):
+        manager, _ = make_pool_manager()
+        with pytest.raises(PoolManagerError):
+            manager.add_capacity("ghost", 1)
+
+    def test_unregister_returns_capacity(self):
+        manager, hosts = make_pool_manager()
+        manager.add_capacity(hosts[0].host_id, 10)
+        manager.unregister_host(hosts[0].host_id)
+        assert manager.unassigned_pool_gb == 128
+        with pytest.raises(PoolManagerError):
+            manager.unregister_host(hosts[0].host_id)
+
+    def test_duplicate_registration_rejected(self):
+        manager, hosts = make_pool_manager()
+        with pytest.raises(PoolManagerError):
+            manager.register_host(hosts[0])
+
+
+def always_insensitive(request):
+    return True
+
+
+def never_history(request):
+    return None
+
+
+def sensitive_with_history(request):
+    return False
+
+
+class TestPondScheduler:
+    def make_scheduler(self, insens, untouched_gb, config=None):
+        config = config or PondConfig()
+        manager, hosts = make_pool_manager(capacity_gb=256)
+        scheduler = PondScheduler(
+            config=config,
+            pool_manager=manager,
+            insensitivity_predictor=insens,
+            untouched_predictor=lambda request: untouched_gb,
+        )
+        return scheduler, manager, hosts
+
+    def test_insensitive_vm_fully_pool_backed(self):
+        scheduler, _, hosts = self.make_scheduler(always_insensitive, 0.0)
+        request = VMRequest.create(cores=4, memory_gb=32.0)
+        vm = scheduler.schedule(request, hosts[0])
+        assert vm.pool_memory_gb == pytest.approx(32.0)
+        assert vm.local_memory_gb == 0.0
+        decision = scheduler.decisions[request.vm_id]
+        assert decision.fully_pool_backed
+
+    def test_no_history_uses_untouched_prediction(self):
+        scheduler, _, hosts = self.make_scheduler(never_history, 10.6)
+        request = VMRequest.create(cores=4, memory_gb=32.0)
+        vm = scheduler.schedule(request, hosts[0])
+        # 10.6 GB rounds down to 10 GB of zNUMA.
+        assert vm.pool_memory_gb == pytest.approx(10.0)
+        assert vm.local_memory_gb == pytest.approx(22.0)
+
+    def test_sensitive_vm_with_zero_untouched_is_all_local(self):
+        scheduler, _, hosts = self.make_scheduler(sensitive_with_history, 0.0)
+        request = VMRequest.create(cores=4, memory_gb=32.0)
+        vm = scheduler.schedule(request, hosts[0])
+        assert vm.pool_memory_gb == 0.0
+
+    def test_untouched_prediction_capped_at_vm_memory(self):
+        scheduler, _, hosts = self.make_scheduler(never_history, 1000.0)
+        request = VMRequest.create(cores=2, memory_gb=8.0)
+        decision = scheduler.decide(request)
+        assert decision.pool_gb <= 8.0
+
+    def test_departure_queues_async_release(self):
+        config = PondConfig(pool_buffer_slices_per_host=0)
+        scheduler, manager, hosts = self.make_scheduler(always_insensitive, 0.0, config)
+        request = VMRequest.create(cores=4, memory_gb=32.0)
+        scheduler.schedule(request, hosts[0])
+        scheduler.handle_departure(hosts[0], request.vm_id, time_s=100.0)
+        assert manager.pending_release_slices > 0
+        manager.process_releases()
+        assert manager.unassigned_pool_gb == 256
+
+    def test_pool_exhaustion_surfaces_as_capacity_error(self):
+        manager, hosts = make_pool_manager(capacity_gb=4)
+        scheduler = PondScheduler(
+            config=PondConfig(pool_buffer_slices_per_host=0),
+            pool_manager=manager,
+            insensitivity_predictor=always_insensitive,
+            untouched_predictor=lambda request: 0.0,
+        )
+        request = VMRequest.create(cores=4, memory_gb=64.0)
+        with pytest.raises(HostCapacityError):
+            scheduler.schedule(request, hosts[0])
+
+
+class TestQoSMonitorAndMitigation:
+    def place_znuma_vm(self, local=16.0, pool=16.0):
+        manager, hosts = make_pool_manager(capacity_gb=64)
+        host = hosts[0]
+        manager.add_capacity(host.host_id, int(pool))
+        request = VMRequest.create(cores=4, memory_gb=local + pool)
+        vm = host.place_vm(request, local_gb=local, pool_gb=pool)
+        return host, vm
+
+    def test_ok_verdict_without_spill(self):
+        host, vm = self.place_znuma_vm()
+        vm.record_touch(10.0)
+        monitor = QoSMonitor(PondConfig(), slowdown_estimator=lambda v: 50.0)
+        decision = monitor.check_vm(vm)
+        assert decision.verdict is QoSVerdict.OK
+
+    def test_spill_within_pdm_is_tolerated(self):
+        host, vm = self.place_znuma_vm()
+        vm.record_touch(20.0)
+        monitor = QoSMonitor(PondConfig(pdm_percent=5.0), slowdown_estimator=lambda v: 2.0)
+        assert monitor.check_vm(vm).verdict is QoSVerdict.SPILL_TOLERATED
+
+    def test_spill_beyond_pdm_triggers_mitigation(self):
+        host, vm = self.place_znuma_vm()
+        vm.record_touch(24.0)
+        monitor = QoSMonitor(PondConfig(pdm_percent=5.0), slowdown_estimator=lambda v: 12.0)
+        decisions = monitor.check_all({vm.vm_id: vm})
+        assert len(decisions) == 1
+        assert decisions[0].verdict is QoSVerdict.MITIGATE
+        assert monitor.mitigation_rate_percent() > 0
+
+    def test_all_local_vm_never_flagged(self):
+        host = make_host()
+        request = VMRequest.create(cores=4, memory_gb=32.0)
+        vm = host.place_vm(request, local_gb=32.0, pool_gb=0.0)
+        vm.record_touch(32.0)
+        monitor = QoSMonitor(PondConfig(), slowdown_estimator=lambda v: 99.0)
+        assert monitor.check_vm(vm).verdict is QoSVerdict.OK
+
+    def test_mitigation_local_copy(self):
+        host, vm = self.place_znuma_vm()
+        vm.record_touch(30.0)
+        manager = MitigationManager()
+        record = manager.mitigate(host, vm.vm_id)
+        assert record.method == "local_copy"
+        assert record.moved_gb == pytest.approx(16.0)
+        assert vm.pool_memory_gb == 0.0
+        assert manager.n_mitigations == 1
+
+    def test_mitigation_falls_back_to_live_migration(self):
+        # Source host too small to absorb the pool memory locally.
+        manager_pool, hosts = make_pool_manager(capacity_gb=64)
+        small = Host(host_id="small", total_cores=8, local_memory_gb=16.0,
+                     pool_latency_ns=180.0)
+        manager_pool.register_host(small)
+        manager_pool.add_capacity("small", 16)
+        request = VMRequest.create(cores=4, memory_gb=32.0)
+        vm = small.place_vm(request, local_gb=16.0, pool_gb=16.0)
+        target = make_host("target")
+        manager = MitigationManager()
+        record = manager.mitigate(small, vm.vm_id, fallback_host=target)
+        assert record.method == "live_migration"
+        assert target.vms[vm.vm_id].local_memory_gb == pytest.approx(32.0)
+
+    def test_mitigation_failure_reported(self):
+        manager_pool, hosts = make_pool_manager(capacity_gb=64)
+        small = Host(host_id="small2", total_cores=8, local_memory_gb=16.0)
+        manager_pool.register_host(small)
+        manager_pool.add_capacity("small2", 16)
+        request = VMRequest.create(cores=4, memory_gb=32.0)
+        vm = small.place_vm(request, local_gb=16.0, pool_gb=16.0)
+        manager = MitigationManager()
+        record = manager.mitigate(small, vm.vm_id, fallback_host=None)
+        assert record.method == "failed"
+        assert manager.n_failures == 1
+
+    def test_unknown_vm_rejected(self):
+        host = make_host()
+        with pytest.raises(KeyError):
+            MitigationManager().mitigate(host, "ghost")

@@ -1,0 +1,117 @@
+"""Tests for the trace-level allocation policies used in the savings simulations."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.trace import VMTraceRecord
+from repro.core.policies import AllLocalPolicy, PondTracePolicy, StaticFractionPolicy
+from repro.core.prediction.combined import CombinedOperatingPoint
+
+
+def make_record(vm_id="vm-0", memory_gb=32.0, untouched=0.5):
+    return VMTraceRecord(
+        vm_id=vm_id, cluster_id="c", arrival_s=0.0, lifetime_s=3600.0,
+        cores=4, memory_gb=memory_gb, untouched_fraction=untouched,
+    )
+
+
+OPERATING_POINT = CombinedOperatingPoint(
+    fp_percent=2.0, op_percent=2.0, li_percent=30.0, um_percent=22.0
+)
+
+
+class TestAllLocalPolicy:
+    def test_always_returns_zero_pool(self):
+        policy = AllLocalPolicy()
+        for i in range(10):
+            assert policy(make_record(vm_id=f"v{i}")) == 0.0
+        assert policy.stats.n_vms == 10
+        assert policy.stats.pool_fraction_percent == 0.0
+        assert policy.stats.misprediction_percent == 0.0
+
+
+class TestStaticFractionPolicy:
+    def test_fixed_fraction_allocation(self):
+        policy = StaticFractionPolicy(fraction=0.15)
+        pool = policy(make_record(memory_gb=100.0))
+        assert pool == pytest.approx(15.0)
+        assert policy.stats.pool_fraction_percent == pytest.approx(15.0)
+
+    def test_mispredictions_only_when_pool_exceeds_untouched(self):
+        never_touch = StaticFractionPolicy(fraction=0.10, touch_violation_probability=1.0)
+        for i in range(50):
+            never_touch(make_record(vm_id=f"a{i}", untouched=0.5))
+        assert never_touch.stats.n_mispredictions == 0
+
+        always_touch = StaticFractionPolicy(fraction=0.60, touch_violation_probability=1.0)
+        for i in range(50):
+            always_touch(make_record(vm_id=f"b{i}", untouched=0.1))
+        assert always_touch.stats.n_mispredictions == 50
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StaticFractionPolicy(fraction=1.5)
+        with pytest.raises(ValueError):
+            StaticFractionPolicy(touch_violation_probability=-0.1)
+
+
+class TestPondTracePolicy:
+    def test_pool_share_between_znuma_and_full(self):
+        policy = PondTracePolicy(OPERATING_POINT, seed=1)
+        record = make_record(memory_gb=64.0, untouched=0.5)
+        pool = policy(record)
+        # Expected share: li*mem + (1-li)*znuma, znuma <= untouched-ish.
+        assert 0.0 <= pool <= record.memory_gb
+        assert pool >= OPERATING_POINT.li_percent / 100.0 * record.memory_gb - 1e-9
+
+    def test_deterministic_per_vm(self):
+        policy_a = PondTracePolicy(OPERATING_POINT, seed=3)
+        policy_b = PondTracePolicy(OPERATING_POINT, seed=3)
+        records = [make_record(vm_id=f"v{i}", untouched=0.4) for i in range(20)]
+        assert [policy_a(r) for r in records] == [policy_b(r) for r in records]
+
+    def test_allocation_independent_of_call_order(self):
+        records = [make_record(vm_id=f"v{i}", untouched=0.1 + 0.015 * i) for i in range(40)]
+        forward = {r.vm_id: PondTracePolicy(OPERATING_POINT, seed=3)(r) for r in records}
+        backward_policy = PondTracePolicy(OPERATING_POINT, seed=3)
+        backward = {r.vm_id: backward_policy(r) for r in reversed(records)}
+        assert forward == backward
+
+    def test_average_pool_fraction_bounded_by_operating_point_and_untouched(self):
+        policy = PondTracePolicy(OPERATING_POINT, seed=5)
+        rng = np.random.default_rng(0)
+        untouched_values = []
+        for i in range(400):
+            untouched = float(rng.uniform(0.2, 0.8))
+            untouched_values.append(untouched)
+            policy(make_record(vm_id=f"v{i}", memory_gb=32.0, untouched=untouched))
+        li = OPERATING_POINT.li_percent
+        # At least the fully-pool-backed share, at most LI plus the whole
+        # untouched share of the remaining VMs.
+        upper = li + (100.0 - li) * float(np.mean(untouched_values))
+        assert li - 2.0 <= policy.stats.pool_fraction_percent <= upper + 2.0
+
+    def test_misprediction_rate_stays_low(self):
+        policy = PondTracePolicy(OPERATING_POINT, seed=7)
+        rng = np.random.default_rng(1)
+        for i in range(500):
+            policy(make_record(vm_id=f"v{i}", untouched=float(rng.uniform(0.1, 0.9))))
+        assert policy.stats.misprediction_percent < 5.0
+
+    def test_higher_li_increases_pool_share(self):
+        low = CombinedOperatingPoint(1.0, 1.0, li_percent=10.0, um_percent=20.0)
+        high = CombinedOperatingPoint(1.0, 1.0, li_percent=50.0, um_percent=20.0)
+        records = [make_record(vm_id=f"v{i}", untouched=0.5) for i in range(100)]
+        low_policy = PondTracePolicy(low, seed=9)
+        high_policy = PondTracePolicy(high, seed=9)
+        low_total = sum(low_policy(r) for r in records)
+        high_total = sum(high_policy(r) for r in records)
+        assert high_total > low_total
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PondTracePolicy(OPERATING_POINT, prediction_quantile=0.0)
+        with pytest.raises(ValueError):
+            PondTracePolicy(OPERATING_POINT, slice_gb=0)
+        with pytest.raises(ValueError):
+            PondTracePolicy(OPERATING_POINT, overprediction_excess=-1.0)

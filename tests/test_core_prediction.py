@@ -1,0 +1,255 @@
+"""Tests for Pond's prediction models and the combined Eq.(1) optimiser."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PondConfig
+from repro.core.prediction.combined import CombinedModelOptimizer, CombinedOperatingPoint
+from repro.core.prediction.features import VMMetadataEncoder, telemetry_features
+from repro.core.prediction.latency_model import (
+    DramBoundHeuristic,
+    LatencyInsensitivityModel,
+    MemoryBoundHeuristic,
+)
+from repro.core.prediction.untouched_model import (
+    FixedFractionBaseline,
+    UntouchedMemoryPredictor,
+)
+from repro.hypervisor.telemetry import TMACounters, VMTelemetry
+from repro.workloads.catalog import build_catalog
+from repro.workloads.generator import PMUFeatureGenerator
+from repro.workloads.sensitivity import SCENARIO_182
+from repro.experiments.fig18_19_untouched import build_untouched_dataset
+
+
+@pytest.fixture(scope="module")
+def training_set():
+    catalog = build_catalog(seed=7)
+    generator = PMUFeatureGenerator(seed=31)
+    return generator.training_set(catalog, SCENARIO_182, samples_per_workload=2)
+
+
+@pytest.fixture(scope="module")
+def untouched_dataset():
+    return build_untouched_dataset(n_vms=600, seed=5)
+
+
+class TestPondConfig:
+    def test_defaults(self):
+        config = PondConfig()
+        assert config.pdm_percent == 5.0
+        assert config.tail_percentage == 98.0
+        assert config.error_budget_percent == pytest.approx(2.0)
+        assert config.scheduling_misprediction_target_percent == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PondConfig(pdm_percent=0.0)
+        with pytest.raises(ValueError):
+            PondConfig(tail_percentage=101.0)
+        with pytest.raises(ValueError):
+            PondConfig(pool_size_sockets=1)
+
+    def test_with_pdm_and_scenario_copies(self):
+        config = PondConfig()
+        assert config.with_pdm(1.0).pdm_percent == 1.0
+        from repro.workloads.sensitivity import SCENARIO_222
+        assert config.with_scenario(SCENARIO_222).scenario.name == SCENARIO_222.name
+
+
+class TestFeatureEncoding:
+    def test_metadata_encoder_roundtrip(self):
+        rows = [
+            {"memory_gb": 32, "cores": 8, "vm_family": "general", "guest_os": "linux",
+             "region": "r0", "history_percentiles": [0.1, 0.2, 0.3, 0.4, 0.5]},
+            {"memory_gb": 64, "cores": 16, "vm_family": "memory_optimized",
+             "guest_os": "windows", "region": "r1",
+             "history_percentiles": [0.3, 0.4, 0.5, 0.6, 0.7]},
+        ]
+        encoder = VMMetadataEncoder().fit(rows)
+        matrix = encoder.encode(rows)
+        assert matrix.shape == (2, encoder.n_features)
+        assert len(encoder.feature_names) == encoder.n_features
+
+    def test_unknown_category_maps_to_negative(self):
+        rows = [{"memory_gb": 8, "cores": 2, "vm_family": "general", "guest_os": "linux",
+                 "region": "r0", "history_percentiles": [0.5] * 5}]
+        encoder = VMMetadataEncoder().fit(rows)
+        unseen = dict(rows[0], vm_family="exotic")
+        encoded = encoder.encode_row(unseen)
+        family_index = encoder.feature_names.index("vm_family")
+        assert encoded[family_index] == -1
+
+    def test_missing_history_padded(self):
+        rows = [{"memory_gb": 8, "cores": 2, "vm_family": "general", "guest_os": "linux",
+                 "region": "r0", "history_percentiles": [0.5]}]
+        encoder = VMMetadataEncoder().fit(rows)
+        encoded = encoder.encode_row(rows[0])
+        assert len(encoded) == encoder.n_features
+
+    def test_encoder_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            VMMetadataEncoder().encode_row({"memory_gb": 8})
+        with pytest.raises(ValueError):
+            VMMetadataEncoder().fit([])
+
+    def test_telemetry_features_shape(self):
+        telem = VMTelemetry("vm-1")
+        counters = TMACounters(backend_bound=0.5, memory_bound=0.3, store_bound=0.1,
+                               dram_latency_bound=0.2, llc_mpi=3.0,
+                               memory_bandwidth_gbps=10.0, memory_parallelism=2.0)
+        for i in range(5):
+            telem.record_counters(float(i), counters)
+        assert telemetry_features(telem, percentiles=(50, 90)).shape == (14,)
+
+
+class TestLatencyInsensitivityModel:
+    def test_training_and_scores_in_unit_interval(self, training_set):
+        model = LatencyInsensitivityModel(pdm_percent=5.0, n_estimators=20, random_state=0)
+        model.fit(training_set.features, training_set.slowdowns)
+        scores = model.insensitivity_score(training_set.features)
+        assert np.all((scores >= 0.0) & (scores <= 1.0))
+
+    def test_model_beats_memory_bound_heuristic(self, training_set):
+        model = LatencyInsensitivityModel(pdm_percent=5.0, n_estimators=30, random_state=0)
+        model.fit(training_set.features, training_set.slowdowns)
+        rf_curve = model.tradeoff_curve(training_set.features, training_set.slowdowns)
+        mb_curve = MemoryBoundHeuristic(pdm_percent=5.0).tradeoff_curve(
+            training_set.features, training_set.slowdowns
+        )
+        assert rf_curve.max_insensitive_at_fp(2.0) > mb_curve.max_insensitive_at_fp(2.0)
+
+    def test_model_at_least_matches_dram_bound(self, training_set):
+        model = LatencyInsensitivityModel(pdm_percent=5.0, n_estimators=30, random_state=0)
+        model.fit(training_set.features, training_set.slowdowns)
+        rf = model.tradeoff_curve(training_set.features, training_set.slowdowns)
+        dram = DramBoundHeuristic(pdm_percent=5.0).tradeoff_curve(
+            training_set.features, training_set.slowdowns
+        )
+        assert rf.max_insensitive_at_fp(2.0) >= dram.max_insensitive_at_fp(2.0) - 3.0
+
+    def test_calibrated_threshold_respects_fp_target(self, training_set):
+        model = LatencyInsensitivityModel(pdm_percent=5.0, n_estimators=30, random_state=1)
+        model.fit(training_set.features, training_set.slowdowns)
+        model.calibrate_threshold(training_set.features, training_set.slowdowns,
+                                  fp_target_percent=2.0)
+        predictions = model.predict_insensitive(training_set.features)
+        labelled = predictions == 1
+        if labelled.any():
+            fp_rate = float(np.mean(training_set.slowdowns[labelled] > 5.0)) * 100.0
+            assert fp_rate <= 2.0 + 1e-6
+
+    def test_requires_both_classes(self):
+        X = np.random.default_rng(0).uniform(size=(20, 7))
+        with pytest.raises(ValueError):
+            LatencyInsensitivityModel(pdm_percent=5.0).fit(X, np.full(20, 50.0))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LatencyInsensitivityModel().insensitivity_score(np.zeros((1, 7)))
+
+    def test_heuristic_prediction_threshold(self, training_set):
+        heuristic = DramBoundHeuristic(pdm_percent=5.0)
+        predictions = heuristic.predict_insensitive(training_set.features, threshold=0.05)
+        assert set(np.unique(predictions)) <= {0, 1}
+
+
+class TestUntouchedMemoryPredictor:
+    def test_overprediction_rate_near_target_quantile(self, untouched_dataset):
+        train, test = untouched_dataset.split(test_size=0.5, seed=1)
+        predictor = UntouchedMemoryPredictor(quantile=0.05, n_estimators=40, random_state=1)
+        predictor.fit(train.metadata_rows, train.untouched_fractions)
+        op = predictor.overprediction_rate(test.metadata_rows, test.untouched_fractions)
+        assert op <= 20.0
+
+    def test_beats_fixed_fraction_baseline(self, untouched_dataset):
+        train, test = untouched_dataset.split(test_size=0.5, seed=2)
+        predictor = UntouchedMemoryPredictor(quantile=0.03, n_estimators=40, random_state=2)
+        predictor.fit(train.metadata_rows, train.untouched_fractions)
+        harvest = predictor.average_untouched_percent(test.metadata_rows)
+        op = predictor.overprediction_rate(test.metadata_rows, test.untouched_fractions)
+        baseline = FixedFractionBaseline(fraction=harvest / 100.0)
+        baseline_op = baseline.overprediction_rate(test.metadata_rows, test.untouched_fractions)
+        assert op < baseline_op
+
+    def test_znuma_prediction_is_gb_aligned_and_bounded(self, untouched_dataset):
+        train, _ = untouched_dataset.split(test_size=0.3, seed=3)
+        predictor = UntouchedMemoryPredictor(quantile=0.05, n_estimators=20, random_state=3)
+        predictor.fit(train.metadata_rows, train.untouched_fractions)
+        row = train.metadata_rows[0]
+        znuma = predictor.predict_znuma_gb(row, memory_gb=32.0, slice_gb=1)
+        assert znuma == int(znuma)
+        assert 0.0 <= znuma <= 32.0
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            UntouchedMemoryPredictor().predict_fraction([{}])
+
+    def test_label_validation(self):
+        rows = [{"memory_gb": 8, "cores": 2, "vm_family": "general", "guest_os": "linux",
+                 "region": "r0", "history_percentiles": [0.5] * 5}]
+        with pytest.raises(ValueError):
+            UntouchedMemoryPredictor().fit(rows, [1.5])
+        with pytest.raises(ValueError):
+            UntouchedMemoryPredictor().fit([], [])
+
+    def test_fixed_baseline_tradeoff_curve_monotone(self, untouched_dataset):
+        baseline = FixedFractionBaseline(fraction=0.15)
+        avg, op = baseline.tradeoff_curve(untouched_dataset.metadata_rows,
+                                          untouched_dataset.untouched_fractions)
+        assert np.all(np.diff(avg) >= 0)
+        assert np.all(np.diff(op) >= -1e-9)
+
+
+class TestCombinedModel:
+    def li_curve(self, fp):
+        # More FP budget lets more workloads be labelled insensitive, saturating at 40%.
+        return min(40.0, 10.0 + 10.0 * fp)
+
+    def um_curve(self, op):
+        return min(30.0, 5.0 + 8.0 * op)
+
+    def test_operating_point_derived_quantities(self):
+        point = CombinedOperatingPoint(fp_percent=1.0, op_percent=1.0,
+                                       li_percent=30.0, um_percent=20.0)
+        assert point.objective == pytest.approx(50.0)
+        assert point.pool_dram_percent == pytest.approx(100 * (0.3 + 0.7 * 0.2))
+        assert point.scheduling_misprediction_percent == pytest.approx(
+            100 * (0.3 * 0.01 + 0.01 * 0.25)
+        )
+
+    def test_solver_respects_budget(self):
+        optimizer = CombinedModelOptimizer(self.li_curve, self.um_curve)
+        point = optimizer.solve(error_budget_percent=2.0)
+        assert point.fp_percent + point.op_percent <= 2.0 + 1e-9
+        assert point.objective >= self.li_curve(2.0) + self.um_curve(0.0) - 1e-9 or \
+            point.objective >= self.li_curve(0.0) + self.um_curve(2.0) - 1e-9
+
+    def test_sweep_monotone_pool_dram(self):
+        optimizer = CombinedModelOptimizer(self.li_curve, self.um_curve)
+        pool, mispred = optimizer.sweep([0.0, 1.0, 2.0, 4.0])
+        assert np.all(np.diff(pool) >= -1e-9)
+        assert len(mispred) == 4
+
+    def test_zero_budget_gives_zero_mispredictions(self):
+        optimizer = CombinedModelOptimizer(self.li_curve, self.um_curve)
+        point = optimizer.solve(0.0)
+        assert point.fp_percent == 0.0
+        assert point.op_percent == 0.0
+        assert point.scheduling_misprediction_percent == 0.0
+
+    def test_curve_from_points_monotone_envelope(self):
+        curve = CombinedModelOptimizer.curve_from_points([0, 1, 2, 3], [5, 4, 10, 8])
+        assert curve(0.5) == 5
+        assert curve(2.5) == 10
+        assert curve(-1.0) == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            CombinedModelOptimizer(self.li_curve, self.um_curve,
+                                   op_violation_probability=1.5)
+        optimizer = CombinedModelOptimizer(self.li_curve, self.um_curve)
+        with pytest.raises(ValueError):
+            optimizer.solve(-1.0)
+        with pytest.raises(ValueError):
+            CombinedModelOptimizer.curve_from_points([], [])

@@ -1,0 +1,256 @@
+"""Unit tests for the CXL hardware layer: latency, HDM, EMC, topology."""
+
+import pytest
+
+from repro.cxl.emc import EMCDevice, EMCError, SlicePermissionError
+from repro.cxl.hdm import GB, AddressRange, HDMDecoder
+from repro.cxl.latency import (
+    LOCAL_DRAM_LATENCY_NS,
+    LatencyComponents,
+    LatencyModel,
+    pond_pool_latency_ns,
+    switch_only_latency_ns,
+)
+from repro.cxl.topology import PoolTopology, TopologyKind, build_topology
+
+
+class TestLatencyModel:
+    def test_local_dram_is_85ns(self):
+        assert LatencyModel().local_dram().total_ns == pytest.approx(85.0)
+        assert LOCAL_DRAM_LATENCY_NS == pytest.approx(85.0)
+
+    def test_paper_pool_latencies(self):
+        model = LatencyModel()
+        assert model.pond_pool(8).total_ns == pytest.approx(155.0)
+        assert model.pond_pool(16).total_ns == pytest.approx(180.0)
+        assert model.pond_pool(32).total_ns >= 270.0
+        assert model.pond_pool(64).total_ns >= 270.0
+
+    def test_paper_percentage_increases(self):
+        model = LatencyModel()
+        assert model.pond_pool(8).percent_of_local() == pytest.approx(182.4, abs=1.0)
+        assert model.pond_pool(16).percent_of_local() == pytest.approx(211.8, abs=1.0)
+
+    def test_small_pools_add_70_to_90ns(self):
+        for sockets in (8, 16):
+            extra = pond_pool_latency_ns(sockets) - LOCAL_DRAM_LATENCY_NS
+            assert 70.0 <= extra <= 95.0
+
+    def test_pond_beats_switch_only_by_about_a_third(self):
+        pond = pond_pool_latency_ns(16)
+        switch = switch_only_latency_ns(16)
+        assert (switch - pond) / switch == pytest.approx(1 / 3, abs=0.06)
+
+    def test_latency_monotone_in_pool_size(self):
+        model = LatencyModel()
+        values = [model.pond_pool(s).total_ns for s in (2, 8, 16, 32, 64)]
+        assert values == sorted(values)
+
+    def test_switch_only_never_faster_than_pond(self):
+        for sockets in (2, 8, 16, 32, 64):
+            assert switch_only_latency_ns(sockets) >= pond_pool_latency_ns(sockets)
+
+    def test_breakdown_dict_sums_to_total(self):
+        breakdown = LatencyModel().pond_pool(16)
+        assert sum(breakdown.as_dict().values()) == pytest.approx(breakdown.total_ns)
+
+    def test_latency_vs_pool_size_includes_local_entry(self):
+        table = LatencyModel().latency_vs_pool_size((1, 8))
+        assert table[1]["pond_ns"] == pytest.approx(85.0)
+        assert table[8]["pond_ns"] == pytest.approx(155.0)
+
+    def test_invalid_pool_size_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel().pond_pool(0)
+
+    def test_custom_components_propagate(self):
+        slow_port = LatencyComponents(cxl_port_ns=50.0)
+        assert LatencyModel(slow_port).pond_pool(8).total_ns > 155.0
+
+
+class TestAddressRangeAndHDM:
+    def test_address_range_basic(self):
+        r = AddressRange(base=0, size=GB)
+        assert r.contains(0)
+        assert not r.contains(GB)
+        assert r.size_gb == pytest.approx(1.0)
+
+    def test_address_range_overlap(self):
+        a = AddressRange(0, 2 * GB)
+        b = AddressRange(GB, 2 * GB)
+        c = AddressRange(2 * GB, GB)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_address_range_validation(self):
+        with pytest.raises(ValueError):
+            AddressRange(-1, GB)
+        with pytest.raises(ValueError):
+            AddressRange(0, 0)
+
+    def test_hdm_slice_addressing_roundtrip(self):
+        decoder = HDMDecoder(pool_base=16 * GB, capacity_gb=8)
+        for index in range(8):
+            r = decoder.slice_range(index)
+            assert decoder.slice_of_address(r.base) == index
+            assert decoder.slice_of_address(r.end - 1) == index
+        assert decoder.slice_of_address(0) is None
+
+    def test_hdm_online_offline_accounting(self):
+        decoder = HDMDecoder(pool_base=0, capacity_gb=4)
+        assert decoder.online_capacity_gb == 0
+        decoder.online(0)
+        decoder.online(3)
+        assert decoder.online_capacity_gb == 2
+        assert decoder.online_slices() == [0, 3]
+        decoder.offline(0)
+        assert decoder.online_capacity_gb == 1
+        assert decoder.summary()["offline_gb"] == 3
+
+    def test_hdm_validation(self):
+        with pytest.raises(ValueError):
+            HDMDecoder(0, capacity_gb=0)
+        with pytest.raises(ValueError):
+            HDMDecoder(0, capacity_gb=5, slice_gb=2)
+        decoder = HDMDecoder(0, capacity_gb=2)
+        with pytest.raises(IndexError):
+            decoder.online(5)
+
+
+class TestEMCDevice:
+    def make_emc(self):
+        return EMCDevice("emc-0", capacity_gb=16, n_ports=4)
+
+    def test_attach_and_assign(self):
+        emc = self.make_emc()
+        port = emc.attach_host("h1")
+        assert port == 0
+        s = emc.assign_slice("h1")
+        assert emc.owner_of(s) == "h1"
+        assert emc.slices_of("h1") == [s]
+        assert emc.free_gb == 15
+
+    def test_double_attach_rejected(self):
+        emc = self.make_emc()
+        emc.attach_host("h1")
+        with pytest.raises(EMCError):
+            emc.attach_host("h1")
+
+    def test_port_exhaustion(self):
+        emc = self.make_emc()
+        for i in range(4):
+            emc.attach_host(f"h{i}")
+        with pytest.raises(EMCError):
+            emc.attach_host("h99")
+
+    def test_slice_assignment_is_exclusive(self):
+        emc = self.make_emc()
+        emc.attach_host("h1")
+        emc.attach_host("h2")
+        s = emc.assign_slice("h1", slice_index=3)
+        with pytest.raises(EMCError):
+            emc.assign_slice("h2", slice_index=3)
+        emc.release_slice("h1", s)
+        assert emc.owner_of(s) is None
+        emc.assign_slice("h2", slice_index=3)
+
+    def test_permission_check_enforces_ownership(self):
+        emc = self.make_emc()
+        emc.attach_host("h1")
+        emc.attach_host("h2")
+        s = emc.assign_slice("h1")
+        emc.check_access("h1", s)
+        with pytest.raises(SlicePermissionError):
+            emc.check_access("h2", s)
+
+    def test_release_by_non_owner_rejected(self):
+        emc = self.make_emc()
+        emc.attach_host("h1")
+        emc.attach_host("h2")
+        s = emc.assign_slice("h1")
+        with pytest.raises(EMCError):
+            emc.release_slice("h2", s)
+
+    def test_detach_returns_slices_to_pool(self):
+        emc = self.make_emc()
+        emc.attach_host("h1")
+        for _ in range(5):
+            emc.assign_slice("h1")
+        emc.detach_host("h1")
+        assert emc.free_gb == 16
+        assert emc.attached_hosts == []
+
+    def test_pool_exhaustion(self):
+        emc = EMCDevice("tiny", capacity_gb=2, n_ports=2)
+        emc.attach_host("h1")
+        emc.assign_slice("h1")
+        emc.assign_slice("h1")
+        with pytest.raises(EMCError):
+            emc.assign_slice("h1")
+
+    def test_permission_table_size_matches_paper(self):
+        # 1024 slices x 6 bits for 64 hosts = 768 bytes (paper Section 4.1).
+        emc = EMCDevice("big", capacity_gb=1024, n_ports=64)
+        assert emc.permission_table_bytes(n_hosts=64) == 768
+
+    def test_utilization_and_summary(self):
+        emc = self.make_emc()
+        emc.attach_host("h1")
+        for _ in range(4):
+            emc.assign_slice("h1")
+        assert emc.utilization() == pytest.approx(0.25)
+        summary = emc.summary()
+        assert summary["assigned_gb"] == 4
+        assert summary["attached_hosts"] == 1
+
+    def test_assign_to_unattached_host_rejected(self):
+        emc = self.make_emc()
+        with pytest.raises(EMCError):
+            emc.assign_slice("ghost")
+
+
+class TestTopology:
+    def test_small_pool_uses_single_emc_without_switch(self):
+        topo = build_topology(pool_sockets=8, pool_capacity_gb=512)
+        assert topo.kind is TopologyKind.DIRECT_EMC
+        assert len(topo.emcs) == 1
+        assert topo.n_switches == 0
+        assert not topo.retimers_required
+
+    def test_16_socket_pool_needs_retimers(self):
+        topo = build_topology(pool_sockets=16, pool_capacity_gb=1024)
+        assert topo.kind is TopologyKind.DIRECT_EMC
+        assert topo.retimers_required
+        assert topo.access_latency_ns() == pytest.approx(180.0)
+
+    def test_large_pool_uses_switches_and_multiple_emcs(self):
+        topo = build_topology(pool_sockets=64, pool_capacity_gb=4096)
+        assert topo.kind is TopologyKind.SWITCHED_EMC
+        assert topo.n_switches >= 1
+        assert len(topo.emcs) == 4
+
+    def test_switch_only_topology_is_slower(self):
+        pond = build_topology(16, 1024)
+        switch_only = build_topology(16, 1024, kind=TopologyKind.SWITCH_ONLY)
+        assert switch_only.access_latency_ns() > pond.access_latency_ns()
+
+    def test_lane_budget_scales_with_sockets(self):
+        topo = build_topology(16, 1024)
+        assert topo.pcie5_lanes == 128
+        assert build_topology(8, 512).pcie5_lanes == 64
+
+    def test_direct_emc_rejects_too_many_sockets(self):
+        with pytest.raises(ValueError):
+            build_topology(32, 2048, kind=TopologyKind.DIRECT_EMC)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            build_topology(1, 512)
+        with pytest.raises(ValueError):
+            build_topology(8, 0)
+
+    def test_summary_contains_latency(self):
+        topo = build_topology(8, 256)
+        summary = topo.summary()
+        assert summary["latency_ns"] == pytest.approx(155.0)
+        assert summary["capacity_gb"] == 256

@@ -1,0 +1,171 @@
+"""Integration tests for the experiment drivers (reduced problem sizes)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig2_stranding, fig3_pool_size, fig4_5_sensitivity
+from repro.experiments import fig7_8_latency, fig15_znuma, fig16_spill
+from repro.experiments import fig17_latency_model, fig18_19_untouched
+from repro.experiments import fig20_combined, fig21_end_to_end
+from repro.experiments import offlining, untouched_distribution
+from repro.workloads.catalog import build_catalog
+from repro.workloads.sensitivity import SCENARIO_182
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_catalog(seed=7)
+
+
+class TestStrandingExperiment:
+    def test_stranding_grows_with_utilization(self):
+        study = fig2_stranding.run_stranding_study(
+            n_clusters=4, n_servers=8, duration_days=1.0, seed=3
+        )
+        assert len(study.buckets) >= 2
+        means = [b.mean_stranded_percent for b in study.buckets]
+        assert means[-1] >= means[0]
+        assert study.fleet_max <= 100.0
+        assert "stranded" in fig2_stranding.format_stranding_table(study)
+
+    def test_rack_timeseries_shift_increases_stranding(self):
+        series = fig2_stranding.run_rack_timeseries(
+            n_racks=2, n_servers=6, duration_days=2.0, shift_day=1.0, seed=5
+        )
+        assert len(series) == 2
+        for days, values in series.values():
+            assert len(days) == len(values)
+
+
+class TestPoolSizeExperiment:
+    def test_required_dram_decreases_with_pool_size(self):
+        study = fig3_pool_size.run_pool_size_study(
+            n_servers=8, duration_days=1.0, pool_sizes=(2, 8, 16), seed=3
+        )
+        for fraction in study.fractions:
+            row = [study.required_dram_percent(fraction, s) for s in study.pool_sizes]
+            assert row[0] >= row[-1] - 1.0
+            assert all(v <= 100.5 for v in row)
+
+    def test_larger_fraction_saves_more(self):
+        study = fig3_pool_size.run_pool_size_study(
+            n_servers=8, duration_days=1.0, pool_sizes=(16,),
+            fractions=(0.1, 0.5), seed=4
+        )
+        assert (study.required_dram_percent(0.5, 16)
+                <= study.required_dram_percent(0.1, 16))
+
+
+class TestSensitivityExperiment:
+    def test_bucket_fractions_match_paper_shape(self, catalog):
+        study = fig4_5_sensitivity.run_sensitivity_study(catalog=catalog)
+        buckets = study.bucket_fractions("182")
+        assert 0.15 <= buckets["below_1_percent"] <= 0.35
+        assert buckets["below_5_percent"] >= buckets["below_1_percent"]
+        buckets_222 = study.bucket_fractions("222")
+        assert buckets_222["above_25_percent"] >= buckets["above_25_percent"]
+
+    def test_cdf_is_monotone(self, catalog):
+        study = fig4_5_sensitivity.run_sensitivity_study(catalog=catalog)
+        grid, cdf = fig4_5_sensitivity.slowdown_cdf(study.slowdowns_182)
+        assert np.all(np.diff(cdf) >= 0)
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_class_summary_covers_all_classes(self, catalog):
+        study = fig4_5_sensitivity.run_sensitivity_study(catalog=catalog)
+        summary = study.class_summary("182")
+        assert len(summary) == 9
+
+
+class TestLatencyExperiment:
+    def test_latency_study_matches_paper_numbers(self):
+        study = fig7_8_latency.run_latency_study()
+        assert study.pond_ns(8) == pytest.approx(155.0)
+        assert study.pond_ns(16) == pytest.approx(180.0)
+        assert study.pond_ns(64) >= 270.0
+        assert study.reduction_vs_switch_only(16) == pytest.approx(1 / 3, abs=0.06)
+        assert "Figures 7/8" in fig7_8_latency.format_latency_table(study)
+
+
+class TestZNUMAExperiment:
+    def test_traffic_to_znuma_is_tiny(self):
+        results = fig15_znuma.run_znuma_study()
+        assert len(results) == 4
+        for result in results:
+            assert result.znuma_traffic_percent < 1.0
+            assert result.znuma_gb > 0
+
+
+class TestSpillExperiment:
+    def test_slowdown_grows_with_spill(self, catalog):
+        study = fig16_spill.run_spill_study(catalog=catalog)
+        medians = [study.distribution_stats(p)["median"] for p in study.spill_percents]
+        assert medians == sorted(medians)
+        assert study.distribution_stats(0.0)["median"] < 1.0
+        assert study.distribution_stats(100.0)["max"] > 25.0
+
+
+class TestModelExperiments:
+    def test_latency_model_ordering(self, catalog):
+        study = fig17_latency_model.run_latency_model_study(
+            catalog=catalog, samples_per_workload=2, seed=11
+        )
+        rf = study.insensitive_at_2pct_fp["RandomForest"]
+        memory = study.insensitive_at_2pct_fp["Memory-bound"]
+        assert rf > memory
+        assert rf >= 15.0
+
+    def test_untouched_model_beats_strawman(self):
+        dataset = fig18_19_untouched.build_untouched_dataset(n_vms=500, seed=9)
+        study = fig18_19_untouched.run_untouched_model_study(
+            dataset=dataset, n_estimators=25, seed=9
+        )
+        assert study.accuracy_gain > 1.0
+        assert study.gbm_average_untouched_percent > 10.0
+
+    def test_production_timeline_respects_target(self):
+        timeline = fig18_19_untouched.run_production_timeline(
+            n_days=3, vms_per_day=80, seed=13
+        )
+        assert len(timeline.days) == 2
+        assert np.all(timeline.average_untouched_percent > 0)
+
+    def test_combined_model_sweep(self, catalog):
+        study = fig20_combined.run_combined_model_study(
+            scenario=SCENARIO_182, catalog=catalog,
+            error_budgets=(0.0, 2.0, 5.0), seed=15
+        )
+        assert np.all(np.diff(study.pool_dram_percent) >= -1e-9)
+        assert study.pool_dram_at_misprediction(2.0) > 0.0
+
+
+class TestEndToEndExperiment:
+    def test_pond_beats_static_at_16_sockets(self):
+        study = fig21_end_to_end.run_end_to_end_study(
+            n_servers=16, duration_days=1.0, pool_sizes=(2, 16), seed=17
+        )
+        pond = study.savings_percent("pond_182", 16)
+        static = study.savings_percent("static_15pct", 16)
+        assert pond > static
+        assert study.misprediction_percent["pond_182"] <= 5.0
+
+    def test_savings_grow_with_pool_size(self):
+        study = fig21_end_to_end.run_end_to_end_study(
+            n_servers=16, duration_days=1.0, pool_sizes=(2, 16, 32), seed=18
+        )
+        required = [study.required_dram_percent("pond_182", s) for s in (2, 16, 32)]
+        assert required[0] >= required[-1]
+
+
+class TestOffliningAndUntouchedDistribution:
+    def test_offlining_speeds_are_bounded(self):
+        study = offlining.run_offlining_study(n_vm_cycles=60, seed=19)
+        assert study.total_offlined_gb > 0
+        assert study.percentile(50) < 110.0
+
+    def test_untouched_distribution_median_near_half(self):
+        study = untouched_distribution.run_untouched_distribution(
+            n_clusters=3, vms_per_cluster=200, seed=21
+        )
+        assert 30.0 <= study.fleet_percentile(50) <= 70.0
+        assert study.min_cluster_share_above(0.20) > 30.0

@@ -1,0 +1,380 @@
+"""Unit tests for the hypervisor / system-software layer."""
+
+import numpy as np
+import pytest
+
+from repro.hypervisor.guest_os import GuestMemoryAllocator
+from repro.hypervisor.host import Host, HostCapacityError, MemoryPartition
+from repro.hypervisor.numa import NUMANode, VirtualNUMATopology, build_vm_topology
+from repro.hypervisor.page_table import AccessBitScanner, HypervisorPageTable
+from repro.hypervisor.slices import SliceTransitionModel
+from repro.hypervisor.telemetry import (
+    GuestCommittedCounter,
+    PMUSample,
+    TMACounters,
+    TMA_FEATURE_NAMES,
+    VMTelemetry,
+)
+from repro.hypervisor.vm import VMInstance, VMRequest
+
+
+def make_request(cores=4, memory_gb=32.0, **kwargs):
+    return VMRequest.create(cores=cores, memory_gb=memory_gb, **kwargs)
+
+
+class TestVMRequestAndInstance:
+    def test_request_validation(self):
+        with pytest.raises(ValueError):
+            VMRequest(vm_id="x", cores=0, memory_gb=8)
+        with pytest.raises(ValueError):
+            VMRequest(vm_id="x", cores=2, memory_gb=0)
+        with pytest.raises(ValueError):
+            VMRequest(vm_id="x", cores=2, memory_gb=8, lifetime_hours=0)
+
+    def test_instance_memory_split_must_match_request(self):
+        req = make_request(memory_gb=32.0)
+        with pytest.raises(ValueError):
+            VMInstance(request=req, host_id="h", local_memory_gb=10.0, pool_memory_gb=10.0)
+
+    def test_pool_fraction_and_untouched(self):
+        req = make_request(memory_gb=32.0)
+        vm = VMInstance(request=req, host_id="h", local_memory_gb=24.0, pool_memory_gb=8.0)
+        assert vm.pool_fraction == pytest.approx(0.25)
+        vm.record_touch(20.0)
+        assert vm.untouched_memory_gb == pytest.approx(12.0)
+        assert vm.spilled_gb == 0.0
+        vm.record_touch(30.0)
+        assert vm.spilled_gb == pytest.approx(6.0)
+
+    def test_touch_is_monotone_high_water_mark(self):
+        req = make_request(memory_gb=16.0)
+        vm = VMInstance(request=req, host_id="h", local_memory_gb=16.0, pool_memory_gb=0.0)
+        vm.record_touch(10.0)
+        vm.record_touch(4.0)
+        assert vm.touched_memory_gb == pytest.approx(10.0)
+        vm.record_touch(100.0)
+        assert vm.touched_memory_gb == pytest.approx(16.0)
+
+    def test_terminate_and_double_terminate(self):
+        req = make_request()
+        vm = VMInstance(request=req, host_id="h", local_memory_gb=32.0, pool_memory_gb=0.0)
+        vm.terminate(100.0)
+        assert not vm.is_running
+        with pytest.raises(RuntimeError):
+            vm.terminate(200.0)
+
+    def test_migrate_to_local_timing(self):
+        req = make_request(memory_gb=32.0)
+        vm = VMInstance(request=req, host_id="h", local_memory_gb=16.0, pool_memory_gb=16.0)
+        duration = vm.migrate_to_local()
+        # 50 ms per GB of pool memory (paper Section 4.2).
+        assert duration == pytest.approx(0.05 * 16.0)
+        assert vm.pool_memory_gb == 0.0
+        assert vm.mitigated
+
+    def test_metadata_contains_customer(self):
+        req = make_request(customer_id="cust-1", workload_name="redis")
+        meta = req.metadata()
+        assert meta["customer_id"] == "cust-1"
+        assert meta["workload_name"] == "redis"
+
+
+class TestNUMATopology:
+    def test_build_vm_topology_with_pool_creates_znuma(self):
+        topo = build_vm_topology(cores=8, local_memory_gb=24.0, pool_memory_gb=8.0,
+                                 pool_latency_ns=180.0)
+        assert topo.has_znuma
+        assert topo.znuma_memory_gb == pytest.approx(8.0)
+        znuma = topo.znuma_nodes[0]
+        assert znuma.cores == 0
+        assert znuma.latency_ns == pytest.approx(180.0)
+
+    def test_all_local_topology_has_no_znuma(self):
+        topo = build_vm_topology(cores=4, local_memory_gb=16.0, pool_memory_gb=0.0)
+        assert not topo.has_znuma
+        assert len(topo.nodes) == 1
+
+    def test_slit_matrix_reflects_latency_ratio(self):
+        topo = build_vm_topology(cores=4, local_memory_gb=16.0, pool_memory_gb=16.0,
+                                 pool_latency_ns=170.0, local_latency_ns=85.0)
+        slit = topo.slit_matrix()
+        assert slit[0, 0] == 10
+        assert slit[0, 1] == 20  # 2x latency -> distance 20
+
+    def test_allocation_order_prefers_local(self):
+        topo = build_vm_topology(cores=4, local_memory_gb=8.0, pool_memory_gb=8.0)
+        order = topo.allocation_order()
+        assert not order[0].is_znuma
+        assert order[-1].is_znuma
+
+    def test_topology_requires_cpu_node(self):
+        with pytest.raises(ValueError):
+            VirtualNUMATopology([NUMANode(node_id=0, cores=0, memory_gb=8.0)])
+
+    def test_duplicate_node_ids_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualNUMATopology([
+                NUMANode(node_id=0, cores=2, memory_gb=8.0),
+                NUMANode(node_id=0, cores=0, memory_gb=8.0),
+            ])
+
+    def test_describe_mentions_znuma(self):
+        topo = build_vm_topology(cores=2, local_memory_gb=4.0, pool_memory_gb=4.0)
+        assert "zNUMA" in topo.describe()
+
+
+class TestGuestAllocator:
+    def make(self, local=32.0, pool=32.0):
+        topo = build_vm_topology(cores=8, local_memory_gb=local, pool_memory_gb=pool)
+        return topo, GuestMemoryAllocator(topo)
+
+    def test_allocation_fills_local_first(self):
+        topo, alloc = self.make()
+        placement = alloc.allocate(16.0)
+        assert set(placement) == {0}
+        placement = alloc.allocate(20.0)
+        assert 1 in placement  # spills only after local is full
+
+    def test_working_set_within_local_keeps_znuma_traffic_tiny(self):
+        topo, alloc = self.make(local=40.0, pool=24.0)
+        profile = alloc.run_workload(working_set_gb=30.0)
+        assert profile.znuma_traffic_fraction(topo) < 0.005
+
+    def test_spilled_working_set_sends_traffic_to_znuma(self):
+        topo, alloc = self.make(local=16.0, pool=48.0)
+        profile = alloc.run_workload(working_set_gb=40.0)
+        assert profile.znuma_traffic_fraction(topo) > 0.3
+
+    def test_out_of_memory_raises(self):
+        topo, alloc = self.make(local=8.0, pool=8.0)
+        with pytest.raises(MemoryError):
+            alloc.allocate(32.0)
+
+    def test_free_respects_kernel_floor(self):
+        topo, alloc = self.make()
+        alloc.allocate(10.0)
+        with pytest.raises(ValueError):
+            alloc.free(0, 100.0)
+
+    def test_negative_allocation_rejected(self):
+        _, alloc = self.make()
+        with pytest.raises(ValueError):
+            alloc.allocate(-1.0)
+
+
+class TestPageTable:
+    def test_untouched_accounting(self):
+        table = HypervisorPageTable(vm_memory_gb=8.0, local_memory_gb=6.0)
+        assert table.untouched_fraction == pytest.approx(1.0)
+        table.touch_gb(4.0)
+        assert table.untouched_gb == pytest.approx(4.0, abs=0.1)
+
+    def test_access_bit_reset_preserves_ever_accessed(self):
+        table = HypervisorPageTable(vm_memory_gb=2.0, local_memory_gb=2.0)
+        table.touch_gb(1.0)
+        before = table.untouched_pages
+        table.reset_access_bits()
+        assert table.accessed_pages == 0
+        assert table.untouched_pages == before
+
+    def test_pool_page_classification(self):
+        table = HypervisorPageTable(vm_memory_gb=4.0, local_memory_gb=2.0)
+        assert not table.is_pool_page(0)
+        assert table.is_pool_page(table.n_pages - 1)
+
+    def test_touch_range_bounds_checked(self):
+        table = HypervisorPageTable(vm_memory_gb=1.0, local_memory_gb=1.0)
+        with pytest.raises(IndexError):
+            table.touch_range(0, table.n_pages + 1)
+        with pytest.raises(IndexError):
+            table.touch(table.n_pages)
+
+    def test_scanner_minimum_untouched_label(self):
+        table = HypervisorPageTable(vm_memory_gb=8.0, local_memory_gb=8.0)
+        scanner = AccessBitScanner()
+        scanner.scan(table, now_s=0.0)
+        table.touch_gb(6.0)
+        scanner.scan(table, now_s=1800.0)
+        assert scanner.minimum_untouched_fraction() == pytest.approx(0.25, abs=0.05)
+
+    def test_scanner_overhead_fraction(self):
+        scanner = AccessBitScanner(interval_s=1800.0, scan_duration_s=10.0)
+        assert scanner.overhead_fraction() == pytest.approx(10.0 / 1800.0)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            HypervisorPageTable(vm_memory_gb=0.0, local_memory_gb=0.0)
+        with pytest.raises(ValueError):
+            HypervisorPageTable(vm_memory_gb=4.0, local_memory_gb=8.0)
+
+
+class TestTelemetry:
+    def make_counters(self, dram=0.2):
+        return TMACounters(
+            backend_bound=0.6, memory_bound=0.4, store_bound=0.1,
+            dram_latency_bound=dram, llc_mpi=5.0, memory_bandwidth_gbps=20.0,
+            memory_parallelism=4.0,
+        )
+
+    def test_counter_validation(self):
+        with pytest.raises(ValueError):
+            TMACounters(backend_bound=0.3, memory_bound=0.4, store_bound=0.1,
+                        dram_latency_bound=0.2, llc_mpi=1, memory_bandwidth_gbps=1,
+                        memory_parallelism=1)
+        with pytest.raises(ValueError):
+            TMACounters(backend_bound=1.5, memory_bound=0.4, store_bound=0.1,
+                        dram_latency_bound=0.2, llc_mpi=1, memory_bandwidth_gbps=1,
+                        memory_parallelism=1)
+
+    def test_feature_vector_order(self):
+        counters = self.make_counters()
+        vec = counters.as_vector()
+        assert len(vec) == len(TMA_FEATURE_NAMES)
+        assert vec[TMA_FEATURE_NAMES.index("dram_latency_bound")] == pytest.approx(0.2)
+
+    def test_vm_telemetry_aggregation(self):
+        telem = VMTelemetry("vm-1")
+        for i in range(10):
+            telem.record_counters(float(i), self.make_counters(dram=0.1 + 0.02 * i))
+        assert telem.n_samples == 10
+        mean = telem.mean_features()
+        assert mean[TMA_FEATURE_NAMES.index("dram_latency_bound")] == pytest.approx(0.19)
+        percentiles = telem.percentile_features((50, 90))
+        assert percentiles.shape == (2 * len(TMA_FEATURE_NAMES),)
+
+    def test_vm_telemetry_rejects_foreign_samples(self):
+        telem = VMTelemetry("vm-1")
+        sample = PMUSample(vm_id="vm-2", time_s=0.0, counters=self.make_counters())
+        with pytest.raises(ValueError):
+            telem.record(sample)
+
+    def test_telemetry_overhead_is_negligible(self):
+        telem = VMTelemetry("vm-1", sample_interval_s=1.0)
+        assert telem.overhead_fraction(sample_cost_ms=1.0) == pytest.approx(0.001)
+
+    def test_guest_committed_counter(self):
+        counter = GuestCommittedCounter(vm_memory_gb=64.0)
+        counter.record(0.0, 10.0)
+        counter.record(60.0, 40.0)
+        counter.record(120.0, 20.0)
+        assert counter.peak_committed_gb == pytest.approx(40.0)
+        assert counter.untouched_estimate_gb() == pytest.approx(24.0)
+        assert counter.untouched_estimate_fraction() == pytest.approx(0.375)
+
+
+class TestSliceTransitions:
+    def test_offline_duration_within_paper_range(self):
+        model = SliceTransitionModel(seed=1)
+        record = model.offline_slices(10)
+        # 10-100 ms per GB => 0.1-1.0 s for 10 slices.
+        assert 0.1 <= record.duration_s <= 1.0
+
+    def test_online_is_orders_of_magnitude_faster(self):
+        model = SliceTransitionModel(seed=2)
+        online = model.online_slices(10).duration_s
+        offline = model.offline_slices(10).duration_s
+        assert online < offline / 100.0
+
+    def test_offline_speed_percentiles(self):
+        model = SliceTransitionModel(seed=3)
+        for _ in range(50):
+            model.offline_slices(8)
+        p50 = model.offline_speed_percentile(50)
+        assert 8 <= p50 <= 110  # GB/s given 10-100 ms/GB
+
+    def test_zero_slices_is_noop(self):
+        model = SliceTransitionModel(seed=4)
+        assert model.online_slices(0).duration_s == 0.0
+        assert model.offline_slices(0).duration_s == 0.0
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(ValueError):
+            SliceTransitionModel(offline_ms_per_gb_range=(0, 10))
+        with pytest.raises(ValueError):
+            SliceTransitionModel(online_us_per_gb_range=(10, 1))
+
+
+class TestMemoryPartitionAndHost:
+    def test_partition_allocation_bounds(self):
+        part = MemoryPartition(name="p", capacity_gb=10.0)
+        part.allocate(6.0)
+        assert part.free_gb == pytest.approx(4.0)
+        with pytest.raises(HostCapacityError):
+            part.allocate(5.0)
+        part.release(6.0)
+        with pytest.raises(ValueError):
+            part.release(1.0)
+
+    def test_partition_shrink_respects_allocation(self):
+        part = MemoryPartition(name="p", capacity_gb=10.0, allocated_gb=6.0)
+        with pytest.raises(HostCapacityError):
+            part.shrink(6.0)
+        part.shrink(4.0)
+        assert part.capacity_gb == pytest.approx(6.0)
+
+    def make_host(self):
+        return Host(host_id="h1", total_cores=48, local_memory_gb=384.0,
+                    pool_latency_ns=180.0)
+
+    def test_place_and_terminate_vm(self):
+        host = self.make_host()
+        host.online_pool_memory(64.0)
+        req = make_request(cores=8, memory_gb=64.0)
+        vm = host.place_vm(req, local_gb=48.0, pool_gb=16.0)
+        assert host.free_cores == 40
+        assert host.free_pool_gb == pytest.approx(48.0)
+        host.terminate_vm(vm.vm_id, time_s=10.0)
+        assert host.free_cores == 48
+        assert host.free_pool_gb == pytest.approx(64.0)
+
+    def test_cannot_place_beyond_capacity(self):
+        host = self.make_host()
+        req = make_request(cores=64, memory_gb=64.0)
+        with pytest.raises(HostCapacityError):
+            host.place_vm(req, local_gb=64.0, pool_gb=0.0)
+
+    def test_pool_placement_requires_onlined_slices(self):
+        host = self.make_host()
+        req = make_request(cores=4, memory_gb=32.0)
+        with pytest.raises(HostCapacityError):
+            host.place_vm(req, local_gb=16.0, pool_gb=16.0)
+
+    def test_stranded_memory_definition(self):
+        host = Host(host_id="h", total_cores=8, local_memory_gb=64.0)
+        req = make_request(cores=8, memory_gb=32.0)
+        host.place_vm(req, local_gb=32.0, pool_gb=0.0)
+        assert host.free_cores == 0
+        assert host.stranded_memory_gb == pytest.approx(32.0)
+
+    def test_no_stranding_with_free_cores(self):
+        host = self.make_host()
+        req = make_request(cores=4, memory_gb=32.0)
+        host.place_vm(req, local_gb=32.0, pool_gb=0.0)
+        assert host.stranded_memory_gb == 0.0
+
+    def test_mitigation_moves_pool_to_local(self):
+        host = self.make_host()
+        host.online_pool_memory(32.0)
+        req = make_request(cores=4, memory_gb=64.0)
+        vm = host.place_vm(req, local_gb=32.0, pool_gb=32.0)
+        duration = host.mitigate_vm(vm.vm_id)
+        assert duration == pytest.approx(0.05 * 32.0)
+        assert vm.pool_memory_gb == 0.0
+        assert host.free_pool_gb == pytest.approx(32.0)
+
+    def test_vm_topology_exposes_znuma(self):
+        host = self.make_host()
+        host.online_pool_memory(16.0)
+        req = make_request(cores=4, memory_gb=32.0)
+        vm = host.place_vm(req, local_gb=16.0, pool_gb=16.0)
+        topo = host.vm_topology(vm.vm_id)
+        assert topo.has_znuma
+        assert topo.znuma_nodes[0].latency_ns == pytest.approx(180.0)
+
+    def test_offline_pool_memory_cannot_cut_into_allocations(self):
+        host = self.make_host()
+        host.online_pool_memory(16.0)
+        req = make_request(cores=4, memory_gb=32.0)
+        host.place_vm(req, local_gb=16.0, pool_gb=16.0)
+        with pytest.raises(HostCapacityError):
+            host.offline_pool_memory(8.0)

@@ -1,0 +1,162 @@
+"""Full-stack integration test: trained models driving the Pond control plane.
+
+This test exercises the complete pipeline the paper describes in Figure 11:
+offline training of both prediction models, VM scheduling through the Pond
+scheduler (with the Pool Manager onlining slices on real Host objects), guest
+memory behaviour on the resulting zNUMA topologies, QoS monitoring, and
+mitigation of mispredicted VMs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PondConfig
+from repro.core.control_plane.mitigation import MitigationManager
+from repro.core.control_plane.pool_manager import PoolManager
+from repro.core.control_plane.qos_monitor import QoSMonitor, QoSVerdict
+from repro.core.control_plane.scheduler import PondScheduler
+from repro.core.prediction.latency_model import LatencyInsensitivityModel
+from repro.core.prediction.untouched_model import UntouchedMemoryPredictor
+from repro.cxl.emc import EMCDevice
+from repro.experiments.fig18_19_untouched import build_untouched_dataset
+from repro.hypervisor.host import Host
+from repro.hypervisor.vm import VMRequest
+from repro.workloads.catalog import build_catalog
+from repro.workloads.generator import PMUFeatureGenerator
+from repro.workloads.memory_behavior import UntouchedMemoryModel
+from repro.workloads.sensitivity import SCENARIO_182, slowdown_under_spill
+
+
+@pytest.fixture(scope="module")
+def trained_models():
+    catalog = build_catalog(seed=7)
+    generator = PMUFeatureGenerator(seed=3)
+    training = generator.training_set(catalog, SCENARIO_182, samples_per_workload=2)
+    latency_model = LatencyInsensitivityModel(pdm_percent=5.0, n_estimators=25,
+                                              random_state=3)
+    latency_model.fit(training.features, training.slowdowns)
+    latency_model.calibrate_threshold(training.features, training.slowdowns,
+                                      fp_target_percent=2.0)
+
+    dataset = build_untouched_dataset(n_vms=500, seed=3)
+    untouched_model = UntouchedMemoryPredictor(quantile=0.05, n_estimators=30,
+                                               random_state=3)
+    untouched_model.fit(dataset.metadata_rows, dataset.untouched_fractions)
+    return catalog, generator, latency_model, untouched_model
+
+
+def test_end_to_end_scheduling_monitoring_and_mitigation(trained_models):
+    catalog, generator, latency_model, untouched_model = trained_models
+    config = PondConfig(pdm_percent=5.0, pool_buffer_slices_per_host=4)
+    behaviour = UntouchedMemoryModel(n_customers=30, seed=5)
+    rng = np.random.default_rng(5)
+
+    emc = EMCDevice("emc-int", capacity_gb=2048, n_ports=8)
+    pool_manager = PoolManager(emc)
+    hosts = [Host(f"host-{i}", total_cores=48, local_memory_gb=384.0,
+                  pool_latency_ns=180.0) for i in range(4)]
+    for host in hosts:
+        pool_manager.register_host(host)
+
+    workload_of_vm = {}
+
+    def insensitivity_predictor(request: VMRequest):
+        workload = workload_of_vm[request.vm_id]
+        features = generator.feature_vector(workload, rng).reshape(1, -1)
+        return bool(latency_model.predict_insensitive(features)[0])
+
+    def untouched_predictor(request: VMRequest) -> float:
+        customer = request.customer_id
+        history = behaviour.customer_history_percentiles(customer, rng=rng)
+        row = {
+            "memory_gb": request.memory_gb,
+            "cores": request.cores,
+            "vm_family": request.vm_type,
+            "guest_os": request.guest_os,
+            "region": request.region,
+            "history_percentiles": history.tolist(),
+        }
+        return untouched_model.predict_znuma_gb(row, request.memory_gb,
+                                                slice_gb=config.slice_gb)
+
+    scheduler = PondScheduler(config, pool_manager, insensitivity_predictor,
+                              untouched_predictor)
+
+    # Schedule a population of VMs round-robin across hosts.
+    workloads = list(catalog)
+    placed = []
+    for i in range(40):
+        workload = workloads[i % len(workloads)]
+        customer = behaviour.customer_ids[i % len(behaviour.customer_ids)]
+        request = VMRequest.create(
+            cores=4, memory_gb=32.0, customer_id=customer,
+            vm_type="general", workload_name=workload.name,
+        )
+        workload_of_vm[request.vm_id] = workload
+        host = hosts[i % len(hosts)]
+        vm = scheduler.schedule(request, host, start_time_s=float(i))
+        placed.append((host, vm, workload))
+
+    assert len(placed) == 40
+    total_pool = sum(vm.pool_memory_gb for _, vm, _ in placed)
+    assert total_pool > 0.0  # the models put some memory on the pool
+
+    # Simulate guest behaviour: each VM touches its actual working set.
+    for host, vm, workload in placed:
+        untouched = behaviour.sample_untouched_fraction(vm.request.customer_id,
+                                                        rng=rng)
+        vm.record_touch(vm.total_memory_gb * (1.0 - untouched))
+
+    # QoS monitoring with a slowdown estimator derived from the workload model.
+    def slowdown_estimator(vm):
+        workload = workload_of_vm[vm.vm_id]
+        if vm.total_memory_gb <= 0 or vm.touched_memory_gb <= 0:
+            return 0.0
+        spill_fraction = min(1.0, vm.spilled_gb / max(vm.touched_memory_gb, 1e-9))
+        return slowdown_under_spill(workload, SCENARIO_182, spill_fraction)
+
+    monitor = QoSMonitor(config, slowdown_estimator)
+    mitigation = MitigationManager()
+    mitigated = 0
+    for host, vm, _ in placed:
+        decision = monitor.check_vm(vm)
+        if decision.verdict is QoSVerdict.MITIGATE:
+            record = mitigation.mitigate(host, vm.vm_id)
+            assert record.method in ("local_copy", "live_migration")
+            mitigated += 1
+
+    # Mitigated VMs are now entirely local.
+    for host, vm, _ in placed:
+        if vm.mitigated:
+            assert vm.pool_memory_gb == 0.0
+
+    # The whole pipeline keeps mitigations a small minority of VMs.
+    assert mitigated <= 10
+
+    # VM departures release pool memory back to the pool asynchronously.
+    for host, vm, _ in placed[:10]:
+        if vm.vm_id in host.vms:
+            scheduler.handle_departure(host, vm.vm_id, time_s=1000.0)
+    pool_manager.process_releases()
+    assert pool_manager.unassigned_pool_gb >= 0
+
+
+def test_znuma_topologies_expose_pool_latency(trained_models):
+    _, _, _, untouched_model = trained_models
+    config = PondConfig()
+    emc = EMCDevice("emc-topo", capacity_gb=256, n_ports=4)
+    pool_manager = PoolManager(emc)
+    host = Host("host-z", total_cores=48, local_memory_gb=384.0, pool_latency_ns=180.0)
+    pool_manager.register_host(host)
+    scheduler = PondScheduler(
+        config, pool_manager,
+        insensitivity_predictor=lambda request: None,
+        untouched_predictor=lambda request: 12.0,
+    )
+    request = VMRequest.create(cores=8, memory_gb=64.0)
+    vm = scheduler.schedule(request, host)
+    topology = host.vm_topology(vm.vm_id)
+    assert topology.has_znuma
+    assert topology.znuma_memory_gb == pytest.approx(12.0)
+    slit = topology.slit_matrix()
+    assert slit[0, 1] > slit[0, 0]

@@ -1,0 +1,142 @@
+"""Unit tests for the random forest and gradient-boosting models."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
+from repro.ml.gbm import GradientBoostingRegressor, QuantileGradientBoostingRegressor
+
+
+@pytest.fixture(scope="module")
+def classification_data():
+    rng = np.random.default_rng(10)
+    X = rng.normal(size=(300, 5))
+    y = ((X[:, 0] + 0.5 * X[:, 1]) > 0).astype(int)
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def regression_data():
+    rng = np.random.default_rng(11)
+    X = rng.uniform(-1, 1, size=(400, 3))
+    y = 2.0 * X[:, 0] - X[:, 1] + 0.1 * rng.normal(size=400)
+    return X, y
+
+
+class TestRandomForestClassifier:
+    def test_training_accuracy_high(self, classification_data):
+        X, y = classification_data
+        forest = RandomForestClassifier(n_estimators=20, max_depth=6, random_state=1).fit(X, y)
+        assert forest.score(X, y) > 0.9
+
+    def test_predict_proba_shape_and_normalisation(self, classification_data):
+        X, y = classification_data
+        forest = RandomForestClassifier(n_estimators=10, random_state=2).fit(X, y)
+        proba = forest.predict_proba(X)
+        assert proba.shape == (len(X), 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert np.all((proba >= 0) & (proba <= 1))
+
+    def test_deterministic_given_seed(self, classification_data):
+        X, y = classification_data
+        a = RandomForestClassifier(n_estimators=8, random_state=7).fit(X, y).predict_proba(X)
+        b = RandomForestClassifier(n_estimators=8, random_state=7).fit(X, y).predict_proba(X)
+        assert np.array_equal(a, b)
+
+    def test_generalises_to_held_out_data(self, classification_data):
+        X, y = classification_data
+        forest = RandomForestClassifier(n_estimators=25, max_depth=6, random_state=3).fit(
+            X[:200], y[:200]
+        )
+        assert forest.score(X[200:], y[200:]) > 0.85
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForestClassifier().predict(np.zeros((2, 3)))
+
+    def test_invalid_estimator_count_rejected(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0)
+
+    def test_without_bootstrap(self, classification_data):
+        X, y = classification_data
+        forest = RandomForestClassifier(n_estimators=5, bootstrap=False, random_state=4).fit(X, y)
+        assert forest.score(X, y) > 0.9
+
+
+class TestRandomForestRegressor:
+    def test_r2_reasonable(self, regression_data):
+        X, y = regression_data
+        forest = RandomForestRegressor(n_estimators=20, max_depth=8, random_state=5).fit(X, y)
+        assert forest.score(X, y) > 0.8
+
+    def test_prediction_shape(self, regression_data):
+        X, y = regression_data
+        forest = RandomForestRegressor(n_estimators=5, random_state=6).fit(X, y)
+        assert forest.predict(X).shape == (len(X),)
+
+    def test_constant_target(self):
+        X = np.random.default_rng(12).uniform(size=(60, 2))
+        y = np.full(60, 2.0)
+        forest = RandomForestRegressor(n_estimators=5, random_state=0).fit(X, y)
+        assert np.allclose(forest.predict(X), 2.0)
+
+
+class TestGradientBoostingRegressor:
+    def test_fits_linear_relationship(self, regression_data):
+        X, y = regression_data
+        gbm = GradientBoostingRegressor(n_estimators=60, max_depth=3, random_state=0).fit(X, y)
+        residual = np.mean((gbm.predict(X) - y) ** 2)
+        baseline = np.var(y)
+        assert residual < 0.2 * baseline
+
+    def test_more_stages_reduce_training_error(self, regression_data):
+        X, y = regression_data
+        gbm = GradientBoostingRegressor(n_estimators=40, max_depth=2, random_state=1).fit(X, y)
+        errors = [np.mean((pred - y) ** 2) for pred in gbm.staged_predict(X)]
+        assert errors[-1] < errors[0]
+
+    def test_subsample_option(self, regression_data):
+        X, y = regression_data
+        gbm = GradientBoostingRegressor(
+            n_estimators=30, subsample=0.5, random_state=2
+        ).fit(X, y)
+        assert np.isfinite(gbm.predict(X)).all()
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(subsample=1.5)
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(n_estimators=0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GradientBoostingRegressor().predict(np.zeros((3, 2)))
+
+
+class TestQuantileGradientBoostingRegressor:
+    def test_quantile_coverage_is_roughly_calibrated(self):
+        rng = np.random.default_rng(20)
+        X = rng.uniform(0, 1, size=(800, 2))
+        y = X[:, 0] + rng.normal(0, 0.1, size=800)
+        model = QuantileGradientBoostingRegressor(
+            alpha=0.1, n_estimators=60, max_depth=3, min_samples_leaf=30, random_state=3
+        ).fit(X, y)
+        coverage = np.mean(model.predict(X) <= y)
+        assert 0.80 <= coverage <= 0.99
+
+    def test_lower_quantile_predicts_lower_values(self):
+        rng = np.random.default_rng(21)
+        X = rng.uniform(0, 1, size=(500, 2))
+        y = X[:, 0] + rng.normal(0, 0.2, size=500)
+        low = QuantileGradientBoostingRegressor(alpha=0.1, n_estimators=40, random_state=4).fit(X, y)
+        high = QuantileGradientBoostingRegressor(alpha=0.9, n_estimators=40, random_state=4).fit(X, y)
+        assert low.predict(X).mean() < high.predict(X).mean()
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            QuantileGradientBoostingRegressor(alpha=0.0)
+        with pytest.raises(ValueError):
+            QuantileGradientBoostingRegressor(alpha=1.0)

@@ -1,0 +1,152 @@
+"""Unit tests for ML metrics and model-selection utilities."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (
+    accuracy_score,
+    confusion_counts,
+    false_positive_rate,
+    insensitive_tradeoff_curve,
+    mean_absolute_error,
+    mean_pinball_loss,
+    overprediction_tradeoff_curve,
+    precision_recall_curve,
+    precision_score,
+    recall_score,
+    roc_auc_score,
+)
+from repro.ml.model_selection import KFold, repeated_random_split, train_test_split
+
+
+class TestBasicMetrics:
+    def test_accuracy(self):
+        assert accuracy_score([1, 0, 1, 1], [1, 0, 0, 1]) == pytest.approx(0.75)
+
+    def test_accuracy_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+    def test_confusion_counts(self):
+        tp, fp, tn, fn = confusion_counts([1, 1, 0, 0], [1, 0, 1, 0])
+        assert (tp, fp, tn, fn) == (1, 1, 1, 1)
+
+    def test_precision_recall(self):
+        y_true = [1, 1, 1, 0, 0]
+        y_pred = [1, 1, 0, 1, 0]
+        assert precision_score(y_true, y_pred) == pytest.approx(2 / 3)
+        assert recall_score(y_true, y_pred) == pytest.approx(2 / 3)
+
+    def test_precision_zero_when_no_positive_predictions(self):
+        assert precision_score([1, 1], [0, 0]) == 0.0
+        assert recall_score([0, 0], [0, 0]) == 0.0
+
+    def test_false_positive_rate_matches_one_minus_precision(self):
+        y_true = [1, 0, 1, 0, 1]
+        y_pred = [1, 1, 1, 0, 0]
+        assert false_positive_rate(y_true, y_pred) == pytest.approx(
+            1.0 - precision_score(y_true, y_pred)
+        )
+
+    def test_mae_and_pinball(self):
+        assert mean_absolute_error([1, 2, 3], [1, 2, 5]) == pytest.approx(2 / 3)
+        # Pinball loss at 0.5 is half the MAE.
+        assert mean_pinball_loss([1, 2, 3], [1, 2, 5], alpha=0.5) == pytest.approx(1 / 3)
+
+    def test_pinball_asymmetry(self):
+        over = mean_pinball_loss([0.0], [1.0], alpha=0.1)
+        under = mean_pinball_loss([1.0], [0.0], alpha=0.1)
+        assert over > under
+
+
+class TestCurves:
+    def test_roc_auc_perfect_ranking(self):
+        assert roc_auc_score([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == pytest.approx(1.0)
+
+    def test_roc_auc_random_ranking_is_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, size=2000)
+        scores = rng.uniform(size=2000)
+        assert roc_auc_score(y, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_roc_auc_requires_both_classes(self):
+        with pytest.raises(ValueError):
+            roc_auc_score([1, 1], [0.3, 0.4])
+
+    def test_precision_recall_curve_monotone_recall(self):
+        y = [1, 0, 1, 1, 0]
+        scores = [0.9, 0.8, 0.7, 0.4, 0.2]
+        _, recalls, _ = precision_recall_curve(y, scores)
+        assert np.all(np.diff(recalls) >= 0)
+
+    def test_insensitive_tradeoff_curve_shapes(self):
+        rng = np.random.default_rng(1)
+        slowdowns = rng.uniform(0, 30, size=100)
+        scores = -slowdowns + rng.normal(0, 1, size=100)
+        fractions, fps = insensitive_tradeoff_curve(scores, slowdowns, pdm_percent=5.0)
+        assert fractions.shape == fps.shape
+        assert fractions.max() <= 100.0
+        assert fps.min() >= 0.0
+        # A perfect ranker has zero FP until the true insensitive pool is used up.
+        perfect_fracs, perfect_fps = insensitive_tradeoff_curve(
+            -slowdowns, slowdowns, pdm_percent=5.0
+        )
+        truly_insensitive = np.mean(slowdowns <= 5.0) * 100.0
+        assert np.all(perfect_fps[perfect_fracs <= truly_insensitive] == 0.0)
+
+    def test_insensitive_tradeoff_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            insensitive_tradeoff_curve([1, 2], [1, 2, 3], 5.0)
+
+    def test_overprediction_curve_monotone_in_scale(self):
+        rng = np.random.default_rng(2)
+        actual = rng.uniform(0, 1, size=200)
+        predicted = actual * 0.8
+        avg, op = overprediction_tradeoff_curve(predicted, actual)
+        assert np.all(np.diff(avg) >= -1e-9)
+        assert np.all(np.diff(op) >= -1e-9)
+        assert op[0] == 0.0
+
+
+class TestModelSelection:
+    def test_train_test_split_sizes(self):
+        X = np.arange(100).reshape(50, 2)
+        y = np.arange(50)
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, test_size=0.3, random_state=0)
+        assert len(X_te) == 15
+        assert len(X_tr) == 35
+        assert len(y_tr) == 35
+
+    def test_train_test_split_disjoint_and_complete(self):
+        y = np.arange(40)
+        y_tr, y_te = train_test_split(y, test_size=0.5, random_state=1)
+        assert sorted(np.concatenate([y_tr, y_te]).tolist()) == list(range(40))
+
+    def test_train_test_split_validates_inputs(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.arange(10), np.arange(9))
+        with pytest.raises(ValueError):
+            train_test_split(np.arange(10), test_size=1.5)
+        with pytest.raises(ValueError):
+            train_test_split()
+
+    def test_kfold_covers_all_indices_once(self):
+        kfold = KFold(n_splits=5, random_state=0)
+        seen = []
+        for train_idx, test_idx in kfold.split(23):
+            assert len(np.intersect1d(train_idx, test_idx)) == 0
+            seen.extend(test_idx.tolist())
+        assert sorted(seen) == list(range(23))
+
+    def test_kfold_validates(self):
+        with pytest.raises(ValueError):
+            KFold(n_splits=1)
+        with pytest.raises(ValueError):
+            list(KFold(n_splits=10).split(5))
+
+    def test_repeated_random_split_count_and_sizes(self):
+        splits = list(repeated_random_split(50, n_repeats=7, test_size=0.5, random_state=3))
+        assert len(splits) == 7
+        for train_idx, test_idx in splits:
+            assert len(test_idx) == 25
+            assert len(train_idx) == 25

@@ -1,0 +1,141 @@
+"""Unit tests for the CART decision trees."""
+
+import numpy as np
+import pytest
+
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor, TreeNode
+
+
+@pytest.fixture
+def separable_data():
+    rng = np.random.default_rng(0)
+    X = rng.uniform(0, 1, size=(200, 3))
+    y = (X[:, 0] > 0.5).astype(int)
+    return X, y
+
+
+class TestDecisionTreeClassifier:
+    def test_fits_separable_data_perfectly(self, separable_data):
+        X, y = separable_data
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        assert np.mean(tree.predict(X) == y) == 1.0
+
+    def test_predict_proba_rows_sum_to_one(self, separable_data):
+        X, y = separable_data
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        proba = tree.predict_proba(X)
+        assert proba.shape == (len(X), 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_respects_max_depth(self, separable_data):
+        X, y = separable_data
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        assert tree.depth() <= 2
+
+    def test_min_samples_leaf_limits_node_count(self, separable_data):
+        X, y = separable_data
+        small = DecisionTreeClassifier(min_samples_leaf=1).fit(X, y)
+        large = DecisionTreeClassifier(min_samples_leaf=50).fit(X, y)
+        assert large.node_count() <= small.node_count()
+
+    def test_single_class_produces_leaf_only(self):
+        X = np.random.default_rng(1).uniform(size=(50, 2))
+        y = np.zeros(50, dtype=int)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.node_count() == 1
+        assert np.all(tree.predict(X) == 0)
+
+    def test_handles_string_class_labels(self):
+        X = np.array([[0.0], [0.1], [0.9], [1.0]])
+        y = np.array(["low", "low", "high", "high"])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert list(tree.predict(np.array([[0.05], [0.95]]))) == ["low", "high"]
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_rejects_1d_features(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros(5), np.zeros(5))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeClassifier().predict(np.zeros((2, 2)))
+
+    def test_predict_rejects_wrong_feature_count(self, separable_data):
+        X, y = separable_data
+        tree = DecisionTreeClassifier().fit(X, y)
+        with pytest.raises(ValueError):
+            tree.predict(np.zeros((3, 5)))
+
+    def test_invalid_hyperparameters_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_split=1)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_leaf=0)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_depth=0)
+
+    def test_max_features_option_values(self, separable_data):
+        X, y = separable_data
+        for option in ("sqrt", "log2", 0.5, 2):
+            tree = DecisionTreeClassifier(max_features=option, random_state=0).fit(X, y)
+            assert np.mean(tree.predict(X) == y) > 0.8
+
+    def test_unknown_max_features_string_rejected(self, separable_data):
+        X, y = separable_data
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_features="bogus").fit(X, y)
+
+
+class TestDecisionTreeRegressor:
+    def test_fits_piecewise_constant_function(self):
+        rng = np.random.default_rng(2)
+        X = rng.uniform(0, 1, size=(300, 2))
+        y = np.where(X[:, 0] > 0.5, 10.0, -10.0)
+        tree = DecisionTreeRegressor(max_depth=2).fit(X, y)
+        pred = tree.predict(X)
+        assert np.all(np.sign(pred) == np.sign(y))
+
+    def test_reduces_training_error_with_depth(self):
+        rng = np.random.default_rng(3)
+        X = rng.uniform(0, 1, size=(400, 1))
+        y = np.sin(4 * X[:, 0])
+        shallow = DecisionTreeRegressor(max_depth=1).fit(X, y)
+        deep = DecisionTreeRegressor(max_depth=6).fit(X, y)
+        err_shallow = np.mean((shallow.predict(X) - y) ** 2)
+        err_deep = np.mean((deep.predict(X) - y) ** 2)
+        assert err_deep < err_shallow
+
+    def test_constant_target_single_leaf(self):
+        X = np.random.default_rng(4).uniform(size=(40, 3))
+        y = np.full(40, 3.5)
+        tree = DecisionTreeRegressor().fit(X, y)
+        assert tree.node_count() == 1
+        assert np.allclose(tree.predict(X), 3.5)
+
+    def test_prediction_within_target_range(self):
+        rng = np.random.default_rng(5)
+        X = rng.uniform(size=(200, 2))
+        y = rng.uniform(-2, 7, size=200)
+        tree = DecisionTreeRegressor(max_depth=5).fit(X, y)
+        pred = tree.predict(X)
+        assert pred.min() >= y.min() - 1e-9
+        assert pred.max() <= y.max() + 1e-9
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit(np.zeros((0, 2)), np.zeros(0))
+
+
+class TestTreeNode:
+    def test_leaf_detection(self):
+        leaf = TreeNode(value=np.array([1.0]), n_samples=10, impurity=0.0)
+        assert leaf.is_leaf
+        parent = TreeNode(
+            value=np.array([0.5]), n_samples=20, impurity=0.5, feature=0,
+            threshold=0.3, left=leaf, right=leaf,
+        )
+        assert not parent.is_leaf
+        assert parent.node_count() == 3

@@ -1,0 +1,221 @@
+"""Tests for the workload catalog, sensitivity models, PMU features, memory behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.hypervisor.telemetry import TMA_FEATURE_NAMES
+from repro.workloads.catalog import (
+    CLASS_SIZES,
+    Workload,
+    WorkloadClass,
+    build_catalog,
+)
+from repro.workloads.generator import PMUFeatureGenerator
+from repro.workloads.memory_behavior import UntouchedMemoryModel, VMMemoryBehavior
+from repro.workloads.sensitivity import (
+    SCENARIO_182,
+    SCENARIO_222,
+    LatencyScenario,
+    scenario_for_pool_size,
+    slowdown_distribution,
+    slowdown_under_latency,
+    slowdown_under_spill,
+)
+
+
+class TestCatalog:
+    @pytest.fixture(scope="class")
+    def catalog(self):
+        return build_catalog(seed=7)
+
+    def test_catalog_has_158_workloads(self, catalog):
+        assert len(catalog) == 158
+        assert sum(CLASS_SIZES.values()) == 158
+
+    def test_class_sizes_match(self, catalog):
+        for workload_class, size in CLASS_SIZES.items():
+            assert len(catalog.by_class(workload_class)) == size
+
+    def test_unique_names_and_lookup(self, catalog):
+        assert len(set(catalog.names)) == 158
+        name = catalog.names[0]
+        assert catalog[name].name == name
+        assert name in catalog
+
+    def test_deterministic_given_seed(self):
+        a = build_catalog(seed=3)
+        b = build_catalog(seed=3)
+        assert a.names == b.names
+        assert np.allclose(a.sensitivities(), b.sensitivities())
+
+    def test_gapbs_more_sensitive_than_proprietary(self, catalog):
+        gapbs = np.median([w.latency_sensitivity for w in catalog.by_class(WorkloadClass.GAPBS)])
+        prop = np.median([
+            w.latency_sensitivity for w in catalog.by_class(WorkloadClass.PROPRIETARY)
+        ])
+        assert gapbs > prop
+
+    def test_truncated_catalog(self):
+        small = build_catalog(seed=1, n_workloads=10)
+        assert len(small) == 10
+
+    def test_workload_validation(self):
+        with pytest.raises(ValueError):
+            Workload(name="w", workload_class=WorkloadClass.REDIS,
+                     latency_sensitivity=-0.1, bandwidth_sensitivity=0.0,
+                     access_skew=1.0, footprint_gb=8.0, untouched_fraction=0.5)
+        with pytest.raises(ValueError):
+            Workload(name="w", workload_class=WorkloadClass.REDIS,
+                     latency_sensitivity=0.1, bandwidth_sensitivity=0.0,
+                     access_skew=5.0, footprint_gb=8.0, untouched_fraction=0.5)
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class")
+    def catalog(self):
+        return build_catalog(seed=7)
+
+    def test_scenario_ratios_match_paper(self):
+        assert SCENARIO_182.latency_increase_percent == pytest.approx(182.0, abs=1.0)
+        assert SCENARIO_222.latency_increase_percent == pytest.approx(221.7, abs=1.0)
+
+    def test_scenario_validation(self):
+        with pytest.raises(ValueError):
+            LatencyScenario("bad", local_latency_ns=100.0, pool_latency_ns=50.0)
+
+    def test_bucket_shape_at_182(self, catalog):
+        slowdowns = slowdown_distribution(list(catalog), SCENARIO_182)
+        below_1 = (slowdowns < 1.0).mean()
+        below_5 = (slowdowns < 5.0).mean()
+        above_25 = (slowdowns > 25.0).mean()
+        # Paper Section 3.3: 26% / 43% / 21%; allow generous tolerance.
+        assert 0.15 <= below_1 <= 0.35
+        assert 0.30 <= below_5 <= 0.52
+        assert 0.12 <= above_25 <= 0.32
+
+    def test_higher_latency_magnifies_slowdowns(self, catalog):
+        s182 = slowdown_distribution(list(catalog), SCENARIO_182)
+        s222 = slowdown_distribution(list(catalog), SCENARIO_222)
+        assert s222.mean() > s182.mean()
+        assert (s222 > 25.0).mean() > (s182 > 25.0).mean()
+
+    def test_slowdown_never_negative(self, catalog):
+        rng = np.random.default_rng(0)
+        for workload in list(catalog)[:20]:
+            assert slowdown_under_latency(workload, SCENARIO_182, noise_rng=rng) >= 0.0
+
+    def test_spill_slowdown_monotone_in_spill(self, catalog):
+        workload = max(catalog, key=lambda w: w.latency_sensitivity)
+        values = [slowdown_under_spill(workload, SCENARIO_182, s)
+                  for s in (0.0, 0.25, 0.5, 1.0)]
+        assert values[0] == 0.0
+        assert values == sorted(values)
+
+    def test_spill_one_equals_full_pool_slowdown(self, catalog):
+        workload = list(catalog)[0]
+        assert slowdown_under_spill(workload, SCENARIO_182, 1.0) == pytest.approx(
+            slowdown_under_latency(workload, SCENARIO_182)
+        )
+
+    def test_spill_fraction_validated(self, catalog):
+        with pytest.raises(ValueError):
+            slowdown_under_spill(list(catalog)[0], SCENARIO_182, 1.5)
+
+    def test_scenario_for_pool_size_uses_topology_latency(self):
+        scenario = scenario_for_pool_size(16)
+        assert scenario.pool_latency_ns == pytest.approx(180.0)
+        assert scenario_for_pool_size(8).pool_latency_ns == pytest.approx(155.0)
+
+
+class TestPMUFeatureGenerator:
+    @pytest.fixture(scope="class")
+    def catalog(self):
+        return build_catalog(seed=7)
+
+    def test_counters_are_valid_tma(self, catalog):
+        generator = PMUFeatureGenerator(seed=1)
+        rng = np.random.default_rng(1)
+        for workload in list(catalog)[:30]:
+            counters = generator.counters_for(workload, rng)
+            assert 0.0 <= counters.dram_latency_bound <= counters.memory_bound
+            assert counters.memory_bound <= counters.backend_bound <= 1.0
+
+    def test_dram_bound_correlates_with_sensitivity(self, catalog):
+        generator = PMUFeatureGenerator(seed=2)
+        rng = np.random.default_rng(2)
+        sensitivities = []
+        dram_bound = []
+        for workload in catalog:
+            sensitivities.append(workload.latency_sensitivity)
+            dram_bound.append(generator.counters_for(workload, rng).dram_latency_bound)
+        corr = np.corrcoef(sensitivities, dram_bound)[0, 1]
+        assert corr > 0.8
+
+    def test_training_set_shapes(self, catalog):
+        generator = PMUFeatureGenerator(seed=3)
+        training = generator.training_set(catalog, SCENARIO_182, samples_per_workload=2)
+        assert training.features.shape == (2 * len(catalog), len(TMA_FEATURE_NAMES))
+        assert len(training.slowdowns) == 2 * len(catalog)
+        labels = training.insensitive_labels(pdm_percent=5.0)
+        assert set(np.unique(labels)) <= {0, 1}
+
+    def test_workload_level_set_is_noiseless_and_per_workload(self, catalog):
+        generator = PMUFeatureGenerator(seed=4)
+        eval_set = generator.workload_level_set(catalog, SCENARIO_182)
+        assert len(eval_set) == len(catalog)
+
+    def test_invalid_samples_per_workload(self, catalog):
+        generator = PMUFeatureGenerator(seed=5)
+        with pytest.raises(ValueError):
+            generator.training_set(catalog, SCENARIO_182, samples_per_workload=0)
+
+
+class TestMemoryBehavior:
+    def test_population_median_untouched_near_half(self):
+        model = UntouchedMemoryModel(n_customers=200, seed=11)
+        rng = np.random.default_rng(11)
+        samples = [model.sample_untouched_fraction(model.sample_customer(rng), rng=rng)
+                   for _ in range(3000)]
+        assert 0.35 <= float(np.median(samples)) <= 0.65
+
+    def test_customer_consistency_reduces_variance(self):
+        model = UntouchedMemoryModel(n_customers=50, seed=12)
+        rng = np.random.default_rng(12)
+        per_customer_std = []
+        for customer in model.customer_ids[:20]:
+            draws = [model.sample_untouched_fraction(customer, rng=rng) for _ in range(40)]
+            per_customer_std.append(np.std(draws))
+        population = [model.sample_untouched_fraction(model.sample_customer(rng), rng=rng)
+                      for _ in range(800)]
+        assert np.mean(per_customer_std) < np.std(population)
+
+    def test_history_percentiles_are_sorted(self):
+        model = UntouchedMemoryModel(n_customers=10, seed=13)
+        history = model.customer_history_percentiles("customer-0000")
+        assert np.all(np.diff(history) >= 0)
+
+    def test_unknown_customer_rejected(self):
+        model = UntouchedMemoryModel(n_customers=5, seed=14)
+        with pytest.raises(KeyError):
+            model.profile("customer-9999")
+
+    def test_vm_memory_behavior_ramp(self):
+        behaviour = VMMemoryBehavior(memory_gb=64.0, untouched_fraction=0.5,
+                                     ramp_hours=2.0)
+        assert behaviour.touched_gb_at(0.0) <= behaviour.touched_gb_at(1.0)
+        assert behaviour.touched_gb_at(2.0) == pytest.approx(32.0)
+        assert behaviour.touched_gb_at(10.0) == pytest.approx(32.0)
+        assert behaviour.untouched_gb_at(10.0) == pytest.approx(32.0)
+
+    def test_minimum_untouched_label(self):
+        behaviour = VMMemoryBehavior(memory_gb=100.0, untouched_fraction=0.3)
+        assert behaviour.minimum_untouched_fraction(lifetime_hours=24.0) == pytest.approx(0.3)
+
+    def test_behavior_validation(self):
+        with pytest.raises(ValueError):
+            VMMemoryBehavior(memory_gb=0.0, untouched_fraction=0.5)
+        with pytest.raises(ValueError):
+            VMMemoryBehavior(memory_gb=8.0, untouched_fraction=1.5)
+        behaviour = VMMemoryBehavior(memory_gb=8.0, untouched_fraction=0.5)
+        with pytest.raises(ValueError):
+            behaviour.touched_gb_at(-1.0)
