@@ -2,9 +2,18 @@
 
 ``pip install -e . --no-build-isolation`` falls back to the legacy setup.py
 code path when PEP-517 wheel building is unavailable (this offline environment
-has setuptools but not wheel).  All project metadata lives in pyproject.toml.
+has setuptools but not wheel).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="pond-repro",
+    version="0.1.0",
+    description="Reproduction of Pond: CXL-Based Memory Pooling Systems for Cloud Platforms",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.8",
+    # The simulator, trace generator, and ML stack all import numpy.
+    install_requires=["numpy"],
+)

@@ -11,10 +11,14 @@ The paper's stranding analysis (Section 3.1) and end-to-end savings results
   CSV round-tripping.
 * :mod:`repro.cluster.tracegen` -- a synthetic trace generator whose knobs
   (target core utilisation, DRAM:core skew, lifetime distribution, customer
-  mix) reproduce the statistical conditions that cause stranding.
-* :mod:`repro.cluster.scheduler` -- the NUMA-aware bin-packing VM scheduler.
+  mix) reproduce the statistical conditions that cause stranding; its
+  ``generate_bulk`` path draws everything vectorized for 10^5..10^6-VM traces.
+* :mod:`repro.cluster.scheduler` -- the NUMA-aware bin-packing VM scheduler,
+  with an indexed candidate structure (default) and a legacy linear scan kept
+  for differential testing.
 * :mod:`repro.cluster.simulator` -- an event-driven cluster simulator tracking
-  per-server and per-pool memory at VM-event granularity.
+  per-server and per-pool memory at VM-event granularity over one merged
+  arrival/departure/sample event stream.
 * :mod:`repro.cluster.stranding` -- stranding metrics (Figure 2).
 * :mod:`repro.cluster.pool` -- pool dimensioning / DRAM-savings estimation
   (Figures 3 and 21).
@@ -24,7 +28,7 @@ from repro.cluster.server import ServerConfig, ClusterServer
 from repro.cluster.vm_types import VMType, VM_TYPE_CATALOG, sample_vm_type
 from repro.cluster.trace import VMTraceRecord, ClusterTrace
 from repro.cluster.tracegen import TraceGenerator, TraceGenConfig
-from repro.cluster.scheduler import VMScheduler, PlacementError
+from repro.cluster.scheduler import VMScheduler, PlacementError, SCHEDULER_STRATEGIES
 from repro.cluster.simulator import ClusterSimulator, SimulationResult
 from repro.cluster.stranding import StrandingAnalyzer, stranding_vs_utilization
 from repro.cluster.pool import PoolDimensioner, PoolSavings
@@ -41,6 +45,7 @@ __all__ = [
     "TraceGenConfig",
     "VMScheduler",
     "PlacementError",
+    "SCHEDULER_STRATEGIES",
     "ClusterSimulator",
     "SimulationResult",
     "StrandingAnalyzer",

@@ -22,9 +22,11 @@ peak-observation mode is kept for ablations.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.cluster.scheduler import validate_strategy
 from repro.cluster.simulator import ClusterSimulator, PoolPolicy, SimulationResult
 from repro.cluster.server import ServerConfig
 from repro.cluster.trace import ClusterTrace, VMTraceRecord
@@ -80,6 +82,7 @@ class PoolDimensioner:
         search_steps: int = 7,
         rejection_tolerance: float = 0.002,
         pool_headroom: float = 1.05,
+        scheduler_strategy: str = "indexed",
     ) -> None:
         if n_servers < 1:
             raise ValueError("need at least one server")
@@ -89,14 +92,27 @@ class PoolDimensioner:
             raise ValueError("rejection_tolerance cannot be negative")
         if pool_headroom < 1.0:
             raise ValueError("pool_headroom must be >= 1.0")
+        validate_strategy(scheduler_strategy)
         self.n_servers = n_servers
         self.server_config = server_config or ServerConfig()
         self.sample_interval_s = sample_interval_s
         self.search_steps = search_steps
         self.rejection_tolerance = rejection_tolerance
         self.pool_headroom = pool_headroom
-        self._baseline_cache: Dict[object, float] = {}
-        self._rejection_cache: Dict[int, int] = {}
+        self.scheduler_strategy = scheduler_strategy
+        # Keyed on the trace object via weak references: ``id(trace)`` keys
+        # (the previous scheme) are reused by CPython once a trace is garbage
+        # collected, which let a new trace silently inherit a stale baseline
+        # or rejection count.  Weak keys vanish with the trace instead.
+        self._baseline_cache: "weakref.WeakKeyDictionary[ClusterTrace, float]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._peak_baseline_cache: "weakref.WeakKeyDictionary[ClusterTrace, float]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._rejection_cache: "weakref.WeakKeyDictionary[ClusterTrace, int]" = (
+            weakref.WeakKeyDictionary()
+        )
 
     # -- simulation helpers -----------------------------------------------------------
     def _simulate(
@@ -125,16 +141,18 @@ class PoolDimensioner:
             pool_capacity_gb_per_group=pool_capacity_gb,
             constrain_memory=constrain,
             sample_interval_s=self.sample_interval_s,
+            scheduler_strategy=self.scheduler_strategy,
+            # Dimensioning only reads peaks and rejection counts.
+            record_placements=False,
         )
         return simulator.run(trace, policy=policy)
 
     def _core_only_rejections(self, trace: ClusterTrace) -> int:
         """Rejections due to core/NUMA fragmentation alone (memory unconstrained)."""
-        key = id(trace)
-        if key not in self._rejection_cache:
+        if trace not in self._rejection_cache:
             result = self._simulate(trace, None, 0, float("inf"), None)
-            self._rejection_cache[key] = result.rejected_vms
-        return self._rejection_cache[key]
+            self._rejection_cache[trace] = result.rejected_vms
+        return self._rejection_cache[trace]
 
     def _rejection_budget(self, trace: ClusterTrace) -> int:
         return self._core_only_rejections(trace) + max(1, int(self.rejection_tolerance * len(trace)))
@@ -170,11 +188,10 @@ class PoolDimensioner:
     # -- baseline ------------------------------------------------------------------
     def baseline_required_dram_gb(self, trace: ClusterTrace) -> float:
         """Required DRAM with every VM entirely on local memory (no pooling)."""
-        key = id(trace)
-        if key not in self._baseline_cache:
+        if trace not in self._baseline_cache:
             per_server = self._min_uniform_server_dram(trace, None, 0, 0.0)
-            self._baseline_cache[key] = per_server * self.n_servers
-        return self._baseline_cache[key]
+            self._baseline_cache[trace] = per_server * self.n_servers
+        return self._baseline_cache[trace]
 
     # -- pooled configurations --------------------------------------------------------
     def evaluate(
@@ -236,11 +253,10 @@ class PoolDimensioner:
 
     def peak_baseline_required_dram_gb(self, trace: ClusterTrace) -> float:
         """No-pooling baseline under uniform peak-observation provisioning."""
-        key = ("peak", id(trace))
-        if key not in self._baseline_cache:
+        if trace not in self._peak_baseline_cache:
             result = self._simulate(trace, None, 0, 0.0, None)
-            self._baseline_cache[key] = result.uniform_required_local_dram_gb
-        return self._baseline_cache[key]
+            self._peak_baseline_cache[trace] = result.uniform_required_local_dram_gb
+        return self._peak_baseline_cache[trace]
 
     def evaluate_capacity_search(
         self,

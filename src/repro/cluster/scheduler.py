@@ -14,15 +14,49 @@ for VM packing:
 * among the candidates, the server with the fewest free cores after placement
   wins (best fit on the scarce dimension, which is what packs cores tightly
   and exposes memory stranding).
+
+Two interchangeable strategies implement that heuristic:
+
+* ``strategy="indexed"`` (default) keeps servers bucketed by server-level free
+  cores, each bucket a sorted list of ``(free_local_gb, server_index)``.  A
+  placement walks buckets from the fewest feasible free cores upwards and
+  returns the first candidate whose NUMA nodes and pool group actually fit,
+  which visits the servers in exactly the best-fit preference order of the
+  linear scan.  Placement cost is O(total_cores + log n) instead of
+  O(n_servers), which is what makes million-event traces tractable.
+* ``strategy="linear"`` is the legacy full scan, kept for differential
+  testing; both strategies must produce identical placement decisions.
+
+All server mutations must go through :meth:`place` / :meth:`remove` so the
+index and the aggregate counters stay coherent.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from bisect import bisect_left, insort
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.server import ClusterServer
 
-__all__ = ["VMScheduler", "PlacementError"]
+__all__ = [
+    "VMScheduler",
+    "PlacementError",
+    "SCHEDULER_STRATEGIES",
+    "validate_strategy",
+]
+
+#: Valid values for the ``strategy`` constructor argument.
+SCHEDULER_STRATEGIES = ("indexed", "linear")
+
+
+def validate_strategy(strategy: str) -> str:
+    """Validate a scheduler-strategy name; returns it for chaining."""
+    if strategy not in SCHEDULER_STRATEGIES:
+        raise ValueError(
+            f"unknown scheduler strategy {strategy!r}; "
+            f"expected one of {SCHEDULER_STRATEGIES}"
+        )
+    return strategy
 
 
 class PlacementError(RuntimeError):
@@ -34,14 +68,56 @@ class VMScheduler:
 
     def __init__(self, servers: Sequence[ClusterServer],
                  pool_free_gb: Optional[Dict[int, float]] = None,
-                 server_pool_group: Optional[Dict[str, int]] = None) -> None:
+                 server_pool_group: Optional[Dict[str, int]] = None,
+                 strategy: str = "indexed") -> None:
         if not servers:
             raise ValueError("the scheduler needs at least one server")
         self.servers: List[ClusterServer] = list(servers)
+        self.strategy = validate_strategy(strategy)
         #: pool group id -> free pool GB (shared by the simulator).
         self.pool_free_gb: Dict[int, float] = pool_free_gb if pool_free_gb is not None else {}
         #: server id -> pool group id.
         self.server_pool_group: Dict[str, int] = server_pool_group or {}
+        self._server_index: Dict[str, int] = {
+            s.server_id: i for i, s in enumerate(self.servers)
+        }
+        if len(self._server_index) != len(self.servers):
+            raise ValueError("server ids must be unique")
+        # Aggregate counters so the simulator can sample cluster state in O(1)
+        # instead of re-summing every server each sample.
+        self.total_cores = sum(s.total_cores for s in self.servers)
+        self.used_cores = sum(s.used_cores for s in self.servers)
+        self.used_local_gb = float(sum(s.used_local_gb for s in self.servers))
+        self.stranded_gb = float(sum(s.stranded_gb for s in self.servers))
+        self.running_vms = sum(s.n_vms for s in self.servers)
+        if strategy == "indexed":
+            self._build_index()
+
+    # -- candidate index ---------------------------------------------------------------
+    def _build_index(self) -> None:
+        max_cores = max(s.total_cores for s in self.servers)
+        #: free-core count -> sorted [(free_local_gb, server_index), ...]
+        self._buckets: List[List[Tuple[float, int]]] = [
+            [] for _ in range(max_cores + 1)
+        ]
+        #: server index -> its current (free_cores, free_local_gb) bucket key.
+        self._bucket_key: List[Tuple[int, float]] = [(0, 0.0)] * len(self.servers)
+        for idx, server in enumerate(self.servers):
+            key = (server.free_cores, server.free_local_gb)
+            self._bucket_key[idx] = key
+            insort(self._buckets[key[0]], (key[1], idx))
+
+    def _reindex(self, server: ClusterServer) -> None:
+        idx = self._server_index[server.server_id]
+        old_cores, old_gb = self._bucket_key[idx]
+        new_key = (server.free_cores, server.free_local_gb)
+        if new_key == (old_cores, old_gb):
+            return
+        bucket = self._buckets[old_cores]
+        pos = bisect_left(bucket, (old_gb, idx))
+        del bucket[pos]
+        insort(self._buckets[new_key[0]], (new_key[1], idx))
+        self._bucket_key[idx] = new_key
 
     def _pool_free_for(self, server: ClusterServer) -> float:
         group = self.server_pool_group.get(server.server_id)
@@ -49,8 +125,9 @@ class VMScheduler:
             return 0.0
         return self.pool_free_gb.get(group, 0.0)
 
-    def select_server(self, cores: int, local_gb: float, pool_gb: float) -> ClusterServer:
-        """Pick the best-fit server for the request; raise if none fits."""
+    # -- selection ---------------------------------------------------------------------
+    def _select_linear(self, cores: int, local_gb: float,
+                       pool_gb: float) -> Optional[ClusterServer]:
         best: Optional[ClusterServer] = None
         best_key = None
         for server in self.servers:
@@ -61,6 +138,33 @@ class VMScheduler:
             if best_key is None or key < best_key:
                 best = server
                 best_key = key
+        return best
+
+    def _select_indexed(self, cores: int, local_gb: float,
+                        pool_gb: float) -> Optional[ClusterServer]:
+        servers = self.servers
+        need_pool = pool_gb > 0
+        buckets = self._buckets
+        # A feasible server needs a NUMA node with >= cores free, so its
+        # server-level free cores are >= cores as well; walking free-core
+        # buckets upwards visits candidates in best-fit order (the in-bucket
+        # sort breaks ties by free memory, then by server position, exactly
+        # like the linear scan's strict ``<`` comparison).
+        for free in range(cores, len(buckets)):
+            for _, idx in buckets[free]:
+                server = servers[idx]
+                if need_pool and pool_gb > self._pool_free_for(server) + 1e-9:
+                    continue
+                if server.find_numa_node(cores, local_gb) is not None:
+                    return server
+        return None
+
+    def select_server(self, cores: int, local_gb: float, pool_gb: float) -> ClusterServer:
+        """Pick the best-fit server for the request; raise if none fits."""
+        if self.strategy == "indexed":
+            best = self._select_indexed(cores, local_gb, pool_gb)
+        else:
+            best = self._select_linear(cores, local_gb, pool_gb)
         if best is None:
             raise PlacementError(
                 f"no server fits {cores} cores, {local_gb:.1f} GB local, "
@@ -68,9 +172,11 @@ class VMScheduler:
             )
         return best
 
+    # -- placement ---------------------------------------------------------------------
     def place(self, vm_id: str, cores: int, local_gb: float, pool_gb: float) -> ClusterServer:
         """Select a server and commit the placement, including pool accounting."""
         server = self.select_server(cores, local_gb, pool_gb)
+        stranded_before = server.stranded_gb
         server.place(vm_id, cores, local_gb, pool_gb)
         if pool_gb > 0:
             group = self.server_pool_group.get(server.server_id)
@@ -81,12 +187,25 @@ class VMScheduler:
                     f"{pool_gb:.1f} GB of pool memory was requested"
                 )
             self.pool_free_gb[group] -= pool_gb
+        self.used_cores += cores
+        self.used_local_gb += local_gb
+        self.stranded_gb += server.stranded_gb - stranded_before
+        self.running_vms += 1
+        if self.strategy == "indexed":
+            self._reindex(server)
         return server
 
     def remove(self, vm_id: str, server: ClusterServer) -> None:
         """Remove a VM from its server and return its pool memory to the group."""
-        _, _, _, pool_gb = server.remove(vm_id)
+        stranded_before = server.stranded_gb
+        _, cores, local_gb, pool_gb = server.remove(vm_id)
         if pool_gb > 0:
             group = self.server_pool_group.get(server.server_id)
             if group is not None:
                 self.pool_free_gb[group] += pool_gb
+        self.used_cores -= cores
+        self.used_local_gb -= local_gb
+        self.stranded_gb += server.stranded_gb - stranded_before
+        self.running_vms -= 1
+        if self.strategy == "indexed":
+            self._reindex(server)

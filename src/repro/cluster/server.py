@@ -6,11 +6,16 @@ to process millions of VM events, so :class:`ClusterServer` keeps only the
 counters the stranding and pooling analyses need (used cores and memory per
 NUMA node, plus peak memory usage) rather than the full hypervisor object
 model in :mod:`repro.hypervisor.host`.
+
+Because :meth:`ClusterServer.find_numa_node` sits on the scheduler's innermost
+loop, the class maintains scalar running totals (``used_cores``,
+``used_local_gb``) alongside the per-node lists instead of re-summing them on
+every access.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 __all__ = ["ServerConfig", "ClusterServer"]
@@ -49,6 +54,13 @@ class ServerConfig:
 class ClusterServer:
     """Per-server core/memory accounting at NUMA-node granularity."""
 
+    __slots__ = (
+        "server_id", "config", "node_used_cores", "node_used_local_gb",
+        "pool_used_gb", "_placements", "peak_local_gb", "peak_pool_gb",
+        "_total_cores", "_total_dram_gb", "_cores_per_socket",
+        "_dram_per_socket_gb", "_used_cores", "_used_local_gb",
+    )
+
     def __init__(self, server_id: str, config: ServerConfig) -> None:
         self.server_id = server_id
         self.config = config
@@ -59,48 +71,55 @@ class ClusterServer:
         self._placements: Dict[str, Tuple[int, int, float, float]] = {}
         self.peak_local_gb: float = 0.0
         self.peak_pool_gb: float = 0.0
+        # Hot-path scalars: the scheduler reads these on every candidate check.
+        self._total_cores = config.total_cores
+        self._total_dram_gb = config.total_dram_gb
+        self._cores_per_socket = config.cores_per_socket
+        self._dram_per_socket_gb = config.dram_per_socket_gb
+        self._used_cores = 0
+        self._used_local_gb = 0.0
 
     # -- capacity ------------------------------------------------------------------
     @property
     def total_cores(self) -> int:
-        return self.config.total_cores
+        return self._total_cores
 
     @property
     def total_dram_gb(self) -> float:
-        return self.config.total_dram_gb
+        return self._total_dram_gb
 
     @property
     def used_cores(self) -> int:
-        return sum(self.node_used_cores)
+        return self._used_cores
 
     @property
     def used_local_gb(self) -> float:
-        return sum(self.node_used_local_gb)
+        return self._used_local_gb
 
     @property
     def free_cores(self) -> int:
-        return self.total_cores - self.used_cores
+        return self._total_cores - self._used_cores
 
     @property
     def free_local_gb(self) -> float:
-        return self.total_dram_gb - self.used_local_gb
+        return self._total_dram_gb - self._used_local_gb
 
     def node_free_cores(self, node: int) -> int:
-        return self.config.cores_per_socket - self.node_used_cores[node]
+        return self._cores_per_socket - self.node_used_cores[node]
 
     def node_free_local_gb(self, node: int) -> float:
-        return self.config.dram_per_socket_gb - self.node_used_local_gb[node]
+        return self._dram_per_socket_gb - self.node_used_local_gb[node]
 
     @property
     def core_utilization(self) -> float:
-        return self.used_cores / self.total_cores
+        return self._used_cores / self._total_cores
 
     @property
     def stranded_gb(self) -> float:
         """Memory stranded on this server: free DRAM when all cores are rented."""
-        if self.free_cores > 0:
+        if self._used_cores < self._total_cores:
             return 0.0
-        return self.free_local_gb
+        return self._total_dram_gb - self._used_local_gb
 
     @property
     def n_vms(self) -> int:
@@ -113,15 +132,19 @@ class ClusterServer:
         Mirrors the hypervisor's preference to place small VMs entirely within
         one NUMA node; the fullest node that still fits is chosen (best fit).
         """
+        node_cores = self.node_used_cores
+        node_gb = self.node_used_local_gb
+        cores_limit = self._cores_per_socket - cores
+        gb_limit = self._dram_per_socket_gb - local_gb + 1e-9
         best_node = None
-        best_free = None
-        for node in range(self.config.sockets):
-            if self.node_free_cores(node) >= cores and \
-                    self.node_free_local_gb(node) >= local_gb - 1e-9:
-                free = self.node_free_cores(node)
-                if best_free is None or free < best_free:
+        best_used = -1
+        for node in range(len(node_cores)):
+            used = node_cores[node]
+            if used <= cores_limit and node_gb[node] <= gb_limit:
+                # Fullest node that still fits == most used cores.
+                if used > best_used:
                     best_node = node
-                    best_free = free
+                    best_used = used
         return best_node
 
     def can_place(self, cores: int, local_gb: float, pool_available_gb: float,
@@ -144,10 +167,14 @@ class ClusterServer:
             )
         self.node_used_cores[node] += cores
         self.node_used_local_gb[node] += local_gb
+        self._used_cores += cores
+        self._used_local_gb += local_gb
         self.pool_used_gb += pool_gb
         self._placements[vm_id] = (node, cores, local_gb, pool_gb)
-        self.peak_local_gb = max(self.peak_local_gb, self.used_local_gb)
-        self.peak_pool_gb = max(self.peak_pool_gb, self.pool_used_gb)
+        if self._used_local_gb > self.peak_local_gb:
+            self.peak_local_gb = self._used_local_gb
+        if self.pool_used_gb > self.peak_pool_gb:
+            self.peak_pool_gb = self.pool_used_gb
         return node
 
     def remove(self, vm_id: str) -> Tuple[int, int, float, float]:
@@ -158,11 +185,20 @@ class ClusterServer:
         node, cores, local_gb, pool_gb = placement
         self.node_used_cores[node] -= cores
         self.node_used_local_gb[node] -= local_gb
+        self._used_cores -= cores
+        self._used_local_gb -= local_gb
         self.pool_used_gb -= pool_gb
         return placement
 
     def has_vm(self, vm_id: str) -> bool:
         return vm_id in self._placements
+
+    def placement(self, vm_id: str) -> Tuple[int, int, float, float]:
+        """Look up a VM's (node, cores, local_gb, pool_gb) placement."""
+        placement = self._placements.get(vm_id)
+        if placement is None:
+            raise KeyError(f"server {self.server_id} has no VM {vm_id!r}")
+        return placement
 
     def summary(self) -> Dict[str, float]:
         return {

@@ -14,6 +14,16 @@ Two usage modes matter:
   how much of each VM's memory goes to the pool.  The per-server local peaks
   and per-pool-group peaks then give the DRAM that *would have to be
   provisioned* under that policy, which is how DRAM savings are computed.
+
+The main loop consumes one merged, time-ordered stream of arrival, departure,
+and sample events.  At equal timestamps the order is departures, then the
+sample, then the arrival: a snapshot at time *t* therefore reflects exactly
+the VMs running at *t* (departures up to and including *t* applied, arrivals
+at *t* not yet placed), which VM traces with millions of events rely on for
+correct time series.  The one exception is the final horizon sample, which is
+taken after every arrival has been placed so it captures the cluster's true
+end state.  Samples are stored in preallocated numpy columns rather
+than per-sample objects so multi-year traces sample cheaply.
 """
 
 from __future__ import annotations
@@ -24,7 +34,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.cluster.scheduler import PlacementError, VMScheduler
+from repro.cluster.scheduler import PlacementError, VMScheduler, validate_strategy
 from repro.cluster.server import ClusterServer, ServerConfig
 from repro.cluster.trace import ClusterTrace, VMTraceRecord
 
@@ -32,6 +42,18 @@ __all__ = ["ClusterSimulator", "SimulationResult", "SimulationSample"]
 
 #: A policy maps a trace record to the GB of the VM's memory placed on the pool.
 PoolPolicy = Callable[[VMTraceRecord], float]
+
+#: Column order of the sample buffer; must match SimulationSample's fields.
+_SAMPLE_COLUMNS = (
+    "time_s",
+    "core_utilization",
+    "scheduled_cores_percent",
+    "used_local_gb",
+    "used_pool_gb",
+    "stranded_gb",
+    "stranded_percent",
+    "running_vms",
+)
 
 
 @dataclass(frozen=True)
@@ -48,18 +70,102 @@ class SimulationSample:
     running_vms: int
 
 
+class SampleBuffer:
+    """Preallocated columnar storage for simulation samples.
+
+    Appending writes one row into a (capacity, n_columns) float array that
+    doubles when full, so recording a sample is O(1) with no per-sample object
+    allocation.  Columns are exposed as numpy views.
+    """
+
+    def __init__(self, initial_capacity: int = 256) -> None:
+        if initial_capacity < 1:
+            raise ValueError("initial capacity must be >= 1")
+        self._data = np.empty((initial_capacity, len(_SAMPLE_COLUMNS)), dtype=np.float64)
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def append_row(self, row: Sequence[float]) -> None:
+        if self._count == self._data.shape[0]:
+            grown = np.empty((2 * self._data.shape[0], self._data.shape[1]),
+                             dtype=np.float64)
+            grown[: self._count] = self._data
+            self._data = grown
+        self._data[self._count] = row
+        self._count += 1
+
+    def drop_last(self) -> None:
+        if self._count < 1:
+            raise IndexError("no samples to drop")
+        self._count -= 1
+
+    def column(self, name: str) -> np.ndarray:
+        try:
+            col = _SAMPLE_COLUMNS.index(name)
+        except ValueError:
+            raise AttributeError(f"unknown sample attribute {name!r}") from None
+        return self._data[: self._count, col]
+
+    def rows(self) -> np.ndarray:
+        return self._data[: self._count]
+
+
 @dataclass
 class SimulationResult:
     """Output of one simulation run."""
 
-    samples: List[SimulationSample] = field(default_factory=list)
+    sample_buffer: SampleBuffer = field(default_factory=SampleBuffer)
     server_peak_local_gb: Dict[str, float] = field(default_factory=dict)
     server_peak_total_gb: Dict[str, float] = field(default_factory=dict)
     pool_peak_gb: Dict[int, float] = field(default_factory=dict)
+    #: vm_id -> server_id for every placed VM (differential-testing hook).
+    placements: Dict[str, str] = field(default_factory=dict)
     placed_vms: int = 0
     rejected_vms: int = 0
     total_pool_gb_allocated: float = 0.0
     total_memory_gb_allocated: float = 0.0
+    _samples_cache: Optional[List[SimulationSample]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    # -- sample access -----------------------------------------------------------
+    @property
+    def n_samples(self) -> int:
+        return len(self.sample_buffer)
+
+    @property
+    def samples(self) -> List[SimulationSample]:
+        """Materialised per-sample view (compatibility with older callers).
+
+        The list is built lazily from the columnar buffer and cached, so
+        repeated access after a run costs nothing beyond the first call.
+        """
+        if (self._samples_cache is not None
+                and len(self._samples_cache) == len(self.sample_buffer)):
+            return self._samples_cache
+        rows = self.sample_buffer.rows()
+        self._samples_cache = [
+            SimulationSample(
+                time_s=float(r[0]),
+                core_utilization=float(r[1]),
+                scheduled_cores_percent=float(r[2]),
+                used_local_gb=float(r[3]),
+                used_pool_gb=float(r[4]),
+                stranded_gb=float(r[5]),
+                stranded_percent=float(r[6]),
+                running_vms=int(r[7]),
+            )
+            for r in rows
+        ]
+        return self._samples_cache
+
+    def sample_array(self, attribute: str) -> np.ndarray:
+        column = self.sample_buffer.column(attribute)
+        if attribute == "running_vms":
+            return column.astype(np.int64)
+        return column.copy()
 
     # -- aggregate views ---------------------------------------------------------
     @property
@@ -101,9 +207,6 @@ class SimulationResult:
             return 0.0
         return self.total_pool_gb_allocated / self.total_memory_gb_allocated
 
-    def sample_array(self, attribute: str) -> np.ndarray:
-        return np.array([getattr(s, attribute) for s in self.samples])
-
 
 class ClusterSimulator:
     """Replays one cluster trace against a simulated cluster."""
@@ -116,6 +219,8 @@ class ClusterSimulator:
         pool_capacity_gb_per_group: float = float("inf"),
         constrain_memory: bool = True,
         sample_interval_s: float = 3600.0,
+        scheduler_strategy: str = "indexed",
+        record_placements: bool = True,
     ) -> None:
         if n_servers < 1:
             raise ValueError("need at least one server")
@@ -123,6 +228,7 @@ class ClusterSimulator:
             raise ValueError("sample interval must be positive")
         if pool_size_sockets < 0:
             raise ValueError("pool size cannot be negative")
+        validate_strategy(scheduler_strategy)
         self.server_config = server_config or ServerConfig()
         if pool_size_sockets and pool_size_sockets % self.server_config.sockets != 0:
             raise ValueError(
@@ -133,6 +239,10 @@ class ClusterSimulator:
         self.pool_capacity_gb_per_group = pool_capacity_gb_per_group
         self.constrain_memory = constrain_memory
         self.sample_interval_s = sample_interval_s
+        self.scheduler_strategy = scheduler_strategy
+        #: Recording vm_id -> server_id costs one dict insert per placement
+        #: (and O(n_vms) memory); searches that never read it can turn it off.
+        self.record_placements = record_placements
 
     # -- construction of the simulated cluster -----------------------------------
     def _build_cluster(self) -> Tuple[List[ClusterServer], Dict[str, int], Dict[int, float]]:
@@ -170,51 +280,83 @@ class ClusterSimulator:
         not dilute the time series with an emptying cluster.
         """
         servers, server_pool_group, pool_free = self._build_cluster()
-        scheduler = VMScheduler(servers, pool_free, server_pool_group)
+        scheduler = VMScheduler(
+            servers, pool_free, server_pool_group, strategy=self.scheduler_strategy
+        )
         result = SimulationResult()
+        buffer = result.sample_buffer
 
         # Departure events: (time, sequence, vm_id, server).
         departures: List[Tuple[float, int, str, ClusterServer]] = []
         seq = 0
+        sample_interval = self.sample_interval_s
         next_sample_time = 0.0
+        last_sample_time: Optional[float] = None
         pool_used: Dict[int, float] = {g: 0.0 for g in pool_free}
         pool_peak: Dict[int, float] = {g: 0.0 for g in pool_free}
+        record_placements = self.record_placements
+        total_cores = scheduler.total_cores
+        total_dram = self.n_servers * self.server_config.total_dram_gb
+        inf = float("inf")
 
-        def process_departures(until_s: float) -> None:
-            nonlocal pool_used
-            while departures and departures[0][0] <= until_s:
-                _, _, vm_id, server = heapq.heappop(departures)
-                group = server_pool_group.get(server.server_id)
-                if group is not None and server.has_vm(vm_id):
-                    pool_gb = server._placements[vm_id][3]
-                    pool_used[group] -= pool_gb
-                scheduler.remove(vm_id, server)
+        def process_one_departure() -> None:
+            _, _, vm_id, server = heapq.heappop(departures)
+            group = server_pool_group.get(server.server_id)
+            if group is not None:
+                pool_gb = server.placement(vm_id)[3]
+                remaining = pool_used[group] - pool_gb
+                if remaining < 0.0:
+                    # Clamp the tiny negative float drift repeated +=/-= of
+                    # policy fractions accumulates; real imbalances stay loud.
+                    if remaining < -1e-6:
+                        raise RuntimeError(
+                            f"pool group {group} accounting went negative "
+                            f"({remaining} GB) -- simulator bug"
+                        )
+                    remaining = 0.0
+                pool_used[group] = remaining
+            scheduler.remove(vm_id, server)
 
         def take_sample(time_s: float) -> None:
-            total_cores = sum(s.total_cores for s in servers)
-            used_cores = sum(s.used_cores for s in servers)
-            used_local = sum(s.used_local_gb for s in servers)
-            used_pool = sum(pool_used.values())
-            stranded = sum(s.stranded_gb for s in servers)
-            total_dram = self.n_servers * self.server_config.total_dram_gb
-            result.samples.append(
-                SimulationSample(
-                    time_s=time_s,
-                    core_utilization=used_cores / total_cores,
-                    scheduled_cores_percent=100.0 * used_cores / total_cores,
-                    used_local_gb=used_local,
-                    used_pool_gb=used_pool,
-                    stranded_gb=stranded,
-                    stranded_percent=100.0 * stranded / total_dram,
-                    running_vms=sum(s.n_vms for s in servers),
-                )
-            )
+            nonlocal last_sample_time
+            used_cores = scheduler.used_cores
+            stranded = scheduler.stranded_gb
+            if stranded < 0.0:
+                stranded = 0.0
+            buffer.append_row((
+                time_s,
+                used_cores / total_cores,
+                100.0 * used_cores / total_cores,
+                scheduler.used_local_gb,
+                sum(pool_used.values()),
+                stranded,
+                100.0 * stranded / total_dram,
+                scheduler.running_vms,
+            ))
+            last_sample_time = time_s
+
+        def advance_to(time_s: float) -> None:
+            """Apply all departure and sample events up to ``time_s``.
+
+            The merged stream pops whichever of the two pending event times is
+            smaller; on a tie the departure goes first, so a sample at *t*
+            counts exactly the VMs still running at *t*.
+            """
+            nonlocal next_sample_time
+            while True:
+                departure_time = departures[0][0] if departures else inf
+                if departure_time <= next_sample_time:
+                    if departure_time > time_s:
+                        return
+                    process_one_departure()
+                else:
+                    if next_sample_time > time_s:
+                        return
+                    take_sample(next_sample_time)
+                    next_sample_time += sample_interval
 
         for record in trace:
-            process_departures(record.arrival_s)
-            while next_sample_time <= record.arrival_s:
-                take_sample(next_sample_time)
-                next_sample_time += self.sample_interval_s
+            advance_to(record.arrival_s)
 
             pool_gb = 0.0
             if policy is not None and self.pool_size_sockets:
@@ -228,26 +370,33 @@ class ClusterSimulator:
                 continue
 
             result.placed_vms += 1
+            if record_placements:
+                result.placements[record.vm_id] = server.server_id
             result.total_memory_gb_allocated += record.memory_gb
             result.total_pool_gb_allocated += pool_gb
             group = server_pool_group.get(server.server_id)
             if group is not None and pool_gb > 0:
                 pool_used[group] += pool_gb
-                pool_peak[group] = max(pool_peak[group], pool_used[group])
+                if pool_used[group] > pool_peak[group]:
+                    pool_peak[group] = pool_used[group]
             seq += 1
             heapq.heappush(departures, (record.departure_s, seq, record.vm_id, server))
 
-        # Drain remaining departures and finish sampling up to the horizon.
+        # Drain remaining departures and finish sampling up to the horizon,
+        # then capture the final cluster state at the horizon exactly once.
+        # Unlike grid samples, the horizon sample always reflects *post*-
+        # arrival state (every arrival has been placed by now); if the grid
+        # landed exactly on the horizon, that earlier pre-arrival row is
+        # replaced so the series stays strictly time-ordered without
+        # understating the endpoint.
         end_time = horizon_s if horizon_s is not None else trace.arrival_span_s
-        while next_sample_time <= end_time:
-            process_departures(next_sample_time)
-            take_sample(next_sample_time)
-            next_sample_time += self.sample_interval_s
-        # Always capture the final cluster state at the horizon so short traces
-        # (shorter than one sample interval) still produce a meaningful sample.
-        process_departures(end_time)
-        take_sample(end_time)
-        process_departures(float("inf"))
+        advance_to(end_time)
+        if last_sample_time is None or last_sample_time <= end_time:
+            if last_sample_time is not None and last_sample_time == end_time:
+                buffer.drop_last()
+            take_sample(end_time)
+        while departures:
+            process_one_departure()
 
         for server in servers:
             result.server_peak_local_gb[server.server_id] = server.peak_local_gb

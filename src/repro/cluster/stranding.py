@@ -84,7 +84,7 @@ class StrandingAnalyzer:
         """Mean stranded-memory percentage per cluster."""
         return {
             cluster: float(result.sample_array("stranded_percent").mean())
-            if result.samples else 0.0
+            if result.n_samples else 0.0
             for cluster, result in self.results.items()
         }
 
@@ -92,7 +92,7 @@ class StrandingAnalyzer:
         """Percentile of stranding across all samples of all clusters."""
         values = np.concatenate(
             [r.sample_array("stranded_percent") for r in self.results.values()
-             if r.samples]
+             if r.n_samples]
         )
         if values.size == 0:
             raise RuntimeError("no samples available")

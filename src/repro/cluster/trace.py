@@ -13,7 +13,7 @@ to look up latency sensitivity.
 from __future__ import annotations
 
 import csv
-from dataclasses import dataclass, fields
+from dataclasses import MISSING, dataclass, fields
 from pathlib import Path
 from typing import Iterable, Iterator, List, Optional, Sequence
 
@@ -132,29 +132,51 @@ class ClusterTrace:
             for record in self.records:
                 writer.writerow({name: getattr(record, name) for name in field_names})
 
+    #: Converters for the non-string record fields (CSV stores text only).
+    _CSV_CONVERTERS = {
+        "arrival_s": float,
+        "lifetime_s": float,
+        "cores": lambda value: int(float(value)),
+        "memory_gb": float,
+        "untouched_fraction": float,
+    }
+
     @classmethod
     def from_csv(cls, path) -> "ClusterTrace":
-        """Load a trace previously written by :meth:`to_csv`."""
+        """Load a trace previously written by :meth:`to_csv`.
+
+        Columns for optional :class:`VMTraceRecord` fields may be absent (or
+        empty for non-string fields); the dataclass defaults are used, so
+        external traces carrying only the required arrival/departure/demand
+        columns load cleanly.  Missing *required* columns raise ``ValueError``.
+        """
         path = Path(path)
+        record_fields = fields(VMTraceRecord)
         records: List[VMTraceRecord] = []
         with path.open("r", newline="") as handle:
             reader = csv.DictReader(handle)
-            for row in reader:
-                records.append(
-                    VMTraceRecord(
-                        vm_id=row["vm_id"],
-                        cluster_id=row["cluster_id"],
-                        arrival_s=float(row["arrival_s"]),
-                        lifetime_s=float(row["lifetime_s"]),
-                        cores=int(row["cores"]),
-                        memory_gb=float(row["memory_gb"]),
-                        customer_id=row["customer_id"],
-                        vm_family=row["vm_family"],
-                        guest_os=row["guest_os"],
-                        region=row["region"],
-                        workload_name=row["workload_name"],
-                        untouched_fraction=float(row["untouched_fraction"]),
-                        server_id=row["server_id"],
-                    )
-                )
+            for line, row in enumerate(reader, start=2):
+                kwargs = {}
+                for f in record_fields:
+                    value = row.get(f.name)
+                    required = f.default is MISSING
+                    if value is None or value == "":
+                        if required:
+                            detail = (
+                                f"empty value on line {line} for"
+                                if value == "" else "missing"
+                            )
+                            raise ValueError(
+                                f"{path}: {detail} required column {f.name!r}"
+                            )
+                        continue
+                    converter = cls._CSV_CONVERTERS.get(f.name)
+                    try:
+                        kwargs[f.name] = converter(value) if converter else value
+                    except ValueError as exc:
+                        raise ValueError(
+                            f"{path} line {line}: bad value {value!r} for "
+                            f"column {f.name!r}"
+                        ) from exc
+                records.append(VMTraceRecord(**kwargs))
         return cls(records)

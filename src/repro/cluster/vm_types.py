@@ -10,11 +10,18 @@ optimised ~2 GB/core) across several core counts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["VMType", "VM_TYPE_CATALOG", "sample_vm_type", "vm_mix_dram_per_core"]
+__all__ = [
+    "VMType",
+    "VM_TYPE_CATALOG",
+    "family_probabilities",
+    "family_size_distribution",
+    "sample_vm_type",
+    "vm_mix_dram_per_core",
+]
 
 
 @dataclass(frozen=True)
@@ -76,11 +83,14 @@ def get_vm_type(name: str) -> VMType:
     return _CATALOG_BY_NAME[name]
 
 
-def sample_vm_type(
-    rng: np.random.Generator,
+def family_probabilities(
     family_weights: Optional[Dict[str, float]] = None,
-) -> VMType:
-    """Sample a VM type: family by weight, size by a power-law popularity."""
+) -> Tuple[List[str], np.ndarray]:
+    """Normalised family sampling distribution (defaults merged with overrides).
+
+    Single source of truth for both the per-VM sampler below and the bulk
+    trace-generation path.
+    """
     weights = dict(DEFAULT_FAMILY_WEIGHTS)
     if family_weights:
         weights.update(family_weights)
@@ -89,12 +99,31 @@ def sample_vm_type(
     if probs.sum() <= 0:
         raise ValueError("family weights must not all be zero")
     probs /= probs.sum()
-    family = str(rng.choice(families, p=probs))
-    candidates = [t for t in VM_TYPE_CATALOG if t.family == family]
-    size_weights = np.array([t.cores ** _SIZE_WEIGHT_EXPONENT for t in candidates])
+    return families, probs
+
+
+def family_size_distribution(family: str) -> Tuple[List[int], np.ndarray]:
+    """Catalog indices of one family and their power-law size popularity."""
+    indices = [i for i, t in enumerate(VM_TYPE_CATALOG) if t.family == family]
+    if not indices:
+        raise KeyError(f"no catalog entries for family {family!r}")
+    size_weights = np.array(
+        [VM_TYPE_CATALOG[i].cores ** _SIZE_WEIGHT_EXPONENT for i in indices]
+    )
     size_weights /= size_weights.sum()
-    idx = int(rng.choice(len(candidates), p=size_weights))
-    return candidates[idx]
+    return indices, size_weights
+
+
+def sample_vm_type(
+    rng: np.random.Generator,
+    family_weights: Optional[Dict[str, float]] = None,
+) -> VMType:
+    """Sample a VM type: family by weight, size by a power-law popularity."""
+    families, probs = family_probabilities(family_weights)
+    family = str(rng.choice(families, p=probs))
+    indices, size_weights = family_size_distribution(family)
+    idx = int(rng.choice(len(indices), p=size_weights))
+    return VM_TYPE_CATALOG[indices[idx]]
 
 
 def vm_mix_dram_per_core(

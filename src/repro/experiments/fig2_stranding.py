@@ -58,7 +58,7 @@ def run_stranding_study(
     analyzer = StrandingAnalyzer(results)
     buckets = stranding_vs_utilization(list(results.values()))
     all_samples = np.concatenate(
-        [r.sample_array("stranded_percent") for r in results.values() if r.samples]
+        [r.sample_array("stranded_percent") for r in results.values() if r.n_samples]
     )
     return StrandingStudy(
         buckets=buckets,

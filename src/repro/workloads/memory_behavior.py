@@ -91,6 +91,14 @@ class UntouchedMemoryModel:
         rng = rng or self._rng
         return str(rng.choice(self.customer_ids))
 
+    @staticmethod
+    def _centre_and_spread(mean_untouched, consistency, vm_type_shift):
+        """Shared centre/spread formula; accepts scalars or numpy arrays."""
+        centre = np.clip(mean_untouched + vm_type_shift, 0.01, 0.97)
+        # Higher consistency -> tighter spread around the customer's centre.
+        spread = 0.30 * (1.0 - consistency) + 0.02
+        return centre, spread
+
     def sample_untouched_fraction(
         self,
         customer_id: str,
@@ -100,14 +108,37 @@ class UntouchedMemoryModel:
         """Draw one VM's untouched fraction for the given customer and type."""
         rng = rng or self._rng
         profile = self.profile(customer_id)
-        centre = float(
-            np.clip(profile.mean_untouched_fraction + _VM_TYPE_SHIFT.get(vm_type, 0.0),
-                    0.01, 0.97)
+        centre, spread = self._centre_and_spread(
+            profile.mean_untouched_fraction,
+            profile.consistency,
+            _VM_TYPE_SHIFT.get(vm_type, 0.0),
         )
-        # Higher consistency -> tighter spread around the customer's centre.
-        spread = 0.30 * (1.0 - profile.consistency) + 0.02
-        value = rng.normal(centre, spread)
+        value = rng.normal(float(centre), float(spread))
         return float(np.clip(value, 0.0, 0.98))
+
+    def sample_untouched_fractions_bulk(
+        self,
+        customer_ids: Sequence[str],
+        vm_types: Sequence[str],
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Vectorized :meth:`sample_untouched_fraction` over aligned arrays.
+
+        Uses the same centre/spread formula as the scalar path (so the two
+        stay statistically equivalent by construction) but draws all normals
+        in one call, which bulk trace generation relies on.
+        """
+        if len(customer_ids) != len(vm_types):
+            raise ValueError("customer_ids and vm_types must be aligned")
+        rng = rng or self._rng
+        means = np.array(
+            [self.profile(c).mean_untouched_fraction for c in customer_ids]
+        )
+        consistency = np.array([self.profile(c).consistency for c in customer_ids])
+        shifts = np.array([_VM_TYPE_SHIFT.get(t, 0.0) for t in vm_types])
+        centres, spreads = self._centre_and_spread(means, consistency, shifts)
+        values = rng.normal(centres, spreads)
+        return np.clip(values, 0.0, 0.98)
 
     def customer_history_percentiles(
         self,
