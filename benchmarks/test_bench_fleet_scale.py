@@ -1,0 +1,136 @@
+"""Fleet-scale benchmark: batch policy engine vs per-VM callbacks at 1M VMs.
+
+The paper's end-to-end evaluation replays ~100 production clusters' traces
+(Section 6.1); this benchmark replays a >=1,000,000-VM synthetic workload
+sharded across >=8 independent clusters through the ``FleetSimulator`` and
+asserts that
+
+* the vectorized ``decide_batch`` path produces *identical* DRAM-savings
+  output to the legacy per-VM-callback path (same per-server peaks, same
+  per-group pool peaks, shard for shard), and
+* the batch path is at least 3x faster end to end than calling back into
+  Python for every VM, and
+* the merged ``FleetResult`` savings equal the sum of its shards'
+  single-cluster results (sharding is exact, not approximate).
+
+Shards run serially in-process so the timing compares the two policy paths
+and nothing else.  Timing uses the per-shard ``run_seconds`` recorded by the
+fleet runner (pooled replay only; trace generation and the no-pooling
+baseline replay are excluded from both sides).
+"""
+
+import time
+
+import pytest
+
+from repro.cluster.fleet import FleetSimulator, pond_policy_factory
+from repro.cluster.tracegen import TraceGenConfig
+from repro.core.prediction.combined import CombinedOperatingPoint
+
+N_SHARDS = 8
+N_SERVERS_PER_SHARD = 150
+MIN_TOTAL_VMS = 1_000_000
+MIN_SPEEDUP = 3.0
+POOL_SIZE_SOCKETS = 16
+
+OPERATING_POINT = CombinedOperatingPoint(
+    fp_percent=1.5, op_percent=2.0, li_percent=30.0, um_percent=22.0
+)
+
+
+@pytest.fixture(scope="module")
+def fleet_and_traces():
+    base = TraceGenConfig(
+        cluster_id="mega",
+        n_servers=N_SERVERS_PER_SHARD,
+        duration_days=5.3,
+        mean_lifetime_hours=2.0,
+        target_core_utilization=0.85,
+        seed=42,
+    )
+    fleet = FleetSimulator.sharded(
+        N_SHARDS, base,
+        pool_size_sockets=POOL_SIZE_SOCKETS,
+        constrain_memory=False,
+        sample_interval_s=3600.0,
+    )
+    start = time.perf_counter()
+    traces = fleet.generate_traces()
+    elapsed = time.perf_counter() - start
+    total = sum(len(t) for t in traces)
+    print(f"\ngenerated {total:,} VMs across {N_SHARDS} shards "
+          f"({N_SHARDS * N_SERVERS_PER_SHARD} servers) in {elapsed:.1f}s")
+    assert total >= MIN_TOTAL_VMS
+    return fleet, traces
+
+
+def test_bench_fleet_batch_policies_beat_callbacks_3x(fleet_and_traces):
+    fleet, traces = fleet_and_traces
+    factory = pond_policy_factory(OPERATING_POINT, seed=3)
+
+    batch = fleet.run(factory, traces=traces, batch=True, compute_baseline=True)
+    callback = fleet.run(factory, traces=traces, batch=False,
+                         compute_baseline=False)
+
+    total_vms = batch.n_vms
+    print(f"\n{'path':<10} {'seconds':>9} {'VMs/s':>12} "
+          f"{'placed':>10} {'mispred %':>10}")
+    for name, result in (("batch", batch), ("callback", callback)):
+        seconds = result.total_run_seconds
+        print(f"{name:<10} {seconds:>9.2f} {total_vms / seconds:>12,.0f} "
+              f"{result.placed_vms:>10,} "
+              f"{result.policy_stats.misprediction_percent:>10.2f}")
+    speedup = callback.total_run_seconds / batch.total_run_seconds
+    print(f"speedup: {speedup:.1f}x  "
+          f"(fleet savings: {batch.savings.savings_percent:.1f}% DRAM)")
+
+    # Identical DRAM-savings output, shard for shard: the batch engine is a
+    # pure acceleration, not an approximation.
+    assert callback.placed_vms == batch.placed_vms
+    assert callback.rejected_vms == batch.rejected_vms
+    for shard_batch, shard_callback in zip(batch.shards, callback.shards):
+        assert shard_batch.result.server_peak_local_gb \
+            == shard_callback.result.server_peak_local_gb
+        assert shard_batch.result.pool_peak_gb == shard_callback.result.pool_peak_gb
+        assert shard_batch.required_local_dram_gb \
+            == shard_callback.required_local_dram_gb
+        assert shard_batch.required_pool_dram_gb \
+            == shard_callback.required_pool_dram_gb
+    assert callback.policy_stats.n_mispredictions \
+        == batch.policy_stats.n_mispredictions
+
+    # FleetResult savings are exactly the sum of the shards' single-cluster
+    # savings components.
+    savings = batch.savings
+    assert savings.baseline_dram_gb == pytest.approx(
+        sum(s.savings.baseline_dram_gb for s in batch.shards), rel=1e-12
+    )
+    assert savings.required_local_dram_gb == pytest.approx(
+        sum(s.savings.required_local_dram_gb for s in batch.shards), rel=1e-12
+    )
+    assert savings.required_pool_dram_gb == pytest.approx(
+        sum(s.savings.required_pool_dram_gb for s in batch.shards), rel=1e-12
+    )
+    assert savings.savings_percent > 0.0
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"batch policy path only {speedup:.1f}x faster than per-VM callbacks "
+        f"(required >= {MIN_SPEEDUP}x)"
+    )
+
+
+def test_bench_fleet_batch_throughput_floor(fleet_and_traces):
+    """The batch path must sustain >=50k VMs/s of pooled replay.
+
+    (Typical throughput is 2-3x this; the floor leaves headroom for a loaded
+    machine so only a real hot-path regression trips it.)
+    """
+    fleet, traces = fleet_and_traces
+    factory = pond_policy_factory(OPERATING_POINT, seed=3)
+    result = fleet.run(factory, traces=traces, batch=True,
+                       compute_baseline=False)
+    vms_per_s = result.n_vms / result.total_run_seconds
+    print(f"\nbatch fleet throughput: {vms_per_s:,.0f} VMs/s "
+          f"({result.total_run_seconds:.2f}s for {result.n_vms:,} VMs)")
+    assert result.placed_vms > 0
+    assert vms_per_s >= 50_000

@@ -22,6 +22,8 @@ The paper's stranding analysis (Section 3.1) and end-to-end savings results
 * :mod:`repro.cluster.stranding` -- stranding metrics (Figure 2).
 * :mod:`repro.cluster.pool` -- pool dimensioning / DRAM-savings estimation
   (Figures 3 and 21).
+* :mod:`repro.cluster.fleet` -- sharded fleet simulator merging N independent
+  cluster replays (with batch policy evaluation) for million-VM studies.
 """
 
 from repro.cluster.server import ServerConfig, ClusterServer
@@ -33,7 +35,25 @@ from repro.cluster.simulator import ClusterSimulator, SimulationResult
 from repro.cluster.stranding import StrandingAnalyzer, stranding_vs_utilization
 from repro.cluster.pool import PoolDimensioner, PoolSavings
 
+_FLEET_EXPORTS = ("FleetSimulator", "FleetResult", "FleetShardResult")
+
+
+def __getattr__(name):
+    # repro.cluster.fleet builds on repro.core.policies, which itself imports
+    # repro.cluster.trace -- importing fleet eagerly here would make the
+    # package cycle on itself when repro.core initialises first.  Resolve the
+    # fleet exports lazily instead (PEP 562).
+    if name in _FLEET_EXPORTS:
+        from repro.cluster import fleet
+
+        return getattr(fleet, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "FleetSimulator",
+    "FleetResult",
+    "FleetShardResult",
     "ServerConfig",
     "ClusterServer",
     "VMType",

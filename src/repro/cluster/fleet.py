@@ -1,0 +1,459 @@
+"""Sharded fleet simulator: million-VM pooling studies across many clusters.
+
+The paper's evaluation replays traces from ~100 production clusters (Section
+6.1, Figure 21); one :class:`~repro.cluster.simulator.ClusterSimulator`
+models a single cluster, so fleet-scale studies shard the workload across
+``N`` independent clusters and merge the results.  Each shard is one
+cluster: its own synthetic trace (generated with the vectorized
+``TraceGenerator.generate_bulk`` path), its own simulator replay, and its
+own policy instance.  Because policy decisions are keyed on stable per-VM
+digests (see ``repro.core.policies``), sharding never changes any VM's
+allocation -- a fleet result is exactly the sum of its shards' single-cluster
+results, which the fleet benchmark asserts.
+
+Shards are embarrassingly parallel; ``max_workers`` optionally runs them in
+a ``concurrent.futures`` process pool (everything a worker needs --
+``TraceGenConfig``, the policy factory, optionally a pregenerated trace --
+must be picklable, so policy factories are built from module-level
+functions via ``functools.partial``).  The default is in-process serial
+execution, which is also what the fleet benchmark times so the batch-vs-
+callback comparison is not confounded by pool overhead.
+
+Savings are computed per shard in peak-observation mode (the same
+uniform-provisioning model as ``PoolDimensioner.evaluate``): the baseline is
+a memory-unconstrained replay with no pooling, the pooled requirement is the
+uniform per-server local peak plus the uniform per-group pool peak.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.pool import PoolSavings, uniform_pool_requirement_gb
+from repro.cluster.simulator import ClusterSimulator, SimulationResult
+from repro.cluster.trace import ClusterTrace
+from repro.cluster.tracegen import TraceGenConfig, TraceGenerator, fleet_shard_configs
+from repro.core.policies import (
+    AllLocalPolicy,
+    PolicyStats,
+    PondTracePolicy,
+    StaticFractionPolicy,
+)
+from repro.core.prediction.combined import CombinedOperatingPoint
+
+__all__ = [
+    "FleetSimulator",
+    "FleetResult",
+    "FleetShardResult",
+    "pond_policy_factory",
+    "static_policy_factory",
+    "all_local_policy_factory",
+]
+
+#: A policy factory builds one fresh policy per shard (index -> policy); it
+#: runs inside the worker, so per-shard policies never share mutable state.
+PolicyFactory = Callable[[int], object]
+
+
+# -- picklable policy factories ------------------------------------------------------
+def _build_pond_policy(operating_point: CombinedOperatingPoint,
+                       kwargs: dict, shard_index: int) -> PondTracePolicy:
+    return PondTracePolicy(operating_point, **kwargs)
+
+
+def pond_policy_factory(operating_point: CombinedOperatingPoint,
+                        **kwargs) -> PolicyFactory:
+    """Picklable factory producing one ``PondTracePolicy`` per shard.
+
+    All shards share the same seed (default 0 via ``PondTracePolicy``), which
+    is safe *and* required: decisions are keyed per VM id, so a VM gets the
+    same allocation no matter which shard evaluates it.
+    """
+    return functools.partial(_build_pond_policy, operating_point, kwargs)
+
+
+def _build_static_policy(kwargs: dict, shard_index: int) -> StaticFractionPolicy:
+    return StaticFractionPolicy(**kwargs)
+
+
+def static_policy_factory(**kwargs) -> PolicyFactory:
+    """Picklable factory producing one ``StaticFractionPolicy`` per shard."""
+    return functools.partial(_build_static_policy, kwargs)
+
+
+def _build_all_local_policy(shard_index: int) -> AllLocalPolicy:
+    return AllLocalPolicy()
+
+
+def all_local_policy_factory() -> PolicyFactory:
+    """Picklable factory producing one ``AllLocalPolicy`` per shard."""
+    return _build_all_local_policy
+
+
+@dataclass(frozen=True)
+class FleetShardResult:
+    """One shard's replay: the cluster result plus savings inputs."""
+
+    shard_id: str
+    shard_index: int
+    n_vms: int
+    n_servers: int
+    sockets_per_server: int
+    pool_size_sockets: int
+    result: SimulationResult
+    #: Memory-unconstrained no-pooling uniform baseline, if requested.
+    baseline_required_dram_gb: Optional[float]
+    policy_stats: Optional[PolicyStats]
+    #: Wall-clock seconds of the pooled replay alone (excludes trace
+    #: generation and the baseline replay) -- the fleet benchmark compares
+    #: these across the batch and per-VM-callback paths.
+    run_seconds: float
+
+    @property
+    def required_local_dram_gb(self) -> float:
+        return self.result.uniform_required_local_dram_gb
+
+    @property
+    def required_pool_dram_gb(self) -> float:
+        return uniform_pool_requirement_gb(
+            self.result, self.pool_size_sockets,
+            self.sockets_per_server, self.n_servers,
+        )
+
+    @property
+    def savings(self) -> PoolSavings:
+        """This shard's single-cluster savings (requires a baseline run)."""
+        if self.baseline_required_dram_gb is None:
+            raise ValueError(
+                "shard was run with compute_baseline=False; savings need the "
+                "no-pooling baseline"
+            )
+        return PoolSavings(
+            pool_size_sockets=self.pool_size_sockets,
+            baseline_dram_gb=self.baseline_required_dram_gb,
+            required_local_dram_gb=self.required_local_dram_gb,
+            required_pool_dram_gb=self.required_pool_dram_gb,
+            average_pool_fraction=self.result.average_pool_fraction,
+        )
+
+
+@dataclass
+class FleetResult:
+    """Merged view over all shards of one fleet run."""
+
+    shards: List[FleetShardResult] = field(default_factory=list)
+
+    # -- merged per-entity views ----------------------------------------------------
+    @property
+    def server_peak_local_gb(self) -> Dict[str, float]:
+        """Per-server local peaks across the fleet, keyed ``shard/server``."""
+        merged: Dict[str, float] = {}
+        for shard in self.shards:
+            for server_id, peak in shard.result.server_peak_local_gb.items():
+                merged[f"{shard.shard_id}/{server_id}"] = peak
+        return merged
+
+    @property
+    def pool_peak_gb(self) -> Dict[Tuple[str, int], float]:
+        """Per-pool-group peaks across the fleet, keyed ``(shard, group)``."""
+        merged: Dict[Tuple[str, int], float] = {}
+        for shard in self.shards:
+            for group, peak in shard.result.pool_peak_gb.items():
+                merged[(shard.shard_id, group)] = peak
+        return merged
+
+    def results(self) -> Dict[str, SimulationResult]:
+        """Per-shard simulation results (e.g. for stranding analysis)."""
+        return {shard.shard_id: shard.result for shard in self.shards}
+
+    # -- aggregates -----------------------------------------------------------------
+    @property
+    def n_vms(self) -> int:
+        return sum(s.n_vms for s in self.shards)
+
+    @property
+    def placed_vms(self) -> int:
+        return sum(s.result.placed_vms for s in self.shards)
+
+    @property
+    def rejected_vms(self) -> int:
+        return sum(s.result.rejected_vms for s in self.shards)
+
+    @property
+    def required_local_dram_gb(self) -> float:
+        return sum(s.required_local_dram_gb for s in self.shards)
+
+    @property
+    def required_pool_dram_gb(self) -> float:
+        return sum(s.required_pool_dram_gb for s in self.shards)
+
+    @property
+    def baseline_dram_gb(self) -> float:
+        if any(s.baseline_required_dram_gb is None for s in self.shards):
+            raise ValueError("fleet was run with compute_baseline=False")
+        return sum(s.baseline_required_dram_gb for s in self.shards)
+
+    @property
+    def total_run_seconds(self) -> float:
+        """Summed pooled-replay seconds across shards (timing, not savings)."""
+        return sum(s.run_seconds for s in self.shards)
+
+    @property
+    def policy_stats(self) -> PolicyStats:
+        """Policy accounting merged across shards."""
+        merged = PolicyStats()
+        for shard in self.shards:
+            if shard.policy_stats is not None:
+                merged.add(shard.policy_stats)
+        return merged
+
+    @property
+    def savings(self) -> PoolSavings:
+        """Fleet DRAM savings: the component-wise sum of the shard savings."""
+        if not self.shards:
+            raise ValueError("fleet result has no shards")
+        total_memory = sum(
+            s.result.total_memory_gb_allocated for s in self.shards
+        )
+        total_pool = sum(s.result.total_pool_gb_allocated for s in self.shards)
+        return PoolSavings(
+            pool_size_sockets=self.shards[0].pool_size_sockets,
+            baseline_dram_gb=self.baseline_dram_gb,
+            required_local_dram_gb=self.required_local_dram_gb,
+            required_pool_dram_gb=self.required_pool_dram_gb,
+            average_pool_fraction=(total_pool / total_memory) if total_memory else 0.0,
+        )
+
+
+@dataclass(frozen=True)
+class _ShardSpec:
+    """Everything one worker needs to run a shard (must stay picklable)."""
+
+    index: int
+    config: TraceGenConfig
+    trace: Optional[ClusterTrace]
+    policy_factory: Optional[PolicyFactory]
+    batch: bool
+    compute_baseline: bool
+    pool_size_sockets: int
+    pool_capacity_gb_per_group: float
+    constrain_memory: bool
+    sample_interval_s: float
+    scheduler_strategy: str
+    #: Precomputed no-pooling baseline (skips the baseline replay).
+    baseline_required_dram_gb: Optional[float] = None
+
+
+def _shard_baseline_gb(cfg: TraceGenConfig, trace: ClusterTrace,
+                       sample_interval_s: float, scheduler_strategy: str) -> float:
+    """One shard's no-pooling uniform baseline (memory-unconstrained replay)."""
+    baseline_sim = ClusterSimulator(
+        n_servers=cfg.n_servers,
+        server_config=cfg.server_config,
+        pool_size_sockets=0,
+        constrain_memory=False,
+        sample_interval_s=sample_interval_s,
+        scheduler_strategy=scheduler_strategy,
+        record_placements=False,
+    )
+    return baseline_sim.run(trace).uniform_required_local_dram_gb
+
+
+def _baseline_task(
+    args: Tuple[TraceGenConfig, Optional[ClusterTrace], float, str]
+) -> float:
+    """Baseline replay for one shard; module-level so a pool can pickle it."""
+    cfg, trace, sample_interval_s, scheduler_strategy = args
+    if trace is None:
+        trace = TraceGenerator(cfg).generate_bulk()
+    return _shard_baseline_gb(cfg, trace, sample_interval_s, scheduler_strategy)
+
+
+def _run_shard(spec: _ShardSpec) -> FleetShardResult:
+    """Generate (if needed) and replay one shard; module-level for pickling."""
+    cfg = spec.config
+    trace = spec.trace
+    if trace is None:
+        trace = TraceGenerator(cfg).generate_bulk()
+    policy = spec.policy_factory(spec.index) if spec.policy_factory else None
+    simulator = ClusterSimulator(
+        n_servers=cfg.n_servers,
+        server_config=cfg.server_config,
+        pool_size_sockets=spec.pool_size_sockets,
+        pool_capacity_gb_per_group=spec.pool_capacity_gb_per_group,
+        constrain_memory=spec.constrain_memory,
+        sample_interval_s=spec.sample_interval_s,
+        scheduler_strategy=spec.scheduler_strategy,
+        record_placements=False,
+    )
+    start = time.perf_counter()
+    if policy is not None and not spec.batch and hasattr(policy, "decide_batch"):
+        # Forced per-VM-callback path (the batch engine's differential /
+        # benchmark baseline): hide decide_batch from the simulator.
+        result = simulator.run(trace, policy=policy.__call__)
+    else:
+        result = simulator.run(trace, policy=policy)
+    run_seconds = time.perf_counter() - start
+
+    baseline = spec.baseline_required_dram_gb
+    if baseline is None and spec.compute_baseline:
+        baseline = _shard_baseline_gb(
+            cfg, trace, spec.sample_interval_s, spec.scheduler_strategy
+        )
+
+    return FleetShardResult(
+        shard_id=cfg.cluster_id,
+        shard_index=spec.index,
+        n_vms=len(trace),
+        n_servers=cfg.n_servers,
+        sockets_per_server=cfg.server_config.sockets,
+        pool_size_sockets=spec.pool_size_sockets,
+        result=result,
+        baseline_required_dram_gb=baseline,
+        policy_stats=getattr(policy, "stats", None),
+        run_seconds=run_seconds,
+    )
+
+
+class FleetSimulator:
+    """Shards a fleet workload across N independent cluster simulations."""
+
+    def __init__(
+        self,
+        shard_configs: Sequence[TraceGenConfig],
+        pool_size_sockets: int = 0,
+        pool_capacity_gb_per_group: float = float("inf"),
+        constrain_memory: bool = False,
+        sample_interval_s: float = 3600.0,
+        scheduler_strategy: str = "indexed",
+        max_workers: Optional[int] = None,
+    ) -> None:
+        if not shard_configs:
+            raise ValueError("need at least one shard config")
+        ids = [cfg.cluster_id for cfg in shard_configs]
+        if len(set(ids)) != len(ids):
+            raise ValueError("shard cluster_ids must be unique")
+        self.shard_configs = list(shard_configs)
+        self.pool_size_sockets = pool_size_sockets
+        self.pool_capacity_gb_per_group = pool_capacity_gb_per_group
+        self.constrain_memory = constrain_memory
+        self.sample_interval_s = sample_interval_s
+        self.scheduler_strategy = scheduler_strategy
+        self.max_workers = max_workers
+
+    # -- constructors ----------------------------------------------------------------
+    @classmethod
+    def sharded(cls, n_shards: int, base_config: TraceGenConfig,
+                **kwargs) -> "FleetSimulator":
+        """Homogeneous fleet: ``n_shards`` copies of ``base_config`` with
+        per-shard cluster ids and seeds (``base seed + index``)."""
+        if n_shards < 1:
+            raise ValueError("need at least one shard")
+        configs = [
+            replace(
+                base_config,
+                cluster_id=f"{base_config.cluster_id}-shard-{i:03d}",
+                region=f"region-{i % 3}",
+                seed=base_config.seed + i,
+            )
+            for i in range(n_shards)
+        ]
+        return cls(configs, **kwargs)
+
+    @classmethod
+    def utilization_sweep(cls, n_shards: int, base_config: TraceGenConfig,
+                          utilization_range: Sequence[float] = (0.55, 0.95),
+                          seed: int = 3, **kwargs) -> "FleetSimulator":
+        """Fleet with utilisation spread over ``utilization_range`` (the
+        Figure 2a fleet shape; mirrors ``tracegen.generate_fleet``)."""
+        configs = fleet_shard_configs(n_shards, base_config, utilization_range, seed)
+        return cls(configs, **kwargs)
+
+    # -- execution -------------------------------------------------------------------
+    def generate_traces(self) -> List[ClusterTrace]:
+        """Pregenerate every shard's trace (serially, in this process)."""
+        return [TraceGenerator(cfg).generate_bulk() for cfg in self.shard_configs]
+
+    def compute_baselines(
+        self, traces: Optional[Sequence[ClusterTrace]] = None
+    ) -> List[float]:
+        """No-pooling uniform baseline per shard, for reuse across runs.
+
+        The baseline replay is pool-independent, so callers sweeping several
+        pool sizes or policies over the same traces should compute it once
+        here and pass it to :meth:`run` via ``baselines`` instead of letting
+        every run repeat it per shard.
+        """
+        if traces is not None and len(traces) != len(self.shard_configs):
+            raise ValueError(
+                f"got {len(traces)} traces for {len(self.shard_configs)} shards"
+            )
+        tasks = [
+            (cfg, traces[i] if traces is not None else None,
+             self.sample_interval_s, self.scheduler_strategy)
+            for i, cfg in enumerate(self.shard_configs)
+        ]
+        if self.max_workers and self.max_workers > 1 and len(tasks) > 1:
+            with ProcessPoolExecutor(max_workers=self.max_workers) as executor:
+                return list(executor.map(_baseline_task, tasks))
+        return [_baseline_task(task) for task in tasks]
+
+    def run(
+        self,
+        policy_factory: Optional[PolicyFactory] = None,
+        traces: Optional[Sequence[ClusterTrace]] = None,
+        batch: bool = True,
+        compute_baseline: Optional[bool] = None,
+        baselines: Optional[Sequence[float]] = None,
+    ) -> FleetResult:
+        """Run every shard and merge the results.
+
+        ``traces`` optionally supplies pregenerated shard traces (aligned
+        with ``shard_configs``); otherwise each worker generates its own,
+        which parallelises generation under a process pool.  ``batch``
+        selects the vectorized ``decide_batch`` path (default) or forces the
+        legacy per-VM callback.  ``compute_baseline`` adds a no-pooling
+        baseline replay per shard so savings can be computed; it defaults to
+        on exactly when the fleet pools memory.  ``baselines`` supplies
+        precomputed per-shard baselines (see :meth:`compute_baselines`) and
+        skips those replays entirely.
+        """
+        if traces is not None and len(traces) != len(self.shard_configs):
+            raise ValueError(
+                f"got {len(traces)} traces for {len(self.shard_configs)} shards"
+            )
+        if baselines is not None and len(baselines) != len(self.shard_configs):
+            raise ValueError(
+                f"got {len(baselines)} baselines for {len(self.shard_configs)} shards"
+            )
+        if compute_baseline is None:
+            compute_baseline = bool(self.pool_size_sockets)
+        specs = [
+            _ShardSpec(
+                index=i,
+                config=cfg,
+                trace=traces[i] if traces is not None else None,
+                policy_factory=policy_factory,
+                batch=batch,
+                compute_baseline=compute_baseline,
+                pool_size_sockets=self.pool_size_sockets,
+                pool_capacity_gb_per_group=self.pool_capacity_gb_per_group,
+                constrain_memory=self.constrain_memory,
+                sample_interval_s=self.sample_interval_s,
+                scheduler_strategy=self.scheduler_strategy,
+                baseline_required_dram_gb=(
+                    baselines[i] if baselines is not None else None
+                ),
+            )
+            for i, cfg in enumerate(self.shard_configs)
+        ]
+        if self.max_workers and self.max_workers > 1 and len(specs) > 1:
+            with ProcessPoolExecutor(max_workers=self.max_workers) as executor:
+                shards = list(executor.map(_run_shard, specs))
+        else:
+            shards = [_run_shard(spec) for spec in specs]
+        return FleetResult(shards=shards)

@@ -26,23 +26,79 @@ import weakref
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.cluster.scheduler import validate_strategy
 from repro.cluster.simulator import ClusterSimulator, PoolPolicy, SimulationResult
 from repro.cluster.server import ServerConfig
 from repro.cluster.trace import ClusterTrace, VMTraceRecord
 
-__all__ = ["PoolSavings", "PoolDimensioner", "fixed_fraction_policy"]
+__all__ = [
+    "PoolSavings",
+    "PoolDimensioner",
+    "FixedFractionPolicy",
+    "fixed_fraction_policy",
+    "uniform_pool_requirement_gb",
+]
 
 
-def fixed_fraction_policy(fraction: float) -> PoolPolicy:
-    """Policy allocating a fixed fraction of every VM's memory on the pool."""
-    if not 0.0 <= fraction <= 1.0:
-        raise ValueError("fraction must be in [0, 1]")
+class FixedFractionPolicy:
+    """Policy allocating a fixed fraction of every VM's memory on the pool.
 
-    def policy(record: VMTraceRecord) -> float:
-        return record.memory_gb * fraction
+    Stateless (no stats, no randomness), so the batch and per-record paths
+    agree trivially; used by the Figure 3 sweeps and as the simplest example
+    of the batch policy contract (DESIGN.md).
+    """
 
-    return policy
+    def __init__(self, fraction: float) -> None:
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        self.fraction = fraction
+
+    def __call__(self, record: VMTraceRecord) -> float:
+        return record.memory_gb * self.fraction
+
+    def decide_batch(self, trace):
+        """Batch path for a trace or any sequence of records (TraceLike)."""
+        if isinstance(trace, ClusterTrace):
+            memory_gb = trace.columns().memory_gb
+        else:
+            records = list(trace)
+            memory_gb = np.fromiter(
+                (r.memory_gb for r in records), np.float64, len(records)
+            )
+        return memory_gb * self.fraction
+
+
+def fixed_fraction_policy(fraction: float) -> FixedFractionPolicy:
+    """Backwards-compatible constructor for :class:`FixedFractionPolicy`."""
+    return FixedFractionPolicy(fraction)
+
+
+def uniform_pool_requirement_gb(
+    result: SimulationResult,
+    pool_size_sockets: int,
+    sockets_per_server: int,
+    n_servers: int,
+) -> float:
+    """Uniform pool provisioning from observed per-group peaks, per server.
+
+    Pool blades are deployed with one capacity per attached server, so the
+    requirement is the worst per-server pool demand across groups times the
+    number of servers.  Normalising per server keeps the answer meaningful
+    when the last pool group has fewer servers than the others.
+    """
+    if not result.pool_peak_gb:
+        return 0.0
+    servers_per_group = max(1, pool_size_sockets // sockets_per_server)
+    worst_per_server = 0.0
+    for group, peak in result.pool_peak_gb.items():
+        group_start = group * servers_per_group
+        group_size = min(servers_per_group, n_servers - group_start)
+        if group_size <= 0:
+            continue
+        worst_per_server = max(worst_per_server, peak / group_size)
+    return worst_per_server * n_servers
 
 
 @dataclass(frozen=True)
@@ -232,24 +288,9 @@ class PoolDimensioner:
 
     def _uniform_pool_requirement_gb(self, result: SimulationResult,
                                      pool_size_sockets: int) -> float:
-        """Uniform pool provisioning, normalised per server.
-
-        Pool blades are deployed with one capacity per attached server, so the
-        requirement is the worst per-server pool demand across groups times the
-        number of servers.  Normalising per server keeps the answer meaningful
-        when the last pool group has fewer servers than the others.
-        """
-        if not result.pool_peak_gb:
-            return 0.0
-        servers_per_group = max(1, pool_size_sockets // self.server_config.sockets)
-        worst_per_server = 0.0
-        for group, peak in result.pool_peak_gb.items():
-            group_start = group * servers_per_group
-            group_size = min(servers_per_group, self.n_servers - group_start)
-            if group_size <= 0:
-                continue
-            worst_per_server = max(worst_per_server, peak / group_size)
-        return worst_per_server * self.n_servers
+        return uniform_pool_requirement_gb(
+            result, pool_size_sockets, self.server_config.sockets, self.n_servers
+        )
 
     def peak_baseline_required_dram_gb(self, trace: ClusterTrace) -> float:
         """No-pooling baseline under uniform peak-observation provisioning."""

@@ -24,6 +24,12 @@ correct time series.  The one exception is the final horizon sample, which is
 taken after every arrival has been placed so it captures the cluster's true
 end state.  Samples are stored in preallocated numpy columns rather
 than per-sample objects so multi-year traces sample cheaply.
+
+Pool allocations come from the batch policy engine: policies exposing
+``decide_batch`` (see DESIGN.md) are evaluated once per run as a vectorized
+array, and ``run`` also accepts a precomputed ``pool_gb`` array directly, so
+the hot loop never calls back into Python per VM.  Plain per-record
+callables remain supported as the legacy differential-testing path.
 """
 
 from __future__ import annotations
@@ -272,13 +278,39 @@ class ClusterSimulator:
 
     # -- main loop --------------------------------------------------------------------
     def run(self, trace: ClusterTrace, policy: Optional[PoolPolicy] = None,
-            horizon_s: Optional[float] = None) -> SimulationResult:
+            horizon_s: Optional[float] = None,
+            pool_gb: Optional[np.ndarray] = None) -> SimulationResult:
         """Replay ``trace``; ``policy`` decides each VM's pool memory in GB.
+
+        ``pool_gb`` is the batch-engine fast path: a precomputed array of
+        per-VM pool allocations aligned with the trace's iteration order.
+        When given (or when ``policy`` exposes ``decide_batch``, which is used
+        to compute it), the hot loop indexes the array instead of calling
+        back into Python for every VM.  Allocations are clipped to
+        ``[0, memory_gb]`` exactly like the per-record path.
 
         ``horizon_s`` bounds the sampling window; by default it is the time of
         the last VM arrival, so long-lived VMs departing far in the future do
         not dilute the time series with an emptying cluster.
         """
+        use_pool = bool(self.pool_size_sockets)
+        if pool_gb is None and use_pool and policy is not None \
+                and hasattr(policy, "decide_batch"):
+            pool_gb = policy.decide_batch(trace)
+        pool_by_index: Optional[List[float]] = None
+        if pool_gb is not None:
+            pool_gb = np.asarray(pool_gb, dtype=np.float64)
+            if pool_gb.shape != (len(trace),):
+                raise ValueError(
+                    f"pool_gb must have one entry per trace record "
+                    f"({len(trace)}), got shape {pool_gb.shape}"
+                )
+            policy = None  # precomputed allocations replace the callback
+            if use_pool:
+                memory_gb = trace.columns().memory_gb
+                # tolist() yields plain floats once, keeping the loop free of
+                # per-record numpy scalar boxing.
+                pool_by_index = np.clip(pool_gb, 0.0, memory_gb).tolist()
         servers, server_pool_group, pool_free = self._build_cluster()
         scheduler = VMScheduler(
             servers, pool_free, server_pool_group, strategy=self.scheduler_strategy
@@ -355,16 +387,18 @@ class ClusterSimulator:
                     take_sample(next_sample_time)
                     next_sample_time += sample_interval
 
-        for record in trace:
+        for index, record in enumerate(trace):
             advance_to(record.arrival_s)
 
-            pool_gb = 0.0
-            if policy is not None and self.pool_size_sockets:
-                pool_gb = float(np.clip(policy(record), 0.0, record.memory_gb))
-            local_gb = record.memory_gb - pool_gb
+            vm_pool_gb = 0.0
+            if pool_by_index is not None:
+                vm_pool_gb = pool_by_index[index]
+            elif policy is not None and use_pool:
+                vm_pool_gb = float(np.clip(policy(record), 0.0, record.memory_gb))
+            local_gb = record.memory_gb - vm_pool_gb
 
             try:
-                server = scheduler.place(record.vm_id, record.cores, local_gb, pool_gb)
+                server = scheduler.place(record.vm_id, record.cores, local_gb, vm_pool_gb)
             except PlacementError:
                 result.rejected_vms += 1
                 continue
@@ -373,10 +407,10 @@ class ClusterSimulator:
             if record_placements:
                 result.placements[record.vm_id] = server.server_id
             result.total_memory_gb_allocated += record.memory_gb
-            result.total_pool_gb_allocated += pool_gb
+            result.total_pool_gb_allocated += vm_pool_gb
             group = server_pool_group.get(server.server_id)
-            if group is not None and pool_gb > 0:
-                pool_used[group] += pool_gb
+            if group is not None and vm_pool_gb > 0:
+                pool_used[group] += vm_pool_gb
                 if pool_used[group] > pool_peak[group]:
                     pool_peak[group] = pool_used[group]
             seq += 1

@@ -15,9 +15,11 @@ from __future__ import annotations
 import csv
 from dataclasses import MISSING, dataclass, fields
 from pathlib import Path
-from typing import Iterable, Iterator, List, Optional, Sequence
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
-__all__ = ["VMTraceRecord", "ClusterTrace"]
+import numpy as np
+
+__all__ = ["VMTraceRecord", "ClusterTrace", "TraceColumns"]
 
 
 @dataclass(frozen=True)
@@ -63,11 +65,30 @@ class VMTraceRecord:
         return self.memory_gb * self.untouched_fraction
 
 
+@dataclass(frozen=True)
+class TraceColumns:
+    """Columnar view of a trace, in iteration (arrival) order.
+
+    Built lazily by :meth:`ClusterTrace.columns` and cached on the trace, so
+    batch policy evaluation and the simulator's precomputed-allocation path
+    extract per-VM attributes once per trace instead of once per pass.
+    """
+
+    vm_ids: Tuple[str, ...]
+    memory_gb: np.ndarray
+    untouched_fraction: np.ndarray
+
+    @property
+    def untouched_gb(self) -> np.ndarray:
+        return self.memory_gb * self.untouched_fraction
+
+
 class ClusterTrace:
     """An ordered collection of VM trace records for one or more clusters."""
 
     def __init__(self, records: Sequence[VMTraceRecord], cluster_id: Optional[str] = None):
         self.records: List[VMTraceRecord] = sorted(records, key=lambda r: r.arrival_s)
+        self._columns: Optional[TraceColumns] = None
         if cluster_id is not None:
             self.cluster_id = cluster_id
         elif self.records:
@@ -83,6 +104,25 @@ class ClusterTrace:
 
     def __getitem__(self, index: int) -> VMTraceRecord:
         return self.records[index]
+
+    def columns(self) -> TraceColumns:
+        """Cached columnar view of the records, aligned with iteration order.
+
+        The record list is treated as immutable once a columnar view has been
+        built; callers that mutate ``records`` afterwards get stale columns.
+        """
+        if self._columns is None or len(self._columns.vm_ids) != len(self.records):
+            n = len(self.records)
+            self._columns = TraceColumns(
+                vm_ids=tuple(r.vm_id for r in self.records),
+                memory_gb=np.fromiter(
+                    (r.memory_gb for r in self.records), dtype=np.float64, count=n
+                ),
+                untouched_fraction=np.fromiter(
+                    (r.untouched_fraction for r in self.records), dtype=np.float64, count=n
+                ),
+            )
+        return self._columns
 
     # -- derived properties -----------------------------------------------------------
     @property

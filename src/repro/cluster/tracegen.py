@@ -17,7 +17,7 @@ that the requested utilisation is reached in steady state.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -33,7 +33,7 @@ from repro.cluster.vm_types import (
 )
 from repro.workloads.memory_behavior import UntouchedMemoryModel
 
-__all__ = ["TraceGenConfig", "TraceGenerator"]
+__all__ = ["TraceGenConfig", "TraceGenerator", "fleet_shard_configs", "generate_fleet"]
 
 DAY_S = 86_400.0
 HOUR_S = 3_600.0
@@ -121,14 +121,6 @@ class TraceGenerator:
         return target_used_cores / (mean_lifetime_s * mean_cores)
 
     # -- sampling helpers -------------------------------------------------------------
-    def _sample_lifetime_s(self) -> float:
-        cfg = self.config
-        mean_s = cfg.mean_lifetime_hours * HOUR_S
-        # Lognormal with the requested mean: mu = ln(mean) - sigma^2/2.
-        sigma = cfg.lifetime_sigma
-        mu = np.log(mean_s) - sigma**2 / 2.0
-        return float(np.clip(self._rng.lognormal(mu, sigma), 60.0, 90.0 * DAY_S))
-
     def _family_weights_at(self, time_s: float) -> Optional[Dict[str, float]]:
         cfg = self.config
         if cfg.shift_day is None or time_s < cfg.shift_day * DAY_S:
@@ -144,55 +136,6 @@ class TraceGenerator:
         probs = 1.0 / ranks
         probs /= probs.sum()
         return probs
-
-    def _sample_customer(self) -> str:
-        n = self.config.n_customers
-        idx = int(self._rng.choice(n, p=self._customer_popularity()))
-        customer_pool = self.memory_model.customer_ids
-        return customer_pool[idx % len(customer_pool)]
-
-    def _make_record(self, cfg: TraceGenConfig, vm_index: int, arrival_s: float,
-                     lifetime_s: float) -> VMTraceRecord:
-        vm_type = sample_vm_type(self._rng, self._family_weights_at(arrival_s))
-        customer = self._sample_customer()
-        untouched = self.memory_model.sample_untouched_fraction(
-            customer, vm_type.family, self._rng
-        )
-        return VMTraceRecord(
-            vm_id=f"{cfg.cluster_id}-vm-{vm_index}",
-            cluster_id=cfg.cluster_id,
-            arrival_s=arrival_s,
-            lifetime_s=lifetime_s,
-            cores=vm_type.cores,
-            memory_gb=vm_type.memory_gb,
-            customer_id=customer,
-            vm_family=vm_type.family,
-            guest_os="linux" if self._rng.uniform() < 0.7 else "windows",
-            region=cfg.region,
-            workload_name=str(self._rng.choice(self._WORKLOAD_POOL)),
-            untouched_fraction=untouched,
-        )
-
-    def _warm_start_records(self, rate: float) -> List[VMTraceRecord]:
-        """VMs already running at t=0, approximating the steady-state population.
-
-        The number in the system follows Little's law (rate x mean lifetime);
-        residual lifetimes are drawn from the equilibrium (length-biased)
-        distribution of the lognormal lifetime model.
-        """
-        cfg = self.config
-        mean_s = cfg.mean_lifetime_hours * HOUR_S
-        n_initial = int(round(rate * mean_s))
-        sigma = cfg.lifetime_sigma
-        mu = np.log(mean_s) - sigma**2 / 2.0
-        records: List[VMTraceRecord] = []
-        for i in range(n_initial):
-            # Length-biased lognormal has location mu + sigma^2; the residual
-            # lifetime of an in-progress VM is uniform over its total lifetime.
-            total = float(np.clip(self._rng.lognormal(mu + sigma**2, sigma), 60.0, 90.0 * DAY_S))
-            residual = max(60.0, float(self._rng.uniform(0.0, total)))
-            records.append(self._make_record(cfg, i, 0.0, residual))
-        return records
 
     # -- bulk (vectorized) generation --------------------------------------------------
     def _bulk_arrival_times(self, rate: float) -> np.ndarray:
@@ -286,15 +229,13 @@ class TraceGenerator:
         ]
 
     def generate_bulk(self) -> ClusterTrace:
-        """Vectorized trace generation for very large traces.
+        """Vectorized trace generation.
 
-        Produces a trace statistically equivalent to :meth:`generate` (same
-        arrival process, lifetime model, VM mix, customer population, and
-        untouched-memory behaviour) but draws every random quantity in bulk
-        numpy operations, which is roughly an order of magnitude faster for
-        the 10^5..10^6-VM traces the scale benchmarks replay.  The per-record
-        draw *order* differs from :meth:`generate`, so the two methods do not
-        produce bit-identical traces for the same seed.
+        Draws every random quantity (arrival process, lifetime model, VM mix,
+        customer population, untouched-memory behaviour) in bulk numpy
+        operations, roughly an order of magnitude faster than a per-record
+        loop for the 10^5..10^6-VM traces the scale benchmarks replay.  This
+        is the only generation path; :meth:`generate` delegates here.
         """
         cfg = self.config
         rate = self.arrival_rate_per_s()
@@ -322,24 +263,39 @@ class TraceGenerator:
 
     # -- generation --------------------------------------------------------------------
     def generate(self) -> ClusterTrace:
-        """Generate the full trace for this cluster."""
-        cfg = self.config
-        rate = self.arrival_rate_per_s()
-        records: List[VMTraceRecord] = []
-        vm_index = 0
-        if cfg.warm_start:
-            records = self._warm_start_records(rate)
-            vm_index = len(records)
-        time_s = 0.0
-        while True:
-            time_s += float(self._rng.exponential(1.0 / rate))
-            if time_s >= cfg.duration_s:
-                break
-            records.append(
-                self._make_record(cfg, vm_index, time_s, self._sample_lifetime_s())
-            )
-            vm_index += 1
-        return ClusterTrace(records, cluster_id=cfg.cluster_id)
+        """Generate the full trace for this cluster (delegates to the bulk path)."""
+        return self.generate_bulk()
+
+
+def fleet_shard_configs(
+    n_clusters: int,
+    base_config: Optional[TraceGenConfig] = None,
+    utilization_range: Sequence[float] = (0.55, 0.95),
+    seed: int = 3,
+) -> List[TraceGenConfig]:
+    """Per-cluster configs for a fleet with utilisation spread evenly across
+    ``utilization_range`` (so the stranding-vs-utilisation analysis, Figure
+    2a, has samples in every bucket).  Shared by :func:`generate_fleet` and
+    the sharded :class:`repro.cluster.fleet.FleetSimulator`.
+    """
+    if n_clusters < 1:
+        raise ValueError("need at least one cluster")
+    lo, hi = utilization_range
+    if not 0.0 < lo <= hi <= 1.0:
+        raise ValueError("utilization_range must satisfy 0 < lo <= hi <= 1")
+    base = base_config or TraceGenConfig()
+    configs: List[TraceGenConfig] = []
+    for i in range(n_clusters):
+        frac = 0.5 if n_clusters == 1 else i / (n_clusters - 1)
+        util = lo + (hi - lo) * frac
+        configs.append(replace(
+            base,
+            cluster_id=f"cluster-{i:03d}",
+            target_core_utilization=util,
+            region=f"region-{i % 3}",
+            seed=seed + i,
+        ))
+    return configs
 
 
 def generate_fleet(
@@ -348,33 +304,8 @@ def generate_fleet(
     utilization_range: Sequence[float] = (0.55, 0.95),
     seed: int = 3,
 ) -> List[ClusterTrace]:
-    """Generate traces for a fleet of clusters with varying utilisation.
-
-    Utilisations are evenly spread across ``utilization_range`` so the
-    stranding-vs-utilisation analysis (Figure 2a) has samples in every bucket.
-    """
-    if n_clusters < 1:
-        raise ValueError("need at least one cluster")
-    lo, hi = utilization_range
-    if not 0.0 < lo <= hi <= 1.0:
-        raise ValueError("utilization_range must satisfy 0 < lo <= hi <= 1")
-    base = base_config or TraceGenConfig()
-    traces: List[ClusterTrace] = []
-    for i in range(n_clusters):
-        frac = 0.5 if n_clusters == 1 else i / (n_clusters - 1)
-        util = lo + (hi - lo) * frac
-        cfg = TraceGenConfig(
-            cluster_id=f"cluster-{i:03d}",
-            n_servers=base.n_servers,
-            server_config=base.server_config,
-            duration_days=base.duration_days,
-            target_core_utilization=util,
-            mean_lifetime_hours=base.mean_lifetime_hours,
-            lifetime_sigma=base.lifetime_sigma,
-            family_weights=base.family_weights,
-            n_customers=base.n_customers,
-            region=f"region-{i % 3}",
-            seed=seed + i,
-        )
-        traces.append(TraceGenerator(cfg).generate())
-    return traces
+    """Generate traces for a fleet of clusters with varying utilisation."""
+    return [
+        TraceGenerator(cfg).generate_bulk()
+        for cfg in fleet_shard_configs(n_clusters, base_config, utilization_range, seed)
+    ]

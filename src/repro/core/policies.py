@@ -16,20 +16,109 @@ positive rate among them (FP), and how aggressively it harvests untouched
 memory (controlled by the prediction quantile / overprediction rate OP).
 Mispredictions are tracked per VM so the experiments can verify the
 scheduling-misprediction constraint.
+
+Batch policy contract (see DESIGN.md):
+
+Every policy exposes two evaluation paths that must agree decision-for-
+decision:
+
+* ``decide_batch(trace) -> np.ndarray`` -- the vectorized path.  One call
+  computes the pool share of every VM in the trace with bulk numpy
+  operations; the simulator's hot loop then indexes the result instead of
+  calling back into Python per VM.
+* ``__call__(record) -> float`` -- the legacy per-record path, retained as a
+  thin wrapper that evaluates a batch of one.
+
+Both paths draw their randomness from *stable per-VM digests* (CRC32 of the
+VM id, salted with the policy seed) fed through a counter-based bit mixer --
+never from sequential RNG state.  The same VM therefore always receives the
+same decision regardless of call order, how many simulator passes consume
+the policy, which shard of a fleet run evaluates it, or the process's
+``PYTHONHASHSEED``.  This is what makes sharded fleet simulation sound:
+partitioning a workload across shards cannot change any VM's allocation.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+import zlib
+from dataclasses import dataclass
+from typing import Sequence, Tuple, Union
+import weakref
 
 import numpy as np
 
-from repro.cluster.trace import VMTraceRecord
+from repro.cluster.trace import ClusterTrace, VMTraceRecord
 from repro.core.prediction.combined import CombinedOperatingPoint
 
-__all__ = ["AllLocalPolicy", "StaticFractionPolicy", "PondTracePolicy", "PolicyStats"]
+__all__ = [
+    "AllLocalPolicy",
+    "StaticFractionPolicy",
+    "PondTracePolicy",
+    "PolicyStats",
+    "stable_vm_digests",
+    "keyed_uniforms",
+]
+
+#: Either a full trace (preferred: its columnar view is cached) or any
+#: sequence of records can be batch-evaluated.
+TraceLike = Union[ClusterTrace, Sequence[VMTraceRecord]]
+
+_MASK64 = (1 << 64) - 1
+_SPREAD = np.uint64(0x9E3779B97F4A7C15)  # golden-ratio odd constant
+
+
+def _mix64(z: np.ndarray) -> np.ndarray:
+    """SplitMix64 finalizer over a uint64 array (wrapping arithmetic)."""
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return z ^ (z >> np.uint64(31))
+
+
+def _mix64_int(z: int) -> int:
+    """Python-int SplitMix64 finalizer (for precomputing stream salts)."""
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+#: Fixed salts separating the independent uniform streams each policy draws
+#: per VM (overprediction, latency-insensitivity, false-positive, touch).
+_STREAM_SALTS = tuple(np.uint64(_mix64_int(k + 1)) for k in range(8))
+
+
+def stable_vm_digests(vm_ids: Sequence[str], tag: str, seed: int) -> np.ndarray:
+    """Stable per-VM digests: CRC32 over ``tag:seed:vm_id``.
+
+    CRC32 is deterministic across processes and platforms, unlike ``hash()``
+    whose string hashing is randomised by ``PYTHONHASHSEED`` -- the digest a
+    sharded worker computes for a VM is therefore identical to the one the
+    parent (or any rerun) computes.  ``tag`` decorrelates different policy
+    classes sharing a seed.
+    """
+    prefix = f"{tag}:{seed}:".encode()
+    return np.fromiter(
+        (zlib.crc32(prefix + vm_id.encode()) for vm_id in vm_ids),
+        dtype=np.uint64,
+        count=len(vm_ids),
+    )
+
+
+def keyed_uniforms(digests: np.ndarray, n_streams: int) -> np.ndarray:
+    """Counter-based uniforms in ``[0, 1)`` keyed on per-VM digests.
+
+    Returns shape ``(len(digests), n_streams)``; column ``k`` is an
+    independent uniform draw per VM.  Pure function of the digest, so batch
+    and scalar evaluation agree bit-for-bit and no sequential RNG state is
+    involved.
+    """
+    spread = digests * _SPREAD
+    out = np.empty((digests.shape[0], n_streams), dtype=np.float64)
+    for k in range(n_streams):
+        salt = _STREAM_SALTS[k] if k < len(_STREAM_SALTS) else np.uint64(
+            _mix64_int(k + 1)
+        )
+        out[:, k] = (_mix64(spread ^ salt) >> np.uint64(11)) * (2.0 ** -53)
+    return out
 
 
 @dataclass
@@ -52,28 +141,113 @@ class PolicyStats:
     def pool_fraction_percent(self) -> float:
         return 100.0 * self.pool_gb / self.total_gb if self.total_gb else 0.0
 
+    def add(self, other: "PolicyStats") -> "PolicyStats":
+        """Accumulate another stats block (e.g. merging fleet shards)."""
+        self.n_vms += other.n_vms
+        self.n_fully_pool_backed += other.n_fully_pool_backed
+        self.n_znuma += other.n_znuma
+        self.n_all_local += other.n_all_local
+        self.n_mispredictions += other.n_mispredictions
+        self.pool_gb += other.pool_gb
+        self.total_gb += other.total_gb
+        return self
 
-class AllLocalPolicy:
-    """Every VM gets all of its memory on NUMA-local DRAM (the baseline)."""
 
-    def __init__(self) -> None:
+class _BatchPolicy:
+    """Shared machinery for the two-phase (batch + scalar) policy engine.
+
+    Subclasses implement :meth:`_decide_arrays`, the single vectorized
+    decision function both evaluation paths run through; the scalar
+    ``__call__`` is a batch of one, so the differential guarantee holds by
+    construction.
+    """
+
+    #: Digest salt separating policy classes that share a seed.
+    _digest_tag = "policy"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
         self.stats = PolicyStats()
+        # Digests are pure functions of (tag, seed, vm_id) but cost one CRC32
+        # per VM; dimensioning sweeps batch-evaluate the same trace many
+        # times, so cache them per trace (weakly -- entries die with traces).
+        self._digest_cache: "weakref.WeakKeyDictionary[ClusterTrace, np.ndarray]" = (
+            weakref.WeakKeyDictionary()
+        )
+
+    # -- inputs ------------------------------------------------------------------
+    def _trace_arrays(
+        self, trace: TraceLike
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(memory_gb, untouched_fraction, digests) for a trace-like input."""
+        if isinstance(trace, ClusterTrace):
+            columns = trace.columns()
+            digests = self._digest_cache.get(trace)
+            if digests is None or digests.shape[0] != len(columns.vm_ids):
+                digests = stable_vm_digests(columns.vm_ids, self._digest_tag, self.seed)
+                self._digest_cache[trace] = digests
+            return columns.memory_gb, columns.untouched_fraction, digests
+        records = list(trace)
+        memory = np.fromiter((r.memory_gb for r in records), np.float64, len(records))
+        untouched = np.fromiter(
+            (r.untouched_fraction for r in records), np.float64, len(records)
+        )
+        digests = stable_vm_digests(
+            [r.vm_id for r in records], self._digest_tag, self.seed
+        )
+        return memory, untouched, digests
+
+    # -- decision core -----------------------------------------------------------
+    def _decide_arrays(
+        self, memory_gb: np.ndarray, untouched_fraction: np.ndarray,
+        digests: np.ndarray,
+    ) -> Tuple[np.ndarray, PolicyStats]:
+        raise NotImplementedError
+
+    def decide_batch(self, trace: TraceLike) -> np.ndarray:
+        """Vectorized path: pool GB for every VM, aligned with trace order."""
+        memory_gb, untouched_fraction, digests = self._trace_arrays(trace)
+        pool_gb, delta = self._decide_arrays(memory_gb, untouched_fraction, digests)
+        self.stats.add(delta)
+        return pool_gb
 
     def __call__(self, record: VMTraceRecord) -> float:
-        self.stats.n_vms += 1
-        self.stats.n_all_local += 1
-        self.stats.total_gb += record.memory_gb
-        return 0.0
+        """Thin per-record path: evaluates a batch of one."""
+        digests = stable_vm_digests([record.vm_id], self._digest_tag, self.seed)
+        pool_gb, delta = self._decide_arrays(
+            np.array([record.memory_gb]),
+            np.array([record.untouched_fraction]),
+            digests,
+        )
+        self.stats.add(delta)
+        return float(pool_gb[0])
 
 
-class StaticFractionPolicy:
+class AllLocalPolicy(_BatchPolicy):
+    """Every VM gets all of its memory on NUMA-local DRAM (the baseline)."""
+
+    _digest_tag = "all-local"
+
+    def _decide_arrays(self, memory_gb, untouched_fraction, digests):
+        n = memory_gb.shape[0]
+        delta = PolicyStats(
+            n_vms=n, n_all_local=n, total_gb=float(memory_gb.sum())
+        )
+        return np.zeros(n, dtype=np.float64), delta
+
+
+class StaticFractionPolicy(_BatchPolicy):
     """The strawman: a fixed fraction of every VM's memory goes to the pool.
 
     A VM is counted as a misprediction when its pool share exceeds its actual
     untouched memory (it will touch pool memory) *and* it is latency
     sensitive enough that the resulting spill exceeds the PDM; the paper
-    estimates about 1/4 of touching VMs exceed a 5 % PDM.
+    estimates about 1/4 of touching VMs exceed a 5 % PDM.  The violation draw
+    is keyed per VM (not a shared sequential RNG), so the verdict for a VM is
+    independent of evaluation order and of how a fleet run shards the trace.
     """
+
+    _digest_tag = "static-fraction"
 
     def __init__(self, fraction: float = 0.15,
                  touch_violation_probability: float = 0.25,
@@ -82,24 +256,28 @@ class StaticFractionPolicy:
             raise ValueError("fraction must be in [0, 1]")
         if not 0.0 <= touch_violation_probability <= 1.0:
             raise ValueError("probability must be in [0, 1]")
+        super().__init__(seed=seed)
         self.fraction = fraction
         self.touch_violation_probability = touch_violation_probability
-        self._rng = np.random.default_rng(seed)
-        self.stats = PolicyStats()
 
-    def __call__(self, record: VMTraceRecord) -> float:
-        pool_gb = record.memory_gb * self.fraction
-        self.stats.n_vms += 1
-        self.stats.n_znuma += 1
-        self.stats.total_gb += record.memory_gb
-        self.stats.pool_gb += pool_gb
-        if pool_gb > record.untouched_gb + 1e-9:
-            if self._rng.uniform() < self.touch_violation_probability:
-                self.stats.n_mispredictions += 1
-        return pool_gb
+    def _decide_arrays(self, memory_gb, untouched_fraction, digests):
+        pool_gb = memory_gb * self.fraction
+        untouched_gb = memory_gb * untouched_fraction
+        touches = pool_gb > untouched_gb + 1e-9
+        uniforms = keyed_uniforms(digests, 1)
+        violates = touches & (uniforms[:, 0] < self.touch_violation_probability)
+        n = memory_gb.shape[0]
+        delta = PolicyStats(
+            n_vms=n,
+            n_znuma=n,
+            n_mispredictions=int(violates.sum()),
+            pool_gb=float(pool_gb.sum()),
+            total_gb=float(memory_gb.sum()),
+        )
+        return pool_gb, delta
 
 
-class PondTracePolicy:
+class PondTracePolicy(_BatchPolicy):
     """Pond's allocation behaviour at a given combined-model operating point.
 
     Parameters
@@ -114,6 +292,11 @@ class PondTracePolicy:
     slice_gb:
         zNUMA sizes are rounded down to this granularity.
     """
+
+    _digest_tag = "pond-trace"
+
+    #: Uniform stream indices per VM.
+    _STREAM_OVERPREDICT, _STREAM_LI, _STREAM_FP, _STREAM_TOUCH = range(4)
 
     def __init__(
         self,
@@ -130,23 +313,15 @@ class PondTracePolicy:
             raise ValueError("overprediction_excess cannot be negative")
         if slice_gb < 1:
             raise ValueError("slice_gb must be >= 1")
+        super().__init__(seed=seed)
         self.point = operating_point
         self.prediction_quantile = prediction_quantile
         self.overprediction_excess = overprediction_excess
         self.slice_gb = slice_gb
         self.touch_violation_probability = touch_violation_probability
-        self.seed = seed
-        self.stats = PolicyStats()
 
-    def _vm_rng(self, record: VMTraceRecord) -> np.random.Generator:
-        """Deterministic per-VM randomness: the same VM always gets the same
-        decision, no matter how many simulator passes consume the policy."""
-        digest = abs(hash((record.vm_id, self.seed))) % (2**32)
-        return np.random.default_rng(digest)
-
-    # -- per-VM decision ---------------------------------------------------------------
-    def __call__(self, record: VMTraceRecord) -> float:
-        """Return the VM's pool memory in GB.
+    def _decide_arrays(self, memory_gb, untouched_fraction, digests):
+        """Vectorized per-VM decision.
 
         Capacity modelling note: Pond's production scheduler treats pool
         memory as an additional bin-packing dimension, spreading fully
@@ -155,37 +330,42 @@ class PondTracePolicy:
         *expected* pool share (LI-probability-weighted) to capacity, while the
         misprediction accounting still uses per-VM draws -- see DESIGN.md.
         """
-        rng = self._vm_rng(record)
-        self.stats.n_vms += 1
-        self.stats.total_gb += record.memory_gb
-        li = self.point.li_percent / 100.0
+        point = self.point
+        li = point.li_percent / 100.0
+        uniforms = keyed_uniforms(digests, 4)
 
         # zNUMA branch: size the pool share from the predicted untouched memory.
-        overpredicted = rng.uniform() < self.point.op_percent / 100.0
-        if overpredicted:
-            predicted_fraction = min(
-                0.99, record.untouched_fraction + self.overprediction_excess
-            )
-        else:
-            predicted_fraction = record.untouched_fraction * self.prediction_quantile
-        predicted_gb = predicted_fraction * record.memory_gb
-        znuma_gb = math.floor(predicted_gb / self.slice_gb) * self.slice_gb
-        znuma_gb = float(min(znuma_gb, record.memory_gb))
+        overpredicted = uniforms[:, self._STREAM_OVERPREDICT] < point.op_percent / 100.0
+        predicted_fraction = np.where(
+            overpredicted,
+            np.minimum(0.99, untouched_fraction + self.overprediction_excess),
+            untouched_fraction * self.prediction_quantile,
+        )
+        predicted_gb = predicted_fraction * memory_gb
+        znuma_gb = np.floor(predicted_gb / self.slice_gb) * self.slice_gb
+        znuma_gb = np.minimum(znuma_gb, memory_gb)
 
         # Misprediction accounting uses per-VM draws of the actual decision.
-        if rng.uniform() < li:
-            self.stats.n_fully_pool_backed += 1
-            if rng.uniform() < self.point.fp_percent / 100.0:
-                self.stats.n_mispredictions += 1
-        elif znuma_gb <= 0:
-            self.stats.n_all_local += 1
-        else:
-            self.stats.n_znuma += 1
-            if znuma_gb > record.untouched_gb + 1e-9:
-                # The VM spills; only a fraction of spilling VMs exceed the PDM.
-                if rng.uniform() < self.touch_violation_probability:
-                    self.stats.n_mispredictions += 1
+        fully_backed = uniforms[:, self._STREAM_LI] < li
+        false_positive = fully_backed & (
+            uniforms[:, self._STREAM_FP] < point.fp_percent / 100.0
+        )
+        has_znuma = ~fully_backed & (znuma_gb > 0)
+        all_local = ~fully_backed & ~has_znuma
+        # The VM spills; only a fraction of spilling VMs exceed the PDM.
+        untouched_gb = memory_gb * untouched_fraction
+        spills = has_znuma & (znuma_gb > untouched_gb + 1e-9) & (
+            uniforms[:, self._STREAM_TOUCH] < self.touch_violation_probability
+        )
 
-        pool_gb = li * record.memory_gb + (1.0 - li) * znuma_gb
-        self.stats.pool_gb += pool_gb
-        return pool_gb
+        pool_gb = li * memory_gb + (1.0 - li) * znuma_gb
+        delta = PolicyStats(
+            n_vms=memory_gb.shape[0],
+            n_fully_pool_backed=int(fully_backed.sum()),
+            n_znuma=int(has_znuma.sum()),
+            n_all_local=int(all_local.sum()),
+            n_mispredictions=int(false_positive.sum() + spills.sum()),
+            pool_gb=float(pool_gb.sum()),
+            total_gb=float(memory_gb.sum()),
+        )
+        return pool_gb, delta

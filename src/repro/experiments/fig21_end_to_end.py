@@ -11,6 +11,13 @@ VM memory is split between local and pool DRAM by:
 
 The scheduling-misprediction rate of every policy is also tracked to verify
 the TP constraint holds.
+
+Runs on the batch policy engine: each policy's pool allocations are computed
+once per replay as a vectorized array (``decide_batch``), so the simulator's
+hot loop never calls back into Python per VM.  With ``n_shards > 1`` the
+study scales out through the sharded :class:`FleetSimulator` -- one
+independent cluster per shard, savings summed across the fleet -- which is
+how the paper's ~100-cluster evaluation shape is reproduced.
 """
 
 from __future__ import annotations
@@ -18,14 +25,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
+from repro.cluster.fleet import (
+    FleetSimulator,
+    PolicyFactory,
+    pond_policy_factory,
+    static_policy_factory,
+)
 from repro.cluster.pool import PoolDimensioner, PoolSavings
 from repro.cluster.tracegen import TraceGenConfig, TraceGenerator
 from repro.core.config import PondConfig
-from repro.core.policies import PondTracePolicy, StaticFractionPolicy
 from repro.core.prediction.combined import CombinedOperatingPoint
-from repro.workloads.sensitivity import SCENARIO_182, SCENARIO_222
 
 __all__ = ["EndToEndStudy", "run_end_to_end_study", "format_end_to_end_table"]
 
@@ -71,8 +80,16 @@ def run_end_to_end_study(
     operating_points: Optional[Dict[str, CombinedOperatingPoint]] = None,
     static_fraction: float = 0.15,
     seed: int = 61,
+    n_shards: int = 1,
+    max_workers: Optional[int] = None,
 ) -> EndToEndStudy:
-    """Run the Figure 21 sweep on one synthetic cluster trace."""
+    """Run the Figure 21 sweep.
+
+    ``n_shards == 1`` (default) evaluates one synthetic cluster trace through
+    the :class:`PoolDimensioner`; ``n_shards > 1`` shards the study across a
+    fleet of independent clusters (``n_servers`` each) and sums the per-shard
+    savings, optionally fanning shards out over ``max_workers`` processes.
+    """
     config = config or PondConfig()
     points = operating_points or DEFAULT_OPERATING_POINTS
     cfg = TraceGenConfig(
@@ -82,21 +99,45 @@ def run_end_to_end_study(
         target_core_utilization=target_utilization,
         seed=seed,
     )
-    trace = TraceGenerator(cfg).generate()
-    dimensioner = PoolDimensioner(n_servers=n_servers)
     usable_sizes = [s for s in pool_sizes if s <= n_servers * cfg.server_config.sockets]
+    factories: Dict[str, PolicyFactory] = {
+        "pond_182": pond_policy_factory(
+            points["182"], slice_gb=config.slice_gb, seed=seed
+        ),
+        "pond_222": pond_policy_factory(
+            points["222"], slice_gb=config.slice_gb, seed=seed + 1
+        ),
+        "static_15pct": static_policy_factory(
+            fraction=static_fraction, seed=seed + 2
+        ),
+    }
 
     savings: Dict[str, List[PoolSavings]] = {}
     mispredictions: Dict[str, float] = {}
-
-    policies = {
-        "pond_182": PondTracePolicy(points["182"], slice_gb=config.slice_gb, seed=seed),
-        "pond_222": PondTracePolicy(points["222"], slice_gb=config.slice_gb, seed=seed + 1),
-        "static_15pct": StaticFractionPolicy(fraction=static_fraction, seed=seed + 2),
-    }
-    for label, policy in policies.items():
-        savings[label] = dimensioner.sweep_pool_sizes(trace, usable_sizes, policy)
-        mispredictions[label] = policy.stats.misprediction_percent
+    if n_shards > 1:
+        base_fleet = FleetSimulator.sharded(n_shards, cfg)
+        fleet_traces = base_fleet.generate_traces()
+        # The no-pooling baseline is pool-size- and policy-independent:
+        # replay it once per shard and reuse it across the whole grid.
+        baselines = base_fleet.compute_baselines(fleet_traces)
+        for label, factory in factories.items():
+            savings[label] = []
+            for size in usable_sizes:
+                fleet = FleetSimulator.sharded(
+                    n_shards, cfg, pool_size_sockets=size, max_workers=max_workers
+                )
+                fleet_result = fleet.run(
+                    factory, traces=fleet_traces, baselines=baselines
+                )
+                savings[label].append(fleet_result.savings)
+                mispredictions[label] = fleet_result.policy_stats.misprediction_percent
+    else:
+        trace = TraceGenerator(cfg).generate_bulk()
+        dimensioner = PoolDimensioner(n_servers=n_servers)
+        for label, factory in factories.items():
+            policy = factory(0)
+            savings[label] = dimensioner.sweep_pool_sizes(trace, usable_sizes, policy)
+            mispredictions[label] = policy.stats.misprediction_percent
 
     return EndToEndStudy(
         pool_sizes=list(usable_sizes),

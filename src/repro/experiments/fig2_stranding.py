@@ -13,9 +13,10 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.cluster.fleet import FleetSimulator
 from repro.cluster.simulator import ClusterSimulator
 from repro.cluster.stranding import StrandingAnalyzer, StrandingBucket, stranding_vs_utilization
-from repro.cluster.tracegen import TraceGenConfig, TraceGenerator, generate_fleet
+from repro.cluster.tracegen import TraceGenConfig, TraceGenerator
 
 __all__ = ["StrandingStudy", "run_stranding_study", "run_rack_timeseries", "format_stranding_table"]
 
@@ -37,24 +38,29 @@ def run_stranding_study(
     duration_days: float = 4.0,
     utilization_range: Tuple[float, float] = (0.55, 0.97),
     seed: int = 5,
+    max_workers: Optional[int] = None,
 ) -> StrandingStudy:
-    """Simulate a fleet of clusters and aggregate stranding (Figure 2a)."""
+    """Simulate a fleet of clusters and aggregate stranding (Figure 2a).
+
+    The fleet is run through the sharded :class:`FleetSimulator` (one shard
+    per cluster, memory-constrained, no pool); ``max_workers`` optionally
+    fans the shards out over a process pool.
+    """
     base = TraceGenConfig(
         n_servers=n_servers,
         duration_days=duration_days,
         mean_lifetime_hours=6.0,
     )
-    traces = generate_fleet(
-        n_clusters, base_config=base, utilization_range=utilization_range, seed=seed
+    fleet = FleetSimulator.utilization_sweep(
+        n_clusters,
+        base,
+        utilization_range=utilization_range,
+        seed=seed,
+        constrain_memory=True,
+        sample_interval_s=3600.0,
+        max_workers=max_workers,
     )
-    results = {}
-    for trace in traces:
-        simulator = ClusterSimulator(
-            n_servers=n_servers,
-            constrain_memory=True,
-            sample_interval_s=3600.0,
-        )
-        results[trace.cluster_id] = simulator.run(trace)
+    results = fleet.run().results()
     analyzer = StrandingAnalyzer(results)
     buckets = stranding_vs_utilization(list(results.values()))
     all_samples = np.concatenate(

@@ -3,6 +3,10 @@
 With a fixed 10 %, 30 %, or 50 % of every VM's memory allocated on the pool,
 the required overall DRAM (relative to no pooling) falls as the pool spans
 more sockets, with diminishing returns beyond 16-32 sockets.
+
+Runs on the batch policy engine: the fixed-fraction policies expose
+``decide_batch``, so every dimensioning replay consumes a precomputed pool
+allocation array instead of calling back into Python per VM.
 """
 
 from __future__ import annotations
@@ -52,7 +56,7 @@ def run_pool_size_study(
         target_core_utilization=target_utilization,
         seed=seed,
     )
-    trace = TraceGenerator(cfg).generate()
+    trace = TraceGenerator(cfg).generate_bulk()
     dimensioner = PoolDimensioner(n_servers=n_servers)
     usable_sizes = [s for s in pool_sizes if s <= n_servers * cfg.server_config.sockets]
     savings = dimensioner.sweep_fixed_fractions(trace, usable_sizes, fractions)

@@ -6,7 +6,7 @@ import pytest
 from repro.cluster.pool import PoolDimensioner, fixed_fraction_policy
 from repro.cluster.scheduler import PlacementError, VMScheduler
 from repro.cluster.server import ClusterServer, ServerConfig
-from repro.cluster.simulator import ClusterSimulator
+from repro.cluster.simulator import ClusterSimulator, SampleBuffer
 from repro.cluster.stranding import StrandingAnalyzer, stranding_vs_utilization
 from repro.cluster.trace import ClusterTrace, VMTraceRecord
 from repro.cluster.tracegen import TraceGenConfig, TraceGenerator
@@ -131,6 +131,138 @@ class TestClusterSimulator:
         with pytest.raises(ValueError):
             ClusterSimulator(n_servers=1, sample_interval_s=0.0)
 
+    def test_precomputed_pool_array_matches_policy_callback(self):
+        trace = make_trace(n_vms=30)
+        policy = fixed_fraction_policy(0.5)
+        sim = lambda: ClusterSimulator(n_servers=4, pool_size_sockets=4,
+                                       constrain_memory=False,
+                                       sample_interval_s=600.0)
+        from_callback = sim().run(trace, policy=policy.__call__)
+        from_array = sim().run(trace, pool_gb=policy.decide_batch(trace))
+        assert from_array.placements == from_callback.placements
+        assert from_array.pool_peak_gb == from_callback.pool_peak_gb
+        assert from_array.server_peak_local_gb == from_callback.server_peak_local_gb
+
+    def test_pool_array_is_clipped_to_vm_memory(self):
+        trace = make_trace(n_vms=10, memory_gb=16.0)
+        sim = ClusterSimulator(n_servers=2, pool_size_sockets=4,
+                               constrain_memory=False, sample_interval_s=600.0)
+        oversized = np.full(len(trace), 1e6)
+        result = sim.run(trace, pool_gb=oversized)
+        assert result.total_pool_gb_allocated == pytest.approx(10 * 16.0)
+
+    def test_pool_array_length_must_match_trace(self):
+        trace = make_trace(n_vms=5)
+        sim = ClusterSimulator(n_servers=2, pool_size_sockets=4,
+                               constrain_memory=False, sample_interval_s=600.0)
+        with pytest.raises(ValueError):
+            sim.run(trace, pool_gb=np.zeros(4))
+
+    def test_pool_array_ignored_without_pool(self):
+        trace = make_trace(n_vms=5)
+        sim = ClusterSimulator(n_servers=2, sample_interval_s=600.0)
+        result = sim.run(trace, pool_gb=np.full(len(trace), 8.0))
+        assert result.total_pool_gb_allocated == 0.0
+
+
+class TestSampleBuffer:
+    N_COLUMNS = 8  # matches _SAMPLE_COLUMNS
+
+    def row(self, value):
+        return [float(value)] * self.N_COLUMNS
+
+    def test_growth_beyond_initial_capacity(self):
+        buffer = SampleBuffer(initial_capacity=2)
+        for i in range(9):
+            buffer.append_row(self.row(i))
+        assert len(buffer) == 9
+        assert buffer.rows().shape == (9, self.N_COLUMNS)
+        assert buffer.column("time_s").tolist() == [float(i) for i in range(9)]
+        # Backing storage doubled 2 -> 4 -> 8 -> 16.
+        assert buffer._data.shape[0] == 16
+
+    def test_growth_preserves_existing_rows_exactly(self):
+        buffer = SampleBuffer(initial_capacity=1)
+        rows = [self.row(v) for v in (3.5, -1.25, 7.0)]
+        for row in rows:
+            buffer.append_row(row)
+        assert np.array_equal(buffer.rows(), np.array(rows))
+
+    def test_drop_last_then_append_reuses_slot(self):
+        buffer = SampleBuffer(initial_capacity=2)
+        buffer.append_row(self.row(1))
+        buffer.append_row(self.row(2))
+        buffer.drop_last()
+        assert len(buffer) == 1
+        buffer.append_row(self.row(5))
+        assert buffer.column("time_s").tolist() == [1.0, 5.0]
+
+    def test_drop_last_on_empty_buffer_raises(self):
+        buffer = SampleBuffer()
+        with pytest.raises(IndexError):
+            buffer.drop_last()
+        buffer.append_row(self.row(1))
+        buffer.drop_last()
+        with pytest.raises(IndexError):
+            buffer.drop_last()
+
+    def test_dropped_row_is_not_visible_in_views(self):
+        buffer = SampleBuffer(initial_capacity=4)
+        buffer.append_row(self.row(1))
+        buffer.append_row(self.row(2))
+        buffer.drop_last()
+        assert buffer.rows().shape == (1, self.N_COLUMNS)
+        assert buffer.column("time_s").tolist() == [1.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SampleBuffer(initial_capacity=0)
+        buffer = SampleBuffer()
+        with pytest.raises(AttributeError):
+            buffer.column("nope")
+
+
+class TestHorizonGridReplacement:
+    """The horizon sample replaces a grid sample landing exactly on the
+    horizon (pre-arrival state) with the post-arrival end state."""
+
+    def trace_with_arrival_at(self, time_s):
+        records = [
+            VMTraceRecord(vm_id="vm-early", cluster_id="t", arrival_s=0.0,
+                          lifetime_s=500.0, cores=2, memory_gb=8.0),
+            VMTraceRecord(vm_id="vm-final", cluster_id="t", arrival_s=time_s,
+                          lifetime_s=500.0, cores=2, memory_gb=8.0),
+        ]
+        return ClusterTrace(records)
+
+    def test_explicit_horizon_on_grid_emits_single_post_arrival_sample(self):
+        trace = self.trace_with_arrival_at(7200.0)
+        sim = ClusterSimulator(n_servers=1, sample_interval_s=3600.0)
+        result = sim.run(trace, horizon_s=7200.0)
+        times = result.sample_array("time_s")
+        assert times.tolist() == [0.0, 3600.0, 7200.0]
+        assert (np.diff(times) > 0).all()
+        # The replaced sample reflects the arrival at the horizon.
+        assert result.sample_array("running_vms").tolist() == [0, 0, 1]
+
+    def test_explicit_horizon_off_grid_appends_final_sample(self):
+        trace = self.trace_with_arrival_at(5400.0)
+        sim = ClusterSimulator(n_servers=1, sample_interval_s=3600.0)
+        result = sim.run(trace, horizon_s=5400.0)
+        assert result.sample_array("time_s").tolist() == [0.0, 3600.0, 5400.0]
+        assert result.sample_array("running_vms").tolist() == [0, 0, 1]
+
+    def test_zero_length_trace_horizon(self):
+        trace = ClusterTrace([
+            VMTraceRecord(vm_id="vm-0", cluster_id="t", arrival_s=0.0,
+                          lifetime_s=100.0, cores=1, memory_gb=4.0),
+        ])
+        sim = ClusterSimulator(n_servers=1, sample_interval_s=3600.0)
+        result = sim.run(trace)
+        # Arrival span is 0: exactly one sample, at t=0, post-arrival.
+        assert result.sample_array("time_s").tolist() == [0.0]
+        assert result.sample_array("running_vms").tolist() == [1]
+
 
 class TestStrandingAnalysis:
     def run_cluster(self, utilization, seed=0):
@@ -217,3 +349,10 @@ class TestPoolDimensioner:
     def test_fixed_fraction_policy_validation(self):
         with pytest.raises(ValueError):
             fixed_fraction_policy(1.5)
+
+    def test_fixed_fraction_batch_accepts_record_sequences(self, trace):
+        policy = fixed_fraction_policy(0.3)
+        whole = policy.decide_batch(trace)
+        sliced = policy.decide_batch(trace.records[0::2])
+        assert np.array_equal(sliced, whole[0::2])
+        assert np.array_equal(whole, np.array([policy(r) for r in trace]))

@@ -139,6 +139,21 @@ class TestModelExperiments:
         assert study.pool_dram_at_misprediction(2.0) > 0.0
 
 
+class TestEndToEndFleetMode:
+    def test_sharded_study_produces_full_grid(self):
+        study = fig21_end_to_end.run_end_to_end_study(
+            n_servers=8, duration_days=1.0, pool_sizes=(4, 8),
+            seed=3, n_shards=2,
+        )
+        assert study.pool_sizes == [4, 8]
+        for policy in ("pond_182", "pond_222", "static_15pct"):
+            for size in study.pool_sizes:
+                required = study.required_dram_percent(policy, size)
+                assert 0.0 < required <= 110.0
+            assert study.misprediction_percent[policy] < 10.0
+        assert "required overall DRAM" in fig21_end_to_end.format_end_to_end_table(study)
+
+
 class TestEndToEndExperiment:
     def test_pond_beats_static_at_16_sockets(self):
         study = fig21_end_to_end.run_end_to_end_study(
