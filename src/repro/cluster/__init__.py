@@ -8,7 +8,8 @@ The paper's stranding analysis (Section 3.1) and end-to-end savings results
   SKU definitions matching the paper's hardware (two-socket servers, a mix of
   VM sizes with varying DRAM-to-core ratios).
 * :mod:`repro.cluster.trace` -- the VM arrival/departure trace format with
-  CSV round-tripping.
+  CSV round-tripping, plus the chunked ``TraceStream`` protocol that replays
+  traces from generators or CSV files without materialising them.
 * :mod:`repro.cluster.tracegen` -- a synthetic trace generator whose knobs
   (target core utilisation, DRAM:core skew, lifetime distribution, customer
   mix) reproduce the statistical conditions that cause stranding; its
@@ -23,19 +24,28 @@ The paper's stranding analysis (Section 3.1) and end-to-end savings results
 * :mod:`repro.cluster.pool` -- pool dimensioning / DRAM-savings estimation
   (Figures 3 and 21).
 * :mod:`repro.cluster.fleet` -- sharded fleet simulator merging N independent
-  cluster replays (with batch policy evaluation) for million-VM studies.
+  cluster replays (with batch policy evaluation, optional streaming, and a
+  fleet-level capacity search) for million-VM studies.
 """
 
 from repro.cluster.server import ServerConfig, ClusterServer
 from repro.cluster.vm_types import VMType, VM_TYPE_CATALOG, sample_vm_type
-from repro.cluster.trace import VMTraceRecord, ClusterTrace
-from repro.cluster.tracegen import TraceGenerator, TraceGenConfig
+from repro.cluster.trace import (
+    VMTraceRecord,
+    ClusterTrace,
+    TraceColumns,
+    TraceStream,
+    MaterializedTraceStream,
+    CsvTraceStream,
+)
+from repro.cluster.tracegen import TraceGenerator, TraceGenConfig, GeneratedTraceStream
 from repro.cluster.scheduler import VMScheduler, PlacementError, SCHEDULER_STRATEGIES
 from repro.cluster.simulator import ClusterSimulator, SimulationResult
 from repro.cluster.stranding import StrandingAnalyzer, stranding_vs_utilization
 from repro.cluster.pool import PoolDimensioner, PoolSavings
 
-_FLEET_EXPORTS = ("FleetSimulator", "FleetResult", "FleetShardResult")
+_FLEET_EXPORTS = ("FleetSimulator", "FleetResult", "FleetShardResult",
+                  "FleetCapacitySearchResult")
 
 
 def __getattr__(name):
@@ -54,6 +64,7 @@ __all__ = [
     "FleetSimulator",
     "FleetResult",
     "FleetShardResult",
+    "FleetCapacitySearchResult",
     "ServerConfig",
     "ClusterServer",
     "VMType",
@@ -61,6 +72,11 @@ __all__ = [
     "sample_vm_type",
     "VMTraceRecord",
     "ClusterTrace",
+    "TraceColumns",
+    "TraceStream",
+    "MaterializedTraceStream",
+    "CsvTraceStream",
+    "GeneratedTraceStream",
     "TraceGenerator",
     "TraceGenConfig",
     "VMScheduler",

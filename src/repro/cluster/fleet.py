@@ -4,12 +4,14 @@ The paper's evaluation replays traces from ~100 production clusters (Section
 6.1, Figure 21); one :class:`~repro.cluster.simulator.ClusterSimulator`
 models a single cluster, so fleet-scale studies shard the workload across
 ``N`` independent clusters and merge the results.  Each shard is one
-cluster: its own synthetic trace (generated with the vectorized
-``TraceGenerator.generate_bulk`` path), its own simulator replay, and its
-own policy instance.  Because policy decisions are keyed on stable per-VM
-digests (see ``repro.core.policies``), sharding never changes any VM's
-allocation -- a fleet result is exactly the sum of its shards' single-cluster
-results, which the fleet benchmark asserts.
+cluster: its own synthetic trace (materialised via the vectorized
+``TraceGenerator.generate_bulk`` path, or replayed as a lazy
+``GeneratedTraceStream`` when ``stream_chunk_size`` is set so no shard trace
+is ever held in full), its own simulator replay, and its own policy
+instance.  Because policy decisions are keyed on stable per-VM digests (see
+``repro.core.policies``), sharding never changes any VM's allocation -- a
+fleet result is exactly the sum of its shards' single-cluster results,
+which the fleet benchmark asserts.
 
 Shards are embarrassingly parallel; ``max_workers`` optionally runs them in
 a ``concurrent.futures`` process pool (everything a worker needs --
@@ -23,6 +25,10 @@ Savings are computed per shard in peak-observation mode (the same
 uniform-provisioning model as ``PoolDimensioner.evaluate``): the baseline is
 a memory-unconstrained replay with no pooling, the pooled requirement is the
 uniform per-server local peak plus the uniform per-group pool peak.
+:meth:`FleetSimulator.capacity_search` offers the constrained alternative --
+the dimensioner's binary search lifted to one shared fleet-wide server DRAM
+size with the rejection budget aggregated across shards (DESIGN.md section
+5).
 """
 
 from __future__ import annotations
@@ -33,8 +39,12 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.cluster.pool import PoolSavings, uniform_pool_requirement_gb
-from repro.cluster.simulator import ClusterSimulator, SimulationResult
+from repro.cluster.pool import (
+    PoolSavings,
+    capacity_candidate_config,
+    uniform_pool_requirement_gb,
+)
+from repro.cluster.simulator import ClusterSimulator, SimulationResult, TraceInput
 from repro.cluster.trace import ClusterTrace
 from repro.cluster.tracegen import TraceGenConfig, TraceGenerator, fleet_shard_configs
 from repro.core.policies import (
@@ -49,6 +59,7 @@ __all__ = [
     "FleetSimulator",
     "FleetResult",
     "FleetShardResult",
+    "FleetCapacitySearchResult",
     "pond_policy_factory",
     "static_policy_factory",
     "all_local_policy_factory",
@@ -230,12 +241,38 @@ class FleetResult:
 
 
 @dataclass(frozen=True)
+class FleetCapacitySearchResult:
+    """Output of :meth:`FleetSimulator.capacity_search`.
+
+    ``savings`` is directly comparable with
+    :meth:`PoolDimensioner.evaluate_capacity_search` output (and equal to it
+    for a single-shard fleet); the extra fields expose the dimensioning the
+    search converged on.
+    """
+
+    savings: PoolSavings
+    #: The shared uniform per-server DRAM the searches converged on.
+    baseline_per_server_gb: float
+    pooled_per_server_gb: float
+    #: Per-shard pool-blade capacity (GB per pool group), aligned with
+    #: ``shard_configs``; pools never span shard (cluster) boundaries.
+    per_shard_pool_capacity_gb: Tuple[float, ...]
+    total_vms: int
+    #: Fleet-aggregated rejection budget the constrained replays had to meet.
+    rejection_budget: int
+    #: Policy accounting merged across shards.  Counts accumulate over every
+    #: search probe (each probe re-evaluates the same VMs), so use the
+    #: percentage properties, which are invariant to the number of probes.
+    policy_stats: PolicyStats
+
+
+@dataclass(frozen=True)
 class _ShardSpec:
     """Everything one worker needs to run a shard (must stay picklable)."""
 
     index: int
     config: TraceGenConfig
-    trace: Optional[ClusterTrace]
+    trace: Optional[TraceInput]
     policy_factory: Optional[PolicyFactory]
     batch: bool
     compute_baseline: bool
@@ -246,9 +283,23 @@ class _ShardSpec:
     scheduler_strategy: str
     #: Precomputed no-pooling baseline (skips the baseline replay).
     baseline_required_dram_gb: Optional[float] = None
+    #: When set (and no trace is supplied), the worker replays a lazy
+    #: ``GeneratedTraceStream`` of this chunk size instead of materialising.
+    stream_chunk_size: Optional[int] = None
 
 
-def _shard_baseline_gb(cfg: TraceGenConfig, trace: ClusterTrace,
+def _shard_trace_input(cfg: TraceGenConfig, trace: Optional[TraceInput],
+                       stream_chunk_size: Optional[int]) -> TraceInput:
+    """Resolve a shard's replay input: supplied trace/stream, lazy stream,
+    or (the legacy default) a freshly materialised trace."""
+    if trace is not None:
+        return trace
+    if stream_chunk_size is not None:
+        return TraceGenerator(cfg).stream(stream_chunk_size)
+    return TraceGenerator(cfg).generate_bulk()
+
+
+def _shard_baseline_gb(cfg: TraceGenConfig, trace: TraceInput,
                        sample_interval_s: float, scheduler_strategy: str) -> float:
     """One shard's no-pooling uniform baseline (memory-unconstrained replay)."""
     baseline_sim = ClusterSimulator(
@@ -264,21 +315,18 @@ def _shard_baseline_gb(cfg: TraceGenConfig, trace: ClusterTrace,
 
 
 def _baseline_task(
-    args: Tuple[TraceGenConfig, Optional[ClusterTrace], float, str]
+    args: Tuple[TraceGenConfig, Optional[TraceInput], float, str, Optional[int]]
 ) -> float:
     """Baseline replay for one shard; module-level so a pool can pickle it."""
-    cfg, trace, sample_interval_s, scheduler_strategy = args
-    if trace is None:
-        trace = TraceGenerator(cfg).generate_bulk()
+    cfg, trace, sample_interval_s, scheduler_strategy, stream_chunk_size = args
+    trace = _shard_trace_input(cfg, trace, stream_chunk_size)
     return _shard_baseline_gb(cfg, trace, sample_interval_s, scheduler_strategy)
 
 
 def _run_shard(spec: _ShardSpec) -> FleetShardResult:
     """Generate (if needed) and replay one shard; module-level for pickling."""
     cfg = spec.config
-    trace = spec.trace
-    if trace is None:
-        trace = TraceGenerator(cfg).generate_bulk()
+    trace = _shard_trace_input(cfg, spec.trace, spec.stream_chunk_size)
     policy = spec.policy_factory(spec.index) if spec.policy_factory else None
     simulator = ClusterSimulator(
         n_servers=cfg.n_servers,
@@ -308,7 +356,9 @@ def _run_shard(spec: _ShardSpec) -> FleetShardResult:
     return FleetShardResult(
         shard_id=cfg.cluster_id,
         shard_index=spec.index,
-        n_vms=len(trace),
+        # Every record is either placed or rejected, so this equals the trace
+        # length -- without needing a __len__, which streams don't have.
+        n_vms=result.placed_vms + result.rejected_vms,
         n_servers=cfg.n_servers,
         sockets_per_server=cfg.server_config.sockets,
         pool_size_sockets=spec.pool_size_sockets,
@@ -320,7 +370,37 @@ def _run_shard(spec: _ShardSpec) -> FleetShardResult:
 
 
 class FleetSimulator:
-    """Shards a fleet workload across N independent cluster simulations."""
+    """Shards a fleet workload across N independent cluster simulations.
+
+    Each shard is one cluster: its own trace (materialised or streamed), its
+    own simulator replay, its own policy instance; a fleet result is exactly
+    the component-wise sum of its shards' single-cluster results.  Three
+    execution modes (DESIGN.md sections 3-5):
+
+    * ``max_workers`` fans shards out over a process pool in :meth:`run` and
+      :meth:`compute_baselines`;
+    * ``stream_chunk_size`` replays each shard through a lazy
+      ``GeneratedTraceStream`` so no shard trace is ever materialised (peak
+      trace memory drops from O(trace) to O(generation window + chunk +
+      live VMs)); it composes
+      with either of the other modes;
+    * :meth:`capacity_search` lifts the dimensioner's binary search to the
+      whole fleet (one shared per-server DRAM size, rejection budget
+      aggregated across shards); its probes run serially in this process --
+      ``max_workers`` does not parallelise the search.
+
+    Worked example -- a streamed 4-cluster savings study::
+
+        base = TraceGenConfig(n_servers=32, duration_days=3.0)
+        fleet = FleetSimulator.sharded(
+            4, base, pool_size_sockets=16, stream_chunk_size=8192
+        )
+        result = fleet.run(pond_policy_factory(operating_point))
+        print(result.savings.savings_percent)   # summed across shards
+
+        search = fleet.capacity_search(pond_policy_factory(operating_point))
+        print(search.savings.savings_percent)   # constrained-replay variant
+    """
 
     def __init__(
         self,
@@ -331,12 +411,15 @@ class FleetSimulator:
         sample_interval_s: float = 3600.0,
         scheduler_strategy: str = "indexed",
         max_workers: Optional[int] = None,
+        stream_chunk_size: Optional[int] = None,
     ) -> None:
         if not shard_configs:
             raise ValueError("need at least one shard config")
         ids = [cfg.cluster_id for cfg in shard_configs]
         if len(set(ids)) != len(ids):
             raise ValueError("shard cluster_ids must be unique")
+        if stream_chunk_size is not None and stream_chunk_size < 1:
+            raise ValueError("stream_chunk_size must be >= 1")
         self.shard_configs = list(shard_configs)
         self.pool_size_sockets = pool_size_sockets
         self.pool_capacity_gb_per_group = pool_capacity_gb_per_group
@@ -344,6 +427,17 @@ class FleetSimulator:
         self.sample_interval_s = sample_interval_s
         self.scheduler_strategy = scheduler_strategy
         self.max_workers = max_workers
+        self.stream_chunk_size = stream_chunk_size
+        # capacity_search memos -- (core rejections, total VMs) and the
+        # no-pool baseline per (search_steps, rejection_tolerance) -- both
+        # pool-size- and policy-independent, so a Figure-21-style grid pays
+        # for them once instead of once per cell.  Valid per trace-input set:
+        # ``_capacity_cache_key`` holds the ``traces`` argument they were
+        # computed for (``None`` = the fleet's own deterministic inputs) by
+        # strong reference, so its identity cannot be recycled while cached.
+        self._capacity_cache_key: Optional[Sequence[TraceInput]] = None
+        self._capacity_core_stats: Optional[Tuple[int, int]] = None
+        self._capacity_baseline_cache: Dict[Tuple[int, float], float] = {}
 
     # -- constructors ----------------------------------------------------------------
     @classmethod
@@ -379,7 +473,7 @@ class FleetSimulator:
         return [TraceGenerator(cfg).generate_bulk() for cfg in self.shard_configs]
 
     def compute_baselines(
-        self, traces: Optional[Sequence[ClusterTrace]] = None
+        self, traces: Optional[Sequence[TraceInput]] = None
     ) -> List[float]:
         """No-pooling uniform baseline per shard, for reuse across runs.
 
@@ -394,7 +488,8 @@ class FleetSimulator:
             )
         tasks = [
             (cfg, traces[i] if traces is not None else None,
-             self.sample_interval_s, self.scheduler_strategy)
+             self.sample_interval_s, self.scheduler_strategy,
+             self.stream_chunk_size)
             for i, cfg in enumerate(self.shard_configs)
         ]
         if self.max_workers and self.max_workers > 1 and len(tasks) > 1:
@@ -405,7 +500,7 @@ class FleetSimulator:
     def run(
         self,
         policy_factory: Optional[PolicyFactory] = None,
-        traces: Optional[Sequence[ClusterTrace]] = None,
+        traces: Optional[Sequence[TraceInput]] = None,
         batch: bool = True,
         compute_baseline: Optional[bool] = None,
         baselines: Optional[Sequence[float]] = None,
@@ -448,6 +543,7 @@ class FleetSimulator:
                 baseline_required_dram_gb=(
                     baselines[i] if baselines is not None else None
                 ),
+                stream_chunk_size=self.stream_chunk_size,
             )
             for i, cfg in enumerate(self.shard_configs)
         ]
@@ -457,3 +553,255 @@ class FleetSimulator:
         else:
             shards = [_run_shard(spec) for spec in specs]
         return FleetResult(shards=shards)
+
+    # -- fleet-level capacity search ---------------------------------------------------
+    def capacity_search(
+        self,
+        policy_factory: Optional[PolicyFactory] = None,
+        traces: Optional[Sequence[TraceInput]] = None,
+        search_steps: int = 7,
+        rejection_tolerance: float = 0.002,
+        pool_headroom: float = 1.05,
+        pool_size_sockets: Optional[int] = None,
+    ) -> FleetCapacitySearchResult:
+        """Fleet-level lift of ``PoolDimensioner``'s capacity search.
+
+        Servers are bought with **one** DRAM configuration fleet-wide, so the
+        binary search probes a *shared* candidate per-server DRAM size across
+        every shard and aggregates the verdict: a candidate is feasible when
+        the summed rejections of all shards' memory-constrained replays stay
+        within one fleet-wide budget (per-shard core-only rejections summed,
+        plus ``max(1, rejection_tolerance * total_vms)``).  The algorithm
+        (DESIGN.md section 5):
+
+        1. one memory-unconstrained no-pool replay per shard fixes the
+           rejection budget (computed once, reused by both searches);
+        2. binary search the smallest shared per-server DRAM with no pooling
+           -- the baseline;
+        3. one memory-unconstrained *pooled* replay per shard provisions each
+           shard's pool groups at ``pool_headroom`` times the worst observed
+           per-group peak (pools never span shards);
+        4. binary search the smallest shared per-server DRAM with those
+           pools in place.
+
+        Shard replays are reused across search iterations: per-shard
+        rejection counts are memoised per candidate DRAM size, and the
+        feasibility sum short-circuits as soon as the budget is exceeded, so
+        later shards are not replayed for clearly infeasible candidates.
+        With ``stream_chunk_size`` set (and no pregenerated ``traces``),
+        every probe replays lazy streams and the search never materialises a
+        shard trace.  Probes run serially in this process (``max_workers``
+        parallelises :meth:`run` and :meth:`compute_baselines`, not this
+        search -- the early-exit sum is inherently sequential).
+
+        ``pool_size_sockets`` overrides the fleet's configured pool size for
+        this call, so a pool-size sweep can reuse one ``FleetSimulator``:
+        the pool-independent work (the rejection budget and the no-pool
+        baseline search) is computed once per trace-input set and memoised
+        across the sweep -- sound because the fleet's own inputs are
+        deterministic per config, and a supplied ``traces`` sequence is
+        tracked by identity (strong reference).
+
+        For a single-shard fleet this returns exactly what
+        ``PoolDimensioner.evaluate_capacity_search`` returns for the same
+        trace, policy, and knobs (enforced by a differential test).  All
+        shards must share one ``ServerConfig``: uniform fleet provisioning
+        is the premise of the search.
+        """
+        if search_steps < 1:
+            raise ValueError("search_steps must be >= 1")
+        if rejection_tolerance < 0:
+            raise ValueError("rejection_tolerance cannot be negative")
+        if pool_headroom < 1.0:
+            raise ValueError("pool_headroom must be >= 1.0")
+        if traces is not None and len(traces) != len(self.shard_configs):
+            raise ValueError(
+                f"got {len(traces)} traces for {len(self.shard_configs)} shards"
+            )
+        server_config = self.shard_configs[0].server_config
+        if any(cfg.server_config != server_config for cfg in self.shard_configs):
+            raise ValueError(
+                "capacity_search requires a homogeneous ServerConfig across "
+                "shards (servers are provisioned with one DRAM size fleet-wide)"
+            )
+        n_shards = len(self.shard_configs)
+        total_servers = sum(cfg.n_servers for cfg in self.shard_configs)
+        pool_size = self.pool_size_sockets if pool_size_sockets is None \
+            else pool_size_sockets
+        if traces is not self._capacity_cache_key:
+            self._capacity_cache_key = traces
+            self._capacity_core_stats = None
+            self._capacity_baseline_cache = {}
+
+        # Per-shard replay inputs, resolved once: a pregenerated trace, a
+        # re-iterable lazy stream, or a materialised trace (legacy default).
+        inputs: List[TraceInput] = [
+            _shard_trace_input(
+                cfg, traces[i] if traces is not None else None,
+                self.stream_chunk_size,
+            )
+            for i, cfg in enumerate(self.shard_configs)
+        ]
+        policies = [
+            policy_factory(i) if policy_factory is not None else None
+            for i in range(n_shards)
+        ]
+
+        def replay(shard: int, dram_per_server_gb: Optional[float],
+                   pool_sockets: int, pool_capacity_gb: float,
+                   policy) -> SimulationResult:
+            cfg = self.shard_configs[shard]
+            if dram_per_server_gb is None:
+                config, constrain = cfg.server_config, False
+            else:
+                config = capacity_candidate_config(
+                    cfg.server_config, dram_per_server_gb
+                )
+                constrain = True
+            simulator = ClusterSimulator(
+                n_servers=cfg.n_servers,
+                server_config=config,
+                pool_size_sockets=pool_sockets,
+                pool_capacity_gb_per_group=pool_capacity_gb,
+                constrain_memory=constrain,
+                sample_interval_s=self.sample_interval_s,
+                scheduler_strategy=self.scheduler_strategy,
+                record_placements=False,
+            )
+            return simulator.run(inputs[shard], policy=policy)
+
+        # 1. Rejection budget: core/NUMA-fragmentation rejections can never
+        # be fixed by DRAM, so they are excluded from every candidate's
+        # verdict.  Computed once, shared by both searches (and memoised
+        # across calls for the fleet's own deterministic inputs).
+        if self._capacity_core_stats is not None:
+            core_only_rejections, total_vms = self._capacity_core_stats
+        else:
+            total_vms = 0
+            core_only_rejections = 0
+            for shard in range(n_shards):
+                result = replay(shard, None, 0, float("inf"), None)
+                core_only_rejections += result.rejected_vms
+                total_vms += result.placed_vms + result.rejected_vms
+            self._capacity_core_stats = (core_only_rejections, total_vms)
+        budget = core_only_rejections + max(
+            1, int(rejection_tolerance * total_vms)
+        )
+
+        #: (shard, dram, pooled?) -> rejections; search probes repeat
+        #: candidates only rarely, but early-exited shards return cheaply.
+        rejection_cache: Dict[Tuple[int, float, bool], int] = {}
+
+        def total_rejections(dram: float, pool_caps: Optional[List[float]]) -> int:
+            total = 0
+            pooled = pool_caps is not None
+            for shard in range(n_shards):
+                key = (shard, dram, pooled)
+                rejections = rejection_cache.get(key)
+                if rejections is None:
+                    if pooled:
+                        result = replay(
+                            shard, dram, pool_size, pool_caps[shard],
+                            policies[shard],
+                        )
+                    else:
+                        result = replay(shard, dram, 0, 0.0, None)
+                    rejections = result.rejected_vms
+                    rejection_cache[key] = rejections
+                total += rejections
+                if total > budget:
+                    break  # infeasible already; skip the remaining shards
+            return total
+
+        def min_shared_server_dram(pool_caps: Optional[List[float]]) -> float:
+            """Binary-search the smallest shared per-server DRAM that fits."""
+            hi = server_config.total_dram_gb
+            lo = 0.0
+            # Ensure the upper bound is actually feasible; if not, widen it.
+            for _ in range(4):
+                if total_rejections(hi, pool_caps) <= budget:
+                    break
+                hi *= 1.5
+            else:
+                return hi
+            for _ in range(search_steps):
+                mid = (lo + hi) / 2.0
+                if total_rejections(mid, pool_caps) <= budget:
+                    hi = mid
+                else:
+                    lo = mid
+            return hi
+
+        # 2. No-pooling baseline under the shared-DRAM constraint
+        # (pool-size- and policy-independent; memoised like the budget).
+        baseline_key = (search_steps, rejection_tolerance)
+        if baseline_key in self._capacity_baseline_cache:
+            baseline_per_server = self._capacity_baseline_cache[baseline_key]
+        else:
+            baseline_per_server = min_shared_server_dram(None)
+            self._capacity_baseline_cache[baseline_key] = baseline_per_server
+        baseline_gb = baseline_per_server * total_servers
+
+        merged_stats = PolicyStats()
+        if pool_size == 0:
+            return FleetCapacitySearchResult(
+                savings=PoolSavings(
+                    pool_size_sockets=0,
+                    baseline_dram_gb=baseline_gb,
+                    required_local_dram_gb=baseline_gb,
+                    required_pool_dram_gb=0.0,
+                    average_pool_fraction=0.0,
+                ),
+                baseline_per_server_gb=baseline_per_server,
+                pooled_per_server_gb=baseline_per_server,
+                per_shard_pool_capacity_gb=tuple(0.0 for _ in range(n_shards)),
+                total_vms=total_vms,
+                rejection_budget=budget,
+                policy_stats=merged_stats,
+            )
+
+        # 3. Provision each shard's pool groups from its unconstrained peaks.
+        pool_caps: List[float] = []
+        required_pool_gb = 0.0
+        total_pool_allocated = 0.0
+        total_memory_allocated = 0.0
+        for shard in range(n_shards):
+            unconstrained = replay(
+                shard, None, pool_size, float("inf"), policies[shard]
+            )
+            if unconstrained.pool_peak_gb:
+                per_group = pool_headroom * max(unconstrained.pool_peak_gb.values())
+                n_groups = len(unconstrained.pool_peak_gb)
+            else:
+                per_group = 0.0
+                n_groups = 0
+            pool_caps.append(per_group)
+            required_pool_gb += per_group * n_groups
+            total_pool_allocated += unconstrained.total_pool_gb_allocated
+            total_memory_allocated += unconstrained.total_memory_gb_allocated
+
+        # 4. Smallest shared per-server DRAM with those pools in place.
+        pooled_per_server = min_shared_server_dram(pool_caps)
+
+        for policy in policies:
+            stats = getattr(policy, "stats", None)
+            if stats is not None:
+                merged_stats.add(stats)
+        return FleetCapacitySearchResult(
+            savings=PoolSavings(
+                pool_size_sockets=pool_size,
+                baseline_dram_gb=baseline_gb,
+                required_local_dram_gb=pooled_per_server * total_servers,
+                required_pool_dram_gb=required_pool_gb,
+                average_pool_fraction=(
+                    total_pool_allocated / total_memory_allocated
+                    if total_memory_allocated else 0.0
+                ),
+            ),
+            baseline_per_server_gb=baseline_per_server,
+            pooled_per_server_gb=pooled_per_server,
+            per_shard_pool_capacity_gb=tuple(pool_caps),
+            total_vms=total_vms,
+            rejection_budget=budget,
+            policy_stats=merged_stats,
+        )

@@ -31,7 +31,7 @@ import numpy as np
 from repro.cluster.scheduler import validate_strategy
 from repro.cluster.simulator import ClusterSimulator, PoolPolicy, SimulationResult
 from repro.cluster.server import ServerConfig
-from repro.cluster.trace import ClusterTrace, VMTraceRecord
+from repro.cluster.trace import ClusterTrace, TraceColumns, VMTraceRecord
 
 __all__ = [
     "PoolSavings",
@@ -39,6 +39,7 @@ __all__ = [
     "FixedFractionPolicy",
     "fixed_fraction_policy",
     "uniform_pool_requirement_gb",
+    "capacity_candidate_config",
 ]
 
 
@@ -59,9 +60,11 @@ class FixedFractionPolicy:
         return record.memory_gb * self.fraction
 
     def decide_batch(self, trace):
-        """Batch path for a trace or any sequence of records (TraceLike)."""
+        """Batch path for a trace, a streamed chunk, or a record sequence."""
         if isinstance(trace, ClusterTrace):
             memory_gb = trace.columns().memory_gb
+        elif isinstance(trace, TraceColumns):
+            memory_gb = trace.memory_gb
         else:
             records = list(trace)
             memory_gb = np.fromiter(
@@ -73,6 +76,23 @@ class FixedFractionPolicy:
 def fixed_fraction_policy(fraction: float) -> FixedFractionPolicy:
     """Backwards-compatible constructor for :class:`FixedFractionPolicy`."""
     return FixedFractionPolicy(fraction)
+
+
+def capacity_candidate_config(base: ServerConfig,
+                              dram_per_server_gb: float) -> ServerConfig:
+    """Server config for one capacity-search candidate DRAM size.
+
+    Shared by :class:`PoolDimensioner` and the fleet-level
+    :meth:`repro.cluster.fleet.FleetSimulator.capacity_search` so both
+    searches probe byte-identical cluster configurations (which is what makes
+    their single-shard results comparable in differential tests).
+    """
+    return ServerConfig(
+        name="search-candidate",
+        sockets=base.sockets,
+        cores_per_socket=base.cores_per_socket,
+        dram_per_socket_gb=max(1.0, dram_per_server_gb / base.sockets),
+    )
 
 
 def uniform_pool_requirement_gb(
@@ -183,12 +203,7 @@ class PoolDimensioner:
             config = self.server_config
             constrain = False
         else:
-            config = ServerConfig(
-                name="search-candidate",
-                sockets=self.server_config.sockets,
-                cores_per_socket=self.server_config.cores_per_socket,
-                dram_per_socket_gb=max(1.0, dram_per_server_gb / self.server_config.sockets),
-            )
+            config = capacity_candidate_config(self.server_config, dram_per_server_gb)
             constrain = True
         simulator = ClusterSimulator(
             n_servers=self.n_servers,
@@ -305,13 +320,41 @@ class PoolDimensioner:
         pool_size_sockets: int,
         policy: PoolPolicy,
     ) -> PoolSavings:
-        """Ablation mode: find the smallest uniform server DRAM that still fits.
+        """Capacity-search mode: the smallest uniform server DRAM that still fits.
 
         The memory-constrained replay lets the scheduler divert VMs to other
         servers (the paper's "moves the VMs to another server"), so this mode
         credits rescheduling slack to the *local* side; the pool is provisioned
         from the unconstrained per-group peak.  Used by the provisioning-
-        methodology ablation benchmark.
+        methodology ablation benchmark; the fleet-scale lift of the same
+        search is :meth:`repro.cluster.fleet.FleetSimulator.capacity_search`.
+
+        The algorithm, step by step:
+
+        1. **Rejection budget.**  Replay the trace memory-unconstrained with
+           no pool and count rejections -- those are due to core/NUMA
+           fragmentation alone and can never be fixed by DRAM.  The budget is
+           that count plus ``max(1, rejection_tolerance * len(trace))``
+           (the paper tolerates "rare cases").
+        2. **Pool provisioning.**  Replay once more, memory-unconstrained but
+           *with* the pool and policy, and provision every pool group with
+           ``pool_headroom`` times the worst observed per-group peak.
+        3. **Binary search.**  Find the smallest uniform per-server DRAM such
+           that the fully constrained replay (that DRAM, that pool) rejects
+           no more VMs than the budget; ``search_steps`` bisection steps
+           bracket it from an upper bound that is widened if infeasible.
+
+        Worked example::
+
+            cfg = TraceGenConfig(n_servers=12, duration_days=1.0, seed=7)
+            trace = TraceGenerator(cfg).generate_bulk()
+            dimensioner = PoolDimensioner(n_servers=12, search_steps=5)
+            savings = dimensioner.evaluate_capacity_search(
+                trace, pool_size_sockets=16, policy=FixedFractionPolicy(0.3)
+            )
+            # savings.baseline_dram_gb: smallest uniform DRAM, no pooling
+            # savings.required_total_dram_gb: local search result + pools
+            # savings.savings_percent: Figure 21's y-axis gap
         """
         baseline = self.baseline_required_dram_gb(trace)
         if pool_size_sockets == 0:

@@ -1,0 +1,40 @@
+"""SplitMix64 mixing primitives for keyed, order-independent randomness.
+
+Two subsystems derive deterministic randomness from stable keys instead of
+sequential RNG state, and both must keep using the *same* finalizer:
+
+* the batch policy engine (:mod:`repro.core.policies`) spreads per-VM CRC32
+  digests into independent uniform streams, and
+* the windowed trace generator (:mod:`repro.cluster.tracegen`) seeds one RNG
+  substream per generation window from ``(config.seed, window index)``.
+
+This module is dependency-free (numpy only) so both layers can import it
+without touching the ``repro.cluster`` <-> ``repro.core`` package boundary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MASK64", "GOLDEN", "splitmix64", "splitmix64_array"]
+
+#: 64-bit wrap mask for Python-int arithmetic.
+MASK64 = (1 << 64) - 1
+
+#: Golden-ratio odd constant (the canonical SplitMix64 stream increment).
+GOLDEN = 0x9E3779B97F4A7C15
+
+
+def splitmix64(z: int) -> int:
+    """SplitMix64 finalizer over a 64-bit int (wrapping arithmetic)."""
+    z &= MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & MASK64
+    return z ^ (z >> 31)
+
+
+def splitmix64_array(z: np.ndarray) -> np.ndarray:
+    """SplitMix64 finalizer over a uint64 array (wrapping arithmetic)."""
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return z ^ (z >> np.uint64(31))

@@ -36,18 +36,21 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.cluster.scheduler import PlacementError, VMScheduler, validate_strategy
 from repro.cluster.server import ClusterServer, ServerConfig
-from repro.cluster.trace import ClusterTrace, VMTraceRecord
+from repro.cluster.trace import ClusterTrace, TraceStream, VMTraceRecord
 
 __all__ = ["ClusterSimulator", "SimulationResult", "SimulationSample"]
 
 #: A policy maps a trace record to the GB of the VM's memory placed on the pool.
 PoolPolicy = Callable[[VMTraceRecord], float]
+
+#: ``ClusterSimulator.run`` replays either a materialised trace or a stream.
+TraceInput = Union[ClusterTrace, TraceStream]
 
 #: Column order of the sample buffer; must match SimulationSample's fields.
 _SAMPLE_COLUMNS = (
@@ -276,11 +279,96 @@ class ClusterSimulator:
                 pool_free.setdefault(group, self.pool_capacity_gb_per_group)
         return servers, server_pool_group, pool_free
 
+    # -- trace/stream normalisation ---------------------------------------------------
+    def _iter_blocks(
+        self,
+        trace: TraceInput,
+        policy: Optional[PoolPolicy],
+        pool_gb: Optional[np.ndarray],
+        use_pool: bool,
+    ) -> Iterator[Tuple[Sequence[VMTraceRecord], Optional[List[float]]]]:
+        """Normalise the input into ``(records, pool_allocations)`` blocks.
+
+        A materialised trace is one block (its columnar view is cached on the
+        trace, so this path is identical to the pre-streaming fast path); a
+        stream yields one block per chunk, with ``decide_batch`` evaluated
+        per chunk so at most one chunk's allocations exist at a time.
+        Allocations are clipped to ``[0, memory_gb]`` on both paths; blocks
+        without precomputed allocations return ``None`` and fall back to the
+        per-record ``policy`` callback in the main loop.
+        """
+        batch = use_pool and policy is not None and hasattr(policy, "decide_batch")
+
+        def resolve(block, n, memory_gb, segment) -> Optional[List[float]]:
+            """One block's allocations: clipped ``pool_gb`` segment, clipped
+            ``decide_batch`` output, or ``None`` (per-record callback or no
+            pool).  Single definition so the materialised and streamed paths
+            cannot drift apart (the byte-for-byte equivalence contract).
+            ``tolist()`` yields plain floats once, keeping the main loop free
+            of per-record numpy scalar boxing."""
+            if segment is not None:
+                if not use_pool:
+                    return None  # validated but unused, as before streaming
+                return np.clip(segment, 0.0, memory_gb()).tolist()
+            if batch:
+                decided = np.asarray(policy.decide_batch(block), dtype=np.float64)
+                if decided.shape != (n,):
+                    raise ValueError(
+                        f"decide_batch must return one entry per record "
+                        f"({n}), got shape {decided.shape}"
+                    )
+                return np.clip(decided, 0.0, memory_gb()).tolist()
+            return None
+
+        if isinstance(trace, ClusterTrace):
+            if pool_gb is not None and pool_gb.shape != (len(trace),):
+                raise ValueError(
+                    f"pool_gb must have one entry per trace record "
+                    f"({len(trace)}), got shape {pool_gb.shape}"
+                )
+            yield trace.records, resolve(
+                trace, len(trace), lambda: trace.columns().memory_gb, pool_gb
+            )
+            return
+        offset = 0
+        for chunk in trace.chunks():
+            records = chunk.records
+            if records is None:
+                raise ValueError(
+                    "stream chunks must carry records "
+                    "(build them with TraceColumns.from_records)"
+                )
+            n = len(records)
+            segment = None
+            if pool_gb is not None:
+                segment = pool_gb[offset:offset + n]
+                if segment.shape[0] != n:
+                    raise ValueError(
+                        f"pool_gb has {pool_gb.shape[0]} entries but the "
+                        f"stream yielded more records"
+                    )
+            offset += n
+            yield records, resolve(chunk, n, lambda: chunk.memory_gb, segment)
+        if pool_gb is not None and offset != pool_gb.shape[0]:
+            raise ValueError(
+                f"pool_gb has {pool_gb.shape[0]} entries but the stream "
+                f"yielded only {offset} records"
+            )
+
     # -- main loop --------------------------------------------------------------------
-    def run(self, trace: ClusterTrace, policy: Optional[PoolPolicy] = None,
+    def run(self, trace: TraceInput, policy: Optional[PoolPolicy] = None,
             horizon_s: Optional[float] = None,
             pool_gb: Optional[np.ndarray] = None) -> SimulationResult:
         """Replay ``trace``; ``policy`` decides each VM's pool memory in GB.
+
+        ``trace`` is either a materialised :class:`ClusterTrace` or a
+        :class:`~repro.cluster.trace.TraceStream`.  Streams are replayed one
+        chunk at a time -- batch policies are evaluated per chunk -- so peak
+        trace memory is O(chunk + live VMs) on the simulator side -- a
+        ``GeneratedTraceStream`` additionally buffers one generation window
+        internally -- instead of O(trace); the result
+        is identical to replaying the materialised trace (the batch policy
+        contract keys every decision on the VM id, not on batch boundaries).
 
         ``pool_gb`` is the batch-engine fast path: a precomputed array of
         per-VM pool allocations aligned with the trace's iteration order.
@@ -294,23 +382,10 @@ class ClusterSimulator:
         not dilute the time series with an emptying cluster.
         """
         use_pool = bool(self.pool_size_sockets)
-        if pool_gb is None and use_pool and policy is not None \
-                and hasattr(policy, "decide_batch"):
-            pool_gb = policy.decide_batch(trace)
-        pool_by_index: Optional[List[float]] = None
+        streaming = not isinstance(trace, ClusterTrace)
         if pool_gb is not None:
             pool_gb = np.asarray(pool_gb, dtype=np.float64)
-            if pool_gb.shape != (len(trace),):
-                raise ValueError(
-                    f"pool_gb must have one entry per trace record "
-                    f"({len(trace)}), got shape {pool_gb.shape}"
-                )
             policy = None  # precomputed allocations replace the callback
-            if use_pool:
-                memory_gb = trace.columns().memory_gb
-                # tolist() yields plain floats once, keeping the loop free of
-                # per-record numpy scalar boxing.
-                pool_by_index = np.clip(pool_gb, 0.0, memory_gb).tolist()
         servers, server_pool_group, pool_free = self._build_cluster()
         scheduler = VMScheduler(
             servers, pool_free, server_pool_group, strategy=self.scheduler_strategy
@@ -387,34 +462,51 @@ class ClusterSimulator:
                     take_sample(next_sample_time)
                     next_sample_time += sample_interval
 
-        for index, record in enumerate(trace):
-            advance_to(record.arrival_s)
+        # Starting the order check at 0.0 is safe because VMTraceRecord
+        # rejects negative arrival times, and it doubles as the default
+        # horizon for an empty trace (matching arrival_span_s == 0.0).
+        last_arrival = 0.0
+        for records, allocations in self._iter_blocks(trace, policy, pool_gb, use_pool):
+            for index, record in enumerate(records):
+                arrival_s = record.arrival_s
+                if streaming and arrival_s < last_arrival:
+                    raise ValueError(
+                        f"stream records must be sorted by arrival time "
+                        f"({record.vm_id!r} arrives at {arrival_s} after "
+                        f"{last_arrival})"
+                    )
+                last_arrival = arrival_s
+                advance_to(arrival_s)
 
-            vm_pool_gb = 0.0
-            if pool_by_index is not None:
-                vm_pool_gb = pool_by_index[index]
-            elif policy is not None and use_pool:
-                vm_pool_gb = float(np.clip(policy(record), 0.0, record.memory_gb))
-            local_gb = record.memory_gb - vm_pool_gb
+                vm_pool_gb = 0.0
+                if allocations is not None:
+                    vm_pool_gb = allocations[index]
+                elif policy is not None and use_pool:
+                    vm_pool_gb = float(np.clip(policy(record), 0.0, record.memory_gb))
+                local_gb = record.memory_gb - vm_pool_gb
 
-            try:
-                server = scheduler.place(record.vm_id, record.cores, local_gb, vm_pool_gb)
-            except PlacementError:
-                result.rejected_vms += 1
-                continue
+                try:
+                    server = scheduler.place(
+                        record.vm_id, record.cores, local_gb, vm_pool_gb
+                    )
+                except PlacementError:
+                    result.rejected_vms += 1
+                    continue
 
-            result.placed_vms += 1
-            if record_placements:
-                result.placements[record.vm_id] = server.server_id
-            result.total_memory_gb_allocated += record.memory_gb
-            result.total_pool_gb_allocated += vm_pool_gb
-            group = server_pool_group.get(server.server_id)
-            if group is not None and vm_pool_gb > 0:
-                pool_used[group] += vm_pool_gb
-                if pool_used[group] > pool_peak[group]:
-                    pool_peak[group] = pool_used[group]
-            seq += 1
-            heapq.heappush(departures, (record.departure_s, seq, record.vm_id, server))
+                result.placed_vms += 1
+                if record_placements:
+                    result.placements[record.vm_id] = server.server_id
+                result.total_memory_gb_allocated += record.memory_gb
+                result.total_pool_gb_allocated += vm_pool_gb
+                group = server_pool_group.get(server.server_id)
+                if group is not None and vm_pool_gb > 0:
+                    pool_used[group] += vm_pool_gb
+                    if pool_used[group] > pool_peak[group]:
+                        pool_peak[group] = pool_used[group]
+                seq += 1
+                heapq.heappush(
+                    departures, (record.departure_s, seq, record.vm_id, server)
+                )
 
         # Drain remaining departures and finish sampling up to the horizon,
         # then capture the final cluster state at the horizon exactly once.
@@ -423,7 +515,11 @@ class ClusterSimulator:
         # landed exactly on the horizon, that earlier pre-arrival row is
         # replaced so the series stays strictly time-ordered without
         # understating the endpoint.
-        end_time = horizon_s if horizon_s is not None else trace.arrival_span_s
+        #
+        # Records are sorted by arrival on both input paths, so the last
+        # arrival seen is the trace's arrival span -- the stream case's only
+        # way to know it without materialising.
+        end_time = horizon_s if horizon_s is not None else last_arrival
         advance_to(end_time)
         if last_sample_time is None or last_sample_time <= end_time:
             if last_sample_time is not None and last_sample_time == end_time:

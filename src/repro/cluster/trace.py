@@ -1,4 +1,4 @@
-"""VM arrival/departure trace format with CSV round-tripping.
+"""VM arrival/departure trace format with CSV round-tripping and streaming.
 
 A trace record mirrors the per-VM events in the Azure dataset the paper
 analyses: "a trace from each cluster contains millions of per-VM
@@ -8,6 +8,16 @@ fields (customer id, VM family, guest OS) that the untouched-memory model
 consumes and, because the generator knows the ground truth, each record also
 carries the VM's realised untouched-memory fraction and a workload name used
 to look up latency sensitivity.
+
+Two trace representations coexist (see DESIGN.md section 4):
+
+* :class:`ClusterTrace` -- the fully materialised record list, convenient for
+  analysis and small studies.
+* :class:`TraceStream` -- a chunked, re-iterable source of
+  :class:`TraceColumns` blocks that never holds more than one chunk of
+  records in memory.  The simulator and fleet runner consume either form;
+  streams keep peak trace memory at O(chunk) -- plus one generation
+  window for generator-backed streams -- for million-VM replays.
 """
 
 from __future__ import annotations
@@ -19,7 +29,14 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["VMTraceRecord", "ClusterTrace", "TraceColumns"]
+__all__ = [
+    "VMTraceRecord",
+    "ClusterTrace",
+    "TraceColumns",
+    "TraceStream",
+    "MaterializedTraceStream",
+    "CsvTraceStream",
+]
 
 
 @dataclass(frozen=True)
@@ -67,20 +84,49 @@ class VMTraceRecord:
 
 @dataclass(frozen=True)
 class TraceColumns:
-    """Columnar view of a trace, in iteration (arrival) order.
+    """Columnar view of (a chunk of) a trace, in iteration (arrival) order.
 
-    Built lazily by :meth:`ClusterTrace.columns` and cached on the trace, so
-    batch policy evaluation and the simulator's precomputed-allocation path
-    extract per-VM attributes once per trace instead of once per pass.
+    Two producers build these blocks:
+
+    * :meth:`ClusterTrace.columns` -- a cached whole-trace view (``records``
+      is ``None``; the owning trace already holds the records), so batch
+      policy evaluation and the simulator's precomputed-allocation path
+      extract per-VM attributes once per trace instead of once per pass.
+    * :class:`TraceStream` chunks -- one block per chunk, carrying the
+      chunk's ``records`` tuple as well, so the simulator can replay a chunk
+      (and legacy per-record policies can run) without the stream ever
+      materialising the full trace.
     """
 
     vm_ids: Tuple[str, ...]
     memory_gb: np.ndarray
     untouched_fraction: np.ndarray
+    #: The chunk's records, present on stream chunks only (``None`` on the
+    #: cached whole-trace view, which would otherwise cycle with its trace).
+    records: Optional[Tuple[VMTraceRecord, ...]] = None
+
+    def __len__(self) -> int:
+        return len(self.vm_ids)
 
     @property
     def untouched_gb(self) -> np.ndarray:
         return self.memory_gb * self.untouched_fraction
+
+    @classmethod
+    def from_records(cls, records: Iterable[VMTraceRecord]) -> "TraceColumns":
+        """Build a self-contained block (columns + records) from records."""
+        records = tuple(records)
+        n = len(records)
+        return cls(
+            vm_ids=tuple(r.vm_id for r in records),
+            memory_gb=np.fromiter(
+                (r.memory_gb for r in records), dtype=np.float64, count=n
+            ),
+            untouched_fraction=np.fromiter(
+                (r.untouched_fraction for r in records), dtype=np.float64, count=n
+            ),
+            records=records,
+        )
 
 
 class ClusterTrace:
@@ -154,12 +200,46 @@ class ClusterTrace:
         return seen
 
     def for_cluster(self, cluster_id: str) -> "ClusterTrace":
+        """Records belonging to ``cluster_id``, as a new trace.
+
+        The returned trace's ``cluster_id`` is always the requested id --
+        even when no records match (an empty trace would otherwise fall back
+        to the ``"empty"`` placeholder and lose the metadata).
+        """
         return ClusterTrace(
             [r for r in self.records if r.cluster_id == cluster_id], cluster_id=cluster_id
         )
 
     def merge(self, other: "ClusterTrace") -> "ClusterTrace":
-        return ClusterTrace(list(self.records) + list(other.records))
+        """Merge two traces into one, preserving ``cluster_id`` metadata.
+
+        The merged trace's ``cluster_id`` is: the shared id when both sides
+        agree, the non-empty side's id when the other side has no records
+        (merging with an empty trace is an identity for metadata), and
+        otherwise ``"<self>+<other>"`` -- a deterministic multi-cluster
+        label (the per-record ids stay intact and are enumerable via
+        :meth:`clusters`).  Previously the id silently collapsed to the
+        earliest-arriving record's cluster, which depended on arrival times.
+        """
+        if self.cluster_id == other.cluster_id:
+            merged_id = self.cluster_id
+        elif not self.records:
+            merged_id = other.cluster_id
+        elif not other.records:
+            merged_id = self.cluster_id
+        else:
+            merged_id = f"{self.cluster_id}+{other.cluster_id}"
+        return ClusterTrace(
+            list(self.records) + list(other.records), cluster_id=merged_id
+        )
+
+    def stream(self, chunk_size: int = 8192) -> "MaterializedTraceStream":
+        """A chunked :class:`TraceStream` view over this (in-memory) trace.
+
+        Useful for differential tests and for feeding APIs that consume
+        streams; it saves no memory by itself (the records already exist).
+        """
+        return MaterializedTraceStream(self, chunk_size=chunk_size)
 
     # -- persistence ---------------------------------------------------------------------
     def to_csv(self, path) -> None:
@@ -192,31 +272,130 @@ class ClusterTrace:
         """
         path = Path(path)
         record_fields = fields(VMTraceRecord)
-        records: List[VMTraceRecord] = []
         with path.open("r", newline="") as handle:
             reader = csv.DictReader(handle)
-            for line, row in enumerate(reader, start=2):
-                kwargs = {}
-                for f in record_fields:
-                    value = row.get(f.name)
-                    required = f.default is MISSING
-                    if value is None or value == "":
-                        if required:
-                            detail = (
-                                f"empty value on line {line} for"
-                                if value == "" else "missing"
-                            )
-                            raise ValueError(
-                                f"{path}: {detail} required column {f.name!r}"
-                            )
-                        continue
-                    converter = cls._CSV_CONVERTERS.get(f.name)
-                    try:
-                        kwargs[f.name] = converter(value) if converter else value
-                    except ValueError as exc:
-                        raise ValueError(
-                            f"{path} line {line}: bad value {value!r} for "
-                            f"column {f.name!r}"
-                        ) from exc
-                records.append(VMTraceRecord(**kwargs))
+            records = [
+                _record_from_row(path, line, row, record_fields)
+                for line, row in enumerate(reader, start=2)
+            ]
         return cls(records)
+
+
+def _record_from_row(path, line: int, row: dict, record_fields) -> VMTraceRecord:
+    """One CSV row -> record, shared by ``from_csv`` and ``CsvTraceStream``."""
+    kwargs = {}
+    for f in record_fields:
+        value = row.get(f.name)
+        required = f.default is MISSING
+        if value is None or value == "":
+            if required:
+                detail = (
+                    f"empty value on line {line} for" if value == "" else "missing"
+                )
+                raise ValueError(f"{path}: {detail} required column {f.name!r}")
+            continue
+        converter = ClusterTrace._CSV_CONVERTERS.get(f.name)
+        try:
+            kwargs[f.name] = converter(value) if converter else value
+        except ValueError as exc:
+            raise ValueError(
+                f"{path} line {line}: bad value {value!r} for column {f.name!r}"
+            ) from exc
+    return VMTraceRecord(**kwargs)
+
+
+class TraceStream:
+    """Chunked, re-iterable source of trace records (DESIGN.md section 4).
+
+    The streaming contract:
+
+    * :meth:`chunks` returns a **fresh** iterator of :class:`TraceColumns`
+      blocks on every call (streams are re-iterable: the fleet runner replays
+      the same stream for the pooled run and the no-pooling baseline, and the
+      capacity search replays it once per binary-search probe).
+    * Chunks are **self-contained**: each block carries its ``records`` tuple
+      plus the columnar arrays batch policies consume, so consumers hold at
+      most one chunk of records at a time.
+    * Records are globally **sorted by arrival time** across chunk
+      boundaries; the simulator verifies this while replaying.
+    * Chunking is **content-neutral**: the concatenation of all chunks is
+      identical record-for-record regardless of ``chunk_size``, and equal to
+      the materialised trace the same source would produce
+      (:meth:`materialize` gives exactly that trace).
+    """
+
+    cluster_id: str = "stream"
+    chunk_size: int = 8192
+
+    def chunks(self) -> Iterator[TraceColumns]:
+        """Yield the trace as successive :class:`TraceColumns` blocks."""
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[TraceColumns]:
+        return self.chunks()
+
+    def materialize(self) -> ClusterTrace:
+        """Collect every chunk into a :class:`ClusterTrace` (O(trace) memory)."""
+        records: List[VMTraceRecord] = []
+        for chunk in self.chunks():
+            records.extend(chunk.records)
+        return ClusterTrace(records, cluster_id=self.cluster_id)
+
+    @staticmethod
+    def _validate_chunk_size(chunk_size: int) -> int:
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        return chunk_size
+
+
+class MaterializedTraceStream(TraceStream):
+    """Chunked view over an already-materialised :class:`ClusterTrace`."""
+
+    def __init__(self, trace: ClusterTrace, chunk_size: int = 8192) -> None:
+        self.trace = trace
+        self.chunk_size = self._validate_chunk_size(chunk_size)
+        self.cluster_id = trace.cluster_id
+
+    def chunks(self) -> Iterator[TraceColumns]:
+        records = self.trace.records
+        for start in range(0, len(records), self.chunk_size):
+            yield TraceColumns.from_records(records[start:start + self.chunk_size])
+
+
+class CsvTraceStream(TraceStream):
+    """Incremental CSV parser yielding chunks without loading the whole file.
+
+    The file must be sorted by ``arrival_s`` (true for anything written by
+    :meth:`ClusterTrace.to_csv`, whose records are kept in arrival order);
+    an out-of-order row raises ``ValueError`` naming the line, because a
+    stream cannot globally re-sort without materialising.  Each
+    :meth:`chunks` call reopens the file, so the stream is re-iterable.
+    """
+
+    def __init__(self, path, chunk_size: int = 8192,
+                 cluster_id: Optional[str] = None) -> None:
+        self.path = Path(path)
+        self.chunk_size = self._validate_chunk_size(chunk_size)
+        self.cluster_id = cluster_id if cluster_id is not None else self.path.stem
+
+    def chunks(self) -> Iterator[TraceColumns]:
+        record_fields = fields(VMTraceRecord)
+        buffer: List[VMTraceRecord] = []
+        last_arrival = float("-inf")
+        with self.path.open("r", newline="") as handle:
+            reader = csv.DictReader(handle)
+            for line, row in enumerate(reader, start=2):
+                record = _record_from_row(self.path, line, row, record_fields)
+                if record.arrival_s < last_arrival:
+                    raise ValueError(
+                        f"{self.path} line {line}: records are not sorted by "
+                        f"arrival_s ({record.arrival_s} after {last_arrival}); "
+                        f"sort the file or load it via ClusterTrace.from_csv"
+                    )
+                last_arrival = record.arrival_s
+                buffer.append(record)
+                if len(buffer) >= self.chunk_size:
+                    yield TraceColumns.from_records(buffer)
+                    buffer = []
+        if buffer:
+            yield TraceColumns.from_records(buffer)

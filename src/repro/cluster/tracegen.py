@@ -13,17 +13,27 @@ statistical properties that drive stranding and pooling savings:
 
 Arrivals follow a Poisson process whose rate is derived from Little's law so
 that the requested utilisation is reached in steady state.
+
+Generation is **windowed** (DESIGN.md section 4): the trace is produced one
+fixed time window at a time, each window drawing from its own SplitMix64-
+derived RNG substream keyed on ``(config.seed, window index)``.  Because a
+window's content depends only on its substream -- never on how many records
+came before -- the materialised path (:meth:`TraceGenerator.generate_bulk`)
+and the streaming path (:meth:`TraceGenerator.stream`, which re-buffers the
+same windows into fixed-size chunks) produce byte-for-byte identical records,
+and streaming holds at most one window plus one chunk in memory.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
+from repro.cluster.rng import GOLDEN, MASK64, splitmix64
 from repro.cluster.server import ServerConfig
-from repro.cluster.trace import ClusterTrace, VMTraceRecord
+from repro.cluster.trace import ClusterTrace, TraceColumns, TraceStream, VMTraceRecord
 from repro.cluster.vm_types import (
     VM_TYPE_CATALOG,
     VMType,
@@ -33,10 +43,21 @@ from repro.cluster.vm_types import (
 )
 from repro.workloads.memory_behavior import UntouchedMemoryModel
 
-__all__ = ["TraceGenConfig", "TraceGenerator", "fleet_shard_configs", "generate_fleet"]
+__all__ = [
+    "TraceGenConfig",
+    "TraceGenerator",
+    "GeneratedTraceStream",
+    "fleet_shard_configs",
+    "generate_fleet",
+]
 
 DAY_S = 86_400.0
 HOUR_S = 3_600.0
+
+#: Length of one generation window.  Window boundaries are part of the
+#: generator's definition (each window has its own RNG substream), so this is
+#: a constant, not a knob: changing it would change every generated trace.
+GENERATION_WINDOW_S = DAY_S
 
 
 @dataclass
@@ -101,7 +122,20 @@ class TraceGenerator:
         self.memory_model = memory_model or UntouchedMemoryModel(
             n_customers=config.n_customers, seed=config.seed + 1000
         )
-        self._rng = np.random.default_rng(config.seed)
+
+    def _substream_rng(self, stream_index: int) -> np.random.Generator:
+        """Independent RNG substream for one generation window.
+
+        Stream 0 is the warm-start population; stream ``i + 1`` is time
+        window ``i``.  Each substream's seed is a pure SplitMix64 function of
+        ``(config.seed, stream_index)``, so any window can be generated
+        without generating the ones before it -- the property the streaming
+        path relies on for its byte-for-byte-equality guarantee.
+        """
+        base = splitmix64((self.config.seed & MASK64) ^ GOLDEN)
+        return np.random.default_rng(
+            splitmix64(base ^ ((stream_index + 1) * GOLDEN))
+        )
 
     # -- arrival-rate calibration ---------------------------------------------------
     def _expected_cores_per_vm(self) -> float:
@@ -138,24 +172,30 @@ class TraceGenerator:
         return probs
 
     # -- bulk (vectorized) generation --------------------------------------------------
-    def _bulk_arrival_times(self, rate: float) -> np.ndarray:
-        """All Poisson arrival times in ``[0, duration)``, drawn in bulk."""
-        duration = self.config.duration_s
-        expected = rate * duration
+    def _window_arrival_times(self, rate: float, window_len: float,
+                              rng: np.random.Generator) -> np.ndarray:
+        """Poisson arrival times in ``[0, window_len)``, drawn in bulk.
+
+        Poisson processes restrict cleanly to sub-intervals, so drawing each
+        generation window independently (from its own substream) still yields
+        one Poisson process over the full duration.
+        """
+        expected = rate * window_len
         gaps: List[np.ndarray] = []
         total = 0.0
         # Over-draw slightly, then top up until the cumulative time passes the
-        # duration; two iterations suffice in practice.
+        # window; two iterations suffice in practice.
         chunk = int(expected + 6.0 * np.sqrt(expected) + 16.0)
-        while total < duration:
-            draw = self._rng.exponential(1.0 / rate, size=chunk)
+        while total < window_len:
+            draw = rng.exponential(1.0 / rate, size=chunk)
             gaps.append(draw)
             total += float(draw.sum())
             chunk = max(chunk // 4, 1024)
         times = np.cumsum(np.concatenate(gaps))
-        return times[times < duration]
+        return times[times < window_len]
 
-    def _bulk_vm_types(self, arrivals: np.ndarray) -> List[VMType]:
+    def _bulk_vm_types(self, arrivals: np.ndarray,
+                       rng: np.random.Generator) -> List[VMType]:
         """Sample one VM type per arrival, honouring the mid-trace shift."""
         cfg = self.config
         n = arrivals.size
@@ -174,7 +214,7 @@ class TraceGenerator:
             if not count:
                 continue
             families, probs = family_probabilities(family_weights)
-            family_draw = self._rng.choice(len(families), size=count, p=probs)
+            family_draw = rng.choice(len(families), size=count, p=probs)
             # Per-family size popularity follows the same power law as
             # sample_vm_type (both share family_size_distribution).
             slot_indices = np.flatnonzero(mask)
@@ -184,31 +224,32 @@ class TraceGenerator:
                 if not n_family:
                     continue
                 candidates, size_weights = family_size_distribution(family)
-                picks = self._rng.choice(len(candidates), size=n_family, p=size_weights)
+                picks = rng.choice(len(candidates), size=n_family, p=size_weights)
                 type_indices[slot_indices[family_mask]] = np.asarray(candidates)[picks]
         return [VM_TYPE_CATALOG[i] for i in type_indices]
 
-    def _bulk_customers(self, n: int) -> np.ndarray:
+    def _bulk_customers(self, n: int, rng: np.random.Generator) -> np.ndarray:
         """Customer draw for ``n`` VMs (indices into the pool), in bulk."""
-        idx = self._rng.choice(
+        idx = rng.choice(
             self.config.n_customers, size=n, p=self._customer_popularity()
         )
         return idx % len(self.memory_model.customer_ids)
 
     def _bulk_records(self, arrivals: np.ndarray, lifetimes: np.ndarray,
-                      first_index: int) -> List[VMTraceRecord]:
+                      first_index: int,
+                      rng: np.random.Generator) -> List[VMTraceRecord]:
         cfg = self.config
         n = arrivals.size
-        vm_types = self._bulk_vm_types(arrivals)
-        customer_idx = self._bulk_customers(n)
+        vm_types = self._bulk_vm_types(arrivals, rng)
+        customer_idx = self._bulk_customers(n, rng)
         customer_pool = self.memory_model.customer_ids
         untouched = self.memory_model.sample_untouched_fractions_bulk(
             [customer_pool[i] for i in customer_idx],
             [t.family for t in vm_types],
-            self._rng,
+            rng,
         )
-        guests = np.where(self._rng.uniform(size=n) < 0.7, "linux", "windows")
-        workloads = self._rng.choice(self._WORKLOAD_POOL, size=n)
+        guests = np.where(rng.uniform(size=n) < 0.7, "linux", "windows")
+        workloads = rng.choice(self._WORKLOAD_POOL, size=n)
         prefix = f"{cfg.cluster_id}-vm-"
         return [
             VMTraceRecord(
@@ -228,43 +269,108 @@ class TraceGenerator:
             for i in range(n)
         ]
 
-    def generate_bulk(self) -> ClusterTrace:
-        """Vectorized trace generation.
+    def iter_window_records(self) -> Iterator[List[VMTraceRecord]]:
+        """Yield the trace one generation window at a time, in arrival order.
 
-        Draws every random quantity (arrival process, lifetime model, VM mix,
-        customer population, untouched-memory behaviour) in bulk numpy
-        operations, roughly an order of magnitude faster than a per-record
-        loop for the 10^5..10^6-VM traces the scale benchmarks replay.  This
-        is the only generation path; :meth:`generate` delegates here.
+        The first yielded block is the warm-start population (arrivals at
+        ``t = 0``, substream 0) when enabled; block ``i + 1`` covers time
+        window ``[i * GENERATION_WINDOW_S, (i + 1) * GENERATION_WINDOW_S)``
+        from substream ``i + 1``.  Within a window every random quantity
+        (arrival process, lifetime model, VM mix, customer population,
+        untouched-memory behaviour) is drawn in bulk numpy operations.  This
+        is the only generation path: :meth:`generate_bulk` concatenates the
+        windows and :meth:`stream` re-buffers them into chunks, which is why
+        the two are identical record-for-record.
         """
         cfg = self.config
         rate = self.arrival_rate_per_s()
         mean_s = cfg.mean_lifetime_hours * HOUR_S
         sigma = cfg.lifetime_sigma
         mu = np.log(mean_s) - sigma**2 / 2.0
-        records: List[VMTraceRecord] = []
+        count = 0
         if cfg.warm_start:
+            rng = self._substream_rng(0)
             n_initial = int(round(rate * mean_s))
             if n_initial:
                 totals = np.clip(
-                    self._rng.lognormal(mu + sigma**2, sigma, size=n_initial),
+                    rng.lognormal(mu + sigma**2, sigma, size=n_initial),
                     60.0, 90.0 * DAY_S,
                 )
-                residuals = np.maximum(60.0, self._rng.uniform(0.0, totals))
-                records.extend(
-                    self._bulk_records(np.zeros(n_initial), residuals, 0)
+                residuals = np.maximum(60.0, rng.uniform(0.0, totals))
+                block = self._bulk_records(
+                    np.zeros(n_initial), residuals, count, rng
                 )
-        arrivals = self._bulk_arrival_times(rate)
-        lifetimes = np.clip(
-            self._rng.lognormal(mu, sigma, size=arrivals.size), 60.0, 90.0 * DAY_S
-        )
-        records.extend(self._bulk_records(arrivals, lifetimes, len(records)))
-        return ClusterTrace(records, cluster_id=cfg.cluster_id)
+                count += len(block)
+                yield block
+        duration = cfg.duration_s
+        n_windows = int(np.ceil(duration / GENERATION_WINDOW_S))
+        for window in range(n_windows):
+            rng = self._substream_rng(window + 1)
+            start = window * GENERATION_WINDOW_S
+            window_len = min(GENERATION_WINDOW_S, duration - start)
+            offsets = self._window_arrival_times(rate, window_len, rng)
+            arrivals = start + offsets
+            lifetimes = np.clip(
+                rng.lognormal(mu, sigma, size=arrivals.size), 60.0, 90.0 * DAY_S
+            )
+            block = self._bulk_records(arrivals, lifetimes, count, rng)
+            count += len(block)
+            yield block
+
+    def generate_bulk(self) -> ClusterTrace:
+        """Vectorized trace generation (concatenates the generation windows).
+
+        Roughly an order of magnitude faster than a per-record loop for the
+        10^5..10^6-VM traces the scale benchmarks replay; :meth:`generate`
+        delegates here.  For traces that should never be materialised at
+        all, use :meth:`stream` instead -- it yields the very same records.
+        """
+        records: List[VMTraceRecord] = []
+        for block in self.iter_window_records():
+            records.extend(block)
+        return ClusterTrace(records, cluster_id=self.config.cluster_id)
+
+    def stream(self, chunk_size: int = 8192) -> "GeneratedTraceStream":
+        """Lazy :class:`TraceStream` over this generator's trace.
+
+        Byte-for-byte identical to :meth:`generate_bulk` (both consume
+        :meth:`iter_window_records`), while holding at most one generation
+        window plus one chunk of records in memory.
+        """
+        return GeneratedTraceStream(self, chunk_size=chunk_size)
 
     # -- generation --------------------------------------------------------------------
     def generate(self) -> ClusterTrace:
         """Generate the full trace for this cluster (delegates to the bulk path)."""
         return self.generate_bulk()
+
+
+class GeneratedTraceStream(TraceStream):
+    """Chunked stream over a :class:`TraceGenerator`'s synthetic trace.
+
+    Re-buffers the generator's windows (see
+    :meth:`TraceGenerator.iter_window_records`) into ``chunk_size``-record
+    :class:`TraceColumns` blocks.  Window generation is driven by pure
+    per-window RNG substreams, so every :meth:`chunks` call regenerates the
+    identical trace -- the stream is re-iterable and picklable (it holds only
+    the generator's config and memory model), which is what lets fleet
+    workers and capacity-search probes replay it repeatedly.
+    """
+
+    def __init__(self, generator: TraceGenerator, chunk_size: int = 8192) -> None:
+        self.generator = generator
+        self.chunk_size = self._validate_chunk_size(chunk_size)
+        self.cluster_id = generator.config.cluster_id
+
+    def chunks(self) -> Iterator[TraceColumns]:
+        buffer: List[VMTraceRecord] = []
+        for block in self.generator.iter_window_records():
+            buffer.extend(block)
+            while len(buffer) >= self.chunk_size:
+                yield TraceColumns.from_records(buffer[: self.chunk_size])
+                del buffer[: self.chunk_size]
+        if buffer:
+            yield TraceColumns.from_records(buffer)
 
 
 def fleet_shard_configs(

@@ -47,7 +47,8 @@ import weakref
 
 import numpy as np
 
-from repro.cluster.trace import ClusterTrace, VMTraceRecord
+from repro.cluster.rng import GOLDEN, splitmix64, splitmix64_array
+from repro.cluster.trace import ClusterTrace, TraceColumns, VMTraceRecord
 from repro.core.prediction.combined import CombinedOperatingPoint
 
 __all__ = [
@@ -59,26 +60,16 @@ __all__ = [
     "keyed_uniforms",
 ]
 
-#: Either a full trace (preferred: its columnar view is cached) or any
-#: sequence of records can be batch-evaluated.
-TraceLike = Union[ClusterTrace, Sequence[VMTraceRecord]]
+#: Batch-evaluatable inputs: a full trace (preferred: its columnar view is
+#: cached), one streamed :class:`TraceColumns` chunk (the streaming replay
+#: path evaluates one of these per chunk), or any sequence of records.
+TraceLike = Union[ClusterTrace, TraceColumns, Sequence[VMTraceRecord]]
 
-_MASK64 = (1 << 64) - 1
-_SPREAD = np.uint64(0x9E3779B97F4A7C15)  # golden-ratio odd constant
-
-
-def _mix64(z: np.ndarray) -> np.ndarray:
-    """SplitMix64 finalizer over a uint64 array (wrapping arithmetic)."""
-    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
-    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
-    return z ^ (z >> np.uint64(31))
-
-
-def _mix64_int(z: int) -> int:
-    """Python-int SplitMix64 finalizer (for precomputing stream salts)."""
-    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
-    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
-    return z ^ (z >> 31)
+# One shared SplitMix64 implementation (repro.cluster.rng) serves both the
+# policy digests here and the trace generator's window substreams.
+_SPREAD = np.uint64(GOLDEN)
+_mix64 = splitmix64_array
+_mix64_int = splitmix64
 
 
 #: Fixed salts separating the independent uniform streams each policy draws
@@ -187,6 +178,10 @@ class _BatchPolicy:
                 digests = stable_vm_digests(columns.vm_ids, self._digest_tag, self.seed)
                 self._digest_cache[trace] = digests
             return columns.memory_gb, columns.untouched_fraction, digests
+        if isinstance(trace, TraceColumns):
+            # One streamed chunk: transient, so digests are not worth caching.
+            digests = stable_vm_digests(trace.vm_ids, self._digest_tag, self.seed)
+            return trace.memory_gb, trace.untouched_fraction, digests
         records = list(trace)
         memory = np.fromiter((r.memory_gb for r in records), np.float64, len(records))
         untouched = np.fromiter(

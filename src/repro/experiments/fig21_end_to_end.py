@@ -17,7 +17,12 @@ once per replay as a vectorized array (``decide_batch``), so the simulator's
 hot loop never calls back into Python per VM.  With ``n_shards > 1`` the
 study scales out through the sharded :class:`FleetSimulator` -- one
 independent cluster per shard, savings summed across the fleet -- which is
-how the paper's ~100-cluster evaluation shape is reproduced.
+how the paper's ~100-cluster evaluation shape is reproduced.  The sharded
+mode streams every shard trace by default (``stream_chunk_size``), so the
+fleet's peak trace memory stays O(generation window + chunk) no matter
+how many VMs the study replays; ``provisioning="capacity"`` switches the savings model from
+peak-observation to the constrained capacity search (fleet-level via
+``FleetSimulator.capacity_search`` when sharded).
 """
 
 from __future__ import annotations
@@ -82,6 +87,8 @@ def run_end_to_end_study(
     seed: int = 61,
     n_shards: int = 1,
     max_workers: Optional[int] = None,
+    stream_chunk_size: Optional[int] = 16384,
+    provisioning: str = "peaks",
 ) -> EndToEndStudy:
     """Run the Figure 21 sweep.
 
@@ -89,7 +96,20 @@ def run_end_to_end_study(
     the :class:`PoolDimensioner`; ``n_shards > 1`` shards the study across a
     fleet of independent clusters (``n_servers`` each) and sums the per-shard
     savings, optionally fanning shards out over ``max_workers`` processes.
+    The sharded mode replays lazy trace streams by default (peak trace
+    memory O(``stream_chunk_size``)); pass ``stream_chunk_size=None`` to
+    pregenerate and reuse materialised shard traces across the grid
+    (faster when the fleet fits in memory, since streams regenerate per
+    replay).
+
+    ``provisioning`` selects the savings model: ``"peaks"`` (default) uses
+    uniform peak-observation provisioning; ``"capacity"`` runs the
+    constrained capacity search instead -- per cluster through
+    ``PoolDimensioner.evaluate_capacity_search``, or fleet-wide through
+    ``FleetSimulator.capacity_search`` when sharded.
     """
+    if provisioning not in ("peaks", "capacity"):
+        raise ValueError("provisioning must be 'peaks' or 'capacity'")
     config = config or PondConfig()
     points = operating_points or DEFAULT_OPERATING_POINTS
     cfg = TraceGenConfig(
@@ -115,28 +135,59 @@ def run_end_to_end_study(
     savings: Dict[str, List[PoolSavings]] = {}
     mispredictions: Dict[str, float] = {}
     if n_shards > 1:
-        base_fleet = FleetSimulator.sharded(n_shards, cfg)
-        fleet_traces = base_fleet.generate_traces()
-        # The no-pooling baseline is pool-size- and policy-independent:
-        # replay it once per shard and reuse it across the whole grid.
-        baselines = base_fleet.compute_baselines(fleet_traces)
-        for label, factory in factories.items():
-            savings[label] = []
-            for size in usable_sizes:
-                fleet = FleetSimulator.sharded(
-                    n_shards, cfg, pool_size_sockets=size, max_workers=max_workers
-                )
-                fleet_result = fleet.run(
-                    factory, traces=fleet_traces, baselines=baselines
-                )
-                savings[label].append(fleet_result.savings)
-                mispredictions[label] = fleet_result.policy_stats.misprediction_percent
+        fleet_kwargs = dict(
+            max_workers=max_workers, stream_chunk_size=stream_chunk_size
+        )
+        base_fleet = FleetSimulator.sharded(n_shards, cfg, **fleet_kwargs)
+        # Streaming mode regenerates shard traces lazily per replay; the
+        # materialised mode pregenerates them once and reuses them.
+        fleet_traces = None if stream_chunk_size is not None \
+            else base_fleet.generate_traces()
+        if provisioning == "capacity":
+            # One fleet for the whole grid: capacity_search takes the pool
+            # size per call and memoises the pool- and policy-independent
+            # work (rejection budget, no-pool baseline search) across cells.
+            for label, factory in factories.items():
+                savings[label] = []
+                for size in usable_sizes:
+                    search = base_fleet.capacity_search(
+                        factory, traces=fleet_traces, pool_size_sockets=size
+                    )
+                    savings[label].append(search.savings)
+                    mispredictions[label] = (
+                        search.policy_stats.misprediction_percent
+                    )
+        else:
+            # The no-pooling baseline is pool-size- and policy-independent:
+            # replay it once per shard and reuse it across the whole grid.
+            baselines = base_fleet.compute_baselines(fleet_traces)
+            for label, factory in factories.items():
+                savings[label] = []
+                for size in usable_sizes:
+                    fleet = FleetSimulator.sharded(
+                        n_shards, cfg, pool_size_sockets=size, **fleet_kwargs
+                    )
+                    fleet_result = fleet.run(
+                        factory, traces=fleet_traces, baselines=baselines
+                    )
+                    savings[label].append(fleet_result.savings)
+                    mispredictions[label] = (
+                        fleet_result.policy_stats.misprediction_percent
+                    )
     else:
         trace = TraceGenerator(cfg).generate_bulk()
         dimensioner = PoolDimensioner(n_servers=n_servers)
         for label, factory in factories.items():
             policy = factory(0)
-            savings[label] = dimensioner.sweep_pool_sizes(trace, usable_sizes, policy)
+            if provisioning == "capacity":
+                savings[label] = [
+                    dimensioner.evaluate_capacity_search(trace, size, policy)
+                    for size in usable_sizes
+                ]
+            else:
+                savings[label] = dimensioner.sweep_pool_sizes(
+                    trace, usable_sizes, policy
+                )
             mispredictions[label] = policy.stats.misprediction_percent
 
     return EndToEndStudy(

@@ -39,12 +39,17 @@ def run_stranding_study(
     utilization_range: Tuple[float, float] = (0.55, 0.97),
     seed: int = 5,
     max_workers: Optional[int] = None,
+    stream_chunk_size: Optional[int] = 16384,
 ) -> StrandingStudy:
     """Simulate a fleet of clusters and aggregate stranding (Figure 2a).
 
     The fleet is run through the sharded :class:`FleetSimulator` (one shard
     per cluster, memory-constrained, no pool); ``max_workers`` optionally
-    fans the shards out over a process pool.
+    fans the shards out over a process pool.  By default each shard replays
+    a lazy trace stream (``stream_chunk_size`` records per chunk) rather
+    than materialising its trace -- the results are identical (streamed and
+    materialised generation produce the same records), only peak memory
+    changes; pass ``stream_chunk_size=None`` for the materialised path.
     """
     base = TraceGenConfig(
         n_servers=n_servers,
@@ -59,6 +64,7 @@ def run_stranding_study(
         constrain_memory=True,
         sample_interval_s=3600.0,
         max_workers=max_workers,
+        stream_chunk_size=stream_chunk_size,
     )
     results = fleet.run().results()
     analyzer = StrandingAnalyzer(results)
@@ -81,11 +87,14 @@ def run_rack_timeseries(
     duration_days: float = 8.0,
     shift_day: float = 4.0,
     seed: int = 9,
+    stream_chunk_size: int = 16384,
 ) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
     """Stranding-over-time series for a set of racks (Figure 2b).
 
     Half of the racks experience a workload change at ``shift_day`` that
     increases the share of memory-optimised VMs, driving stranding up.
+    Each rack's trace is replayed as a lazy stream, so only one chunk of
+    records exists at a time.
     """
     series: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
     for rack in range(n_racks):
@@ -99,11 +108,10 @@ def run_rack_timeseries(
             shift_memory_factor=3.0,
             seed=seed + rack,
         )
-        trace = TraceGenerator(cfg).generate()
         simulator = ClusterSimulator(
             n_servers=n_servers, constrain_memory=True, sample_interval_s=3600.0
         )
-        result = simulator.run(trace)
+        result = simulator.run(TraceGenerator(cfg).stream(stream_chunk_size))
         analyzer = StrandingAnalyzer({cfg.cluster_id: result})
         series[cfg.cluster_id] = analyzer.daily_average(cfg.cluster_id)
     return series

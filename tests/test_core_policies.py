@@ -157,7 +157,7 @@ class TestKeyedUniforms:
 def big_trace():
     """A >=50k-VM bulk trace for the batch-vs-scalar differential tests."""
     cfg = TraceGenConfig(
-        cluster_id="diff", n_servers=150, duration_days=1.8,
+        cluster_id="diff", n_servers=150, duration_days=2.1,
         mean_lifetime_hours=2.0, target_core_utilization=0.85, seed=17,
     )
     trace = TraceGenerator(cfg).generate_bulk()
