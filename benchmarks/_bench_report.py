@@ -1,0 +1,56 @@
+"""Shared helpers for the scale benchmarks: machine-readable reports + smoke mode.
+
+Every scale benchmark emits a ``BENCH_<name>.json`` file (timings, speedup
+ratios, peak memory) so the perf trajectory can be tracked across PRs by
+diffing artifacts instead of scraping assertion messages.  Reports land next
+to this file by default; set ``BENCH_REPORT_DIR`` to redirect them (CI
+uploads them as artifacts).
+
+``BENCH_SMOKE=1`` switches the benchmarks to reduced scale with relaxed
+speedup floors: small enough for a per-PR CI job, still asserting the same
+*shape* of result (identical outputs, speedup above a floor) so hot-path
+regressions surface before the full-scale run ever executes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+__all__ = ["smoke_mode", "pick", "emit_report"]
+
+
+def smoke_mode() -> bool:
+    """True when the reduced-scale CI smoke mode is requested."""
+    return os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
+
+def pick(full, smoke):
+    """Pick the full-scale or smoke-scale value for a benchmark constant."""
+    return smoke if smoke_mode() else full
+
+
+def emit_report(name: str, payload: dict) -> Path:
+    """Write ``BENCH_<name>.json`` (machine-readable benchmark outcome).
+
+    ``payload`` should carry plain scalars: seconds, speedup ratios, sizes,
+    peak MiB.  Standard metadata (mode, timestamp, python/platform, cpu
+    count) is added so reports from different runs are comparable.
+    """
+    report = {
+        "benchmark": name,
+        "smoke": smoke_mode(),
+        "unix_time": time.time(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        **payload,
+    }
+    out_dir = Path(os.environ.get("BENCH_REPORT_DIR", Path(__file__).parent))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{name}.json"
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path

@@ -23,14 +23,17 @@ import time
 
 import pytest
 
+from _bench_report import emit_report, pick
 from repro.cluster.fleet import FleetSimulator, pond_policy_factory
 from repro.cluster.tracegen import TraceGenConfig
 from repro.core.prediction.combined import CombinedOperatingPoint
 
-N_SHARDS = 8
-N_SERVERS_PER_SHARD = 150
-MIN_TOTAL_VMS = 1_000_000
-MIN_SPEEDUP = 3.0
+N_SHARDS = pick(8, 2)
+N_SERVERS_PER_SHARD = pick(150, 40)
+MIN_TOTAL_VMS = pick(1_000_000, 10_000)
+MIN_SPEEDUP = pick(3.0, 2.0)
+DURATION_DAYS = pick(5.3, 0.8)
+MIN_VMS_PER_S = pick(50_000, 20_000)
 POOL_SIZE_SOCKETS = 16
 
 OPERATING_POINT = CombinedOperatingPoint(
@@ -43,7 +46,7 @@ def fleet_and_traces():
     base = TraceGenConfig(
         cluster_id="mega",
         n_servers=N_SERVERS_PER_SHARD,
-        duration_days=5.3,
+        duration_days=DURATION_DAYS,
         mean_lifetime_hours=2.0,
         target_core_utilization=0.85,
         seed=42,
@@ -113,6 +116,15 @@ def test_bench_fleet_batch_policies_beat_callbacks_3x(fleet_and_traces):
     )
     assert savings.savings_percent > 0.0
 
+    emit_report("fleet_scale_batch_vs_callback", {
+        "n_vms": total_vms,
+        "n_shards": N_SHARDS,
+        "batch_seconds": batch.total_run_seconds,
+        "callback_seconds": callback.total_run_seconds,
+        "speedup": speedup,
+        "speedup_floor": MIN_SPEEDUP,
+        "savings_percent": savings.savings_percent,
+    })
     assert speedup >= MIN_SPEEDUP, (
         f"batch policy path only {speedup:.1f}x faster than per-VM callbacks "
         f"(required >= {MIN_SPEEDUP}x)"
@@ -132,5 +144,12 @@ def test_bench_fleet_batch_throughput_floor(fleet_and_traces):
     vms_per_s = result.n_vms / result.total_run_seconds
     print(f"\nbatch fleet throughput: {vms_per_s:,.0f} VMs/s "
           f"({result.total_run_seconds:.2f}s for {result.n_vms:,} VMs)")
+    emit_report("fleet_scale_throughput", {
+        "n_vms": result.n_vms,
+        "n_shards": N_SHARDS,
+        "seconds": result.total_run_seconds,
+        "vms_per_s": vms_per_s,
+        "vms_per_s_floor": MIN_VMS_PER_S,
+    })
     assert result.placed_vms > 0
-    assert vms_per_s >= 50_000
+    assert vms_per_s >= MIN_VMS_PER_S

@@ -17,6 +17,10 @@ The paper's stranding analysis (Section 3.1) and end-to-end savings results
 * :mod:`repro.cluster.scheduler` -- the NUMA-aware bin-packing VM scheduler,
   with an indexed candidate structure (default) and a legacy linear scan kept
   for differential testing.
+* :mod:`repro.cluster.engine` -- the struct-of-arrays placement engine behind
+  ``engine="array"`` (the default hot path): flat per-node/per-server arrays,
+  integer VM handles, and the same best-fit bucket walk as the indexed
+  scheduler, byte-identical to the object path.
 * :mod:`repro.cluster.simulator` -- an event-driven cluster simulator tracking
   per-server and per-pool memory at VM-event granularity over one merged
   arrival/departure/sample event stream.
@@ -28,6 +32,7 @@ The paper's stranding analysis (Section 3.1) and end-to-end savings results
   fleet-level capacity search) for million-VM studies.
 """
 
+from repro.cluster.engine import ArrayPlacementEngine, PLACEMENT_ENGINES
 from repro.cluster.server import ServerConfig, ClusterServer
 from repro.cluster.vm_types import VMType, VM_TYPE_CATALOG, sample_vm_type
 from repro.cluster.trace import (
@@ -65,6 +70,8 @@ __all__ = [
     "FleetResult",
     "FleetShardResult",
     "FleetCapacitySearchResult",
+    "ArrayPlacementEngine",
+    "PLACEMENT_ENGINES",
     "ServerConfig",
     "ClusterServer",
     "VMType",

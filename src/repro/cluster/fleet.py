@@ -39,9 +39,14 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.cluster.engine import resolve_engine
 from repro.cluster.pool import (
+    CapacityProbeOutcome,
     PoolSavings,
+    bisect_min_dram,
     capacity_candidate_config,
+    capacity_probe_replay,
+    probe_outcome_of,
     uniform_pool_requirement_gb,
 )
 from repro.cluster.simulator import ClusterSimulator, SimulationResult, TraceInput
@@ -281,6 +286,8 @@ class _ShardSpec:
     constrain_memory: bool
     sample_interval_s: float
     scheduler_strategy: str
+    #: Placement engine for the shard's replays (see repro.cluster.engine).
+    engine: Optional[str] = None
     #: Precomputed no-pooling baseline (skips the baseline replay).
     baseline_required_dram_gb: Optional[float] = None
     #: When set (and no trace is supplied), the worker replays a lazy
@@ -300,7 +307,8 @@ def _shard_trace_input(cfg: TraceGenConfig, trace: Optional[TraceInput],
 
 
 def _shard_baseline_gb(cfg: TraceGenConfig, trace: TraceInput,
-                       sample_interval_s: float, scheduler_strategy: str) -> float:
+                       sample_interval_s: float, scheduler_strategy: str,
+                       engine: Optional[str] = None) -> float:
     """One shard's no-pooling uniform baseline (memory-unconstrained replay)."""
     baseline_sim = ClusterSimulator(
         n_servers=cfg.n_servers,
@@ -309,18 +317,21 @@ def _shard_baseline_gb(cfg: TraceGenConfig, trace: TraceInput,
         constrain_memory=False,
         sample_interval_s=sample_interval_s,
         scheduler_strategy=scheduler_strategy,
+        engine=engine,
         record_placements=False,
     )
     return baseline_sim.run(trace).uniform_required_local_dram_gb
 
 
 def _baseline_task(
-    args: Tuple[TraceGenConfig, Optional[TraceInput], float, str, Optional[int]]
+    args: Tuple[TraceGenConfig, Optional[TraceInput], float, str,
+                Optional[int], Optional[str]]
 ) -> float:
     """Baseline replay for one shard; module-level so a pool can pickle it."""
-    cfg, trace, sample_interval_s, scheduler_strategy, stream_chunk_size = args
+    cfg, trace, sample_interval_s, scheduler_strategy, stream_chunk_size, engine = args
     trace = _shard_trace_input(cfg, trace, stream_chunk_size)
-    return _shard_baseline_gb(cfg, trace, sample_interval_s, scheduler_strategy)
+    return _shard_baseline_gb(cfg, trace, sample_interval_s, scheduler_strategy,
+                              engine)
 
 
 def _run_shard(spec: _ShardSpec) -> FleetShardResult:
@@ -336,6 +347,7 @@ def _run_shard(spec: _ShardSpec) -> FleetShardResult:
         constrain_memory=spec.constrain_memory,
         sample_interval_s=spec.sample_interval_s,
         scheduler_strategy=spec.scheduler_strategy,
+        engine=spec.engine,
         record_placements=False,
     )
     start = time.perf_counter()
@@ -350,7 +362,8 @@ def _run_shard(spec: _ShardSpec) -> FleetShardResult:
     baseline = spec.baseline_required_dram_gb
     if baseline is None and spec.compute_baseline:
         baseline = _shard_baseline_gb(
-            cfg, trace, spec.sample_interval_s, spec.scheduler_strategy
+            cfg, trace, spec.sample_interval_s, spec.scheduler_strategy,
+            spec.engine,
         )
 
     return FleetShardResult(
@@ -367,6 +380,153 @@ def _run_shard(spec: _ShardSpec) -> FleetShardResult:
         policy_stats=getattr(policy, "stats", None),
         run_seconds=run_seconds,
     )
+
+
+#: Per-process state for fleet capacity-search probe workers, set by the
+#: pool initializer (shard inputs and the policy factory ship once per
+#: worker, not per probe).
+_FLEET_PROBE_STATE: dict = {}
+
+
+def _fleet_probe_init(shard_configs, inputs, policy_factory,
+                      sample_interval_s, scheduler_strategy, engine) -> None:
+    _FLEET_PROBE_STATE.update(
+        shard_configs=shard_configs, inputs=inputs,
+        policy_factory=policy_factory, sample_interval_s=sample_interval_s,
+        scheduler_strategy=scheduler_strategy, engine=engine,
+    )
+
+
+def _run_fleet_probe(
+    task: Tuple[int, bool, int, float, Optional[float]]
+) -> CapacityProbeOutcome:
+    """Probe task: (shard, use_policy, pool_sockets, pool_capacity, dram).
+
+    The policy is rebuilt per probe (decisions are digest-keyed, so a fresh
+    instance decides identically), which makes the returned ``policy_stats``
+    a clean per-probe delta.
+    """
+    shard, use_policy, pool_sockets, pool_capacity_gb, dram = task
+    state = _FLEET_PROBE_STATE
+    cfg = state["shard_configs"][shard]
+    factory = state["policy_factory"]
+    policy = factory(shard) if (use_policy and factory is not None) else None
+    result = capacity_probe_replay(
+        state["inputs"][shard], policy, cfg.n_servers, cfg.server_config,
+        pool_sockets, pool_capacity_gb, dram, state["sample_interval_s"],
+        state["scheduler_strategy"], state["engine"],
+    )
+    return probe_outcome_of(result, policy)
+
+
+class _FleetProbeSession:
+    """Memoised fleet capacity-search probes on a process pool.
+
+    One candidate DRAM size means one replay per shard; the session keys
+    probes on ``(shard, use_policy, pool_sockets, pool_capacity, dram)`` and
+    dispatches them to workers, so the shards of a candidate run in parallel
+    -- and speculative bisection candidates (see
+    :meth:`prefetch_bisection`) overlap with the verdict the search is
+    waiting on.  Worker policy stats are collected per probe and merged.
+
+    The pool initializer hands every worker the full shard-input list.
+    Under the fork start method (Linux, the deployment target) that is
+    copy-on-write -- workers share the parent's trace pages -- but under
+    spawn each worker deserialises its own copy, so memory-constrained
+    spawn platforms should prefer ``stream_chunk_size`` (lazy streams are
+    tiny to ship) over pregenerated materialised traces.
+    """
+
+    def __init__(self, fleet: "FleetSimulator", inputs: Sequence[TraceInput],
+                 policy_factory: Optional[PolicyFactory]) -> None:
+        workers = fleet.max_workers or 1
+        self._n_shards = len(fleet.shard_configs)
+        self._outcomes: Dict[tuple, CapacityProbeOutcome] = {}
+        self._futures: Dict[tuple, object] = {}
+        self._max_inflight = max(2 * workers, 2 * self._n_shards)
+        self._executor = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_fleet_probe_init,
+            initargs=(
+                list(fleet.shard_configs), list(inputs), policy_factory,
+                fleet.sample_interval_s, fleet.scheduler_strategy,
+                fleet.engine,
+            ),
+        )
+
+    def submit(self, shard: int, use_policy: bool, pool_sockets: int,
+               pool_capacity_gb: float, dram: Optional[float]) -> None:
+        key = (shard, use_policy, pool_sockets, pool_capacity_gb, dram)
+        if key in self._outcomes or key in self._futures:
+            return
+        self._futures[key] = self._executor.submit(_run_fleet_probe, key)
+
+    def outcome(self, shard: int, use_policy: bool, pool_sockets: int,
+                pool_capacity_gb: float,
+                dram: Optional[float]) -> CapacityProbeOutcome:
+        key = (shard, use_policy, pool_sockets, pool_capacity_gb, dram)
+        cached = self._outcomes.get(key)
+        if cached is None:
+            future = self._futures.pop(key, None)
+            if future is None:
+                future = self._executor.submit(_run_fleet_probe, key)
+            cached = future.result()
+            self._outcomes[key] = cached
+        return cached
+
+    def candidate_rejections(self, dram: float, pool_sockets: int,
+                             pool_caps: Optional[Sequence[float]]) -> int:
+        """Fleet-summed rejections for one candidate (all shards in flight)."""
+        pooled = pool_caps is not None
+        for shard in range(self._n_shards):
+            if pooled:
+                self.submit(shard, True, pool_sockets, pool_caps[shard], dram)
+            else:
+                self.submit(shard, False, 0, 0.0, dram)
+        total = 0
+        for shard in range(self._n_shards):
+            if pooled:
+                outcome = self.outcome(
+                    shard, True, pool_sockets, pool_caps[shard], dram
+                )
+            else:
+                outcome = self.outcome(shard, False, 0, 0.0, dram)
+            total += outcome.rejected_vms
+        return total
+
+    def prefetch_bisection(self, pool_sockets: int,
+                           pool_caps: Optional[Sequence[float]],
+                           lo: float, hi: float, depth: int = 2) -> None:
+        """Speculatively submit per-shard probes for upcoming candidates."""
+        pooled = pool_caps is not None
+        frontier = [(lo, hi)]
+        for _ in range(depth):
+            next_frontier = []
+            for low, high in frontier:
+                inflight = sum(1 for f in self._futures.values() if not f.done())
+                if inflight >= self._max_inflight:
+                    return
+                mid = (low + high) / 2.0
+                for shard in range(self._n_shards):
+                    if pooled:
+                        self.submit(shard, True, pool_sockets,
+                                    pool_caps[shard], mid)
+                    else:
+                        self.submit(shard, False, 0, 0.0, mid)
+                next_frontier.append((low, mid))
+                next_frontier.append((mid, high))
+            frontier = next_frontier
+
+    def merged_stats(self) -> PolicyStats:
+        """Merge the per-probe policy stats of every policy-using probe."""
+        merged = PolicyStats()
+        for outcome in self._outcomes.values():
+            if outcome.policy_stats is not None:
+                merged.add(outcome.policy_stats)
+        return merged
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=True, cancel_futures=True)
 
 
 class FleetSimulator:
@@ -410,6 +570,7 @@ class FleetSimulator:
         constrain_memory: bool = False,
         sample_interval_s: float = 3600.0,
         scheduler_strategy: str = "indexed",
+        engine: Optional[str] = None,
         max_workers: Optional[int] = None,
         stream_chunk_size: Optional[int] = None,
     ) -> None:
@@ -420,6 +581,9 @@ class FleetSimulator:
             raise ValueError("shard cluster_ids must be unique")
         if stream_chunk_size is not None and stream_chunk_size < 1:
             raise ValueError("stream_chunk_size must be >= 1")
+        #: Placement engine for every shard replay ("array" by default; the
+        #: object path stays available for differential testing).
+        self.engine = resolve_engine(engine, scheduler_strategy)
         self.shard_configs = list(shard_configs)
         self.pool_size_sockets = pool_size_sockets
         self.pool_capacity_gb_per_group = pool_capacity_gb_per_group
@@ -489,7 +653,7 @@ class FleetSimulator:
         tasks = [
             (cfg, traces[i] if traces is not None else None,
              self.sample_interval_s, self.scheduler_strategy,
-             self.stream_chunk_size)
+             self.stream_chunk_size, self.engine)
             for i, cfg in enumerate(self.shard_configs)
         ]
         if self.max_workers and self.max_workers > 1 and len(tasks) > 1:
@@ -540,6 +704,7 @@ class FleetSimulator:
                 constrain_memory=self.constrain_memory,
                 sample_interval_s=self.sample_interval_s,
                 scheduler_strategy=self.scheduler_strategy,
+                engine=self.engine,
                 baseline_required_dram_gb=(
                     baselines[i] if baselines is not None else None
                 ),
@@ -585,14 +750,25 @@ class FleetSimulator:
            pools in place.
 
         Shard replays are reused across search iterations: per-shard
-        rejection counts are memoised per candidate DRAM size, and the
-        feasibility sum short-circuits as soon as the budget is exceeded, so
-        later shards are not replayed for clearly infeasible candidates.
-        With ``stream_chunk_size`` set (and no pregenerated ``traces``),
-        every probe replays lazy streams and the search never materialises a
-        shard trace.  Probes run serially in this process (``max_workers``
-        parallelises :meth:`run` and :meth:`compute_baselines`, not this
-        search -- the early-exit sum is inherently sequential).
+        rejection counts are memoised per candidate DRAM size, and (in the
+        sequential mode) the feasibility sum short-circuits as soon as the
+        budget is exceeded, so later shards are not replayed for clearly
+        infeasible candidates.  With ``stream_chunk_size`` set (and no
+        pregenerated ``traces``), every probe replays lazy streams and the
+        search never materialises a shard trace.
+
+        With ``max_workers > 1`` the probes run on a process pool: the
+        independent up-front replays (rejection budget, baseline upper
+        bound, pool provisioning) start together, every candidate's shard
+        replays run concurrently, and the bisections speculate their
+        bracketing candidates (:func:`repro.cluster.pool.bisect_min_dram`).
+        The returned ``PoolSavings`` are identical to the sequential
+        search's -- the search path is a pure function of the deterministic
+        per-candidate rejection counts.  ``policy_stats`` remains a
+        diagnostic aggregate over the probes actually executed; the probe
+        multiset differs between the modes (early-exited shards
+        sequentially, speculative candidates in parallel), so its counts
+        and mixing ratios can differ slightly.
 
         ``pool_size_sockets`` overrides the fleet's configured pool size for
         this call, so a pool-size sweep can reuse one ``FleetSimulator``:
@@ -642,166 +818,205 @@ class FleetSimulator:
             )
             for i, cfg in enumerate(self.shard_configs)
         ]
+        parallel = bool(self.max_workers and self.max_workers > 1)
+        session = (
+            _FleetProbeSession(self, inputs, policy_factory) if parallel else None
+        )
+        #: Parent-process policy instances (sequential probes only; parallel
+        #: probes rebuild their policy inside the worker).
         policies = [
-            policy_factory(i) if policy_factory is not None else None
+            policy_factory(i) if policy_factory is not None and not parallel
+            else None
             for i in range(n_shards)
         ]
-
-        def replay(shard: int, dram_per_server_gb: Optional[float],
-                   pool_sockets: int, pool_capacity_gb: float,
-                   policy) -> SimulationResult:
-            cfg = self.shard_configs[shard]
-            if dram_per_server_gb is None:
-                config, constrain = cfg.server_config, False
-            else:
-                config = capacity_candidate_config(
-                    cfg.server_config, dram_per_server_gb
-                )
-                constrain = True
-            simulator = ClusterSimulator(
-                n_servers=cfg.n_servers,
-                server_config=config,
-                pool_size_sockets=pool_sockets,
-                pool_capacity_gb_per_group=pool_capacity_gb,
-                constrain_memory=constrain,
-                sample_interval_s=self.sample_interval_s,
-                scheduler_strategy=self.scheduler_strategy,
-                record_placements=False,
-            )
-            return simulator.run(inputs[shard], policy=policy)
-
-        # 1. Rejection budget: core/NUMA-fragmentation rejections can never
-        # be fixed by DRAM, so they are excluded from every candidate's
-        # verdict.  Computed once, shared by both searches (and memoised
-        # across calls for the fleet's own deterministic inputs).
-        if self._capacity_core_stats is not None:
-            core_only_rejections, total_vms = self._capacity_core_stats
-        else:
-            total_vms = 0
-            core_only_rejections = 0
-            for shard in range(n_shards):
-                result = replay(shard, None, 0, float("inf"), None)
-                core_only_rejections += result.rejected_vms
-                total_vms += result.placed_vms + result.rejected_vms
-            self._capacity_core_stats = (core_only_rejections, total_vms)
-        budget = core_only_rejections + max(
-            1, int(rejection_tolerance * total_vms)
-        )
-
-        #: (shard, dram, pooled?) -> rejections; search probes repeat
-        #: candidates only rarely, but early-exited shards return cheaply.
-        rejection_cache: Dict[Tuple[int, float, bool], int] = {}
-
-        def total_rejections(dram: float, pool_caps: Optional[List[float]]) -> int:
-            total = 0
-            pooled = pool_caps is not None
-            for shard in range(n_shards):
-                key = (shard, dram, pooled)
-                rejections = rejection_cache.get(key)
-                if rejections is None:
-                    if pooled:
-                        result = replay(
-                            shard, dram, pool_size, pool_caps[shard],
-                            policies[shard],
-                        )
-                    else:
-                        result = replay(shard, dram, 0, 0.0, None)
-                    rejections = result.rejected_vms
-                    rejection_cache[key] = rejections
-                total += rejections
-                if total > budget:
-                    break  # infeasible already; skip the remaining shards
-            return total
-
-        def min_shared_server_dram(pool_caps: Optional[List[float]]) -> float:
-            """Binary-search the smallest shared per-server DRAM that fits."""
-            hi = server_config.total_dram_gb
-            lo = 0.0
-            # Ensure the upper bound is actually feasible; if not, widen it.
-            for _ in range(4):
-                if total_rejections(hi, pool_caps) <= budget:
-                    break
-                hi *= 1.5
-            else:
-                return hi
-            for _ in range(search_steps):
-                mid = (lo + hi) / 2.0
-                if total_rejections(mid, pool_caps) <= budget:
-                    hi = mid
-                else:
-                    lo = mid
-            return hi
-
-        # 2. No-pooling baseline under the shared-DRAM constraint
-        # (pool-size- and policy-independent; memoised like the budget).
+        inf = float("inf")
         baseline_key = (search_steps, rejection_tolerance)
-        if baseline_key in self._capacity_baseline_cache:
-            baseline_per_server = self._capacity_baseline_cache[baseline_key]
-        else:
-            baseline_per_server = min_shared_server_dram(None)
-            self._capacity_baseline_cache[baseline_key] = baseline_per_server
-        baseline_gb = baseline_per_server * total_servers
+        try:
+            if session is not None:
+                # Warm start: every probe chain that does not depend on a
+                # previous verdict begins immediately -- budget replays,
+                # the baseline search's upper bound, and the pool
+                # provisioning replays all overlap.
+                for shard in range(n_shards):
+                    if self._capacity_core_stats is None:
+                        session.submit(shard, False, 0, inf, None)
+                    if baseline_key not in self._capacity_baseline_cache:
+                        session.submit(
+                            shard, False, 0, 0.0, server_config.total_dram_gb
+                        )
+                    if pool_size:
+                        session.submit(shard, True, pool_size, inf, None)
 
-        merged_stats = PolicyStats()
-        if pool_size == 0:
+            def replay(shard: int, dram_per_server_gb: Optional[float],
+                       pool_sockets: int, pool_capacity_gb: float,
+                       policy) -> SimulationResult:
+                cfg = self.shard_configs[shard]
+                return capacity_probe_replay(
+                    inputs[shard], policy, cfg.n_servers, cfg.server_config,
+                    pool_sockets, pool_capacity_gb, dram_per_server_gb,
+                    self.sample_interval_s, self.scheduler_strategy,
+                    self.engine,
+                )
+
+            # 1. Rejection budget: core/NUMA-fragmentation rejections can
+            # never be fixed by DRAM, so they are excluded from every
+            # candidate's verdict.  Computed once, shared by both searches
+            # (and memoised across calls for the fleet's own deterministic
+            # inputs).
+            if self._capacity_core_stats is not None:
+                core_only_rejections, total_vms = self._capacity_core_stats
+            else:
+                total_vms = 0
+                core_only_rejections = 0
+                for shard in range(n_shards):
+                    if session is not None:
+                        outcome = session.outcome(shard, False, 0, inf, None)
+                        core_only_rejections += outcome.rejected_vms
+                        total_vms += outcome.placed_vms + outcome.rejected_vms
+                    else:
+                        result = replay(shard, None, 0, inf, None)
+                        core_only_rejections += result.rejected_vms
+                        total_vms += result.placed_vms + result.rejected_vms
+                self._capacity_core_stats = (core_only_rejections, total_vms)
+            budget = core_only_rejections + max(
+                1, int(rejection_tolerance * total_vms)
+            )
+
+            #: (shard, dram, pooled?) -> rejections; search probes repeat
+            #: candidates only rarely, but early-exited shards return cheaply.
+            rejection_cache: Dict[Tuple[int, float, bool], int] = {}
+
+            def total_rejections(dram: float,
+                                 pool_caps: Optional[List[float]]) -> int:
+                total = 0
+                pooled = pool_caps is not None
+                for shard in range(n_shards):
+                    key = (shard, dram, pooled)
+                    rejections = rejection_cache.get(key)
+                    if rejections is None:
+                        if pooled:
+                            result = replay(
+                                shard, dram, pool_size, pool_caps[shard],
+                                policies[shard],
+                            )
+                        else:
+                            result = replay(shard, dram, 0, 0.0, None)
+                        rejections = result.rejected_vms
+                        rejection_cache[key] = rejections
+                    total += rejections
+                    if total > budget:
+                        break  # infeasible already; skip the remaining shards
+                return total
+
+            def min_shared_server_dram(pool_caps: Optional[List[float]]) -> float:
+                """Smallest shared per-server DRAM that fits, via the common
+                bisection helper.  Sequential probes early-exit the shard
+                sum; parallel probes run every shard of a candidate (and the
+                speculated next candidates) concurrently -- the verdicts,
+                and therefore the result, are identical."""
+                if session is not None:
+                    def rejections(dram: float) -> int:
+                        return session.candidate_rejections(
+                            dram, pool_size, pool_caps
+                        )
+
+                    def prefetch(lo: float, hi: float) -> None:
+                        session.prefetch_bisection(pool_size, pool_caps, lo, hi)
+                else:
+                    def rejections(dram: float) -> int:
+                        return total_rejections(dram, pool_caps)
+
+                    prefetch = None
+                return bisect_min_dram(
+                    server_config.total_dram_gb, search_steps, budget,
+                    rejections, prefetch,
+                )
+
+            # 2. No-pooling baseline under the shared-DRAM constraint
+            # (pool-size- and policy-independent; memoised like the budget).
+            if baseline_key in self._capacity_baseline_cache:
+                baseline_per_server = self._capacity_baseline_cache[baseline_key]
+            else:
+                baseline_per_server = min_shared_server_dram(None)
+                self._capacity_baseline_cache[baseline_key] = baseline_per_server
+            baseline_gb = baseline_per_server * total_servers
+
+            merged_stats = PolicyStats()
+            if pool_size == 0:
+                return FleetCapacitySearchResult(
+                    savings=PoolSavings(
+                        pool_size_sockets=0,
+                        baseline_dram_gb=baseline_gb,
+                        required_local_dram_gb=baseline_gb,
+                        required_pool_dram_gb=0.0,
+                        average_pool_fraction=0.0,
+                    ),
+                    baseline_per_server_gb=baseline_per_server,
+                    pooled_per_server_gb=baseline_per_server,
+                    per_shard_pool_capacity_gb=tuple(0.0 for _ in range(n_shards)),
+                    total_vms=total_vms,
+                    rejection_budget=budget,
+                    policy_stats=merged_stats,
+                )
+
+            # 3. Provision each shard's pool groups from its unconstrained
+            # peaks.
+            pool_caps: List[float] = []
+            required_pool_gb = 0.0
+            total_pool_allocated = 0.0
+            total_memory_allocated = 0.0
+            for shard in range(n_shards):
+                if session is not None:
+                    outcome = session.outcome(shard, True, pool_size, inf, None)
+                    peaks = outcome.pool_peak_gb
+                    shard_pool_gb = outcome.total_pool_gb
+                    shard_memory_gb = outcome.total_memory_gb
+                else:
+                    unconstrained = replay(
+                        shard, None, pool_size, inf, policies[shard]
+                    )
+                    peaks = unconstrained.pool_peak_gb
+                    shard_pool_gb = unconstrained.total_pool_gb_allocated
+                    shard_memory_gb = unconstrained.total_memory_gb_allocated
+                if peaks:
+                    per_group = pool_headroom * max(peaks.values())
+                    n_groups = len(peaks)
+                else:
+                    per_group = 0.0
+                    n_groups = 0
+                pool_caps.append(per_group)
+                required_pool_gb += per_group * n_groups
+                total_pool_allocated += shard_pool_gb
+                total_memory_allocated += shard_memory_gb
+
+            # 4. Smallest shared per-server DRAM with those pools in place.
+            pooled_per_server = min_shared_server_dram(pool_caps)
+
+            if session is not None:
+                merged_stats = session.merged_stats()
+            else:
+                for policy in policies:
+                    stats = getattr(policy, "stats", None)
+                    if stats is not None:
+                        merged_stats.add(stats)
             return FleetCapacitySearchResult(
                 savings=PoolSavings(
-                    pool_size_sockets=0,
+                    pool_size_sockets=pool_size,
                     baseline_dram_gb=baseline_gb,
-                    required_local_dram_gb=baseline_gb,
-                    required_pool_dram_gb=0.0,
-                    average_pool_fraction=0.0,
+                    required_local_dram_gb=pooled_per_server * total_servers,
+                    required_pool_dram_gb=required_pool_gb,
+                    average_pool_fraction=(
+                        total_pool_allocated / total_memory_allocated
+                        if total_memory_allocated else 0.0
+                    ),
                 ),
                 baseline_per_server_gb=baseline_per_server,
-                pooled_per_server_gb=baseline_per_server,
-                per_shard_pool_capacity_gb=tuple(0.0 for _ in range(n_shards)),
+                pooled_per_server_gb=pooled_per_server,
+                per_shard_pool_capacity_gb=tuple(pool_caps),
                 total_vms=total_vms,
                 rejection_budget=budget,
                 policy_stats=merged_stats,
             )
-
-        # 3. Provision each shard's pool groups from its unconstrained peaks.
-        pool_caps: List[float] = []
-        required_pool_gb = 0.0
-        total_pool_allocated = 0.0
-        total_memory_allocated = 0.0
-        for shard in range(n_shards):
-            unconstrained = replay(
-                shard, None, pool_size, float("inf"), policies[shard]
-            )
-            if unconstrained.pool_peak_gb:
-                per_group = pool_headroom * max(unconstrained.pool_peak_gb.values())
-                n_groups = len(unconstrained.pool_peak_gb)
-            else:
-                per_group = 0.0
-                n_groups = 0
-            pool_caps.append(per_group)
-            required_pool_gb += per_group * n_groups
-            total_pool_allocated += unconstrained.total_pool_gb_allocated
-            total_memory_allocated += unconstrained.total_memory_gb_allocated
-
-        # 4. Smallest shared per-server DRAM with those pools in place.
-        pooled_per_server = min_shared_server_dram(pool_caps)
-
-        for policy in policies:
-            stats = getattr(policy, "stats", None)
-            if stats is not None:
-                merged_stats.add(stats)
-        return FleetCapacitySearchResult(
-            savings=PoolSavings(
-                pool_size_sockets=pool_size,
-                baseline_dram_gb=baseline_gb,
-                required_local_dram_gb=pooled_per_server * total_servers,
-                required_pool_dram_gb=required_pool_gb,
-                average_pool_fraction=(
-                    total_pool_allocated / total_memory_allocated
-                    if total_memory_allocated else 0.0
-                ),
-            ),
-            baseline_per_server_gb=baseline_per_server,
-            pooled_per_server_gb=pooled_per_server,
-            per_shard_pool_capacity_gb=tuple(pool_caps),
-            total_vms=total_vms,
-            rejection_budget=budget,
-            policy_stats=merged_stats,
-        )
+        finally:
+            if session is not None:
+                session.close()

@@ -22,12 +22,15 @@ peak-observation mode is kept for ablations.
 
 from __future__ import annotations
 
+import copy
 import weakref
-from dataclasses import dataclass
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.cluster.engine import resolve_engine
 from repro.cluster.scheduler import validate_strategy
 from repro.cluster.simulator import ClusterSimulator, PoolPolicy, SimulationResult
 from repro.cluster.server import ServerConfig
@@ -40,6 +43,7 @@ __all__ = [
     "fixed_fraction_policy",
     "uniform_pool_requirement_gb",
     "capacity_candidate_config",
+    "CapacityProbeOutcome",
 ]
 
 
@@ -147,6 +151,280 @@ class PoolSavings:
         return 100.0 - self.required_dram_percent
 
 
+# -- capacity-search probes ------------------------------------------------------------
+@dataclass(frozen=True)
+class CapacityProbeOutcome:
+    """Everything a capacity search needs from one replay.
+
+    A probe worker returns this instead of the full
+    :class:`~repro.cluster.simulator.SimulationResult` so cross-process
+    traffic stays tiny regardless of trace size.
+    """
+
+    placed_vms: int
+    rejected_vms: int
+    pool_peak_gb: Dict[int, float]
+    total_pool_gb: float
+    total_memory_gb: float
+    #: Policy accounting of this probe (fleet probes only; the policy is
+    #: rebuilt per probe in the worker, so these are per-probe deltas).
+    policy_stats: Optional[object] = field(default=None, compare=False)
+
+    @property
+    def average_pool_fraction(self) -> float:
+        if self.total_memory_gb <= 0:
+            return 0.0
+        return self.total_pool_gb / self.total_memory_gb
+
+
+def capacity_probe_replay(
+    trace,
+    policy: Optional[PoolPolicy],
+    n_servers: int,
+    server_config: ServerConfig,
+    pool_size_sockets: int,
+    pool_capacity_gb: float,
+    dram_per_server_gb: Optional[float],
+    sample_interval_s: float,
+    scheduler_strategy: str,
+    engine: Optional[str],
+) -> SimulationResult:
+    """One capacity-search replay.
+
+    Single definition shared by :meth:`PoolDimensioner._simulate`, the
+    dimensioner's probe workers, and the fleet search's probe workers, so
+    in-process and worker probes build byte-identical simulators.
+    """
+    if dram_per_server_gb is None:
+        config = server_config
+        constrain = False
+    else:
+        config = capacity_candidate_config(server_config, dram_per_server_gb)
+        constrain = True
+    simulator = ClusterSimulator(
+        n_servers=n_servers,
+        server_config=config,
+        pool_size_sockets=pool_size_sockets,
+        pool_capacity_gb_per_group=pool_capacity_gb,
+        constrain_memory=constrain,
+        sample_interval_s=sample_interval_s,
+        scheduler_strategy=scheduler_strategy,
+        engine=engine,
+        # Dimensioning only reads peaks and rejection counts.
+        record_placements=False,
+    )
+    return simulator.run(trace, policy=policy)
+
+
+def probe_outcome_of(result: SimulationResult,
+                     policy: Optional[PoolPolicy] = None) -> CapacityProbeOutcome:
+    """Compress a replay result into the probe outcome the searches consume."""
+    stats = getattr(policy, "stats", None) if policy is not None else None
+    return CapacityProbeOutcome(
+        placed_vms=result.placed_vms,
+        rejected_vms=result.rejected_vms,
+        pool_peak_gb=dict(result.pool_peak_gb),
+        total_pool_gb=result.total_pool_gb_allocated,
+        total_memory_gb=result.total_memory_gb_allocated,
+        policy_stats=stats,
+    )
+
+
+#: Per-process state for dimensioner probe workers, set by the pool
+#: initializer (the trace and policy ship once per worker, not per probe).
+_PROBE_STATE: dict = {}
+
+
+def _capacity_probe_init(trace, policy, n_servers, server_config,
+                         sample_interval_s, scheduler_strategy, engine) -> None:
+    _PROBE_STATE.update(
+        trace=trace, policy=policy, n_servers=n_servers,
+        server_config=server_config, sample_interval_s=sample_interval_s,
+        scheduler_strategy=scheduler_strategy, engine=engine,
+    )
+
+
+def _run_capacity_probe(
+    task: Tuple[bool, int, float, Optional[float]]
+) -> CapacityProbeOutcome:
+    """Probe task: (use_policy, pool_size_sockets, pool_capacity_gb, dram).
+
+    The policy is copied per probe (decisions are digest-keyed, so a copy
+    decides identically), making the outcome's ``policy_stats`` a clean
+    per-probe delta -- the session merges these back into the caller's
+    policy so parallel searches keep the stats accounting the sequential
+    in-process replays would have accumulated.
+    """
+    use_policy, pool_size_sockets, pool_capacity_gb, dram = task
+    state = _PROBE_STATE
+    policy = copy.deepcopy(state["policy"]) if use_policy else None
+    if policy is not None:
+        # The shipped policy may carry stats accumulated before this search
+        # (policy reuse across calls); zero the copy's accounting so the
+        # outcome really is a per-probe delta.
+        stats = getattr(policy, "stats", None)
+        if stats is not None:
+            policy.stats = type(stats)()
+    result = capacity_probe_replay(
+        state["trace"], policy,
+        state["n_servers"], state["server_config"], pool_size_sockets,
+        pool_capacity_gb, dram, state["sample_interval_s"],
+        state["scheduler_strategy"], state["engine"],
+    )
+    return probe_outcome_of(result, policy)
+
+
+class _CapacityProbeSession:
+    """Memoised capacity-search probes, inline or on a process pool.
+
+    Probes are keyed on ``(use_policy, pool_size_sockets, pool_capacity_gb,
+    dram)``.  The parallel session ships the trace and policy to workers once
+    (pool initializer) and exposes :meth:`submit` / :meth:`prefetch_bisection`
+    so independent probes -- the rejection-budget replay, the
+    pool-provisioning replay, and speculative bisection candidates -- run
+    concurrently while the caller blocks only on the probe it needs next.
+    Sequential and parallel sessions produce identical outcomes; parallelism
+    only changes *when* probes run.
+    """
+
+    def __init__(self, dimensioner: "PoolDimensioner", trace: ClusterTrace,
+                 policy: Optional[PoolPolicy]) -> None:
+        self._dimensioner = dimensioner
+        self._trace = trace
+        self._policy = policy
+        self._outcomes: Dict[tuple, CapacityProbeOutcome] = {}
+        self._futures: Dict[tuple, object] = {}
+        self._executor: Optional[ProcessPoolExecutor] = None
+        workers = dimensioner.max_workers
+        if workers is not None and workers > 1:
+            self._executor = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_capacity_probe_init,
+                initargs=(
+                    trace, policy, dimensioner.n_servers,
+                    dimensioner.server_config, dimensioner.sample_interval_s,
+                    dimensioner.scheduler_strategy, dimensioner.engine,
+                ),
+            )
+            self._max_inflight = 2 * workers
+
+    @property
+    def parallel(self) -> bool:
+        return self._executor is not None
+
+    def submit(self, use_policy: bool, pool_size_sockets: int,
+               pool_capacity_gb: float, dram: Optional[float]) -> None:
+        """Non-blocking speculative probe; no-op when sequential or saturated."""
+        if self._executor is None:
+            return
+        key = (use_policy, pool_size_sockets, pool_capacity_gb, dram)
+        if key in self._outcomes or key in self._futures:
+            return
+        inflight = sum(1 for f in self._futures.values() if not f.done())
+        if inflight >= self._max_inflight:
+            return
+        self._futures[key] = self._executor.submit(_run_capacity_probe, key)
+
+    def outcome(self, use_policy: bool, pool_size_sockets: int,
+                pool_capacity_gb: float,
+                dram: Optional[float]) -> CapacityProbeOutcome:
+        """Blocking probe result (memoised)."""
+        key = (use_policy, pool_size_sockets, pool_capacity_gb, dram)
+        cached = self._outcomes.get(key)
+        if cached is not None:
+            return cached
+        future = self._futures.pop(key, None)
+        if future is not None:
+            result = future.result()
+        elif self._executor is not None:
+            result = self._executor.submit(_run_capacity_probe, key).result()
+        else:
+            dim = self._dimensioner
+            result = probe_outcome_of(capacity_probe_replay(
+                self._trace, self._policy if use_policy else None,
+                dim.n_servers, dim.server_config, pool_size_sockets,
+                pool_capacity_gb, dram, dim.sample_interval_s,
+                dim.scheduler_strategy, dim.engine,
+            ))
+        self._outcomes[key] = result
+        return result
+
+    def prefetch_bisection(self, use_policy: bool, pool_size_sockets: int,
+                           pool_capacity_gb: float, lo: float, hi: float,
+                           depth: int = 3) -> None:
+        """Speculatively submit the bisection tree under ``(lo, hi)``.
+
+        Breadth-first: the midpoint the search will probe next goes in
+        first, then both candidates it could probe after, and so on --
+        whichever way each verdict lands, the following probe is already
+        running.  Mis-speculated candidates stay memoised in case a later
+        interval revisits them.
+        """
+        if self._executor is None:
+            return
+        frontier = [(lo, hi)]
+        for _ in range(depth):
+            next_frontier = []
+            for low, high in frontier:
+                mid = (low + high) / 2.0
+                self.submit(use_policy, pool_size_sockets, pool_capacity_gb, mid)
+                next_frontier.append((low, mid))
+                next_frontier.append((mid, high))
+            frontier = next_frontier
+
+    def merged_policy_stats(self):
+        """Sum of the per-probe policy-stats deltas returned by workers."""
+        merged = None
+        for outcome in self._outcomes.values():
+            if outcome.policy_stats is not None:
+                if merged is None:
+                    merged = copy.deepcopy(outcome.policy_stats)
+                else:
+                    merged.add(outcome.policy_stats)
+        return merged
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+
+def bisect_min_dram(hi: float, steps: int, budget: int,
+                    rejections: Callable[[float], int],
+                    prefetch: Optional[Callable[[float, float], None]] = None,
+                    widen_rounds: int = 4) -> float:
+    """Smallest per-server DRAM (after ``steps`` bisections) within budget.
+
+    ``rejections(dram)`` is a blocking probe; ``prefetch(lo, hi)`` is an
+    optional non-blocking hint that warms candidates the search may need
+    next (speculative bisection).  The probe *sequence* is exactly the
+    legacy sequential one -- the search path is a pure function of the
+    deterministic, memoised rejection counts -- which is why parallel and
+    sequential searches return identical results.  Shared by
+    :class:`PoolDimensioner` and ``FleetSimulator.capacity_search``.
+    """
+    lo = 0.0
+    feasible = False
+    for _ in range(widen_rounds):
+        if prefetch is not None:
+            prefetch(lo, hi)
+        if rejections(hi) <= budget:
+            feasible = True
+            break
+        hi *= 1.5
+    if not feasible:
+        return hi
+    for _ in range(steps):
+        if prefetch is not None:
+            prefetch(lo, hi)
+        mid = (lo + hi) / 2.0
+        if rejections(mid) <= budget:
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
 class PoolDimensioner:
     """Estimates DRAM requirements for different pool sizes and policies."""
 
@@ -159,6 +437,8 @@ class PoolDimensioner:
         rejection_tolerance: float = 0.002,
         pool_headroom: float = 1.05,
         scheduler_strategy: str = "indexed",
+        engine: Optional[str] = None,
+        max_workers: Optional[int] = None,
     ) -> None:
         if n_servers < 1:
             raise ValueError("need at least one server")
@@ -168,6 +448,8 @@ class PoolDimensioner:
             raise ValueError("rejection_tolerance cannot be negative")
         if pool_headroom < 1.0:
             raise ValueError("pool_headroom must be >= 1.0")
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
         validate_strategy(scheduler_strategy)
         self.n_servers = n_servers
         self.server_config = server_config or ServerConfig()
@@ -176,6 +458,14 @@ class PoolDimensioner:
         self.rejection_tolerance = rejection_tolerance
         self.pool_headroom = pool_headroom
         self.scheduler_strategy = scheduler_strategy
+        #: Placement engine for every replay ("array" by default; see
+        #: repro.cluster.engine).  Resolved once so probe workers and
+        #: in-process replays agree.
+        self.engine = resolve_engine(engine, scheduler_strategy)
+        #: When > 1, :meth:`evaluate_capacity_search` runs its replays as
+        #: parallel probes on a process pool (speculative bisection); the
+        #: returned savings are identical to the sequential search.
+        self.max_workers = max_workers
         # Keyed on the trace object via weak references: ``id(trace)`` keys
         # (the previous scheme) are reused by CPython once a trace is garbage
         # collected, which let a new trace silently inherit a stale baseline
@@ -199,34 +489,32 @@ class PoolDimensioner:
         pool_capacity_gb: float,
         dram_per_server_gb: Optional[float],
     ) -> SimulationResult:
-        if dram_per_server_gb is None:
-            config = self.server_config
-            constrain = False
-        else:
-            config = capacity_candidate_config(self.server_config, dram_per_server_gb)
-            constrain = True
-        simulator = ClusterSimulator(
-            n_servers=self.n_servers,
-            server_config=config,
-            pool_size_sockets=pool_size_sockets,
-            pool_capacity_gb_per_group=pool_capacity_gb,
-            constrain_memory=constrain,
-            sample_interval_s=self.sample_interval_s,
-            scheduler_strategy=self.scheduler_strategy,
-            # Dimensioning only reads peaks and rejection counts.
-            record_placements=False,
+        return capacity_probe_replay(
+            trace, policy, self.n_servers, self.server_config,
+            pool_size_sockets, pool_capacity_gb, dram_per_server_gb,
+            self.sample_interval_s, self.scheduler_strategy, self.engine,
         )
-        return simulator.run(trace, policy=policy)
 
-    def _core_only_rejections(self, trace: ClusterTrace) -> int:
+    def _core_only_rejections(
+        self, trace: ClusterTrace,
+        session: Optional[_CapacityProbeSession] = None,
+    ) -> int:
         """Rejections due to core/NUMA fragmentation alone (memory unconstrained)."""
         if trace not in self._rejection_cache:
-            result = self._simulate(trace, None, 0, float("inf"), None)
-            self._rejection_cache[trace] = result.rejected_vms
+            if session is not None:
+                rejected = session.outcome(False, 0, float("inf"), None).rejected_vms
+            else:
+                rejected = self._simulate(trace, None, 0, float("inf"), None).rejected_vms
+            self._rejection_cache[trace] = rejected
         return self._rejection_cache[trace]
 
-    def _rejection_budget(self, trace: ClusterTrace) -> int:
-        return self._core_only_rejections(trace) + max(1, int(self.rejection_tolerance * len(trace)))
+    def _rejection_budget(
+        self, trace: ClusterTrace,
+        session: Optional[_CapacityProbeSession] = None,
+    ) -> int:
+        return self._core_only_rejections(trace, session) + max(
+            1, int(self.rejection_tolerance * len(trace))
+        )
 
     def _min_uniform_server_dram(
         self,
@@ -234,35 +522,56 @@ class PoolDimensioner:
         policy: Optional[PoolPolicy],
         pool_size_sockets: int,
         pool_capacity_gb: float,
+        session: Optional[_CapacityProbeSession] = None,
     ) -> float:
-        """Binary-search the smallest uniform per-server DRAM that still fits."""
-        budget = self._rejection_budget(trace)
-        hi = self.server_config.total_dram_gb
-        lo = 0.0
-        # Ensure the upper bound is actually feasible; if not, widen it.
-        for _ in range(4):
-            result = self._simulate(trace, policy, pool_size_sockets, pool_capacity_gb, hi)
-            if result.rejected_vms <= budget:
-                break
-            hi *= 1.5
+        """Binary-search the smallest uniform per-server DRAM that still fits.
+
+        With a parallel ``session`` the bisection speculates: bracketing
+        candidates are probed concurrently on the process pool and memoised,
+        so each verdict's follow-up probe is usually already running.  The
+        probe sequence (and therefore the result) is identical either way.
+        """
+        budget = self._rejection_budget(trace, session)
+        if session is None:
+            def rejections(dram: float) -> int:
+                return self._simulate(
+                    trace, policy, pool_size_sockets, pool_capacity_gb, dram
+                ).rejected_vms
+
+            prefetch = None
         else:
-            return hi
-        for _ in range(self.search_steps):
-            mid = (lo + hi) / 2.0
-            result = self._simulate(trace, policy, pool_size_sockets, pool_capacity_gb, mid)
-            if result.rejected_vms <= budget:
-                hi = mid
+            use_policy = policy is not None
+
+            def rejections(dram: float) -> int:
+                return session.outcome(
+                    use_policy, pool_size_sockets, pool_capacity_gb, dram
+                ).rejected_vms
+
+            if session.parallel:
+                def prefetch(lo: float, hi: float) -> None:
+                    session.prefetch_bisection(
+                        use_policy, pool_size_sockets, pool_capacity_gb, lo, hi
+                    )
             else:
-                lo = mid
-        return hi
+                prefetch = None
+        return bisect_min_dram(
+            self.server_config.total_dram_gb, self.search_steps, budget,
+            rejections, prefetch,
+        )
 
     # -- baseline ------------------------------------------------------------------
-    def baseline_required_dram_gb(self, trace: ClusterTrace) -> float:
-        """Required DRAM with every VM entirely on local memory (no pooling)."""
+    def _baseline_required_dram_gb(
+        self, trace: ClusterTrace,
+        session: Optional[_CapacityProbeSession] = None,
+    ) -> float:
         if trace not in self._baseline_cache:
-            per_server = self._min_uniform_server_dram(trace, None, 0, 0.0)
+            per_server = self._min_uniform_server_dram(trace, None, 0, 0.0, session)
             self._baseline_cache[trace] = per_server * self.n_servers
         return self._baseline_cache[trace]
+
+    def baseline_required_dram_gb(self, trace: ClusterTrace) -> float:
+        """Required DRAM with every VM entirely on local memory (no pooling)."""
+        return self._baseline_required_dram_gb(trace)
 
     # -- pooled configurations --------------------------------------------------------
     def evaluate(
@@ -355,35 +664,69 @@ class PoolDimensioner:
             # savings.baseline_dram_gb: smallest uniform DRAM, no pooling
             # savings.required_total_dram_gb: local search result + pools
             # savings.savings_percent: Figure 21's y-axis gap
+
+        With ``max_workers > 1`` the search's replays run as parallel probes
+        on a process pool: the rejection-budget replay, the pool-provisioning
+        replay, and the first candidates of both binary searches start
+        concurrently up front, and each bisection speculates its bracketing
+        candidates (see :func:`bisect_min_dram`).  The returned savings are
+        identical to the sequential search -- parallelism only changes when
+        probes run, never which verdicts they produce.
         """
-        baseline = self.baseline_required_dram_gb(trace)
-        if pool_size_sockets == 0:
-            return PoolSavings(
-                pool_size_sockets=0,
-                baseline_dram_gb=baseline,
-                required_local_dram_gb=baseline,
-                required_pool_dram_gb=0.0,
-                average_pool_fraction=0.0,
+        session = _CapacityProbeSession(self, trace, policy)
+        try:
+            inf = float("inf")
+            if session.parallel:
+                # Warm start: the probe chains that do not depend on each
+                # other begin together (budget replay, no-pool baseline upper
+                # bound, pool-provisioning replay).
+                if trace not in self._rejection_cache:
+                    session.submit(False, 0, inf, None)
+                if trace not in self._baseline_cache:
+                    session.submit(False, 0, 0.0, self.server_config.total_dram_gb)
+                if pool_size_sockets:
+                    session.submit(True, pool_size_sockets, inf, None)
+            baseline = self._baseline_required_dram_gb(trace, session)
+            if pool_size_sockets == 0:
+                return PoolSavings(
+                    pool_size_sockets=0,
+                    baseline_dram_gb=baseline,
+                    required_local_dram_gb=baseline,
+                    required_pool_dram_gb=0.0,
+                    average_pool_fraction=0.0,
+                )
+            unconstrained = session.outcome(True, pool_size_sockets, inf, None)
+            if unconstrained.pool_peak_gb:
+                per_group_pool = self.pool_headroom * max(
+                    unconstrained.pool_peak_gb.values()
+                )
+                n_groups = len(unconstrained.pool_peak_gb)
+            else:
+                per_group_pool = 0.0
+                n_groups = 0
+            per_server = self._min_uniform_server_dram(
+                trace, policy, pool_size_sockets, per_group_pool, session
             )
-        unconstrained = self._simulate(
-            trace, policy, pool_size_sockets, float("inf"), None
-        )
-        if unconstrained.pool_peak_gb:
-            per_group_pool = self.pool_headroom * max(unconstrained.pool_peak_gb.values())
-            n_groups = len(unconstrained.pool_peak_gb)
-        else:
-            per_group_pool = 0.0
-            n_groups = 0
-        per_server = self._min_uniform_server_dram(
-            trace, policy, pool_size_sockets, per_group_pool
-        )
-        return PoolSavings(
-            pool_size_sockets=pool_size_sockets,
-            baseline_dram_gb=baseline,
-            required_local_dram_gb=per_server * self.n_servers,
-            required_pool_dram_gb=per_group_pool * n_groups,
-            average_pool_fraction=unconstrained.average_pool_fraction,
-        )
+            if session.parallel:
+                # Parallel probes ran pickled policy copies in the workers;
+                # fold their per-probe stat deltas back into the caller's
+                # policy so `policy.stats` keeps working like the sequential
+                # search (the executed probe multiset can differ --
+                # speculation -- but every probe replays the same trace, so
+                # the stats ratios are preserved).
+                stats = getattr(policy, "stats", None)
+                probe_stats = session.merged_policy_stats()
+                if stats is not None and probe_stats is not None:
+                    stats.add(probe_stats)
+            return PoolSavings(
+                pool_size_sockets=pool_size_sockets,
+                baseline_dram_gb=baseline,
+                required_local_dram_gb=per_server * self.n_servers,
+                required_pool_dram_gb=per_group_pool * n_groups,
+                average_pool_fraction=unconstrained.average_pool_fraction,
+            )
+        finally:
+            session.close()
 
     def sweep_pool_sizes(
         self,

@@ -27,6 +27,14 @@ Two interchangeable strategies implement that heuristic:
 * ``strategy="linear"`` is the legacy full scan, kept for differential
   testing; both strategies must produce identical placement decisions.
 
+Orthogonally, ``engine="array"`` delegates selection and accounting to the
+struct-of-arrays :class:`~repro.cluster.engine.ArrayPlacementEngine` (same
+bucket walk, flat arrays instead of per-server objects) and mirrors every
+mutation onto the ``ClusterServer`` objects so their state stays coherent
+for callers.  The mirroring makes the facade a differential harness, not a
+fast path -- the fast path is ``ClusterSimulator(engine="array")``, which
+drives the engine directly without server objects.
+
 All server mutations must go through :meth:`place` / :meth:`remove` so the
 index and the aggregate counters stay coherent.
 """
@@ -69,11 +77,21 @@ class VMScheduler:
     def __init__(self, servers: Sequence[ClusterServer],
                  pool_free_gb: Optional[Dict[int, float]] = None,
                  server_pool_group: Optional[Dict[str, int]] = None,
-                 strategy: str = "indexed") -> None:
+                 strategy: str = "indexed",
+                 engine: Optional[str] = "object") -> None:
         if not servers:
             raise ValueError("the scheduler needs at least one server")
+        # Imported here: repro.cluster.engine imports this module's
+        # PlacementError lazily, so the eager direction must be this one.
+        from repro.cluster.engine import ArrayPlacementEngine, resolve_engine
+
         self.servers: List[ClusterServer] = list(servers)
         self.strategy = validate_strategy(strategy)
+        #: "object" (default: ClusterServer objects are authoritative) or
+        #: "array" (the ArrayPlacementEngine decides and accounts; mutations
+        #: are mirrored onto the server objects).
+        self.engine = resolve_engine(engine if engine is not None else "object",
+                                     strategy)
         #: pool group id -> free pool GB (shared by the simulator).
         self.pool_free_gb: Dict[int, float] = pool_free_gb if pool_free_gb is not None else {}
         #: server id -> pool group id.
@@ -90,7 +108,12 @@ class VMScheduler:
         self.used_local_gb = float(sum(s.used_local_gb for s in self.servers))
         self.stranded_gb = float(sum(s.stranded_gb for s in self.servers))
         self.running_vms = sum(s.n_vms for s in self.servers)
-        if strategy == "indexed":
+        self._array: Optional[ArrayPlacementEngine] = None
+        if self.engine == "array":
+            self._array = ArrayPlacementEngine.from_servers(
+                self.servers, self.pool_free_gb, self.server_pool_group
+            )
+        elif strategy == "indexed":
             self._build_index()
 
     # -- candidate index ---------------------------------------------------------------
@@ -161,7 +184,10 @@ class VMScheduler:
 
     def select_server(self, cores: int, local_gb: float, pool_gb: float) -> ClusterServer:
         """Pick the best-fit server for the request; raise if none fits."""
-        if self.strategy == "indexed":
+        if self._array is not None:
+            idx = self._array.select(cores, local_gb, pool_gb)
+            best = self.servers[idx] if idx >= 0 else None
+        elif self.strategy == "indexed":
             best = self._select_indexed(cores, local_gb, pool_gb)
         else:
             best = self._select_linear(cores, local_gb, pool_gb)
@@ -173,8 +199,37 @@ class VMScheduler:
         return best
 
     # -- placement ---------------------------------------------------------------------
+    def _sync_from_array(self) -> None:
+        """Copy the array engine's aggregates into the public counters."""
+        array = self._array
+        self.used_cores = array.used_cores
+        self.used_local_gb = array.used_local_gb
+        self.stranded_gb = array.stranded_gb
+        self.running_vms = array.running_vms
+
+    def _place_array(self, vm_id: str, cores: int, local_gb: float,
+                     pool_gb: float) -> ClusterServer:
+        """Array-engine placement, mirrored onto the ClusterServer object."""
+        try:
+            idx = self._array.place_vm(vm_id, cores, local_gb, pool_gb)
+        except PlacementError as error:
+            idx = getattr(error, "server_index", None)
+            if idx is not None:
+                # Group-less pool request: the object path transiently places
+                # then rolls back, leaving the peak side effect -- mirror it.
+                server = self.servers[idx]
+                server.place(vm_id, cores, local_gb, pool_gb)
+                server.remove(vm_id)
+            raise
+        server = self.servers[idx]
+        server.place(vm_id, cores, local_gb, pool_gb)
+        self._sync_from_array()
+        return server
+
     def place(self, vm_id: str, cores: int, local_gb: float, pool_gb: float) -> ClusterServer:
         """Select a server and commit the placement, including pool accounting."""
+        if self._array is not None:
+            return self._place_array(vm_id, cores, local_gb, pool_gb)
         server = self.select_server(cores, local_gb, pool_gb)
         stranded_before = server.stranded_gb
         server.place(vm_id, cores, local_gb, pool_gb)
@@ -197,6 +252,16 @@ class VMScheduler:
 
     def remove(self, vm_id: str, server: ClusterServer) -> None:
         """Remove a VM from its server and return its pool memory to the group."""
+        if self._array is not None:
+            # Validate before mutating either side: a wrong-server call must
+            # fail with engine and mirror still in sync (the object path's
+            # server.remove raises with state intact; so must we).
+            if self._array.placed_on(vm_id) != self._server_index[server.server_id]:
+                raise KeyError(f"server {server.server_id} has no VM {vm_id!r}")
+            self._array.remove_vm(vm_id)
+            server.remove(vm_id)
+            self._sync_from_array()
+            return
         stranded_before = server.stranded_gb
         _, cores, local_gb, pool_gb = server.remove(vm_id)
         if pool_gb > 0:

@@ -35,11 +35,13 @@ callables remain supported as the legacy differential-testing path.
 from __future__ import annotations
 
 import heapq
+from bisect import bisect_left, insort
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.cluster.engine import ArrayPlacementEngine, resolve_engine
 from repro.cluster.scheduler import PlacementError, VMScheduler, validate_strategy
 from repro.cluster.server import ClusterServer, ServerConfig
 from repro.cluster.trace import ClusterTrace, TraceStream, VMTraceRecord
@@ -51,6 +53,11 @@ PoolPolicy = Callable[[VMTraceRecord], float]
 
 #: ``ClusterSimulator.run`` replays either a materialised trace or a stream.
 TraceInput = Union[ClusterTrace, TraceStream]
+
+#: Calendar-queue window for the array loop's departure events.  Purely a
+#: performance knob (the processing order is (time, seq) regardless); one
+#: hour keeps bins in the thousands of events at fleet scale.
+_DEPARTURE_BIN_S = 3600.0
 
 #: Column order of the sample buffer; must match SimulationSample's fields.
 _SAMPLE_COLUMNS = (
@@ -92,9 +99,20 @@ class SampleBuffer:
             raise ValueError("initial capacity must be >= 1")
         self._data = np.empty((initial_capacity, len(_SAMPLE_COLUMNS)), dtype=np.float64)
         self._count = 0
+        self._version = 0
 
     def __len__(self) -> int:
         return self._count
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter; bumps on every append or drop.
+
+        Consumers caching derived views (``SimulationResult.samples``) key
+        their cache on this, not on ``len``: a ``drop_last`` followed by an
+        ``append_row`` changes the contents without changing the length.
+        """
+        return self._version
 
     def append_row(self, row: Sequence[float]) -> None:
         if self._count == self._data.shape[0]:
@@ -104,11 +122,13 @@ class SampleBuffer:
             self._data = grown
         self._data[self._count] = row
         self._count += 1
+        self._version += 1
 
     def drop_last(self) -> None:
         if self._count < 1:
             raise IndexError("no samples to drop")
         self._count -= 1
+        self._version += 1
 
     def column(self, name: str) -> np.ndarray:
         try:
@@ -129,8 +149,6 @@ class SimulationResult:
     server_peak_local_gb: Dict[str, float] = field(default_factory=dict)
     server_peak_total_gb: Dict[str, float] = field(default_factory=dict)
     pool_peak_gb: Dict[int, float] = field(default_factory=dict)
-    #: vm_id -> server_id for every placed VM (differential-testing hook).
-    placements: Dict[str, str] = field(default_factory=dict)
     placed_vms: int = 0
     rejected_vms: int = 0
     total_pool_gb_allocated: float = 0.0
@@ -138,6 +156,48 @@ class SimulationResult:
     _samples_cache: Optional[List[SimulationSample]] = field(
         default=None, repr=False, compare=False
     )
+    #: Buffer version the cache was built from (see SampleBuffer.version);
+    #: -1 means "never built".  Length alone is not a valid key: dropping a
+    #: row and appending a different one keeps the count but changes content.
+    _samples_cache_version: int = field(default=-1, repr=False, compare=False)
+    #: Columnar placement log (array engine): placed vm ids + server indices
+    #: into ``_placement_server_ids``.  ``placements`` materialises the dict
+    #: view lazily, so recording a placement in the hot loop is two list
+    #: appends instead of a string-keyed dict insert.
+    _placed_vm_ids: Optional[List[str]] = field(
+        default=None, repr=False, compare=False
+    )
+    _placed_server_idx: Optional[List[int]] = field(
+        default=None, repr=False, compare=False
+    )
+    _placement_server_ids: Optional[List[str]] = field(
+        default=None, repr=False, compare=False
+    )
+    _placements_dict: Optional[Dict[str, str]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    # -- placements --------------------------------------------------------------
+    @property
+    def placements(self) -> Dict[str, str]:
+        """vm_id -> server_id for every placed VM (differential-testing hook).
+
+        Built lazily from the columnar placement log when the array engine
+        recorded it; a plain (mutable) dict otherwise.  Repeated placements of
+        the same vm id keep the last server, like a direct dict insert would.
+        """
+        if self._placements_dict is None:
+            if self._placed_vm_ids is not None:
+                server_ids = self._placement_server_ids
+                self._placements_dict = {
+                    vm_id: server_ids[idx]
+                    for vm_id, idx in zip(
+                        self._placed_vm_ids, self._placed_server_idx
+                    )
+                }
+            else:
+                self._placements_dict = {}
+        return self._placements_dict
 
     # -- sample access -----------------------------------------------------------
     @property
@@ -148,12 +208,14 @@ class SimulationResult:
     def samples(self) -> List[SimulationSample]:
         """Materialised per-sample view (compatibility with older callers).
 
-        The list is built lazily from the columnar buffer and cached, so
-        repeated access after a run costs nothing beyond the first call.
+        The list is built lazily from the columnar buffer and cached; the
+        cache is invalidated by any buffer mutation, so repeated access after
+        a run costs nothing beyond the first call.
         """
         if (self._samples_cache is not None
-                and len(self._samples_cache) == len(self.sample_buffer)):
+                and self._samples_cache_version == self.sample_buffer.version):
             return self._samples_cache
+        self._samples_cache_version = self.sample_buffer.version
         rows = self.sample_buffer.rows()
         self._samples_cache = [
             SimulationSample(
@@ -229,6 +291,7 @@ class ClusterSimulator:
         constrain_memory: bool = True,
         sample_interval_s: float = 3600.0,
         scheduler_strategy: str = "indexed",
+        engine: Optional[str] = None,
         record_placements: bool = True,
     ) -> None:
         if n_servers < 1:
@@ -238,6 +301,11 @@ class ClusterSimulator:
         if pool_size_sockets < 0:
             raise ValueError("pool size cannot be negative")
         validate_strategy(scheduler_strategy)
+        #: "array" (default under the indexed strategy: struct-of-arrays hot
+        #: path) or "object" (ClusterServer/VMScheduler objects; required by
+        #: and default under strategy="linear").  Both produce byte-identical
+        #: results; the object path is kept for differential testing.
+        self.engine = resolve_engine(engine, scheduler_strategy)
         self.server_config = server_config or ServerConfig()
         if pool_size_sockets and pool_size_sockets % self.server_config.sockets != 0:
             raise ValueError(
@@ -254,7 +322,8 @@ class ClusterSimulator:
         self.record_placements = record_placements
 
     # -- construction of the simulated cluster -----------------------------------
-    def _build_cluster(self) -> Tuple[List[ClusterServer], Dict[str, int], Dict[int, float]]:
+    def _effective_config(self) -> ServerConfig:
+        """The replayed server shape (unconstrained replays get huge DRAM)."""
         config = self.server_config
         if not self.constrain_memory:
             # Memory-unconstrained placement: provision servers with effectively
@@ -265,6 +334,10 @@ class ClusterSimulator:
                 cores_per_socket=config.cores_per_socket,
                 dram_per_socket_gb=1e9,
             )
+        return config
+
+    def _build_cluster(self) -> Tuple[List[ClusterServer], Dict[str, int], Dict[int, float]]:
+        config = self._effective_config()
         servers = [
             ClusterServer(server_id=f"server-{i:04d}", config=config)
             for i in range(self.n_servers)
@@ -286,8 +359,12 @@ class ClusterSimulator:
         policy: Optional[PoolPolicy],
         pool_gb: Optional[np.ndarray],
         use_pool: bool,
-    ) -> Iterator[Tuple[Sequence[VMTraceRecord], Optional[List[float]]]]:
-        """Normalise the input into ``(records, pool_allocations)`` blocks.
+    ) -> Iterator[Tuple[object, Sequence[VMTraceRecord], Optional[List[float]]]]:
+        """Normalise the input into ``(block, records, pool_allocations)``.
+
+        ``block`` is the columnar carrier (the trace itself, or one
+        :class:`TraceColumns` chunk); the array-engine loop reads its replay
+        columns instead of touching record objects.
 
         A materialised trace is one block (its columnar view is cached on the
         trace, so this path is identical to the pre-streaming fast path); a
@@ -326,7 +403,7 @@ class ClusterSimulator:
                     f"pool_gb must have one entry per trace record "
                     f"({len(trace)}), got shape {pool_gb.shape}"
                 )
-            yield trace.records, resolve(
+            yield trace, trace.records, resolve(
                 trace, len(trace), lambda: trace.columns().memory_gb, pool_gb
             )
             return
@@ -348,7 +425,7 @@ class ClusterSimulator:
                         f"stream yielded more records"
                     )
             offset += n
-            yield records, resolve(chunk, n, lambda: chunk.memory_gb, segment)
+            yield chunk, records, resolve(chunk, n, lambda: chunk.memory_gb, segment)
         if pool_gb is not None and offset != pool_gb.shape[0]:
             raise ValueError(
                 f"pool_gb has {pool_gb.shape[0]} entries but the stream "
@@ -380,7 +457,14 @@ class ClusterSimulator:
         ``horizon_s`` bounds the sampling window; by default it is the time of
         the last VM arrival, so long-lived VMs departing far in the future do
         not dilute the time series with an emptying cluster.
+
+        With ``engine="array"`` (the default) the replay runs on the
+        struct-of-arrays engine (:mod:`repro.cluster.engine`); results are
+        byte-identical to the object path, which ``engine="object"`` keeps
+        for differential testing.
         """
+        if self.engine == "array":
+            return self._run_array(trace, policy, horizon_s, pool_gb)
         use_pool = bool(self.pool_size_sockets)
         streaming = not isinstance(trace, ClusterTrace)
         if pool_gb is not None:
@@ -402,6 +486,7 @@ class ClusterSimulator:
         pool_used: Dict[int, float] = {g: 0.0 for g in pool_free}
         pool_peak: Dict[int, float] = {g: 0.0 for g in pool_free}
         record_placements = self.record_placements
+        placements = result.placements
         total_cores = scheduler.total_cores
         total_dram = self.n_servers * self.server_config.total_dram_gb
         inf = float("inf")
@@ -466,7 +551,7 @@ class ClusterSimulator:
         # rejects negative arrival times, and it doubles as the default
         # horizon for an empty trace (matching arrival_span_s == 0.0).
         last_arrival = 0.0
-        for records, allocations in self._iter_blocks(trace, policy, pool_gb, use_pool):
+        for _block, records, allocations in self._iter_blocks(trace, policy, pool_gb, use_pool):
             for index, record in enumerate(records):
                 arrival_s = record.arrival_s
                 if streaming and arrival_s < last_arrival:
@@ -495,7 +580,7 @@ class ClusterSimulator:
 
                 result.placed_vms += 1
                 if record_placements:
-                    result.placements[record.vm_id] = server.server_id
+                    placements[record.vm_id] = server.server_id
                 result.total_memory_gb_allocated += record.memory_gb
                 result.total_pool_gb_allocated += vm_pool_gb
                 group = server_pool_group.get(server.server_id)
@@ -535,3 +620,583 @@ class ClusterSimulator:
             )
         result.pool_peak_gb = dict(pool_peak)
         return result
+
+    # -- array-engine hot loop ---------------------------------------------------------
+    def _block_replay_columns(self, block, records):
+        """(vm_ids, arrival, departure, cores, memory) lists for one block.
+
+        Prefers the block's replay columns (``tolist`` converts to plain
+        Python scalars at C speed); falls back to reading the record objects
+        for hand-built :class:`TraceColumns` without them.  Either way the
+        values are bit-identical to the record attributes.
+        """
+        if isinstance(block, ClusterTrace):
+            block = block.columns()
+            vm_ids = block.vm_ids
+        else:
+            vm_ids = block.vm_ids
+        if block.arrival_s is not None:
+            return (
+                vm_ids,
+                block.arrival_s.tolist(),
+                block.departure_s.tolist(),
+                block.cores.tolist(),
+                block.memory_gb.tolist(),
+            )
+        return (
+            vm_ids,
+            [r.arrival_s for r in records],
+            [r.departure_s for r in records],
+            [r.cores for r in records],
+            [r.memory_gb for r in records],
+        )
+
+    def _run_array(self, trace: TraceInput, policy: Optional[PoolPolicy],
+                   horizon_s: Optional[float],
+                   pool_gb: Optional[np.ndarray]) -> SimulationResult:
+        """:meth:`run` on the struct-of-arrays engine.
+
+        Same merged event stream, same event ordering, same arithmetic as the
+        object loop -- but the per-event work is fully inlined over local
+        bindings of the engine's flat arrays:
+
+        * block columns are bulk-converted to plain Python scalars once per
+          block (``tolist``), so the loop never touches record objects;
+        * the best-fit bucket walk, the commit, and the departure release
+          mirror :meth:`ArrayPlacementEngine.place` / ``remove`` statement
+          for statement (two-socket servers get an unrolled NUMA check);
+        * placements are logged as columnar (vm id, server index) appends and
+          materialised into the ``placements`` dict lazily;
+        * departures live in a **calendar queue**: events carry their
+          placement data in ``(time, seq, server, node, cores, local_gb,
+          pool_gb)`` tuples, binned by coarse time window and Timsorted once
+          per bin.  The ``(time, seq)`` prefix is unique, so the bin-by-bin
+          order is exactly the heap order the object loop pops -- at an
+          amortised cost per departure far below a heap sift.
+
+        Two exact-arithmetic shortcuts keep byte equality while dropping
+        work: a placement target always has a free core, so its
+        ``stranded_before`` is exactly ``0.0`` (the object path computes it
+        anyway), and a removal always leaves a free core, so its
+        ``stranded_after`` is exactly ``0.0``; adding/subtracting those
+        zeros is an IEEE no-op, so the branches can be skipped.  The object
+        path (``engine="object"``) and the engine's own method-based
+        implementation are pinned to this loop by differential tests.
+        """
+        use_pool = bool(self.pool_size_sockets)
+        streaming = not isinstance(trace, ClusterTrace)
+        if pool_gb is not None:
+            pool_gb = np.asarray(pool_gb, dtype=np.float64)
+            policy = None  # precomputed allocations replace the callback
+        engine = ArrayPlacementEngine.for_cluster(
+            self.n_servers,
+            self._effective_config(),
+            pool_size_sockets=self.pool_size_sockets,
+            pool_capacity_gb_per_group=self.pool_capacity_gb_per_group,
+            base_sockets=self.server_config.sockets,
+        )
+        result = SimulationResult()
+        buffer = result.sample_buffer
+        append_row = buffer.append_row
+
+        # -- engine state as locals (the whole point of the array path) ------
+        node_cores = engine.node_used_cores
+        node_gb = engine.node_used_gb
+        used_cores_srv = engine.used_cores_srv
+        used_gb_srv = engine.used_gb_srv
+        pool_used_srv = engine.pool_used_srv
+        peak_local = engine.peak_local_gb
+        peak_pool = engine.peak_pool_gb
+        group_of = engine.group_of
+        pool_free = engine.pool_free_gb
+        pool_used = engine.pool_used_gb
+        pool_peak = engine.pool_peak_by_group
+        buckets = engine._buckets
+        n_buckets = len(buckets)
+        server_ids = engine.server_ids
+        sockets = engine.sockets
+        two_sockets = sockets == 2
+        cores_per_socket = engine.cores_per_socket
+        dram_per_socket = engine.dram_per_socket_gb
+        stc = engine.server_total_cores
+        std = engine.server_total_dram_gb
+        pooled = bool(pool_free)
+
+        bisect = bisect_left
+        insort_ = insort
+
+        # -- aggregates as plain locals (identical accumulation order) -------
+        agg_used_cores = 0
+        agg_used_gb = 0.0
+        agg_stranded = 0.0
+        agg_running = 0
+        total_cores = engine.total_cores
+        total_dram = self.n_servers * self.server_config.total_dram_gb
+
+        # -- calendar departure queue ----------------------------------------
+        # ``dep_bins[b]`` holds unsorted events for time window
+        # [b*bin_w, (b+1)*bin_w); ``active`` is the current window, sorted,
+        # consumed through ``cursor``.  Same-window pushes insort into the
+        # unconsumed tail, so the global processing order is exactly the
+        # (time, seq) order of the object loop's heap.
+        bin_w = _DEPARTURE_BIN_S
+        dep_bins: Dict[int, List[Tuple[float, int, int, int, int, float, float]]] = {}
+        active: List[Tuple[float, int, int, int, int, float, float]] = []
+        cursor = 0
+        active_len = 0
+        current_bin = -1
+        #: Lower bound on the next departure time (exact when ``active`` has
+        #: unconsumed events; the next window start otherwise).
+        next_dep_hint = 0.0
+
+        seq = 0
+        sample_interval = self.sample_interval_s
+        next_sample_time = 0.0
+        last_sample_time: Optional[float] = None
+        record_placements = self.record_placements
+        placed_ids: List[str] = []
+        placed_srv: List[int] = []
+        append_placed_id = placed_ids.append
+        append_placed_srv = placed_srv.append
+        placed_vms = 0
+        rejected_vms = 0
+        total_memory_allocated = 0.0
+        total_pool_allocated = 0.0
+        inf = float("inf")
+
+        last_arrival = 0.0
+        for block, records, allocations in self._iter_blocks(
+            trace, policy, pool_gb, use_pool
+        ):
+            vm_ids, arrivals, departs, cores_col, memory_col = (
+                self._block_replay_columns(block, records)
+            )
+            n_block = len(vm_ids)
+            if streaming and n_block:
+                # Bulk order check per block (same error as the object loop).
+                prev = last_arrival
+                for index in range(n_block):
+                    arrival = arrivals[index]
+                    if arrival < prev:
+                        raise ValueError(
+                            f"stream records must be sorted by arrival time "
+                            f"({vm_ids[index]!r} arrives at {arrival} after "
+                            f"{prev})"
+                        )
+                    prev = arrival
+                last_arrival = prev
+            elif n_block:
+                last_arrival = arrivals[n_block - 1]
+            if allocations is None:
+                if policy is not None and use_pool:
+                    # Legacy per-record callback, evaluated in record order
+                    # (decisions only see the record, so this matches the
+                    # object loop's interleaved calls).
+                    allocations = [
+                        float(np.clip(policy(r), 0.0, r.memory_gb))
+                        for r in records
+                    ]
+                else:
+                    allocations = [0.0] * n_block
+
+            for vm_id, arrival_s, departure_s, cores_r, memory_gb, vm_pool_gb in zip(
+                vm_ids, arrivals, departs, cores_col, memory_col, allocations
+            ):
+                # -- merged departures/samples up to arrival_s ---------------
+                if next_dep_hint <= arrival_s or next_sample_time <= arrival_s:
+                    while True:
+                        if cursor < active_len:
+                            departure_time = active[cursor][0]
+                        else:
+                            # Refill: step to the next window that can hold a
+                            # departure <= min(arrival_s, next_sample_time).
+                            departure_time = inf
+                            limit = (
+                                arrival_s
+                                if arrival_s <= next_sample_time
+                                else next_sample_time
+                            )
+                            while True:
+                                next_bin = current_bin + 1
+                                if next_bin * bin_w > limit:
+                                    break
+                                current_bin = next_bin
+                                pending = dep_bins.pop(next_bin, None)
+                                if pending is not None:
+                                    pending.sort()
+                                    active = pending
+                                    active_len = len(pending)
+                                    cursor = 0
+                                    departure_time = pending[0][0]
+                                    break
+                        if departure_time <= next_sample_time:
+                            if departure_time > arrival_s:
+                                next_dep_hint = departure_time
+                                break
+                            # ---- departure (ArrayPlacementEngine.remove) ---
+                            _t, _s, sidx, d_node, d_cores, d_local, d_pool = (
+                                active[cursor]
+                            )
+                            cursor += 1
+                            if pooled:
+                                group = group_of[sidx]
+                                if group >= 0:
+                                    remaining = pool_used[group] - d_pool
+                                    if remaining < 0.0:
+                                        # Clamp tiny negative float drift;
+                                        # real imbalances stay loud.
+                                        if remaining < -1e-6:
+                                            raise RuntimeError(
+                                                f"pool group {group} accounting "
+                                                f"went negative ({remaining} GB) "
+                                                f"-- simulator bug"
+                                            )
+                                        remaining = 0.0
+                                    pool_used[group] = remaining
+                                    if d_pool > 0:
+                                        pool_free[group] += d_pool
+                                    pool_used_srv[sidx] -= d_pool
+                            before_cores = used_cores_srv[sidx]
+                            old_gb = used_gb_srv[sidx]
+                            pos = sidx * sockets + d_node
+                            node_cores[pos] -= d_cores
+                            node_gb[pos] -= d_local
+                            new_cores = before_cores - d_cores
+                            used_cores_srv[sidx] = new_cores
+                            new_gb = old_gb - d_local
+                            used_gb_srv[sidx] = new_gb
+                            agg_used_cores -= d_cores
+                            agg_used_gb -= d_local
+                            if before_cores >= stc:
+                                # stranded_after is exactly 0.0 here.
+                                agg_stranded += 0.0 - (std - old_gb)
+                            agg_running -= 1
+                            # Reindex: free cores always change (cores >= 1);
+                            # the old key is recomputed from the exact
+                            # pre-update state (same floats as when indexed).
+                            bucket = buckets[stc - before_cores]
+                            del bucket[bisect(bucket, (std - old_gb, sidx))]
+                            insort_(
+                                buckets[stc - new_cores], (std - new_gb, sidx)
+                            )
+                        else:
+                            if next_sample_time > arrival_s:
+                                if cursor < active_len:
+                                    next_dep_hint = active[cursor][0]
+                                else:
+                                    next_dep_hint = (current_bin + 1) * bin_w
+                                break
+                            # ---- grid sample -------------------------------
+                            stranded = agg_stranded
+                            if stranded < 0.0:
+                                stranded = 0.0
+                            append_row((
+                                next_sample_time,
+                                agg_used_cores / total_cores,
+                                100.0 * agg_used_cores / total_cores,
+                                agg_used_gb,
+                                sum(pool_used.values()),
+                                stranded,
+                                100.0 * stranded / total_dram,
+                                agg_running,
+                            ))
+                            last_sample_time = next_sample_time
+                            next_sample_time += sample_interval
+
+                local_gb = memory_gb - vm_pool_gb
+
+                # -- best-fit bucket walk (ArrayPlacementEngine.place) -------
+                cores_limit = cores_per_socket - cores_r
+                gb_limit = dram_per_socket - local_gb + 1e-9
+                need_pool = vm_pool_gb > 0
+                sidx = -1
+                best_node = -1
+                base = 0
+                for free in range(cores_r, n_buckets):
+                    for _key_gb, idx in buckets[free]:
+                        if need_pool:
+                            group = group_of[idx]
+                            avail = pool_free.get(group, 0.0) if group >= 0 else 0.0
+                            if vm_pool_gb > avail + 1e-9:
+                                continue
+                        base = idx * sockets
+                        if two_sockets:
+                            used0 = node_cores[base]
+                            used1 = node_cores[base + 1]
+                            # Fullest feasible node; ties go to node 0
+                            # (find_numa_node's strict ``>`` comparison).
+                            if used1 > used0:
+                                if (used1 <= cores_limit
+                                        and node_gb[base + 1] <= gb_limit):
+                                    sidx = idx
+                                    best_node = 1
+                                    break
+                                if (used0 <= cores_limit
+                                        and node_gb[base] <= gb_limit):
+                                    sidx = idx
+                                    best_node = 0
+                                    break
+                            else:
+                                if (used0 <= cores_limit
+                                        and node_gb[base] <= gb_limit):
+                                    sidx = idx
+                                    best_node = 0
+                                    break
+                                if (used1 <= cores_limit
+                                        and node_gb[base + 1] <= gb_limit):
+                                    sidx = idx
+                                    best_node = 1
+                                    break
+                        else:
+                            cand_node = -1
+                            cand_used = -1
+                            for node in range(sockets):
+                                used = node_cores[base + node]
+                                if (used <= cores_limit and used > cand_used
+                                        and node_gb[base + node] <= gb_limit):
+                                    cand_node = node
+                                    cand_used = used
+                            if cand_node >= 0:
+                                sidx = idx
+                                best_node = cand_node
+                                break
+                    if sidx >= 0:
+                        break
+                if sidx < 0:
+                    rejected_vms += 1
+                    continue
+
+                # -- commit (ArrayPlacementEngine.place, inlined) ------------
+                pos = base + best_node
+                node_cores[pos] += cores_r
+                node_gb[pos] += local_gb
+                before_cores = used_cores_srv[sidx]
+                old_gb = used_gb_srv[sidx]
+                new_cores = before_cores + cores_r
+                used_cores_srv[sidx] = new_cores
+                new_gb = old_gb + local_gb
+                used_gb_srv[sidx] = new_gb
+                if new_gb > peak_local[sidx]:
+                    peak_local[sidx] = new_gb
+                if need_pool:
+                    pool_srv = pool_used_srv[sidx] + vm_pool_gb
+                    pool_used_srv[sidx] = pool_srv
+                    if pool_srv > peak_pool[sidx]:
+                        peak_pool[sidx] = pool_srv
+                    group = group_of[sidx]
+                    if group < 0:
+                        # Group-less pool request corner: the object path
+                        # transiently places, rolls usage back (peaks stay),
+                        # and counts a rejection.
+                        node_cores[pos] -= cores_r
+                        node_gb[pos] -= local_gb
+                        used_cores_srv[sidx] = new_cores - cores_r
+                        used_gb_srv[sidx] = new_gb - local_gb
+                        pool_used_srv[sidx] = pool_srv - vm_pool_gb
+                        rejected_vms += 1
+                        continue
+                    pool_free[group] -= vm_pool_gb
+                    group_used = pool_used[group] + vm_pool_gb
+                    pool_used[group] = group_used
+                    if group_used > pool_peak[group]:
+                        pool_peak[group] = group_used
+
+                agg_used_cores += cores_r
+                agg_used_gb += local_gb
+                if new_cores >= stc:
+                    # stranded_before is exactly 0.0 here (the server had a
+                    # free core); adding "after - 0.0" keeps byte equality.
+                    agg_stranded += (std - new_gb) - 0.0
+                agg_running += 1
+
+                # Reindex: free cores always change (cores >= 1), and the old
+                # key is recomputed from the exact pre-update state (the same
+                # floats as when the server was last indexed).
+                bucket = buckets[stc - before_cores]
+                del bucket[bisect(bucket, (std - old_gb, sidx))]
+                insort_(buckets[stc - new_cores], (std - new_gb, sidx))
+
+                placed_vms += 1
+                if record_placements:
+                    append_placed_id(vm_id)
+                    append_placed_srv(sidx)
+                total_memory_allocated += memory_gb
+                total_pool_allocated += vm_pool_gb
+                seq += 1
+                entry = (
+                    departure_s, seq, sidx, best_node, cores_r,
+                    local_gb, vm_pool_gb,
+                )
+                dep_bin = int(departure_s / bin_w)
+                if dep_bin > current_bin:
+                    pending = dep_bins.get(dep_bin)
+                    if pending is None:
+                        dep_bins[dep_bin] = [entry]
+                    else:
+                        pending.append(entry)
+                else:
+                    # Departure falls into the window being consumed: insert
+                    # into the unconsumed tail at its (time, seq) position.
+                    insort_(active, entry, cursor)
+                    active_len += 1
+                if departure_s < next_dep_hint:
+                    next_dep_hint = departure_s
+
+        # -- horizon: finish sampling, replace an on-grid horizon sample -----
+        end_time = horizon_s if horizon_s is not None else last_arrival
+        while True:
+            if cursor < active_len:
+                departure_time = active[cursor][0]
+            else:
+                departure_time = inf
+                limit = end_time if end_time <= next_sample_time else next_sample_time
+                while True:
+                    next_bin = current_bin + 1
+                    if next_bin * bin_w > limit:
+                        break
+                    current_bin = next_bin
+                    pending = dep_bins.pop(next_bin, None)
+                    if pending is not None:
+                        pending.sort()
+                        active = pending
+                        active_len = len(pending)
+                        cursor = 0
+                        departure_time = pending[0][0]
+                        break
+            if departure_time <= next_sample_time:
+                if departure_time > end_time:
+                    break
+                entry = active[cursor]
+                cursor += 1
+                agg_used_cores, agg_used_gb, agg_stranded, agg_running = (
+                    self._release_entry(
+                        engine, entry, pooled,
+                        agg_used_cores, agg_used_gb, agg_stranded, agg_running,
+                    )
+                )
+            else:
+                if next_sample_time > end_time:
+                    break
+                stranded = agg_stranded
+                if stranded < 0.0:
+                    stranded = 0.0
+                append_row((
+                    next_sample_time,
+                    agg_used_cores / total_cores,
+                    100.0 * agg_used_cores / total_cores,
+                    agg_used_gb,
+                    sum(pool_used.values()),
+                    stranded,
+                    100.0 * stranded / total_dram,
+                    agg_running,
+                ))
+                last_sample_time = next_sample_time
+                next_sample_time += sample_interval
+        if last_sample_time is None or last_sample_time <= end_time:
+            if last_sample_time is not None and last_sample_time == end_time:
+                buffer.drop_last()
+            stranded = agg_stranded
+            if stranded < 0.0:
+                stranded = 0.0
+            append_row((
+                end_time,
+                agg_used_cores / total_cores,
+                100.0 * agg_used_cores / total_cores,
+                agg_used_gb,
+                sum(pool_used.values()),
+                stranded,
+                100.0 * stranded / total_dram,
+                agg_running,
+            ))
+        # Drain: remaining windows in time order (bin order, sorted per bin).
+        while True:
+            for index in range(cursor, active_len):
+                agg_used_cores, agg_used_gb, agg_stranded, agg_running = (
+                    self._release_entry(
+                        engine, active[index], pooled,
+                        agg_used_cores, agg_used_gb, agg_stranded, agg_running,
+                    )
+                )
+            if not dep_bins:
+                break
+            next_bin = min(dep_bins)
+            pending = dep_bins.pop(next_bin)
+            pending.sort()
+            active = pending
+            active_len = len(pending)
+            cursor = 0
+            current_bin = next_bin
+
+        # Hand the mutated aggregates and bucket keys back to the engine so
+        # its state stays coherent for callers inspecting it after the run.
+        engine.used_cores = agg_used_cores
+        engine.used_local_gb = agg_used_gb
+        engine.stranded_gb = agg_stranded
+        engine.running_vms = agg_running
+        engine._bucket_key = [
+            (stc - cores, std - gb)
+            for cores, gb in zip(used_cores_srv, used_gb_srv)
+        ]
+
+        result.placed_vms = placed_vms
+        result.rejected_vms = rejected_vms
+        result.total_memory_gb_allocated = total_memory_allocated
+        result.total_pool_gb_allocated = total_pool_allocated
+        if record_placements:
+            result._placed_vm_ids = placed_ids
+            result._placed_server_idx = placed_srv
+            result._placement_server_ids = server_ids
+        result.server_peak_local_gb, result.server_peak_total_gb = engine.server_peaks()
+        result.pool_peak_gb = dict(engine.pool_peak_by_group)
+        return result
+
+    @staticmethod
+    def _release_entry(engine, entry, pooled, agg_used_cores, agg_used_gb,
+                       agg_stranded, agg_running):
+        """Release one departure-heap entry (the non-hot removal sites).
+
+        Same statements as the inlined departure block in :meth:`_run_array`
+        (which handles the per-arrival hot path); used for the horizon
+        advance and the end-of-run drain, where call overhead is irrelevant.
+        Returns the updated aggregate tuple.
+        """
+        _t, _s, sidx, d_node, d_cores, d_local, d_pool = entry
+        if pooled:
+            group = engine.group_of[sidx]
+            if group >= 0:
+                pool_used = engine.pool_used_gb
+                remaining = pool_used[group] - d_pool
+                if remaining < 0.0:
+                    if remaining < -1e-6:
+                        raise RuntimeError(
+                            f"pool group {group} accounting went negative "
+                            f"({remaining} GB) -- simulator bug"
+                        )
+                    remaining = 0.0
+                pool_used[group] = remaining
+                if d_pool > 0:
+                    engine.pool_free_gb[group] += d_pool
+                engine.pool_used_srv[sidx] -= d_pool
+        used_cores_srv = engine.used_cores_srv
+        used_gb_srv = engine.used_gb_srv
+        stc = engine.server_total_cores
+        std = engine.server_total_dram_gb
+        before_cores = used_cores_srv[sidx]
+        old_gb = used_gb_srv[sidx]
+        pos = sidx * engine.sockets + d_node
+        engine.node_used_cores[pos] -= d_cores
+        engine.node_used_gb[pos] -= d_local
+        new_cores = before_cores - d_cores
+        used_cores_srv[sidx] = new_cores
+        new_gb = old_gb - d_local
+        used_gb_srv[sidx] = new_gb
+        agg_used_cores -= d_cores
+        agg_used_gb -= d_local
+        if before_cores >= stc:
+            agg_stranded += 0.0 - (std - old_gb)
+        agg_running -= 1
+        buckets = engine._buckets
+        bucket = buckets[stc - before_cores]
+        del bucket[bisect_left(bucket, (std - old_gb, sidx))]
+        insort(buckets[stc - new_cores], (std - new_gb, sidx))
+        return agg_used_cores, agg_used_gb, agg_stranded, agg_running

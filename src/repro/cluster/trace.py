@@ -23,6 +23,7 @@ Two trace representations coexist (see DESIGN.md section 4):
 from __future__ import annotations
 
 import csv
+import dataclasses
 from dataclasses import MISSING, dataclass, fields
 from pathlib import Path
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
@@ -36,6 +37,7 @@ __all__ = [
     "TraceStream",
     "MaterializedTraceStream",
     "CsvTraceStream",
+    "write_csv",
 ]
 
 
@@ -104,6 +106,13 @@ class TraceColumns:
     #: The chunk's records, present on stream chunks only (``None`` on the
     #: cached whole-trace view, which would otherwise cycle with its trace).
     records: Optional[Tuple[VMTraceRecord, ...]] = None
+    #: Replay columns consumed by the array-engine simulator loop; always
+    #: populated by :meth:`from_records` / :meth:`ClusterTrace.columns`
+    #: (``None`` only on hand-built instances, which the simulator tolerates
+    #: by falling back to the record objects).
+    arrival_s: Optional[np.ndarray] = None
+    departure_s: Optional[np.ndarray] = None
+    cores: Optional[np.ndarray] = None
 
     def __len__(self) -> int:
         return len(self.vm_ids)
@@ -117,6 +126,12 @@ class TraceColumns:
         """Build a self-contained block (columns + records) from records."""
         records = tuple(records)
         n = len(records)
+        arrival = np.fromiter(
+            (r.arrival_s for r in records), dtype=np.float64, count=n
+        )
+        lifetime = np.fromiter(
+            (r.lifetime_s for r in records), dtype=np.float64, count=n
+        )
         return cls(
             vm_ids=tuple(r.vm_id for r in records),
             memory_gb=np.fromiter(
@@ -126,6 +141,10 @@ class TraceColumns:
                 (r.untouched_fraction for r in records), dtype=np.float64, count=n
             ),
             records=records,
+            arrival_s=arrival,
+            # float64 addition matches VMTraceRecord.departure_s bit-for-bit.
+            departure_s=arrival + lifetime,
+            cores=np.fromiter((r.cores for r in records), dtype=np.int64, count=n),
         )
 
 
@@ -158,15 +177,11 @@ class ClusterTrace:
         built; callers that mutate ``records`` afterwards get stale columns.
         """
         if self._columns is None or len(self._columns.vm_ids) != len(self.records):
-            n = len(self.records)
-            self._columns = TraceColumns(
-                vm_ids=tuple(r.vm_id for r in self.records),
-                memory_gb=np.fromiter(
-                    (r.memory_gb for r in self.records), dtype=np.float64, count=n
-                ),
-                untouched_fraction=np.fromiter(
-                    (r.untouched_fraction for r in self.records), dtype=np.float64, count=n
-                ),
+            # One column-building implementation (from_records); the cached
+            # whole-trace view just drops the records backlink, which would
+            # otherwise cycle with this trace.
+            self._columns = dataclasses.replace(
+                TraceColumns.from_records(self.records), records=None
             )
         return self._columns
 
@@ -242,15 +257,15 @@ class ClusterTrace:
         return MaterializedTraceStream(self, chunk_size=chunk_size)
 
     # -- persistence ---------------------------------------------------------------------
-    def to_csv(self, path) -> None:
-        """Write the trace to a CSV file with a header row."""
-        path = Path(path)
-        field_names = [f.name for f in fields(VMTraceRecord)]
-        with path.open("w", newline="") as handle:
-            writer = csv.DictWriter(handle, fieldnames=field_names)
-            writer.writeheader()
-            for record in self.records:
-                writer.writerow({name: getattr(record, name) for name in field_names})
+    def to_csv(self, path, chunk_size: int = 8192) -> None:
+        """Write the trace to a CSV file with a header row.
+
+        Delegates to :func:`write_csv`, which writes in ``chunk_size``-record
+        chunks (the records are already in memory here, so chunking only
+        bounds the writer's working set; streams use the same code path to
+        export without materialising at all).
+        """
+        write_csv(self, path, chunk_size=chunk_size)
 
     #: Converters for the non-string record fields (CSV stores text only).
     _CSV_CONVERTERS = {
@@ -304,6 +319,46 @@ def _record_from_row(path, line: int, row: dict, record_fields) -> VMTraceRecord
     return VMTraceRecord(**kwargs)
 
 
+def write_csv(source, path, chunk_size: int = 8192) -> int:
+    """Stream a trace or :class:`TraceStream` to CSV; returns rows written.
+
+    The streaming CSV *writer* counterpart of :class:`CsvTraceStream`: rows
+    are written one chunk at a time, so exporting a generated fleet holds at
+    most one chunk (plus, for generator-backed streams, one generation
+    window) in memory instead of the whole trace.  The output is identical
+    to the materialised ``ClusterTrace.to_csv`` for the same records, and
+    round-trips through both ``ClusterTrace.from_csv`` and
+    :class:`CsvTraceStream`.
+    """
+    path = Path(path)
+    field_names = [f.name for f in fields(VMTraceRecord)]
+    rows_written = 0
+    if isinstance(source, ClusterTrace):
+        def record_chunks():
+            records = source.records
+            for start in range(0, len(records), chunk_size):
+                yield records[start:start + chunk_size]
+    else:
+        def record_chunks():
+            for chunk in source.chunks():
+                if chunk.records is None:
+                    raise ValueError(
+                        "stream chunks must carry records "
+                        "(build them with TraceColumns.from_records)"
+                    )
+                yield chunk.records
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(field_names)
+        for records in record_chunks():
+            writer.writerows(
+                [getattr(record, name) for name in field_names]
+                for record in records
+            )
+            rows_written += len(records)
+    return rows_written
+
+
 class TraceStream:
     """Chunked, re-iterable source of trace records (DESIGN.md section 4).
 
@@ -340,6 +395,14 @@ class TraceStream:
         for chunk in self.chunks():
             records.extend(chunk.records)
         return ClusterTrace(records, cluster_id=self.cluster_id)
+
+    def to_csv(self, path) -> int:
+        """Export the stream to CSV without materialising it; returns rows.
+
+        One chunk is written at a time (see :func:`write_csv`), so a
+        generated fleet trace can be persisted with O(chunk) memory.
+        """
+        return write_csv(self, path, chunk_size=self.chunk_size)
 
     @staticmethod
     def _validate_chunk_size(chunk_size: int) -> int:

@@ -166,6 +166,20 @@ class _BatchPolicy:
             weakref.WeakKeyDictionary()
         )
 
+    # -- pickling ----------------------------------------------------------------
+    def __getstate__(self):
+        """Drop the weak digest cache: WeakKeyDictionary cannot be pickled,
+        and the cache is a pure memo (rebuilt lazily on first use).  This is
+        what lets policy *instances* ship to capacity-search probe workers;
+        decisions are digest-keyed, so a rebuilt cache changes nothing."""
+        state = self.__dict__.copy()
+        del state["_digest_cache"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._digest_cache = weakref.WeakKeyDictionary()
+
     # -- inputs ------------------------------------------------------------------
     def _trace_arrays(
         self, trace: TraceLike

@@ -221,6 +221,46 @@ class TestSampleBuffer:
         with pytest.raises(AttributeError):
             buffer.column("nope")
 
+    def test_version_bumps_on_every_mutation(self):
+        buffer = SampleBuffer()
+        v0 = buffer.version
+        buffer.append_row(self.row(1))
+        assert buffer.version == v0 + 1
+        buffer.drop_last()
+        assert buffer.version == v0 + 2
+
+
+class TestSamplesCacheInvalidation:
+    """`SimulationResult.samples` must not serve stale entries after a
+    drop_last + append_row pair (same length, different content)."""
+
+    def make_result(self):
+        from repro.cluster.simulator import SimulationResult
+
+        result = SimulationResult()
+        result.sample_buffer.append_row([1.0] * 8)
+        result.sample_buffer.append_row([2.0] * 8)
+        return result
+
+    def test_mutation_with_same_length_invalidates_cache(self):
+        result = self.make_result()
+        assert result.samples[-1].time_s == 2.0  # build + cache
+        result.sample_buffer.drop_last()
+        result.sample_buffer.append_row([9.0] * 8)
+        assert len(result.sample_buffer) == 2
+        assert result.samples[-1].time_s == 9.0  # stale cache would say 2.0
+
+    def test_cache_reused_when_unchanged(self):
+        result = self.make_result()
+        first = result.samples
+        assert result.samples is first
+
+    def test_drop_alone_invalidates(self):
+        result = self.make_result()
+        assert len(result.samples) == 2
+        result.sample_buffer.drop_last()
+        assert len(result.samples) == 1
+
 
 class TestHorizonGridReplacement:
     """The horizon sample replaces a grid sample landing exactly on the

@@ -20,6 +20,7 @@ from repro.cluster.trace import (
     TraceColumns,
     TraceStream,
     VMTraceRecord,
+    write_csv,
 )
 from repro.cluster.tracegen import TraceGenConfig, TraceGenerator
 from repro.core.policies import PondTracePolicy
@@ -264,6 +265,56 @@ class TestCsvTraceStream:
         trace.to_csv(path)
         assert CsvTraceStream(path).cluster_id == "cluster-west"
         assert CsvTraceStream(path, cluster_id="x").cluster_id == "x"
+
+
+class TestStreamingCsvWriter:
+    """The streaming CSV *writer*: exporting without materialising."""
+
+    def test_stream_export_matches_materialised_export(self, config, trace,
+                                                       tmp_path):
+        materialised_path = tmp_path / "materialised.csv"
+        streamed_path = tmp_path / "streamed.csv"
+        trace.to_csv(materialised_path)
+        rows = TraceGenerator(config).stream(chunk_size=128).to_csv(streamed_path)
+        assert rows == len(trace)
+        assert streamed_path.read_bytes() == materialised_path.read_bytes()
+
+    def test_chunk_size_does_not_change_output(self, trace, tmp_path):
+        reference = tmp_path / "reference.csv"
+        trace.to_csv(reference)
+        for chunk_size in (1, 7, len(trace) + 5):
+            path = tmp_path / f"chunk-{chunk_size}.csv"
+            written = write_csv(trace, path, chunk_size=chunk_size)
+            assert written == len(trace)
+            assert path.read_bytes() == reference.read_bytes(), chunk_size
+
+    def test_round_trip_through_both_readers(self, config, tmp_path):
+        path = tmp_path / "roundtrip.csv"
+        stream = TraceGenerator(config).stream(chunk_size=64)
+        stream.to_csv(path)
+        expected = stream.materialize()
+        assert ClusterTrace.from_csv(path).records == expected.records
+        assert CsvTraceStream(path, chunk_size=51).materialize().records \
+            == expected.records
+
+    def test_materialized_stream_export(self, trace, tmp_path):
+        path = tmp_path / "view.csv"
+        reference = tmp_path / "reference.csv"
+        trace.to_csv(reference)
+        MaterializedTraceStream(trace, chunk_size=33).to_csv(path)
+        assert path.read_bytes() == reference.read_bytes()
+
+    def test_chunks_without_records_rejected(self, tmp_path):
+        class BareStream(TraceStream):
+            def chunks(self):
+                yield TraceColumns(
+                    vm_ids=("a",),
+                    memory_gb=np.array([1.0]),
+                    untouched_fraction=np.array([0.5]),
+                )
+
+        with pytest.raises(ValueError, match="records"):
+            BareStream().to_csv(tmp_path / "bare.csv")
 
 
 class TestTraceMetadata:
