@@ -20,7 +20,41 @@ import platform
 import time
 from pathlib import Path
 
-__all__ = ["smoke_mode", "pick", "emit_report"]
+__all__ = ["smoke_mode", "pick", "emit_report", "REQUIRED_REPORT_FIELDS",
+           "validate_report"]
+
+#: Metadata fields :func:`emit_report` promises in every ``BENCH_*.json``;
+#: the CI bench-smoke job schema-checks every emitted report against this
+#: list (plus ``benchmark`` matching the file name).
+REQUIRED_REPORT_FIELDS = (
+    "benchmark",
+    "smoke",
+    "unix_time",
+    "python",
+    "platform",
+    "cpu_count",
+)
+
+
+def validate_report(path) -> dict:
+    """Load one ``BENCH_*.json`` and check the emit_report schema.
+
+    Returns the parsed report; raises ``ValueError`` naming the file and the
+    missing/mismatched field otherwise.  Used by the CI schema check so the
+    promise stays enforced, not aspirational.
+    """
+    path = Path(path)
+    report = json.loads(path.read_text())
+    missing = [f for f in REQUIRED_REPORT_FIELDS if f not in report]
+    if missing:
+        raise ValueError(f"{path.name}: missing required fields {missing}")
+    expected_name = path.stem[len("BENCH_"):]
+    if report["benchmark"] != expected_name:
+        raise ValueError(
+            f"{path.name}: benchmark field {report['benchmark']!r} does not "
+            f"match file name ({expected_name!r})"
+        )
+    return report
 
 
 def smoke_mode() -> bool:

@@ -1,0 +1,170 @@
+"""Cross-shard pool-group benchmark: spanning topologies at >=100k VMs.
+
+The paper's pool-scope sensitivity (Figure 4) reaches 16-64-socket pools
+that physically span chassis and racks; this benchmark replays a multi-shard
+fleet whose pool groups span cluster boundaries (``PoolTopology.spanning``)
+through the merged cross-shard event loop and asserts that
+
+* the degenerate per-shard topology reproduces the classic shardwise
+  ``FleetSimulator.run`` savings and per-shard peaks **identically** (the
+  topology path is a generalisation, not an approximation),
+* the spanning replay covers >=100k VMs with at least one group spanning
+  shards, produces computable fleet-owned savings, and sustains a sane
+  throughput, and
+* the emitted ``BENCH_crossshard_scale.json`` report carries the numbers.
+
+Replays run serially in-process: the cross-shard loop interleaves every
+shard's events by timestamp, which is the point of the exercise.
+"""
+
+import time
+
+import pytest
+
+from _bench_report import emit_report, pick
+from repro.cluster.fleet import FleetSimulator, PoolTopology, pond_policy_factory
+from repro.cluster.tracegen import TraceGenConfig
+from repro.core.prediction.combined import CombinedOperatingPoint
+
+N_SHARDS = pick(4, 2)
+N_SERVERS_PER_SHARD = pick(50, 12)
+MIN_TOTAL_VMS = pick(100_000, 1_500)
+DURATION_DAYS = pick(3.5, 0.5)
+MIN_VMS_PER_S = pick(10_000, 2_000)
+POOL_SIZE_SOCKETS = 16
+
+OPERATING_POINT = CombinedOperatingPoint(
+    fp_percent=1.5, op_percent=2.0, li_percent=30.0, um_percent=22.0
+)
+
+
+@pytest.fixture(scope="module")
+def fleet_and_traces():
+    base = TraceGenConfig(
+        cluster_id="crossshard",
+        n_servers=N_SERVERS_PER_SHARD,
+        duration_days=DURATION_DAYS,
+        mean_lifetime_hours=2.0,
+        target_core_utilization=0.85,
+        seed=42,
+    )
+    fleet = FleetSimulator.sharded(N_SHARDS, base, pool_size_sockets=POOL_SIZE_SOCKETS)
+    start = time.perf_counter()
+    traces = fleet.generate_traces()
+    elapsed = time.perf_counter() - start
+    total = sum(len(t) for t in traces)
+    print(f"\ngenerated {total:,} VMs across {N_SHARDS} shards "
+          f"({N_SHARDS * N_SERVERS_PER_SHARD} servers) in {elapsed:.1f}s")
+    assert total >= MIN_TOTAL_VMS
+    return base, fleet, traces
+
+
+def test_bench_crossshard_spanning_groups_at_scale(fleet_and_traces):
+    base, legacy_fleet, traces = fleet_and_traces
+    factory = pond_policy_factory(OPERATING_POINT, seed=3)
+    total_vms = sum(len(t) for t in traces)
+    sockets = base.server_config.sockets
+    shard_sizes = [N_SERVERS_PER_SHARD] * N_SHARDS
+
+    # Pool-independent baselines, shared by every run below.
+    baselines = legacy_fleet.compute_baselines(traces)
+
+    # -- classic shardwise path (the reference) --------------------------------
+    start = time.perf_counter()
+    legacy = legacy_fleet.run(factory, traces=traces, baselines=baselines)
+    legacy_seconds = time.perf_counter() - start
+
+    # -- degenerate topology through the merged cross-shard loop ---------------
+    per_shard = PoolTopology.per_shard(shard_sizes, sockets, POOL_SIZE_SOCKETS)
+    degenerate_fleet = FleetSimulator.sharded(
+        N_SHARDS, base, pool_topology=per_shard
+    )
+    start = time.perf_counter()
+    degenerate = degenerate_fleet.run(factory, traces=traces,
+                                      baselines=baselines)
+    degenerate_seconds = time.perf_counter() - start
+
+    # Identical savings output, shard for shard: the topology engine is a
+    # generalisation of the shardwise path, not an approximation of it.
+    assert degenerate.savings == legacy.savings
+    assert degenerate.placed_vms == legacy.placed_vms
+    assert degenerate.rejected_vms == legacy.rejected_vms
+    for got, ref in zip(degenerate.shards, legacy.shards):
+        assert got.result.server_peak_local_gb == ref.result.server_peak_local_gb
+        assert got.result.pool_peak_gb == ref.result.pool_peak_gb
+
+    # -- spanning topology: groups cross cluster boundaries --------------------
+    spanning = PoolTopology.spanning(shard_sizes, sockets, POOL_SIZE_SOCKETS)
+    assert len(spanning.spanning_group_ids) >= 1
+    spanning_fleet = FleetSimulator.sharded(
+        N_SHARDS, base, pool_topology=spanning
+    )
+    start = time.perf_counter()
+    result = spanning_fleet.run(factory, traces=traces, baselines=baselines)
+    spanning_seconds = time.perf_counter() - start
+    vms_per_s = total_vms / spanning_seconds
+
+    assert result.placed_vms + result.rejected_vms == total_vms
+    assert set(result.fleet_pool_peak_gb) == set(range(spanning.n_groups))
+    assert result.required_pool_dram_gb > 0.0
+    savings = result.savings  # fleet-owned pool requirement is computable
+
+    print(f"\n{'path':<12} {'seconds':>9} {'VMs/s':>12} {'savings %':>10}")
+    for name, seconds, res in (
+        ("shardwise", legacy_seconds, legacy),
+        ("degenerate", degenerate_seconds, degenerate),
+        ("spanning", spanning_seconds, result),
+    ):
+        print(f"{name:<12} {seconds:>9.2f} {total_vms / seconds:>12,.0f} "
+              f"{res.savings.savings_percent:>10.2f}")
+    print(f"spanning groups: {spanning.spanning_group_ids} of "
+          f"{spanning.n_groups} total")
+
+    emit_report("crossshard_scale", {
+        "n_vms": total_vms,
+        "n_shards": N_SHARDS,
+        "n_servers": N_SHARDS * N_SERVERS_PER_SHARD,
+        "pool_size_sockets": POOL_SIZE_SOCKETS,
+        "n_groups": spanning.n_groups,
+        "n_spanning_groups": len(spanning.spanning_group_ids),
+        "legacy_seconds": legacy_seconds,
+        "degenerate_seconds": degenerate_seconds,
+        "spanning_seconds": spanning_seconds,
+        "vms_per_s": vms_per_s,
+        "vms_per_s_floor": MIN_VMS_PER_S,
+        "degenerate_savings_percent": degenerate.savings.savings_percent,
+        "spanning_savings_percent": savings.savings_percent,
+    })
+    assert vms_per_s >= MIN_VMS_PER_S, (
+        f"cross-shard replay sustained only {vms_per_s:,.0f} VMs/s "
+        f"(required >= {MIN_VMS_PER_S:,})"
+    )
+
+
+def test_bench_crossshard_capacity_search_smoke(fleet_and_traces):
+    """Spanning capacity search completes and provisions fleet groups.
+
+    Kept at reduced size inside the benchmark module (the search replays
+    the fleet ~10 times); the full differential coverage lives in
+    tests/test_pool_topology.py.
+    """
+    base, _fleet, traces = fleet_and_traces
+    small = [t for t in traces[:2]]
+    shard_sizes = [N_SERVERS_PER_SHARD] * 2
+    spanning = PoolTopology.spanning(
+        shard_sizes, base.server_config.sockets, POOL_SIZE_SOCKETS
+    )
+    configs = [
+        cfg for cfg in FleetSimulator.sharded(N_SHARDS, base).shard_configs[:2]
+    ]
+    fleet = FleetSimulator(configs, pool_topology=spanning)
+    search = fleet.capacity_search(
+        pond_policy_factory(OPERATING_POINT, seed=3),
+        traces=small, search_steps=pick(4, 2),
+    )
+    assert search.pool_topology is spanning
+    assert set(search.pool_capacity_gb_by_group) == set(range(spanning.n_groups))
+    assert search.savings.required_total_dram_gb > 0.0
+    print(f"\nspanning capacity search: baseline {search.baseline_per_server_gb:.0f} "
+          f"GB/server -> pooled {search.pooled_per_server_gb:.0f} GB/server, "
+          f"savings {search.savings.savings_percent:.2f}%")

@@ -30,11 +30,15 @@ The paper's stranding analysis (Section 3.1) and end-to-end savings results
 * :mod:`repro.cluster.fleet` -- sharded fleet simulator merging N independent
   cluster replays (with batch policy evaluation, optional streaming, and a
   fleet-level capacity search) for million-VM studies.
+* :mod:`repro.cluster.pool_topology` -- fleet-level pool topologies: pool
+  groups that span cluster shards, a fleet-owned group ledger, and the
+  merged cross-shard event replay behind ``FleetSimulator(pool_topology=)``.
 """
 
 from repro.cluster.engine import ArrayPlacementEngine, PLACEMENT_ENGINES
 from repro.cluster.server import ServerConfig, ClusterServer
 from repro.cluster.vm_types import VMType, VM_TYPE_CATALOG, sample_vm_type
+from repro.cluster.pool_topology import PoolGroupLedger, PoolTopology
 from repro.cluster.trace import (
     VMTraceRecord,
     ClusterTrace,
@@ -42,6 +46,7 @@ from repro.cluster.trace import (
     TraceStream,
     MaterializedTraceStream,
     CsvTraceStream,
+    write_csv,
 )
 from repro.cluster.tracegen import TraceGenerator, TraceGenConfig, GeneratedTraceStream
 from repro.cluster.scheduler import VMScheduler, PlacementError, SCHEDULER_STRATEGIES
@@ -72,6 +77,9 @@ __all__ = [
     "FleetCapacitySearchResult",
     "ArrayPlacementEngine",
     "PLACEMENT_ENGINES",
+    "PoolTopology",
+    "PoolGroupLedger",
+    "write_csv",
     "ServerConfig",
     "ClusterServer",
     "VMType",

@@ -105,6 +105,8 @@ class ArrayPlacementEngine:
         group_of: Optional[Sequence[int]] = None,
         pool_free_gb: Optional[Dict[int, float]] = None,
         server_ids: Optional[Sequence[str]] = None,
+        pool_used_gb: Optional[Dict[int, float]] = None,
+        pool_peak_gb: Optional[Dict[int, float]] = None,
     ) -> None:
         if n_servers < 1:
             raise ValueError("need at least one server")
@@ -139,13 +141,24 @@ class ArrayPlacementEngine:
         )
         if len(self.group_of) != n_servers:
             raise ValueError("group_of must have one entry per server")
-        #: shared pool accounting, keyed by group id (``pool_free_gb`` may be
-        #: the caller's dict; it is mutated in place like the object path).
+        #: shared pool accounting, keyed by group id.  All three dicts may be
+        #: the caller's (they are mutated in place like the object path);
+        #: passing shared ``pool_used_gb`` / ``pool_peak_gb`` dicts lets a
+        #: fleet-owned ledger span several engines -- the cross-shard pool
+        #: topology (repro.cluster.pool_topology) builds one engine per shard
+        #: over one shared ledger, so a pool group's draw/release/peak
+        #: accounting is externally ownable.
         self.pool_free_gb: Dict[int, float] = (
             pool_free_gb if pool_free_gb is not None else {}
         )
-        self.pool_used_gb: Dict[int, float] = {g: 0.0 for g in self.pool_free_gb}
-        self.pool_peak_by_group: Dict[int, float] = {g: 0.0 for g in self.pool_free_gb}
+        self.pool_used_gb: Dict[int, float] = (
+            pool_used_gb if pool_used_gb is not None
+            else {g: 0.0 for g in self.pool_free_gb}
+        )
+        self.pool_peak_by_group: Dict[int, float] = (
+            pool_peak_gb if pool_peak_gb is not None
+            else {g: 0.0 for g in self.pool_free_gb}
+        )
 
         # -- cluster aggregates ----------------------------------------------------
         self.total_cores = n_servers * self.server_total_cores

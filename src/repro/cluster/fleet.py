@@ -29,12 +29,21 @@ uniform per-server local peak plus the uniform per-group pool peak.
 the dimensioner's binary search lifted to one shared fleet-wide server DRAM
 size with the rejection budget aggregated across shards (DESIGN.md section
 5).
+
+Two later extensions relax the strict shard independence: ``pool_topology``
+replays the fleet as one merged time-ordered event stream over fleet-owned
+pool groups that may span shards (:mod:`repro.cluster.pool_topology`,
+DESIGN.md section 8), and the capacity-search probe pools plus the shard
+fanout executor are reusable sessions that survive across calls (DESIGN.md
+section 7; release with :meth:`FleetSimulator.close` or the context-manager
+protocol).
 """
 
 from __future__ import annotations
 
 import functools
 import time
+import weakref
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -43,12 +52,15 @@ from repro.cluster.engine import resolve_engine
 from repro.cluster.pool import (
     CapacityProbeOutcome,
     PoolSavings,
+    _ProbeSessionBase,
+    _shutdown_executor,
     bisect_min_dram,
     capacity_candidate_config,
     capacity_probe_replay,
     probe_outcome_of,
     uniform_pool_requirement_gb,
 )
+from repro.cluster.pool_topology import PoolTopology, replay_crossshard
 from repro.cluster.simulator import ClusterSimulator, SimulationResult, TraceInput
 from repro.cluster.trace import ClusterTrace
 from repro.cluster.tracegen import TraceGenConfig, TraceGenerator, fleet_shard_configs
@@ -65,6 +77,7 @@ __all__ = [
     "FleetResult",
     "FleetShardResult",
     "FleetCapacitySearchResult",
+    "PoolTopology",
     "pond_policy_factory",
     "static_policy_factory",
     "all_local_policy_factory",
@@ -162,6 +175,13 @@ class FleetResult:
     """Merged view over all shards of one fleet run."""
 
     shards: List[FleetShardResult] = field(default_factory=list)
+    #: Cross-shard pool topology of the run (``None`` for the classic
+    #: shardwise path, where every pool group is owned by one shard).
+    pool_topology: Optional[PoolTopology] = None
+    #: Fleet-level per-group pool peaks (topology runs only), keyed by fleet
+    #: group id.  Spanning groups have no owning shard, so their peaks live
+    #: here rather than in any shard's ``result.pool_peak_gb``.
+    fleet_pool_peak_gb: Optional[Dict[int, float]] = None
 
     # -- merged per-entity views ----------------------------------------------------
     @property
@@ -205,6 +225,17 @@ class FleetResult:
 
     @property
     def required_pool_dram_gb(self) -> float:
+        """Uniform pool provisioning for the fleet.
+
+        Shardwise runs (and degenerate per-shard topologies) sum each shard's
+        own uniform requirement, exactly as before; a spanning topology has
+        fleet-owned groups, so the requirement is computed from the fleet
+        ledger's per-group peaks instead.
+        """
+        if self.pool_topology is not None and not self.pool_topology.is_per_shard:
+            return self.pool_topology.uniform_pool_requirement_gb(
+                self.fleet_pool_peak_gb or {}
+            )
         return sum(s.required_pool_dram_gb for s in self.shards)
 
     @property
@@ -260,7 +291,9 @@ class FleetCapacitySearchResult:
     baseline_per_server_gb: float
     pooled_per_server_gb: float
     #: Per-shard pool-blade capacity (GB per pool group), aligned with
-    #: ``shard_configs``; pools never span shard (cluster) boundaries.
+    #: ``shard_configs``.  Populated for the classic shardwise search and
+    #: for degenerate per-shard topologies; empty for spanning topologies,
+    #: whose provisioning lives in ``pool_capacity_gb_by_group``.
     per_shard_pool_capacity_gb: Tuple[float, ...]
     total_vms: int
     #: Fleet-aggregated rejection budget the constrained replays had to meet.
@@ -269,6 +302,12 @@ class FleetCapacitySearchResult:
     #: search probe (each probe re-evaluates the same VMs), so use the
     #: percentage properties, which are invariant to the number of probes.
     policy_stats: PolicyStats
+    #: Cross-shard topology the search provisioned for (``None``: classic
+    #: per-shard groups).
+    pool_topology: Optional[PoolTopology] = None
+    #: Per-group provisioned pool capacity for topology searches, keyed by
+    #: fleet group id (uniform within each provisioning domain).
+    pool_capacity_gb_by_group: Optional[Dict[int, float]] = None
 
 
 @dataclass(frozen=True)
@@ -383,34 +422,34 @@ def _run_shard(spec: _ShardSpec) -> FleetShardResult:
 
 
 #: Per-process state for fleet capacity-search probe workers, set by the
-#: pool initializer (shard inputs and the policy factory ship once per
-#: worker, not per probe).
+#: pool initializer (the heavy shard inputs ship once per worker, not per
+#: probe; policy factories -- tiny picklables -- travel with each task so
+#: one session serves every policy of a study grid).
 _FLEET_PROBE_STATE: dict = {}
 
 
-def _fleet_probe_init(shard_configs, inputs, policy_factory,
+def _fleet_probe_init(shard_configs, inputs,
                       sample_interval_s, scheduler_strategy, engine) -> None:
     _FLEET_PROBE_STATE.update(
         shard_configs=shard_configs, inputs=inputs,
-        policy_factory=policy_factory, sample_interval_s=sample_interval_s,
+        sample_interval_s=sample_interval_s,
         scheduler_strategy=scheduler_strategy, engine=engine,
     )
 
 
 def _run_fleet_probe(
-    task: Tuple[int, bool, int, float, Optional[float]]
+    task: Tuple[Optional[PolicyFactory], int, int, float, Optional[float]]
 ) -> CapacityProbeOutcome:
-    """Probe task: (shard, use_policy, pool_sockets, pool_capacity, dram).
+    """Probe task: (policy_factory, shard, pool_sockets, pool_capacity, dram).
 
     The policy is rebuilt per probe (decisions are digest-keyed, so a fresh
     instance decides identically), which makes the returned ``policy_stats``
     a clean per-probe delta.
     """
-    shard, use_policy, pool_sockets, pool_capacity_gb, dram = task
+    factory, shard, pool_sockets, pool_capacity_gb, dram = task
     state = _FLEET_PROBE_STATE
     cfg = state["shard_configs"][shard]
-    factory = state["policy_factory"]
-    policy = factory(shard) if (use_policy and factory is not None) else None
+    policy = factory(shard) if factory is not None else None
     result = capacity_probe_replay(
         state["inputs"][shard], policy, cfg.n_servers, cfg.server_config,
         pool_sockets, pool_capacity_gb, dram, state["sample_interval_s"],
@@ -419,15 +458,28 @@ def _run_fleet_probe(
     return probe_outcome_of(result, policy)
 
 
-class _FleetProbeSession:
+class _FleetProbeSession(_ProbeSessionBase):
     """Memoised fleet capacity-search probes on a process pool.
 
     One candidate DRAM size means one replay per shard; the session keys
-    probes on ``(shard, use_policy, pool_sockets, pool_capacity, dram)`` and
+    probes on ``(factory, shard, pool_sockets, pool_capacity, dram)`` --
+    the factory via the shared value-based fingerprint (see
+    ``repro.cluster.pool._ProbeSessionBase``), so mutating a factory's
+    underlying state between calls invalidates its memos -- and
     dispatches them to workers, so the shards of a candidate run in parallel
     -- and speculative bisection candidates (see
     :meth:`prefetch_bisection`) overlap with the verdict the search is
-    waiting on.  Worker policy stats are collected per probe and merged.
+    waiting on.  Worker policy stats are collected per probe and drained per
+    policy factory.
+
+    The session is **reusable across ``capacity_search`` calls**: the pool
+    initializer ships the heavy shard-input list once, policy factories ride
+    along with each probe task, and memoised outcomes survive between calls
+    (probes are deterministic per key).  ``FleetSimulator`` keeps one session
+    alive per trace-input set and closes it when the inputs or the fleet
+    configuration change; the session also supports the context-manager
+    protocol, ``close()`` is idempotent, and a ``weakref.finalize`` guard
+    shuts the worker pool down if the session is dropped without closing.
 
     The pool initializer hands every worker the full shard-input list.
     Under the fork start method (Linux, the deployment target) that is
@@ -437,64 +489,82 @@ class _FleetProbeSession:
     tiny to ship) over pregenerated materialised traces.
     """
 
-    def __init__(self, fleet: "FleetSimulator", inputs: Sequence[TraceInput],
-                 policy_factory: Optional[PolicyFactory]) -> None:
+    def __init__(self, fleet: "FleetSimulator",
+                 inputs: Sequence[TraceInput]) -> None:
+        super().__init__()
         workers = fleet.max_workers or 1
         self._n_shards = len(fleet.shard_configs)
-        self._outcomes: Dict[tuple, CapacityProbeOutcome] = {}
-        self._futures: Dict[tuple, object] = {}
-        self._max_inflight = max(2 * workers, 2 * self._n_shards)
-        self._executor = ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_fleet_probe_init,
-            initargs=(
-                list(fleet.shard_configs), list(inputs), policy_factory,
-                fleet.sample_interval_s, fleet.scheduler_strategy,
-                fleet.engine,
+        self._attach_executor(
+            ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_fleet_probe_init,
+                initargs=(
+                    list(fleet.shard_configs), list(inputs),
+                    fleet.sample_interval_s, fleet.scheduler_strategy,
+                    fleet.engine,
+                ),
             ),
+            max_inflight=max(2 * workers, 2 * self._n_shards),
         )
 
-    def submit(self, shard: int, use_policy: bool, pool_sockets: int,
-               pool_capacity_gb: float, dram: Optional[float]) -> None:
-        key = (shard, use_policy, pool_sockets, pool_capacity_gb, dram)
+    def submit(self, factory: Optional[PolicyFactory], shard: int,
+               pool_sockets: int, pool_capacity_gb: float,
+               dram: Optional[float]) -> None:
+        """Submit one shard probe unconditionally.
+
+        Deliberately uncapped: :meth:`candidate_rejections` submits probes
+        the search *will* block on, so throttling belongs only to the
+        speculative :meth:`prefetch_bisection` path.
+        """
+        key = (self._token(factory), shard, pool_sockets, pool_capacity_gb,
+               dram)
         if key in self._outcomes or key in self._futures:
             return
-        self._futures[key] = self._executor.submit(_run_fleet_probe, key)
+        self._futures[key] = self._executor.submit(
+            _run_fleet_probe, (factory, shard, pool_sockets,
+                               pool_capacity_gb, dram)
+        )
 
-    def outcome(self, shard: int, use_policy: bool, pool_sockets: int,
-                pool_capacity_gb: float,
+    def outcome(self, factory: Optional[PolicyFactory], shard: int,
+                pool_sockets: int, pool_capacity_gb: float,
                 dram: Optional[float]) -> CapacityProbeOutcome:
-        key = (shard, use_policy, pool_sockets, pool_capacity_gb, dram)
+        key = (self._token(factory), shard, pool_sockets, pool_capacity_gb,
+               dram)
         cached = self._outcomes.get(key)
         if cached is None:
             future = self._futures.pop(key, None)
             if future is None:
-                future = self._executor.submit(_run_fleet_probe, key)
+                future = self._executor.submit(
+                    _run_fleet_probe, (factory, shard, pool_sockets,
+                                       pool_capacity_gb, dram)
+                )
             cached = future.result()
-            self._outcomes[key] = cached
+            self._record_outcome(key, cached)
         return cached
 
-    def candidate_rejections(self, dram: float, pool_sockets: int,
+    def candidate_rejections(self, factory: Optional[PolicyFactory],
+                             dram: float, pool_sockets: int,
                              pool_caps: Optional[Sequence[float]]) -> int:
         """Fleet-summed rejections for one candidate (all shards in flight)."""
         pooled = pool_caps is not None
         for shard in range(self._n_shards):
             if pooled:
-                self.submit(shard, True, pool_sockets, pool_caps[shard], dram)
+                self.submit(factory, shard, pool_sockets, pool_caps[shard], dram)
             else:
-                self.submit(shard, False, 0, 0.0, dram)
+                self.submit(None, shard, 0, 0.0, dram)
         total = 0
         for shard in range(self._n_shards):
             if pooled:
                 outcome = self.outcome(
-                    shard, True, pool_sockets, pool_caps[shard], dram
+                    factory, shard, pool_sockets, pool_caps[shard], dram
                 )
             else:
-                outcome = self.outcome(shard, False, 0, 0.0, dram)
+                outcome = self.outcome(None, shard, 0, 0.0, dram)
             total += outcome.rejected_vms
         return total
 
-    def prefetch_bisection(self, pool_sockets: int,
+    def prefetch_bisection(self, factory: Optional[PolicyFactory],
+                           pool_sockets: int,
                            pool_caps: Optional[Sequence[float]],
                            lo: float, hi: float, depth: int = 2) -> None:
         """Speculatively submit per-shard probes for upcoming candidates."""
@@ -503,30 +573,30 @@ class _FleetProbeSession:
         for _ in range(depth):
             next_frontier = []
             for low, high in frontier:
-                inflight = sum(1 for f in self._futures.values() if not f.done())
-                if inflight >= self._max_inflight:
+                if self._inflight_full():
                     return
                 mid = (low + high) / 2.0
                 for shard in range(self._n_shards):
                     if pooled:
-                        self.submit(shard, True, pool_sockets,
+                        self.submit(factory, shard, pool_sockets,
                                     pool_caps[shard], mid)
                     else:
-                        self.submit(shard, False, 0, 0.0, mid)
+                        self.submit(None, shard, 0, 0.0, mid)
                 next_frontier.append((low, mid))
                 next_frontier.append((mid, high))
             frontier = next_frontier
 
-    def merged_stats(self) -> PolicyStats:
-        """Merge the per-probe policy stats of every policy-using probe."""
-        merged = PolicyStats()
-        for outcome in self._outcomes.values():
-            if outcome.policy_stats is not None:
-                merged.add(outcome.policy_stats)
-        return merged
+    def drain_stats(self, factory: Optional[PolicyFactory]) -> PolicyStats:
+        """Merge (and clear) the stat deltas of ``factory``'s new probes.
 
-    def close(self) -> None:
-        self._executor.shutdown(wait=True, cancel_futures=True)
+        Draining keeps reused sessions honest: a probe memoised by an earlier
+        call contributed its stats to *that* call's result and is not counted
+        again.
+        """
+        merged = PolicyStats()
+        for stats in self._drain_stat_deltas(factory):
+            merged.add(stats)
+        return merged
 
 
 class FleetSimulator:
@@ -546,8 +616,16 @@ class FleetSimulator:
       with either of the other modes;
     * :meth:`capacity_search` lifts the dimensioner's binary search to the
       whole fleet (one shared per-server DRAM size, rejection budget
-      aggregated across shards); its probes run serially in this process --
-      ``max_workers`` does not parallelise the search.
+      aggregated across shards); with ``max_workers > 1`` its probes run on
+      a reusable process-pool session (see DESIGN.md section 7);
+    * ``pool_topology`` replays the fleet as one merged event stream over
+      fleet-owned pool groups, so a group can span cluster shards
+      (DESIGN.md section 8); the degenerate per-shard topology is
+      byte-identical to the classic shardwise path.
+
+    Reusable executors (the shard-fanout pool and the capacity-search probe
+    session) stay alive across calls; ``close()`` -- or using the fleet as a
+    context manager -- releases them.
 
     Worked example -- a streamed 4-cluster savings study::
 
@@ -573,6 +651,7 @@ class FleetSimulator:
         engine: Optional[str] = None,
         max_workers: Optional[int] = None,
         stream_chunk_size: Optional[int] = None,
+        pool_topology: Optional[PoolTopology] = None,
     ) -> None:
         if not shard_configs:
             raise ValueError("need at least one shard config")
@@ -585,6 +664,18 @@ class FleetSimulator:
         #: object path stays available for differential testing).
         self.engine = resolve_engine(engine, scheduler_strategy)
         self.shard_configs = list(shard_configs)
+        if pool_topology is not None:
+            self._validate_topology(pool_topology, self.shard_configs,
+                                    self.engine)
+            if pool_size_sockets not in (0, pool_topology.pool_size_sockets):
+                raise ValueError(
+                    f"pool_size_sockets={pool_size_sockets} conflicts with "
+                    f"the topology's {pool_topology.pool_size_sockets}"
+                )
+            pool_size_sockets = pool_topology.pool_size_sockets
+        #: Cross-shard pool topology; ``None`` keeps the classic shardwise
+        #: path where every pool group is confined to one shard.
+        self.pool_topology = pool_topology
         self.pool_size_sockets = pool_size_sockets
         self.pool_capacity_gb_per_group = pool_capacity_gb_per_group
         self.constrain_memory = constrain_memory
@@ -602,6 +693,87 @@ class FleetSimulator:
         self._capacity_cache_key: Optional[Sequence[TraceInput]] = None
         self._capacity_core_stats: Optional[Tuple[int, int]] = None
         self._capacity_baseline_cache: Dict[Tuple[int, float], float] = {}
+        # Reusable executors (ROADMAP: probe-pool sessions survive across
+        # calls).  ``_capacity_inputs`` caches the resolved per-shard replay
+        # inputs alongside the memos above, so a reused probe session and a
+        # repeated capacity_search agree on input identity; ``close()`` (or
+        # the context-manager exit) releases everything.
+        self._capacity_inputs: Optional[List[TraceInput]] = None
+        self._probe_session: Optional[_FleetProbeSession] = None
+        self._probe_session_fingerprint: Optional[tuple] = None
+        self._shard_pool: Optional[ProcessPoolExecutor] = None
+
+    @staticmethod
+    def _validate_topology(topology: PoolTopology,
+                           shard_configs: Sequence[TraceGenConfig],
+                           engine: str) -> None:
+        if engine != "array":
+            # replay_crossshard is built on ArrayPlacementEngine; silently
+            # replaying on it while the fleet is configured for the object
+            # path would mislabel differential results.
+            raise ValueError(
+                "cross-shard pool topologies replay on the array engine; "
+                "engine='object' / scheduler_strategy='linear' are not "
+                "supported with pool_topology"
+            )
+        sizes = tuple(cfg.n_servers for cfg in shard_configs)
+        if topology.shard_sizes != sizes:
+            raise ValueError(
+                f"topology maps shard sizes {topology.shard_sizes}, fleet "
+                f"has {sizes}"
+            )
+        server_config = shard_configs[0].server_config
+        if any(cfg.server_config != server_config for cfg in shard_configs):
+            raise ValueError(
+                "cross-shard pool topologies require a homogeneous "
+                "ServerConfig across shards"
+            )
+        if topology.sockets_per_server != server_config.sockets:
+            raise ValueError(
+                f"topology assumes {topology.sockets_per_server} sockets per "
+                f"server, shard configs have {server_config.sockets}"
+            )
+
+    # -- lifecycle -------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down reusable executors and drop cached capacity inputs.
+
+        Idempotent; the fleet remains usable afterwards (executors and
+        sessions are recreated lazily on the next call).
+        """
+        if self._probe_session is not None:
+            self._probe_session.close()
+            self._probe_session = None
+        self._probe_session_fingerprint = None
+        if self._shard_pool is not None:
+            self._shard_pool_finalizer.detach()
+            self._shard_pool.shutdown(wait=True, cancel_futures=True)
+            self._shard_pool = None
+        self._capacity_inputs = None
+        self._capacity_cache_key = None
+        self._capacity_core_stats = None
+        self._capacity_baseline_cache = {}
+
+    def __enter__(self) -> "FleetSimulator":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _shard_executor(self) -> ProcessPoolExecutor:
+        """The reusable shard-fanout pool for :meth:`run` / baselines.
+
+        Kept alive across calls (spawning a pool per call wastes worker
+        startup on every cell of a study grid); closed by :meth:`close`.
+        """
+        if self._shard_pool is None:
+            self._shard_pool = ProcessPoolExecutor(max_workers=self.max_workers)
+            # GC guard: fleets dropped without close() must not leave worker
+            # processes behind until interpreter exit.
+            self._shard_pool_finalizer = weakref.finalize(
+                self, _shutdown_executor, self._shard_pool
+            )
+        return self._shard_pool
 
     # -- constructors ----------------------------------------------------------------
     @classmethod
@@ -657,8 +829,14 @@ class FleetSimulator:
             for i, cfg in enumerate(self.shard_configs)
         ]
         if self.max_workers and self.max_workers > 1 and len(tasks) > 1:
-            with ProcessPoolExecutor(max_workers=self.max_workers) as executor:
-                return list(executor.map(_baseline_task, tasks))
+            try:
+                return list(self._shard_executor().map(_baseline_task, tasks))
+            except BaseException:
+                # Executor hardening: never leave a reusable pool in an
+                # unknown state after a failure -- tear it down (a later
+                # call recreates it lazily).
+                self.close()
+                raise
         return [_baseline_task(task) for task in tasks]
 
     def run(
@@ -691,6 +869,10 @@ class FleetSimulator:
             )
         if compute_baseline is None:
             compute_baseline = bool(self.pool_size_sockets)
+        if self.pool_topology is not None:
+            return self._run_topology(
+                policy_factory, traces, batch, compute_baseline, baselines
+            )
         specs = [
             _ShardSpec(
                 index=i,
@@ -713,13 +895,127 @@ class FleetSimulator:
             for i, cfg in enumerate(self.shard_configs)
         ]
         if self.max_workers and self.max_workers > 1 and len(specs) > 1:
-            with ProcessPoolExecutor(max_workers=self.max_workers) as executor:
-                shards = list(executor.map(_run_shard, specs))
+            try:
+                shards = list(self._shard_executor().map(_run_shard, specs))
+            except BaseException:
+                self.close()
+                raise
         else:
             shards = [_run_shard(spec) for spec in specs]
         return FleetResult(shards=shards)
 
+    def _run_topology(
+        self,
+        policy_factory: Optional[PolicyFactory],
+        traces: Optional[Sequence[TraceInput]],
+        batch: bool,
+        compute_baseline: bool,
+        baselines: Optional[Sequence[float]],
+    ) -> FleetResult:
+        """:meth:`run` over a cross-shard pool topology.
+
+        The shards replay as one merged time-ordered event stream against a
+        fleet-owned group ledger (:func:`replay_crossshard`), so a pool
+        group spanning cluster boundaries is drawn from and released to at
+        simulation time.  For a degenerate per-shard topology the per-shard
+        results are byte-identical to the classic shardwise path
+        (differential-tested); the no-pooling baseline replays are
+        pool-independent and reuse the shardwise helper unchanged.
+
+        Shards replay interleaved in one process, so per-shard
+        ``run_seconds`` cannot be attributed individually; the replay's
+        wall-clock is split evenly so ``FleetResult.total_run_seconds``
+        stays the fleet-level truth.
+        """
+        topology = self.pool_topology
+        n_shards = len(self.shard_configs)
+        inputs: List[TraceInput] = [
+            _shard_trace_input(
+                cfg, traces[i] if traces is not None else None,
+                self.stream_chunk_size,
+            )
+            for i, cfg in enumerate(self.shard_configs)
+        ]
+        policies = [
+            policy_factory(i) if policy_factory is not None else None
+            for i in range(n_shards)
+        ]
+        replay_policies = [
+            # Forced per-VM-callback path (differential baseline): hide
+            # decide_batch from the replay, keep the policy for stats.
+            policy.__call__
+            if (policy is not None and not batch
+                and hasattr(policy, "decide_batch"))
+            else policy
+            for policy in policies
+        ]
+        start = time.perf_counter()
+        results, ledger = replay_crossshard(
+            inputs, replay_policies,
+            [cfg.n_servers for cfg in self.shard_configs],
+            [cfg.server_config for cfg in self.shard_configs],
+            topology, self.pool_capacity_gb_per_group,
+            self.constrain_memory, self.sample_interval_s,
+            record_placements=False,
+        )
+        per_shard_seconds = (time.perf_counter() - start) / n_shards
+        shards: List[FleetShardResult] = []
+        for i, cfg in enumerate(self.shard_configs):
+            baseline = baselines[i] if baselines is not None else None
+            if baseline is None and compute_baseline:
+                baseline = _shard_baseline_gb(
+                    cfg, inputs[i], self.sample_interval_s,
+                    self.scheduler_strategy, self.engine,
+                )
+            shards.append(FleetShardResult(
+                shard_id=cfg.cluster_id,
+                shard_index=i,
+                n_vms=results[i].placed_vms + results[i].rejected_vms,
+                n_servers=cfg.n_servers,
+                sockets_per_server=cfg.server_config.sockets,
+                pool_size_sockets=self.pool_size_sockets,
+                result=results[i],
+                baseline_required_dram_gb=baseline,
+                policy_stats=getattr(policies[i], "stats", None),
+                run_seconds=per_shard_seconds,
+            ))
+        return FleetResult(
+            shards=shards,
+            pool_topology=topology,
+            fleet_pool_peak_gb=dict(ledger.peak_gb),
+        )
+
     # -- fleet-level capacity search ---------------------------------------------------
+    def _ensure_probe_session(
+        self, inputs: Sequence[TraceInput]
+    ) -> _FleetProbeSession:
+        """The reusable parallel probe session for the cached inputs.
+
+        One session serves every ``capacity_search`` call over the same
+        trace-input set -- worker spawn and trace shipping are paid once per
+        grid, not once per cell -- and is invalidated (closed and rebuilt)
+        when the fleet configuration changes.  Input-set changes are handled
+        by the caller alongside the capacity memos.
+        """
+        fingerprint = (
+            tuple(self.shard_configs), self.sample_interval_s,
+            self.scheduler_strategy, self.engine, self.max_workers,
+        )
+        if (self._probe_session is not None
+                and self._probe_session_fingerprint == fingerprint):
+            return self._probe_session
+        if self._probe_session is not None:
+            self._probe_session.close()
+        self._probe_session = _FleetProbeSession(self, inputs)
+        self._probe_session_fingerprint = fingerprint
+        return self._probe_session
+
+    def _close_probe_session(self) -> None:
+        if self._probe_session is not None:
+            self._probe_session.close()
+            self._probe_session = None
+            self._probe_session_fingerprint = None
+
     def capacity_search(
         self,
         policy_factory: Optional[PolicyFactory] = None,
@@ -728,6 +1024,7 @@ class FleetSimulator:
         rejection_tolerance: float = 0.002,
         pool_headroom: float = 1.05,
         pool_size_sockets: Optional[int] = None,
+        pool_topology: Optional[PoolTopology] = None,
     ) -> FleetCapacitySearchResult:
         """Fleet-level lift of ``PoolDimensioner``'s capacity search.
 
@@ -745,7 +1042,8 @@ class FleetSimulator:
            -- the baseline;
         3. one memory-unconstrained *pooled* replay per shard provisions each
            shard's pool groups at ``pool_headroom`` times the worst observed
-           per-group peak (pools never span shards);
+           per-group peak (pools span shards only when a ``pool_topology``
+           is given -- see below);
         4. binary search the smallest shared per-server DRAM with those
            pools in place.
 
@@ -783,6 +1081,26 @@ class FleetSimulator:
         trace, policy, and knobs (enforced by a differential test).  All
         shards must share one ``ServerConfig``: uniform fleet provisioning
         is the premise of the search.
+
+        ``pool_topology`` (per call, or set on the fleet) provisions
+        **cross-shard pool groups** instead: step 3 becomes one unconstrained
+        cross-shard replay that sizes every fleet group at ``pool_headroom``
+        times its provisioning domain's worst peak, and step 4's probes are
+        full cross-shard constrained replays against that fleet-owned ledger
+        (run serially in this process and memoised per candidate;
+        ``max_workers`` still parallelises the pool-independent steps 1-2).
+        A degenerate per-shard topology reproduces the classic search's
+        savings and dimensioning byte-identically (differential-tested);
+        ``policy_stats`` remains a diagnostic whose probe multiset differs.
+
+        Probe executors are **reused across calls**: the parallel session
+        ships the shard inputs to its workers once and survives until the
+        trace-input set or the fleet configuration changes (or
+        :meth:`close`), so a Figure-21-style grid pays worker spawn and
+        trace shipping once, not once per cell.  Memoised probe outcomes
+        survive with the session -- sound because probes are deterministic
+        per key -- and any exception tears the session down before
+        propagating.
         """
         if search_steps < 1:
             raise ValueError("search_steps must be >= 1")
@@ -802,30 +1120,51 @@ class FleetSimulator:
             )
         n_shards = len(self.shard_configs)
         total_servers = sum(cfg.n_servers for cfg in self.shard_configs)
-        pool_size = self.pool_size_sockets if pool_size_sockets is None \
-            else pool_size_sockets
+        topology = pool_topology if pool_topology is not None \
+            else self.pool_topology
+        if topology is not None:
+            self._validate_topology(topology, self.shard_configs, self.engine)
+            if pool_size_sockets is not None \
+                    and pool_size_sockets != topology.pool_size_sockets:
+                raise ValueError(
+                    f"pool_size_sockets={pool_size_sockets} conflicts with "
+                    f"the topology's {topology.pool_size_sockets}"
+                )
+            pool_size = topology.pool_size_sockets
+        else:
+            pool_size = self.pool_size_sockets if pool_size_sockets is None \
+                else pool_size_sockets
         if traces is not self._capacity_cache_key:
             self._capacity_cache_key = traces
             self._capacity_core_stats = None
             self._capacity_baseline_cache = {}
+            # The probe session shipped the previous input set to its
+            # workers; a new input set invalidates both.
+            self._capacity_inputs = None
+            self._close_probe_session()
 
-        # Per-shard replay inputs, resolved once: a pregenerated trace, a
-        # re-iterable lazy stream, or a materialised trace (legacy default).
-        inputs: List[TraceInput] = [
-            _shard_trace_input(
-                cfg, traces[i] if traces is not None else None,
-                self.stream_chunk_size,
-            )
-            for i, cfg in enumerate(self.shard_configs)
-        ]
+        # Per-shard replay inputs, resolved once per input set and cached so
+        # repeated searches (and the reusable probe session) agree on input
+        # identity: a pregenerated trace, a re-iterable lazy stream, or a
+        # materialised trace (legacy default).
+        if self._capacity_inputs is None:
+            self._capacity_inputs = [
+                _shard_trace_input(
+                    cfg, traces[i] if traces is not None else None,
+                    self.stream_chunk_size,
+                )
+                for i, cfg in enumerate(self.shard_configs)
+            ]
+        inputs = self._capacity_inputs
         parallel = bool(self.max_workers and self.max_workers > 1)
-        session = (
-            _FleetProbeSession(self, inputs, policy_factory) if parallel else None
-        )
-        #: Parent-process policy instances (sequential probes only; parallel
-        #: probes rebuild their policy inside the worker).
+        session = self._ensure_probe_session(inputs) if parallel else None
+        #: Parent-process policy instances: sequential probes, and the
+        #: cross-shard topology replays of steps 3-4 (parallel probes for
+        #: the classic path rebuild their policy inside the worker).
         policies = [
-            policy_factory(i) if policy_factory is not None and not parallel
+            policy_factory(i)
+            if policy_factory is not None
+            and (not parallel or topology is not None)
             else None
             for i in range(n_shards)
         ]
@@ -835,17 +1174,19 @@ class FleetSimulator:
             if session is not None:
                 # Warm start: every probe chain that does not depend on a
                 # previous verdict begins immediately -- budget replays,
-                # the baseline search's upper bound, and the pool
-                # provisioning replays all overlap.
+                # the baseline search's upper bound, and (classic path) the
+                # pool provisioning replays all overlap.
                 for shard in range(n_shards):
                     if self._capacity_core_stats is None:
-                        session.submit(shard, False, 0, inf, None)
+                        session.submit(None, shard, 0, inf, None)
                     if baseline_key not in self._capacity_baseline_cache:
                         session.submit(
-                            shard, False, 0, 0.0, server_config.total_dram_gb
+                            None, shard, 0, 0.0, server_config.total_dram_gb
                         )
-                    if pool_size:
-                        session.submit(shard, True, pool_size, inf, None)
+                    if pool_size and topology is None:
+                        session.submit(
+                            policy_factory, shard, pool_size, inf, None
+                        )
 
             def replay(shard: int, dram_per_server_gb: Optional[float],
                        pool_sockets: int, pool_capacity_gb: float,
@@ -870,7 +1211,7 @@ class FleetSimulator:
                 core_only_rejections = 0
                 for shard in range(n_shards):
                     if session is not None:
-                        outcome = session.outcome(shard, False, 0, inf, None)
+                        outcome = session.outcome(None, shard, 0, inf, None)
                         core_only_rejections += outcome.rejected_vms
                         total_vms += outcome.placed_vms + outcome.rejected_vms
                     else:
@@ -914,14 +1255,17 @@ class FleetSimulator:
                 sum; parallel probes run every shard of a candidate (and the
                 speculated next candidates) concurrently -- the verdicts,
                 and therefore the result, are identical."""
+                factory = policy_factory if pool_caps is not None else None
                 if session is not None:
                     def rejections(dram: float) -> int:
                         return session.candidate_rejections(
-                            dram, pool_size, pool_caps
+                            factory, dram, pool_size, pool_caps
                         )
 
                     def prefetch(lo: float, hi: float) -> None:
-                        session.prefetch_bisection(pool_size, pool_caps, lo, hi)
+                        session.prefetch_bisection(
+                            factory, pool_size, pool_caps, lo, hi
+                        )
                 else:
                     def rejections(dram: float) -> int:
                         return total_rejections(dram, pool_caps)
@@ -959,6 +1303,91 @@ class FleetSimulator:
                     policy_stats=merged_stats,
                 )
 
+            if topology is not None:
+                # 3'. Provision the fleet's pool groups from one
+                # unconstrained cross-shard replay: every group of a
+                # provisioning domain is sized at headroom times the
+                # domain's worst observed peak.
+                n_servers_list = [cfg.n_servers for cfg in self.shard_configs]
+                server_cfg_list = [
+                    cfg.server_config for cfg in self.shard_configs
+                ]
+                unconstrained_results, ledger = replay_crossshard(
+                    inputs, policies, n_servers_list, server_cfg_list,
+                    topology, inf, False, self.sample_interval_s,
+                )
+                caps, required_pool_gb = topology.provision_capacities(
+                    ledger.peak_gb, pool_headroom
+                )
+                total_pool_allocated = 0.0
+                total_memory_allocated = 0.0
+                for shard_result in unconstrained_results:
+                    total_pool_allocated += shard_result.total_pool_gb_allocated
+                    total_memory_allocated += (
+                        shard_result.total_memory_gb_allocated
+                    )
+
+                # 4'. Smallest shared per-server DRAM with the fleet pools
+                # in place.  Every probe is a full cross-shard constrained
+                # replay against the provisioned ledger, memoised per
+                # candidate DRAM size.
+                topo_rejections: Dict[float, int] = {}
+
+                def topo_candidate_rejections(dram: float) -> int:
+                    cached = topo_rejections.get(dram)
+                    if cached is None:
+                        candidate = capacity_candidate_config(
+                            server_config, dram
+                        )
+                        probe_results, _ = replay_crossshard(
+                            inputs, policies, n_servers_list,
+                            [candidate] * n_shards, topology, caps, True,
+                            self.sample_interval_s,
+                        )
+                        cached = sum(r.rejected_vms for r in probe_results)
+                        topo_rejections[dram] = cached
+                    return cached
+
+                pooled_per_server = bisect_min_dram(
+                    server_config.total_dram_gb, search_steps, budget,
+                    topo_candidate_rejections,
+                )
+                for policy in policies:
+                    stats = getattr(policy, "stats", None)
+                    if stats is not None:
+                        merged_stats.add(stats)
+                if topology.is_per_shard:
+                    per_shard_caps = tuple(
+                        caps[topology.groups_of_shard(shard)[0]]
+                        for shard in range(n_shards)
+                    )
+                else:
+                    # A spanned group belongs to no single shard; read the
+                    # provisioning off ``pool_capacity_gb_by_group``.
+                    per_shard_caps = ()
+                return FleetCapacitySearchResult(
+                    savings=PoolSavings(
+                        pool_size_sockets=pool_size,
+                        baseline_dram_gb=baseline_gb,
+                        required_local_dram_gb=(
+                            pooled_per_server * total_servers
+                        ),
+                        required_pool_dram_gb=required_pool_gb,
+                        average_pool_fraction=(
+                            total_pool_allocated / total_memory_allocated
+                            if total_memory_allocated else 0.0
+                        ),
+                    ),
+                    baseline_per_server_gb=baseline_per_server,
+                    pooled_per_server_gb=pooled_per_server,
+                    per_shard_pool_capacity_gb=per_shard_caps,
+                    total_vms=total_vms,
+                    rejection_budget=budget,
+                    policy_stats=merged_stats,
+                    pool_topology=topology,
+                    pool_capacity_gb_by_group=caps,
+                )
+
             # 3. Provision each shard's pool groups from its unconstrained
             # peaks.
             pool_caps: List[float] = []
@@ -967,7 +1396,9 @@ class FleetSimulator:
             total_memory_allocated = 0.0
             for shard in range(n_shards):
                 if session is not None:
-                    outcome = session.outcome(shard, True, pool_size, inf, None)
+                    outcome = session.outcome(
+                        policy_factory, shard, pool_size, inf, None
+                    )
                     peaks = outcome.pool_peak_gb
                     shard_pool_gb = outcome.total_pool_gb
                     shard_memory_gb = outcome.total_memory_gb
@@ -993,7 +1424,7 @@ class FleetSimulator:
             pooled_per_server = min_shared_server_dram(pool_caps)
 
             if session is not None:
-                merged_stats = session.merged_stats()
+                merged_stats = session.drain_stats(policy_factory)
             else:
                 for policy in policies:
                     stats = getattr(policy, "stats", None)
@@ -1017,6 +1448,8 @@ class FleetSimulator:
                 rejection_budget=budget,
                 policy_stats=merged_stats,
             )
-        finally:
-            if session is not None:
-                session.close()
+        except BaseException:
+            # Executor lifecycle hardening: a failed search must not leave
+            # a half-used probe pool behind (the next call rebuilds one).
+            self._close_probe_session()
+            raise

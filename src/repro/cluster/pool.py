@@ -23,6 +23,7 @@ peak-observation mode is kept for ablations.
 from __future__ import annotations
 
 import copy
+import pickle
 import weakref
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -231,33 +232,34 @@ def probe_outcome_of(result: SimulationResult,
 
 
 #: Per-process state for dimensioner probe workers, set by the pool
-#: initializer (the trace and policy ship once per worker, not per probe).
+#: initializer (the heavy trace ships once per worker, not per probe;
+#: policies -- small picklables -- travel with each task so one session
+#: serves every policy of a study grid).
 _PROBE_STATE: dict = {}
 
 
-def _capacity_probe_init(trace, policy, n_servers, server_config,
+def _capacity_probe_init(trace, n_servers, server_config,
                          sample_interval_s, scheduler_strategy, engine) -> None:
     _PROBE_STATE.update(
-        trace=trace, policy=policy, n_servers=n_servers,
+        trace=trace, n_servers=n_servers,
         server_config=server_config, sample_interval_s=sample_interval_s,
         scheduler_strategy=scheduler_strategy, engine=engine,
     )
 
 
 def _run_capacity_probe(
-    task: Tuple[bool, int, float, Optional[float]]
+    task: Tuple[Optional[PoolPolicy], int, float, Optional[float]]
 ) -> CapacityProbeOutcome:
-    """Probe task: (use_policy, pool_size_sockets, pool_capacity_gb, dram).
+    """Probe task: (policy, pool_size_sockets, pool_capacity_gb, dram).
 
-    The policy is copied per probe (decisions are digest-keyed, so a copy
-    decides identically), making the outcome's ``policy_stats`` a clean
-    per-probe delta -- the session merges these back into the caller's
-    policy so parallel searches keep the stats accounting the sequential
-    in-process replays would have accumulated.
+    The policy arrives as this worker's own unpickled copy (decisions are
+    digest-keyed, so a copy decides identically); its accounting is zeroed
+    so the outcome's ``policy_stats`` is a clean per-probe delta -- the
+    session merges these back into the caller's policy so parallel searches
+    keep the stats accounting the sequential in-process replays would have
+    accumulated.
     """
-    use_policy, pool_size_sockets, pool_capacity_gb, dram = task
-    state = _PROBE_STATE
-    policy = copy.deepcopy(state["policy"]) if use_policy else None
+    policy, pool_size_sockets, pool_capacity_gb, dram = task
     if policy is not None:
         # The shipped policy may carry stats accumulated before this search
         # (policy reuse across calls); zero the copy's accounting so the
@@ -265,6 +267,7 @@ def _run_capacity_probe(
         stats = getattr(policy, "stats", None)
         if stats is not None:
             policy.stats = type(stats)()
+    state = _PROBE_STATE
     result = capacity_probe_replay(
         state["trace"], policy,
         state["n_servers"], state["server_config"], pool_size_sockets,
@@ -274,62 +277,200 @@ def _run_capacity_probe(
     return probe_outcome_of(result, policy)
 
 
-class _CapacityProbeSession:
-    """Memoised capacity-search probes, inline or on a process pool.
+def _shutdown_executor(executor: ProcessPoolExecutor) -> None:
+    """Finalizer-safe executor shutdown (no session references captured)."""
+    executor.shutdown(wait=False, cancel_futures=True)
 
-    Probes are keyed on ``(use_policy, pool_size_sockets, pool_capacity_gb,
-    dram)``.  The parallel session ships the trace and policy to workers once
-    (pool initializer) and exposes :meth:`submit` / :meth:`prefetch_bisection`
-    so independent probes -- the rejection-budget replay, the
-    pool-provisioning replay, and speculative bisection candidates -- run
-    concurrently while the caller blocks only on the probe it needs next.
-    Sequential and parallel sessions produce identical outcomes; parallelism
-    only changes *when* probes run.
+
+def _probe_fingerprint(obj) -> Optional[bytes]:
+    """Value-based fingerprint of a policy (or policy factory) for memo keys.
+
+    Reused sessions memoise probe outcomes across calls, so the key must
+    change when a policy is *mutated in place* between searches -- an
+    identity token would silently serve the pre-mutation outcome.  The
+    fingerprint pickles the object's state with the ``stats`` accounting
+    stripped (stats accumulate during probing but never influence
+    decisions, so including them would spuriously invalidate every memo).
+    Returns ``None`` when the object cannot be fingerprinted (unpicklable
+    state); callers fall back to a pinned identity token.
+    """
+    if obj is None:
+        return None
+    try:
+        getstate = getattr(obj, "__getstate__", None)
+        if getstate is not None:
+            state = getstate()
+        elif hasattr(obj, "__dict__"):
+            state = dict(obj.__dict__)
+        else:
+            state = None
+        if isinstance(state, dict):
+            payload = (
+                type(obj).__module__,
+                type(obj).__qualname__,
+                {k: v for k, v in state.items() if k != "stats"},
+            )
+        else:
+            payload = obj
+        return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        return None
+
+
+class _ProbeSessionBase:
+    """Shared mechanics of the reusable capacity-probe sessions.
+
+    Owns what :class:`_CapacityProbeSession` (dimensioner) and the fleet's
+    ``_FleetProbeSession`` have in common, so the two cannot drift: the
+    memo/future tables, value-based policy tokens (:func:`_probe_fingerprint`
+    with a pinned-identity fallback), per-token pending-stat draining, the
+    in-flight cap helper, and the executor lifecycle (idempotent ``close``,
+    context-manager protocol, a ``weakref.finalize`` guard for sessions
+    dropped unclosed).
     """
 
-    def __init__(self, dimensioner: "PoolDimensioner", trace: ClusterTrace,
-                 policy: Optional[PoolPolicy]) -> None:
-        self._dimensioner = dimensioner
-        self._trace = trace
-        self._policy = policy
+    def __init__(self) -> None:
         self._outcomes: Dict[tuple, CapacityProbeOutcome] = {}
         self._futures: Dict[tuple, object] = {}
+        #: fallback identity tokens for un-fingerprintable objects (strong
+        #: refs pin them so ids are never recycled; in-place mutation is
+        #: then indistinguishable, which is the best an identity key can do).
+        self._id_tokens: Dict[int, tuple] = {}
+        self._pinned: list = []
+        #: probe-stat deltas not yet drained, keyed by token.
+        self._pending_stats: Dict[object, list] = {}
         self._executor: Optional[ProcessPoolExecutor] = None
+        self._finalizer = None
+        self._max_inflight = 0
+
+    def _attach_executor(self, executor: ProcessPoolExecutor,
+                         max_inflight: int) -> None:
+        self._executor = executor
+        self._max_inflight = max_inflight
+        self._finalizer = weakref.finalize(self, _shutdown_executor, executor)
+
+    def _token(self, obj):
+        """Stable memo-key token: value-based when possible, pinned identity
+        otherwise."""
+        if obj is None:
+            return None
+        digest = _probe_fingerprint(obj)
+        if digest is not None:
+            return digest
+        token = self._id_tokens.get(id(obj))
+        if token is None:
+            token = ("id", len(self._pinned))
+            self._id_tokens[id(obj)] = token
+            self._pinned.append(obj)
+        return token
+
+    def _inflight_full(self) -> bool:
+        return sum(
+            1 for f in self._futures.values() if not f.done()
+        ) >= self._max_inflight
+
+    def _record_outcome(self, key: tuple,
+                        outcome: CapacityProbeOutcome) -> None:
+        self._outcomes[key] = outcome
+        if outcome.policy_stats is not None and key[0] is not None:
+            self._pending_stats.setdefault(key[0], []).append(
+                outcome.policy_stats
+            )
+
+    def _drain_stat_deltas(self, obj) -> list:
+        """Pop (once) the stat deltas of ``obj``'s probes run since the last
+        drain; memoised probes from earlier calls are never double-counted."""
+        token = self._token(obj)
+        if token is None:
+            return []
+        return self._pending_stats.pop(token, [])
+
+    def close(self) -> None:
+        if self._executor is not None:
+            if self._finalizer is not None:
+                self._finalizer.detach()
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+        self._futures.clear()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class _CapacityProbeSession(_ProbeSessionBase):
+    """Memoised capacity-search probes, inline or on a process pool.
+
+    Probes are keyed on ``(policy, pool_size_sockets, pool_capacity_gb,
+    dram)`` -- the policy via a value-based fingerprint
+    (:func:`_probe_fingerprint`), so mutating a policy in place between
+    searches changes the key instead of serving a stale memoised outcome
+    (unpicklable policies fall back to a pinned identity token, which cannot
+    detect in-place mutation).  The parallel session ships the trace to
+    workers once (pool initializer); policies ride along with each probe
+    task, so **one session serves every policy and pool size of a study
+    grid**.  :meth:`submit` / :meth:`prefetch_bisection` let independent
+    probes -- the rejection-budget replay, the pool-provisioning replay, and
+    speculative bisection candidates -- run concurrently while the caller
+    blocks only on the probe it needs next.  Sequential and parallel
+    sessions produce identical outcomes; parallelism only changes *when*
+    probes run.
+
+    Sessions are reusable across ``evaluate_capacity_search`` calls
+    (memoised outcomes are sound: probes are deterministic per key);
+    :class:`PoolDimensioner` owns one and invalidates it when the trace or
+    the dimensioner configuration changes.  ``close()`` is idempotent, the
+    context-manager protocol closes on exit, and a ``weakref.finalize``
+    guard shuts the worker pool down if the session is dropped unclosed.
+    """
+
+    def __init__(self, dimensioner: "PoolDimensioner",
+                 trace: ClusterTrace) -> None:
+        super().__init__()
+        self._dimensioner = dimensioner
+        self._trace = trace
         workers = dimensioner.max_workers
         if workers is not None and workers > 1:
-            self._executor = ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_capacity_probe_init,
-                initargs=(
-                    trace, policy, dimensioner.n_servers,
-                    dimensioner.server_config, dimensioner.sample_interval_s,
-                    dimensioner.scheduler_strategy, dimensioner.engine,
+            self._attach_executor(
+                ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_capacity_probe_init,
+                    initargs=(
+                        trace, dimensioner.n_servers,
+                        dimensioner.server_config,
+                        dimensioner.sample_interval_s,
+                        dimensioner.scheduler_strategy, dimensioner.engine,
+                    ),
                 ),
+                max_inflight=2 * workers,
             )
-            self._max_inflight = 2 * workers
 
     @property
     def parallel(self) -> bool:
         return self._executor is not None
 
-    def submit(self, use_policy: bool, pool_size_sockets: int,
+    def submit(self, policy: Optional[PoolPolicy], pool_size_sockets: int,
                pool_capacity_gb: float, dram: Optional[float]) -> None:
         """Non-blocking speculative probe; no-op when sequential or saturated."""
         if self._executor is None:
             return
-        key = (use_policy, pool_size_sockets, pool_capacity_gb, dram)
+        key = (self._token(policy), pool_size_sockets, pool_capacity_gb, dram)
         if key in self._outcomes or key in self._futures:
             return
-        inflight = sum(1 for f in self._futures.values() if not f.done())
-        if inflight >= self._max_inflight:
+        if self._inflight_full():
             return
-        self._futures[key] = self._executor.submit(_run_capacity_probe, key)
+        self._futures[key] = self._executor.submit(
+            _run_capacity_probe,
+            (policy, pool_size_sockets, pool_capacity_gb, dram),
+        )
 
-    def outcome(self, use_policy: bool, pool_size_sockets: int,
+    def outcome(self, policy: Optional[PoolPolicy], pool_size_sockets: int,
                 pool_capacity_gb: float,
                 dram: Optional[float]) -> CapacityProbeOutcome:
         """Blocking probe result (memoised)."""
-        key = (use_policy, pool_size_sockets, pool_capacity_gb, dram)
+        key = (self._token(policy), pool_size_sockets, pool_capacity_gb, dram)
         cached = self._outcomes.get(key)
         if cached is not None:
             return cached
@@ -337,19 +478,23 @@ class _CapacityProbeSession:
         if future is not None:
             result = future.result()
         elif self._executor is not None:
-            result = self._executor.submit(_run_capacity_probe, key).result()
+            result = self._executor.submit(
+                _run_capacity_probe,
+                (policy, pool_size_sockets, pool_capacity_gb, dram),
+            ).result()
         else:
             dim = self._dimensioner
             result = probe_outcome_of(capacity_probe_replay(
-                self._trace, self._policy if use_policy else None,
+                self._trace, policy,
                 dim.n_servers, dim.server_config, pool_size_sockets,
                 pool_capacity_gb, dram, dim.sample_interval_s,
                 dim.scheduler_strategy, dim.engine,
             ))
-        self._outcomes[key] = result
+        self._record_outcome(key, result)
         return result
 
-    def prefetch_bisection(self, use_policy: bool, pool_size_sockets: int,
+    def prefetch_bisection(self, policy: Optional[PoolPolicy],
+                           pool_size_sockets: int,
                            pool_capacity_gb: float, lo: float, hi: float,
                            depth: int = 3) -> None:
         """Speculatively submit the bisection tree under ``(lo, hi)``.
@@ -367,26 +512,26 @@ class _CapacityProbeSession:
             next_frontier = []
             for low, high in frontier:
                 mid = (low + high) / 2.0
-                self.submit(use_policy, pool_size_sockets, pool_capacity_gb, mid)
+                self.submit(policy, pool_size_sockets, pool_capacity_gb, mid)
                 next_frontier.append((low, mid))
                 next_frontier.append((mid, high))
             frontier = next_frontier
 
-    def merged_policy_stats(self):
-        """Sum of the per-probe policy-stats deltas returned by workers."""
-        merged = None
-        for outcome in self._outcomes.values():
-            if outcome.policy_stats is not None:
-                if merged is None:
-                    merged = copy.deepcopy(outcome.policy_stats)
-                else:
-                    merged.add(outcome.policy_stats)
-        return merged
+    def drain_policy_stats(self, policy: Optional[PoolPolicy]):
+        """Merge (and clear) the stat deltas of ``policy``'s new probes.
 
-    def close(self) -> None:
-        if self._executor is not None:
-            self._executor.shutdown(wait=True, cancel_futures=True)
-            self._executor = None
+        Draining keeps reused sessions honest: a probe memoised by an
+        earlier call already folded its delta into the caller's policy then
+        and is not counted again.  Returns ``None`` when there is nothing
+        to fold.
+        """
+        merged = None
+        for stats in self._drain_stat_deltas(policy):
+            if merged is None:
+                merged = copy.deepcopy(stats)
+            else:
+                merged.add(stats)
+        return merged
 
 
 def bisect_min_dram(hi: float, steps: int, budget: int,
@@ -479,6 +624,60 @@ class PoolDimensioner:
         self._rejection_cache: "weakref.WeakKeyDictionary[ClusterTrace, int]" = (
             weakref.WeakKeyDictionary()
         )
+        # Reusable probe session (ROADMAP: sessions survive across
+        # evaluate_capacity_search calls).  Valid for one trace identity and
+        # one dimensioner configuration; the trace is pinned by strong
+        # reference while the session lives (``close()`` releases it).
+        self._probe_session: Optional[_CapacityProbeSession] = None
+        self._probe_session_trace: Optional[ClusterTrace] = None
+        self._probe_session_fingerprint: Optional[tuple] = None
+
+    # -- probe-session lifecycle -------------------------------------------------------
+    def _session_fingerprint(self) -> tuple:
+        """The configuration a probe session (and its memos) depends on."""
+        return (
+            self.n_servers, self.server_config, self.sample_interval_s,
+            self.scheduler_strategy, self.engine, self.max_workers,
+        )
+
+    def probe_session(self, trace: ClusterTrace) -> _CapacityProbeSession:
+        """The reusable probe session for ``trace``, created on first use.
+
+        One session -- one worker pool, one shipped trace -- serves every
+        ``evaluate_capacity_search`` call over the same trace, across pool
+        sizes *and* policies (policies travel with each probe task).  A
+        different trace, or any change to the dimensioner's configuration,
+        invalidates the session: its memoised outcomes were computed under
+        the old key, so it is closed and rebuilt.
+        """
+        fingerprint = self._session_fingerprint()
+        if (self._probe_session is not None
+                and self._probe_session_trace is trace
+                and self._probe_session_fingerprint == fingerprint):
+            return self._probe_session
+        self.close()
+        self._probe_session = _CapacityProbeSession(self, trace)
+        self._probe_session_trace = trace
+        self._probe_session_fingerprint = fingerprint
+        return self._probe_session
+
+    def close(self) -> None:
+        """Shut down the reusable probe session (idempotent).
+
+        The dimensioner stays usable; the next capacity search lazily builds
+        a fresh session.
+        """
+        if self._probe_session is not None:
+            self._probe_session.close()
+            self._probe_session = None
+        self._probe_session_trace = None
+        self._probe_session_fingerprint = None
+
+    def __enter__(self) -> "PoolDimensioner":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # -- simulation helpers -----------------------------------------------------------
     def _simulate(
@@ -502,7 +701,7 @@ class PoolDimensioner:
         """Rejections due to core/NUMA fragmentation alone (memory unconstrained)."""
         if trace not in self._rejection_cache:
             if session is not None:
-                rejected = session.outcome(False, 0, float("inf"), None).rejected_vms
+                rejected = session.outcome(None, 0, float("inf"), None).rejected_vms
             else:
                 rejected = self._simulate(trace, None, 0, float("inf"), None).rejected_vms
             self._rejection_cache[trace] = rejected
@@ -540,17 +739,15 @@ class PoolDimensioner:
 
             prefetch = None
         else:
-            use_policy = policy is not None
-
             def rejections(dram: float) -> int:
                 return session.outcome(
-                    use_policy, pool_size_sockets, pool_capacity_gb, dram
+                    policy, pool_size_sockets, pool_capacity_gb, dram
                 ).rejected_vms
 
             if session.parallel:
                 def prefetch(lo: float, hi: float) -> None:
                     session.prefetch_bisection(
-                        use_policy, pool_size_sockets, pool_capacity_gb, lo, hi
+                        policy, pool_size_sockets, pool_capacity_gb, lo, hi
                     )
             else:
                 prefetch = None
@@ -672,8 +869,16 @@ class PoolDimensioner:
         candidates (see :func:`bisect_min_dram`).  The returned savings are
         identical to the sequential search -- parallelism only changes when
         probes run, never which verdicts they produce.
+
+        The probe pool is a **reusable session** (see :meth:`probe_session`):
+        repeated searches over the same trace -- a Figure-21 grid sweeping
+        pool sizes and policies -- share one worker pool, one shipped trace,
+        and the memoised probe outcomes, instead of paying worker spawn and
+        trace shipping once per cell.  The session is torn down whenever the
+        trace or the dimensioner configuration changes, on any exception,
+        and by :meth:`close` / the context-manager exit.
         """
-        session = _CapacityProbeSession(self, trace, policy)
+        session = self.probe_session(trace)
         try:
             inf = float("inf")
             if session.parallel:
@@ -681,11 +886,11 @@ class PoolDimensioner:
                 # other begin together (budget replay, no-pool baseline upper
                 # bound, pool-provisioning replay).
                 if trace not in self._rejection_cache:
-                    session.submit(False, 0, inf, None)
+                    session.submit(None, 0, inf, None)
                 if trace not in self._baseline_cache:
-                    session.submit(False, 0, 0.0, self.server_config.total_dram_gb)
+                    session.submit(None, 0, 0.0, self.server_config.total_dram_gb)
                 if pool_size_sockets:
-                    session.submit(True, pool_size_sockets, inf, None)
+                    session.submit(policy, pool_size_sockets, inf, None)
             baseline = self._baseline_required_dram_gb(trace, session)
             if pool_size_sockets == 0:
                 return PoolSavings(
@@ -695,7 +900,7 @@ class PoolDimensioner:
                     required_pool_dram_gb=0.0,
                     average_pool_fraction=0.0,
                 )
-            unconstrained = session.outcome(True, pool_size_sockets, inf, None)
+            unconstrained = session.outcome(policy, pool_size_sockets, inf, None)
             if unconstrained.pool_peak_gb:
                 per_group_pool = self.pool_headroom * max(
                     unconstrained.pool_peak_gb.values()
@@ -713,9 +918,11 @@ class PoolDimensioner:
                 # policy so `policy.stats` keeps working like the sequential
                 # search (the executed probe multiset can differ --
                 # speculation -- but every probe replays the same trace, so
-                # the stats ratios are preserved).
+                # the stats ratios are preserved).  Draining takes only the
+                # deltas of probes run since the last call, so a reused
+                # session never double-counts.
                 stats = getattr(policy, "stats", None)
-                probe_stats = session.merged_policy_stats()
+                probe_stats = session.drain_policy_stats(policy)
                 if stats is not None and probe_stats is not None:
                     stats.add(probe_stats)
             return PoolSavings(
@@ -725,8 +932,11 @@ class PoolDimensioner:
                 required_pool_dram_gb=per_group_pool * n_groups,
                 average_pool_fraction=unconstrained.average_pool_fraction,
             )
-        finally:
-            session.close()
+        except BaseException:
+            # Executor lifecycle hardening: a failed search must not leave a
+            # half-used probe pool behind (the next call rebuilds one).
+            self.close()
+            raise
 
     def sweep_pool_sizes(
         self,

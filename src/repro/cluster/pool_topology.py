@@ -1,0 +1,553 @@
+"""Fleet-level pool topologies: pool groups that may span cluster shards.
+
+The paper's pool-scope sensitivity result (Figure 4) is that how many
+sockets share one CXL pool drives both the achievable DRAM savings and the
+blast radius of a pool failure, with 16-64-socket pools spanning multiple
+chassis or racks.  The sharded fleet simulator models each shard as one
+independent cluster, so out of the box "pools never span shards" -- the
+rack-scale regime where one pool serves servers from *two* clusters could
+not be replayed.  This module lifts pool-group ownership out of the
+single-cluster simulator:
+
+* :class:`PoolTopology` maps every ``(shard, server)`` of a fleet to a
+  *fleet-level* pool group id.  :meth:`PoolTopology.per_shard` reproduces
+  the classic intra-shard grouping (the degenerate topology, byte-identical
+  to the shardwise path -- differential-tested like ``engine="object"``);
+  :meth:`PoolTopology.spanning` blocks groups across the concatenated fleet
+  server list, ignoring shard boundaries, so one group can span clusters.
+* :class:`PoolGroupLedger` owns the per-group free/used/peak accounting.
+  Engines do not copy it: every shard's :class:`ArrayPlacementEngine` is
+  constructed over the *same* ledger dicts, so a pool draw in one shard is
+  immediately visible to placement feasibility checks in another.
+* :func:`replay_crossshard` replays the shards of a fleet as **one merged
+  time-ordered event stream** (arrivals k-way merged across shards,
+  departures and per-shard samples in a single event heap), which is what
+  makes a shared group's capacity constraint physically meaningful: two
+  shards contending for one group contend at simulation time, not
+  shard-serially.
+
+Ordering contract (mirrors ``ClusterSimulator``'s merged loop): at equal
+timestamps the order is departures, then samples, then arrivals, with
+deterministic shard-index tie-breaks; per shard, the relative event order is
+exactly the single-cluster simulator's, which is why the degenerate
+per-shard topology reproduces ``FleetSimulator``'s classic results
+byte-for-byte (enforced by ``tests/test_pool_topology.py``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.cluster.engine import ArrayPlacementEngine
+from repro.cluster.scheduler import PlacementError
+from repro.cluster.server import ServerConfig
+from repro.cluster.simulator import (
+    SimulationResult,
+    TraceInput,
+    block_replay_columns,
+    effective_server_config,
+    iter_policy_blocks,
+)
+from repro.cluster.trace import ClusterTrace
+
+__all__ = ["PoolTopology", "PoolGroupLedger", "replay_crossshard"]
+
+
+class PoolTopology:
+    """Fleet-wide mapping of servers to pool groups, with provisioning domains.
+
+    ``group_of[shard][server]`` is the fleet-level pool group id serving that
+    server.  Group ids are contiguous (``0 .. n_groups - 1``) and every
+    server belongs to exactly one group -- the topology describes a fully
+    pooled fleet (use ``pool_size_sockets=0`` on the fleet itself for the
+    unpooled regime).
+
+    ``domain_of_group`` partitions groups into **provisioning domains**: pool
+    blades are bought uniformly within a domain, so the capacity search
+    provisions every group of a domain at the domain's worst observed peak
+    (times headroom).  The per-shard topology uses one domain per shard --
+    exactly today's per-cluster provisioning -- while spanning topologies
+    default to a single fleet-wide domain (one blade SKU for the whole
+    deployment).
+    """
+
+    def __init__(
+        self,
+        group_of: Sequence[Sequence[int]],
+        sockets_per_server: int,
+        pool_size_sockets: int,
+        domain_of_group: Optional[Sequence[int]] = None,
+    ) -> None:
+        if not group_of:
+            raise ValueError("need at least one shard")
+        if sockets_per_server < 1:
+            raise ValueError("sockets_per_server must be >= 1")
+        if pool_size_sockets < 1:
+            raise ValueError(
+                "pool_size_sockets must be >= 1 (an unpooled fleet needs no "
+                "topology)"
+            )
+        if pool_size_sockets % sockets_per_server != 0:
+            raise ValueError(
+                "pool_size_sockets must be a multiple of the server socket count"
+            )
+        self.group_of: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(int(g) for g in shard) for shard in group_of
+        )
+        if any(not shard for shard in self.group_of):
+            raise ValueError("every shard must have at least one server")
+        self.sockets_per_server = sockets_per_server
+        self.pool_size_sockets = pool_size_sockets
+        self.shard_sizes: Tuple[int, ...] = tuple(len(s) for s in self.group_of)
+        self.n_shards = len(self.group_of)
+        self.total_servers = sum(self.shard_sizes)
+
+        seen = sorted({g for shard in self.group_of for g in shard})
+        if seen[0] != 0 or seen[-1] != len(seen) - 1:
+            raise ValueError(
+                f"group ids must be contiguous 0..n-1, got {seen[:8]}..."
+            )
+        self.n_groups = len(seen)
+
+        # -- derived indices -------------------------------------------------------
+        sizes = [0] * self.n_groups
+        shards_of: List[set] = [set() for _ in range(self.n_groups)]
+        by_shard: List[List[int]] = []
+        for shard, assignment in enumerate(self.group_of):
+            shard_groups: List[int] = []
+            for group in assignment:
+                sizes[group] += 1
+                shards_of[group].add(shard)
+                if group not in shard_groups:
+                    shard_groups.append(group)
+            by_shard.append(sorted(shard_groups))
+        #: servers attached to each group, fleet-wide.
+        self.group_server_count: Tuple[int, ...] = tuple(sizes)
+        #: shards each group touches (ascending).
+        self.group_shards: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(sorted(s)) for s in shards_of
+        )
+        #: groups each shard's servers attach to (ascending fleet ids).
+        self._groups_by_shard: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(g) for g in by_shard
+        )
+
+        if domain_of_group is None:
+            domains: Tuple[int, ...] = (0,) * self.n_groups
+        else:
+            domains = tuple(int(d) for d in domain_of_group)
+            if len(domains) != self.n_groups:
+                raise ValueError("domain_of_group must have one entry per group")
+        self.domain_of_group = domains
+        #: domain id -> its groups, both ascending (provisioning iterates
+        #: domains in this order, matching the shardwise accumulation order
+        #: of the classic capacity search for per-shard topologies).
+        by_domain: Dict[int, List[int]] = {}
+        for group in range(self.n_groups):
+            by_domain.setdefault(self.domain_of_group[group], []).append(group)
+        self.groups_by_domain: Dict[int, Tuple[int, ...]] = {
+            d: tuple(by_domain[d]) for d in sorted(by_domain)
+        }
+
+    # -- constructors --------------------------------------------------------------
+    @classmethod
+    def per_shard(cls, shard_sizes: Sequence[int], sockets_per_server: int,
+                  pool_size_sockets: int) -> "PoolTopology":
+        """The degenerate topology: groups confined to shards.
+
+        Reproduces ``ClusterSimulator._build_cluster`` grouping inside every
+        shard (``server // servers_per_group``, fleet ids offset per shard)
+        with one provisioning domain per shard -- the exact regime the
+        shardwise fleet path models, kept as the differential anchor.
+        """
+        servers_per_group = max(1, pool_size_sockets // sockets_per_server)
+        group_of: List[List[int]] = []
+        domains: List[int] = []
+        next_group = 0
+        for shard, n_servers in enumerate(shard_sizes):
+            local = [i // servers_per_group for i in range(n_servers)]
+            n_local = local[-1] + 1 if local else 0
+            group_of.append([next_group + g for g in local])
+            domains.extend([shard] * n_local)
+            next_group += n_local
+        return cls(group_of, sockets_per_server, pool_size_sockets, domains)
+
+    @classmethod
+    def spanning(cls, shard_sizes: Sequence[int], sockets_per_server: int,
+                 pool_size_sockets: int) -> "PoolTopology":
+        """Groups blocked across the concatenated fleet server list.
+
+        Shard boundaries are ignored: server ``k`` of the fleet-wide
+        enumeration joins group ``k // servers_per_group``, so a group at a
+        shard seam serves servers from two (or more) clusters -- the
+        rack-scale pooling regime.  One fleet-wide provisioning domain.
+        """
+        servers_per_group = max(1, pool_size_sockets // sockets_per_server)
+        group_of: List[List[int]] = []
+        offset = 0
+        for n_servers in shard_sizes:
+            group_of.append(
+                [(offset + i) // servers_per_group for i in range(n_servers)]
+            )
+            offset += n_servers
+        return cls(group_of, sockets_per_server, pool_size_sockets)
+
+    # -- views ---------------------------------------------------------------------
+    def groups_of_shard(self, shard: int) -> Tuple[int, ...]:
+        """Fleet group ids a shard's servers attach to (ascending)."""
+        return self._groups_by_shard[shard]
+
+    def local_group_ids(self, shard: int) -> Dict[int, int]:
+        """fleet group id -> shard-local group id (ascending enumeration).
+
+        For :meth:`per_shard` topologies this recovers exactly the local ids
+        ``ClusterSimulator`` would have used, which is how the degenerate
+        replay reports byte-identical per-shard ``pool_peak_gb`` dicts.
+        """
+        return {g: i for i, g in enumerate(self._groups_by_shard[shard])}
+
+    @property
+    def spanning_group_ids(self) -> Tuple[int, ...]:
+        """Groups whose servers live in more than one shard."""
+        return tuple(
+            g for g in range(self.n_groups) if len(self.group_shards[g]) > 1
+        )
+
+    @property
+    def is_per_shard(self) -> bool:
+        """True when no group spans shards *and* domains follow shards.
+
+        This is the degenerate regime whose results are byte-identical to the
+        classic shardwise fleet path; anything else is fleet-owned.
+        """
+        return all(
+            len(self.group_shards[g]) == 1
+            and self.domain_of_group[g] == self.group_shards[g][0]
+            for g in range(self.n_groups)
+        )
+
+    # -- provisioning --------------------------------------------------------------
+    def provision_capacities(
+        self, peaks: Dict[int, float], headroom: float,
+    ) -> Tuple[Dict[int, float], float]:
+        """Uniform per-domain pool capacities from observed group peaks.
+
+        Every group of a domain is provisioned at ``headroom`` times the
+        domain's worst per-group peak (pool blades are bought uniformly
+        within a domain).  Returns ``(capacity per group, total provisioned
+        GB)``; the total is accumulated domain by domain as ``capacity *
+        n_groups`` -- the same float arithmetic the classic per-shard search
+        uses, so degenerate topologies provision byte-identically.
+        """
+        caps: Dict[int, float] = {}
+        required_total = 0.0
+        for _domain, groups in self.groups_by_domain.items():
+            cap = headroom * max(peaks.get(g, 0.0) for g in groups)
+            for group in groups:
+                caps[group] = cap
+            required_total += cap * len(groups)
+        return caps, required_total
+
+    def uniform_pool_requirement_gb(self, peaks: Dict[int, float]) -> float:
+        """Fleet-owned uniform pool provisioning from observed group peaks.
+
+        The per-server normalised analogue of
+        :func:`repro.cluster.pool.uniform_pool_requirement_gb`: blades are
+        deployed with one capacity per attached server fleet-wide, so the
+        requirement is the worst per-server group demand times the fleet
+        server count.  Used for the savings of spanning topologies, where no
+        single shard owns a group.
+        """
+        if not peaks:
+            return 0.0
+        worst_per_server = 0.0
+        for group, peak in peaks.items():
+            size = self.group_server_count[group]
+            if size <= 0:
+                continue
+            worst_per_server = max(worst_per_server, peak / size)
+        return worst_per_server * self.total_servers
+
+
+class PoolGroupLedger:
+    """Fleet-owned pool-group accounting shared by every shard's engine.
+
+    The three dicts are handed to each :class:`ArrayPlacementEngine` (which
+    mutates them in place), so a draw in one shard is immediately visible to
+    every other shard sharing the group -- capacity feasibility, usage
+    samples, and peaks are all fleet-level facts.
+    """
+
+    def __init__(self, capacities: Dict[int, float]) -> None:
+        self.capacity_gb: Dict[int, float] = dict(capacities)
+        self.free_gb: Dict[int, float] = dict(capacities)
+        self.used_gb: Dict[int, float] = {g: 0.0 for g in capacities}
+        self.peak_gb: Dict[int, float] = {g: 0.0 for g in capacities}
+
+    @classmethod
+    def for_topology(
+        cls, topology: PoolTopology,
+        capacity: Union[float, Dict[int, float]],
+    ) -> "PoolGroupLedger":
+        """Ledger over a topology's groups: one shared capacity, or per group."""
+        if isinstance(capacity, dict):
+            missing = [g for g in range(topology.n_groups) if g not in capacity]
+            if missing:
+                raise ValueError(f"capacity missing for groups {missing[:8]}")
+            caps = {g: capacity[g] for g in range(topology.n_groups)}
+        else:
+            caps = {g: capacity for g in range(topology.n_groups)}
+        return cls(caps)
+
+
+def _shard_arrival_events(
+    shard: int,
+    trace: TraceInput,
+    policy,
+    use_pool: bool,
+) -> Iterator[Tuple[float, float, int, float, str, float]]:
+    """One shard's ``(arrival, departure, cores, memory, vm_id, pool_gb)``
+    stream, in arrival order, with pool allocations resolved exactly like
+    the single-cluster replay (shared :func:`iter_policy_blocks`)."""
+    streaming = not isinstance(trace, ClusterTrace)
+    last_arrival = 0.0
+    for block, records, allocations in iter_policy_blocks(
+        trace, policy, None, use_pool
+    ):
+        vm_ids, arrivals, departs, cores_col, memory_col = (
+            block_replay_columns(block, records)
+        )
+        n_block = len(vm_ids)
+        if streaming and n_block:
+            prev = last_arrival
+            for index in range(n_block):
+                arrival = arrivals[index]
+                if arrival < prev:
+                    raise ValueError(
+                        f"stream records must be sorted by arrival time "
+                        f"({vm_ids[index]!r} arrives at {arrival} after "
+                        f"{prev})"
+                    )
+                prev = arrival
+            last_arrival = prev
+        if allocations is None:
+            if policy is not None and use_pool:
+                allocations = [
+                    float(np.clip(policy(r), 0.0, r.memory_gb)) for r in records
+                ]
+            else:
+                allocations = [0.0] * n_block
+        yield from zip(arrivals, departs, cores_col, memory_col, vm_ids,
+                       allocations)
+
+
+#: Event kinds in the merged heap; at equal timestamps departures fire first,
+#: then grid samples, then horizon samples, then (outside the heap) arrivals
+#: -- the single-cluster simulator's ordering, per shard.
+_KIND_DEPARTURE = 0
+_KIND_SAMPLE = 1
+_KIND_HORIZON = 2
+_KIND_ARRIVAL = 3  # sentinel used only in pump limits; arrivals are not heaped
+
+
+def replay_crossshard(
+    inputs: Sequence[TraceInput],
+    policies: Sequence[object],
+    n_servers_per_shard: Sequence[int],
+    server_configs: Sequence[ServerConfig],
+    topology: PoolTopology,
+    capacity: Union[float, Dict[int, float]],
+    constrain_memory: bool,
+    sample_interval_s: float,
+    record_placements: bool = False,
+) -> Tuple[List[SimulationResult], PoolGroupLedger]:
+    """Replay a fleet as one merged event stream over a shared group ledger.
+
+    Each shard keeps its own placement engine, sample grid, and result (a
+    shard is still one scheduling domain: VMs never migrate across shards);
+    only the pool groups are fleet-owned.  Returns one
+    :class:`SimulationResult` per shard plus the ledger, whose ``peak_gb``
+    holds the fleet-level per-group peaks.
+
+    For a :meth:`PoolTopology.per_shard` topology the per-shard results are
+    byte-identical to running each shard through ``ClusterSimulator`` on its
+    own (same floats, same sample rows, same peaks): disjoint shards never
+    read each other's state, and per shard the event order and arithmetic
+    match the single-cluster loop operation for operation.  Shard results of
+    spanning topologies report ``pool_peak_gb = {}`` -- a spanned group's
+    peak belongs to the fleet, not to any one shard (read it off the
+    returned ledger).
+    """
+    n_shards = len(inputs)
+    if not (len(policies) == len(n_servers_per_shard) == len(server_configs)
+            == n_shards == topology.n_shards):
+        raise ValueError("inputs/policies/configs/topology shard counts differ")
+    for shard in range(n_shards):
+        if n_servers_per_shard[shard] != topology.shard_sizes[shard]:
+            raise ValueError(
+                f"topology maps {topology.shard_sizes[shard]} servers for "
+                f"shard {shard}, fleet has {n_servers_per_shard[shard]}"
+            )
+
+    ledger = PoolGroupLedger.for_topology(topology, capacity)
+    engines: List[ArrayPlacementEngine] = []
+    results: List[SimulationResult] = []
+    for shard in range(n_shards):
+        engines.append(ArrayPlacementEngine(
+            n_servers_per_shard[shard],
+            effective_server_config(server_configs[shard], constrain_memory),
+            group_of=list(topology.group_of[shard]),
+            pool_free_gb=ledger.free_gb,
+            pool_used_gb=ledger.used_gb,
+            pool_peak_gb=ledger.peak_gb,
+        ))
+        results.append(SimulationResult())
+
+    shard_groups = [topology.groups_of_shard(s) for s in range(n_shards)]
+    total_cores = [e.total_cores for e in engines]
+    total_dram = [
+        n_servers_per_shard[s] * server_configs[s].total_dram_gb
+        for s in range(n_shards)
+    ]
+    last_sample: List[Optional[float]] = [None] * n_shards
+    done = [False] * n_shards
+    placed = [0] * n_shards
+    rejected = [0] * n_shards
+    total_memory = [0.0] * n_shards
+    total_pool = [0.0] * n_shards
+    placed_ids: List[List[str]] = [[] for _ in range(n_shards)]
+    placed_srv: List[List[int]] = [[] for _ in range(n_shards)]
+
+    def take_sample(shard: int, time_s: float) -> None:
+        eng = engines[shard]
+        stranded = eng.stranded_gb
+        if stranded < 0.0:
+            stranded = 0.0
+        used_pool = 0.0
+        for group in shard_groups[shard]:
+            used_pool += ledger.used_gb[group]
+        results[shard].sample_buffer.append_row((
+            time_s,
+            eng.used_cores / total_cores[shard],
+            100.0 * eng.used_cores / total_cores[shard],
+            eng.used_local_gb,
+            used_pool,
+            stranded,
+            100.0 * stranded / total_dram[shard],
+            eng.running_vms,
+        ))
+        last_sample[shard] = time_s
+
+    # -- merged event heap: departures, per-shard sample grids, horizons ----
+    # Entries: (time, _KIND_DEPARTURE, seq, shard, handle)
+    #          (time, _KIND_SAMPLE, shard)
+    #          (time, _KIND_HORIZON, shard)
+    # The (time, kind, tie) prefix is unique, so heap order is total and
+    # deterministic (seq is global, preserving per-shard placement order).
+    events: list = [(0.0, _KIND_SAMPLE, shard) for shard in range(n_shards)]
+    heapq.heapify(events)
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+
+    def pump(limit) -> None:
+        """Apply every heaped event ordered before ``limit``."""
+        while events and events[0] < limit:
+            event = heappop(events)
+            kind = event[1]
+            if kind == _KIND_DEPARTURE:
+                engines[event[3]].remove(event[4])
+            elif kind == _KIND_SAMPLE:
+                shard = event[2]
+                if done[shard]:
+                    continue  # past this shard's horizon; grid ends here
+                take_sample(shard, event[0])
+                heappush(events, (event[0] + sample_interval_s,
+                                  _KIND_SAMPLE, shard))
+            else:  # _KIND_HORIZON
+                shard = event[2]
+                end_time = event[0]
+                if last_sample[shard] is None or last_sample[shard] <= end_time:
+                    if last_sample[shard] == end_time:
+                        results[shard].sample_buffer.drop_last()
+                    take_sample(shard, end_time)
+                done[shard] = True
+
+    # -- k-way arrival merge (ties broken by shard index) -------------------
+    arrival_iters = [
+        _shard_arrival_events(shard, inputs[shard], policies[shard], True)
+        for shard in range(n_shards)
+    ]
+    shard_end = [0.0] * n_shards
+    merge_heap: list = []
+    for shard, it in enumerate(arrival_iters):
+        first = next(it, None)
+        if first is None:
+            # Empty shard trace: its horizon is time 0.0, like the
+            # single-cluster replay of an empty trace.
+            heappush(events, (0.0, _KIND_HORIZON, shard))
+        else:
+            merge_heap.append((first[0], shard, first))
+    heapq.heapify(merge_heap)
+
+    seq = 0
+    while merge_heap:
+        arrival_s, shard, record = heappop(merge_heap)
+        pump((arrival_s, _KIND_ARRIVAL))
+        _, departure_s, cores_r, memory_gb, vm_id, vm_pool_gb = record
+        local_gb = memory_gb - vm_pool_gb
+        eng = engines[shard]
+        try:
+            handle = eng.place(cores_r, local_gb, vm_pool_gb)
+        except PlacementError:
+            # Group-less pool request corner: counted as a rejection, peaks
+            # keep the transient placement (object-path parity).
+            handle = -1
+        if handle < 0:
+            rejected[shard] += 1
+        else:
+            placed[shard] += 1
+            if record_placements:
+                placed_ids[shard].append(vm_id)
+                placed_srv[shard].append(eng.vm_server[handle])
+            total_memory[shard] += memory_gb
+            total_pool[shard] += vm_pool_gb
+            seq += 1
+            heappush(events,
+                     (departure_s, _KIND_DEPARTURE, seq, shard, handle))
+        shard_end[shard] = arrival_s
+        nxt = next(arrival_iters[shard], None)
+        if nxt is None:
+            # Shard exhausted: its horizon is its last arrival time.  The
+            # horizon fires after every departure and grid sample <= it.
+            heappush(events, (arrival_s, _KIND_HORIZON, shard))
+        else:
+            heappush(merge_heap, (nxt[0], shard, nxt))
+
+    # Drain: remaining departures in time order, each shard's grid samples up
+    # to its own horizon, then the horizon samples themselves; grid events
+    # past a fired horizon are discarded by ``pump``.
+    pump((float("inf"),))
+
+    for shard in range(n_shards):
+        res = results[shard]
+        eng = engines[shard]
+        res.placed_vms = placed[shard]
+        res.rejected_vms = rejected[shard]
+        res.total_memory_gb_allocated = total_memory[shard]
+        res.total_pool_gb_allocated = total_pool[shard]
+        res.server_peak_local_gb, res.server_peak_total_gb = eng.server_peaks()
+        if topology.is_per_shard:
+            local = topology.local_group_ids(shard)
+            res.pool_peak_gb = {
+                local[g]: ledger.peak_gb[g] for g in shard_groups[shard]
+            }
+        else:
+            res.pool_peak_gb = {}
+        if record_placements:
+            res._placed_vm_ids = placed_ids[shard]
+            res._placed_server_idx = placed_srv[shard]
+            res._placement_server_ids = eng.server_ids
+    return results, ledger

@@ -46,7 +46,14 @@ from repro.cluster.scheduler import PlacementError, VMScheduler, validate_strate
 from repro.cluster.server import ClusterServer, ServerConfig
 from repro.cluster.trace import ClusterTrace, TraceStream, VMTraceRecord
 
-__all__ = ["ClusterSimulator", "SimulationResult", "SimulationSample"]
+__all__ = [
+    "ClusterSimulator",
+    "SimulationResult",
+    "SimulationSample",
+    "iter_policy_blocks",
+    "block_replay_columns",
+    "effective_server_config",
+]
 
 #: A policy maps a trace record to the GB of the VM's memory placed on the pool.
 PoolPolicy = Callable[[VMTraceRecord], float]
@@ -279,6 +286,138 @@ class SimulationResult:
         return self.total_pool_gb_allocated / self.total_memory_gb_allocated
 
 
+def effective_server_config(config: ServerConfig,
+                            constrain_memory: bool) -> ServerConfig:
+    """The replayed server shape (unconstrained replays get huge DRAM).
+
+    Shared by :class:`ClusterSimulator` and the cross-shard fleet replay so
+    memory-unconstrained engines are built byte-identically on both paths.
+    """
+    if constrain_memory:
+        return config
+    # Memory-unconstrained placement: provision servers with effectively
+    # unlimited DRAM so the peak-tracking determines requirements.
+    return ServerConfig(
+        name=config.name + "-unconstrained",
+        sockets=config.sockets,
+        cores_per_socket=config.cores_per_socket,
+        dram_per_socket_gb=1e9,
+    )
+
+
+def iter_policy_blocks(
+    trace: TraceInput,
+    policy: Optional[PoolPolicy],
+    pool_gb: Optional[np.ndarray],
+    use_pool: bool,
+) -> Iterator[Tuple[object, Sequence[VMTraceRecord], Optional[List[float]]]]:
+    """Normalise a trace input into ``(block, records, pool_allocations)``.
+
+    ``block`` is the columnar carrier (the trace itself, or one
+    :class:`TraceColumns` chunk); the array-engine loop reads its replay
+    columns instead of touching record objects.
+
+    A materialised trace is one block (its columnar view is cached on the
+    trace, so this path is identical to the pre-streaming fast path); a
+    stream yields one block per chunk, with ``decide_batch`` evaluated
+    per chunk so at most one chunk's allocations exist at a time.
+    Allocations are clipped to ``[0, memory_gb]`` on both paths; blocks
+    without precomputed allocations return ``None`` and fall back to the
+    per-record ``policy`` callback in the main loop.
+
+    Shared by :meth:`ClusterSimulator.run` and the cross-shard fleet replay
+    (:mod:`repro.cluster.pool_topology`), so both resolve allocations with
+    identical arithmetic.
+    """
+    batch = use_pool and policy is not None and hasattr(policy, "decide_batch")
+
+    def resolve(block, n, memory_gb, segment) -> Optional[List[float]]:
+        """One block's allocations: clipped ``pool_gb`` segment, clipped
+        ``decide_batch`` output, or ``None`` (per-record callback or no
+        pool).  Single definition so the materialised and streamed paths
+        cannot drift apart (the byte-for-byte equivalence contract).
+        ``tolist()`` yields plain floats once, keeping the main loop free
+        of per-record numpy scalar boxing."""
+        if segment is not None:
+            if not use_pool:
+                return None  # validated but unused, as before streaming
+            return np.clip(segment, 0.0, memory_gb()).tolist()
+        if batch:
+            decided = np.asarray(policy.decide_batch(block), dtype=np.float64)
+            if decided.shape != (n,):
+                raise ValueError(
+                    f"decide_batch must return one entry per record "
+                    f"({n}), got shape {decided.shape}"
+                )
+            return np.clip(decided, 0.0, memory_gb()).tolist()
+        return None
+
+    if isinstance(trace, ClusterTrace):
+        if pool_gb is not None and pool_gb.shape != (len(trace),):
+            raise ValueError(
+                f"pool_gb must have one entry per trace record "
+                f"({len(trace)}), got shape {pool_gb.shape}"
+            )
+        yield trace, trace.records, resolve(
+            trace, len(trace), lambda: trace.columns().memory_gb, pool_gb
+        )
+        return
+    offset = 0
+    for chunk in trace.chunks():
+        records = chunk.records
+        if records is None:
+            raise ValueError(
+                "stream chunks must carry records "
+                "(build them with TraceColumns.from_records)"
+            )
+        n = len(records)
+        segment = None
+        if pool_gb is not None:
+            segment = pool_gb[offset:offset + n]
+            if segment.shape[0] != n:
+                raise ValueError(
+                    f"pool_gb has {pool_gb.shape[0]} entries but the "
+                    f"stream yielded more records"
+                )
+        offset += n
+        yield chunk, records, resolve(chunk, n, lambda: chunk.memory_gb, segment)
+    if pool_gb is not None and offset != pool_gb.shape[0]:
+        raise ValueError(
+            f"pool_gb has {pool_gb.shape[0]} entries but the stream "
+            f"yielded only {offset} records"
+        )
+
+
+def block_replay_columns(block, records):
+    """(vm_ids, arrival, departure, cores, memory) lists for one block.
+
+    Prefers the block's replay columns (``tolist`` converts to plain
+    Python scalars at C speed); falls back to reading the record objects
+    for hand-built :class:`TraceColumns` without them.  Either way the
+    values are bit-identical to the record attributes.
+    """
+    if isinstance(block, ClusterTrace):
+        block = block.columns()
+        vm_ids = block.vm_ids
+    else:
+        vm_ids = block.vm_ids
+    if block.arrival_s is not None:
+        return (
+            vm_ids,
+            block.arrival_s.tolist(),
+            block.departure_s.tolist(),
+            block.cores.tolist(),
+            block.memory_gb.tolist(),
+        )
+    return (
+        vm_ids,
+        [r.arrival_s for r in records],
+        [r.departure_s for r in records],
+        [r.cores for r in records],
+        [r.memory_gb for r in records],
+    )
+
+
 class ClusterSimulator:
     """Replays one cluster trace against a simulated cluster."""
 
@@ -324,17 +463,7 @@ class ClusterSimulator:
     # -- construction of the simulated cluster -----------------------------------
     def _effective_config(self) -> ServerConfig:
         """The replayed server shape (unconstrained replays get huge DRAM)."""
-        config = self.server_config
-        if not self.constrain_memory:
-            # Memory-unconstrained placement: provision servers with effectively
-            # unlimited DRAM so the peak-tracking determines requirements.
-            config = ServerConfig(
-                name=config.name + "-unconstrained",
-                sockets=config.sockets,
-                cores_per_socket=config.cores_per_socket,
-                dram_per_socket_gb=1e9,
-            )
-        return config
+        return effective_server_config(self.server_config, self.constrain_memory)
 
     def _build_cluster(self) -> Tuple[List[ClusterServer], Dict[str, int], Dict[int, float]]:
         config = self._effective_config()
@@ -362,75 +491,11 @@ class ClusterSimulator:
     ) -> Iterator[Tuple[object, Sequence[VMTraceRecord], Optional[List[float]]]]:
         """Normalise the input into ``(block, records, pool_allocations)``.
 
-        ``block`` is the columnar carrier (the trace itself, or one
-        :class:`TraceColumns` chunk); the array-engine loop reads its replay
-        columns instead of touching record objects.
-
-        A materialised trace is one block (its columnar view is cached on the
-        trace, so this path is identical to the pre-streaming fast path); a
-        stream yields one block per chunk, with ``decide_batch`` evaluated
-        per chunk so at most one chunk's allocations exist at a time.
-        Allocations are clipped to ``[0, memory_gb]`` on both paths; blocks
-        without precomputed allocations return ``None`` and fall back to the
-        per-record ``policy`` callback in the main loop.
+        Delegates to the module-level :func:`iter_policy_blocks`, which the
+        cross-shard fleet replay shares so both consumers resolve policy
+        allocations identically.
         """
-        batch = use_pool and policy is not None and hasattr(policy, "decide_batch")
-
-        def resolve(block, n, memory_gb, segment) -> Optional[List[float]]:
-            """One block's allocations: clipped ``pool_gb`` segment, clipped
-            ``decide_batch`` output, or ``None`` (per-record callback or no
-            pool).  Single definition so the materialised and streamed paths
-            cannot drift apart (the byte-for-byte equivalence contract).
-            ``tolist()`` yields plain floats once, keeping the main loop free
-            of per-record numpy scalar boxing."""
-            if segment is not None:
-                if not use_pool:
-                    return None  # validated but unused, as before streaming
-                return np.clip(segment, 0.0, memory_gb()).tolist()
-            if batch:
-                decided = np.asarray(policy.decide_batch(block), dtype=np.float64)
-                if decided.shape != (n,):
-                    raise ValueError(
-                        f"decide_batch must return one entry per record "
-                        f"({n}), got shape {decided.shape}"
-                    )
-                return np.clip(decided, 0.0, memory_gb()).tolist()
-            return None
-
-        if isinstance(trace, ClusterTrace):
-            if pool_gb is not None and pool_gb.shape != (len(trace),):
-                raise ValueError(
-                    f"pool_gb must have one entry per trace record "
-                    f"({len(trace)}), got shape {pool_gb.shape}"
-                )
-            yield trace, trace.records, resolve(
-                trace, len(trace), lambda: trace.columns().memory_gb, pool_gb
-            )
-            return
-        offset = 0
-        for chunk in trace.chunks():
-            records = chunk.records
-            if records is None:
-                raise ValueError(
-                    "stream chunks must carry records "
-                    "(build them with TraceColumns.from_records)"
-                )
-            n = len(records)
-            segment = None
-            if pool_gb is not None:
-                segment = pool_gb[offset:offset + n]
-                if segment.shape[0] != n:
-                    raise ValueError(
-                        f"pool_gb has {pool_gb.shape[0]} entries but the "
-                        f"stream yielded more records"
-                    )
-            offset += n
-            yield chunk, records, resolve(chunk, n, lambda: chunk.memory_gb, segment)
-        if pool_gb is not None and offset != pool_gb.shape[0]:
-            raise ValueError(
-                f"pool_gb has {pool_gb.shape[0]} entries but the stream "
-                f"yielded only {offset} records"
-            )
+        return iter_policy_blocks(trace, policy, pool_gb, use_pool)
 
     # -- main loop --------------------------------------------------------------------
     def run(self, trace: TraceInput, policy: Optional[PoolPolicy] = None,
@@ -625,31 +690,10 @@ class ClusterSimulator:
     def _block_replay_columns(self, block, records):
         """(vm_ids, arrival, departure, cores, memory) lists for one block.
 
-        Prefers the block's replay columns (``tolist`` converts to plain
-        Python scalars at C speed); falls back to reading the record objects
-        for hand-built :class:`TraceColumns` without them.  Either way the
-        values are bit-identical to the record attributes.
+        Delegates to the module-level :func:`block_replay_columns` (shared
+        with the cross-shard fleet replay).
         """
-        if isinstance(block, ClusterTrace):
-            block = block.columns()
-            vm_ids = block.vm_ids
-        else:
-            vm_ids = block.vm_ids
-        if block.arrival_s is not None:
-            return (
-                vm_ids,
-                block.arrival_s.tolist(),
-                block.departure_s.tolist(),
-                block.cores.tolist(),
-                block.memory_gb.tolist(),
-            )
-        return (
-            vm_ids,
-            [r.arrival_s for r in records],
-            [r.departure_s for r in records],
-            [r.cores for r in records],
-            [r.memory_gb for r in records],
-        )
+        return block_replay_columns(block, records)
 
     def _run_array(self, trace: TraceInput, policy: Optional[PoolPolicy],
                    horizon_s: Optional[float],

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import csv
 import dataclasses
+from contextlib import contextmanager
 from dataclasses import MISSING, dataclass, fields
 from pathlib import Path
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
@@ -39,6 +40,39 @@ __all__ = [
     "CsvTraceStream",
     "write_csv",
 ]
+
+
+def _is_filelike(obj) -> bool:
+    """True for open text handles (``io.StringIO``, files, sockets...).
+
+    The CSV entry points accept either a path or an already-open text
+    handle; a handle is recognised structurally (``read``/``write``), never
+    by type, so wrappers and duck-typed streams work.
+    """
+    return hasattr(obj, "read") or hasattr(obj, "write")
+
+
+def _stream_label(handle) -> str:
+    """Human-readable source name for error messages on file-like inputs."""
+    name = getattr(handle, "name", None)
+    return name if isinstance(name, str) else "<stream>"
+
+
+@contextmanager
+def _open_text(path_or_file, mode: str):
+    """Yield ``(handle, label)`` for a path or an open text handle.
+
+    Paths are opened (``newline=""``, the csv-module contract) and closed on
+    exit; file-like objects are yielded as-is and **never closed** -- the
+    caller owns their lifetime, which is what lets ``to_csv(io.StringIO())``
+    hand the buffer back for inspection.
+    """
+    if _is_filelike(path_or_file):
+        yield path_or_file, _stream_label(path_or_file)
+    else:
+        path = Path(path_or_file)
+        with path.open(mode, newline="") as handle:
+            yield handle, str(path)
 
 
 @dataclass(frozen=True)
@@ -258,12 +292,13 @@ class ClusterTrace:
 
     # -- persistence ---------------------------------------------------------------------
     def to_csv(self, path, chunk_size: int = 8192) -> None:
-        """Write the trace to a CSV file with a header row.
+        """Write the trace as CSV (path or open text handle) with a header row.
 
         Delegates to :func:`write_csv`, which writes in ``chunk_size``-record
         chunks (the records are already in memory here, so chunking only
         bounds the writer's working set; streams use the same code path to
-        export without materialising at all).
+        export without materialising at all).  File-like targets such as
+        ``io.StringIO`` are written in place and left open.
         """
         write_csv(self, path, chunk_size=chunk_size)
 
@@ -280,24 +315,30 @@ class ClusterTrace:
     def from_csv(cls, path) -> "ClusterTrace":
         """Load a trace previously written by :meth:`to_csv`.
 
-        Columns for optional :class:`VMTraceRecord` fields may be absent (or
-        empty for non-string fields); the dataclass defaults are used, so
-        external traces carrying only the required arrival/departure/demand
-        columns load cleanly.  Missing *required* columns raise ``ValueError``.
+        ``path`` is a filesystem path or an open text handle (e.g.
+        ``io.StringIO``); handles are read from their current position and
+        left open.  Columns for optional :class:`VMTraceRecord` fields may
+        be absent (or empty for non-string fields); the dataclass defaults
+        are used, so external traces carrying only the required
+        arrival/departure/demand columns load cleanly.  Missing *required*
+        columns raise ``ValueError``.
         """
-        path = Path(path)
         record_fields = fields(VMTraceRecord)
-        with path.open("r", newline="") as handle:
+        with _open_text(path, "r") as (handle, label):
             reader = csv.DictReader(handle)
             records = [
-                _record_from_row(path, line, row, record_fields)
+                _record_from_row(label, line, row, record_fields)
                 for line, row in enumerate(reader, start=2)
             ]
         return cls(records)
 
 
-def _record_from_row(path, line: int, row: dict, record_fields) -> VMTraceRecord:
-    """One CSV row -> record, shared by ``from_csv`` and ``CsvTraceStream``."""
+def _record_from_row(label, line: int, row: dict, record_fields) -> VMTraceRecord:
+    """One CSV row -> record, shared by ``from_csv`` and ``CsvTraceStream``.
+
+    ``label`` names the source in error messages (a path, or a stream label
+    for file-like inputs).
+    """
     kwargs = {}
     for f in record_fields:
         value = row.get(f.name)
@@ -307,14 +348,14 @@ def _record_from_row(path, line: int, row: dict, record_fields) -> VMTraceRecord
                 detail = (
                     f"empty value on line {line} for" if value == "" else "missing"
                 )
-                raise ValueError(f"{path}: {detail} required column {f.name!r}")
+                raise ValueError(f"{label}: {detail} required column {f.name!r}")
             continue
         converter = ClusterTrace._CSV_CONVERTERS.get(f.name)
         try:
             kwargs[f.name] = converter(value) if converter else value
         except ValueError as exc:
             raise ValueError(
-                f"{path} line {line}: bad value {value!r} for column {f.name!r}"
+                f"{label} line {line}: bad value {value!r} for column {f.name!r}"
             ) from exc
     return VMTraceRecord(**kwargs)
 
@@ -329,8 +370,11 @@ def write_csv(source, path, chunk_size: int = 8192) -> int:
     to the materialised ``ClusterTrace.to_csv`` for the same records, and
     round-trips through both ``ClusterTrace.from_csv`` and
     :class:`CsvTraceStream`.
+
+    ``path`` is a filesystem path or an open text handle (e.g.
+    ``io.StringIO``); handles are written at their current position and left
+    open for the caller.
     """
-    path = Path(path)
     field_names = [f.name for f in fields(VMTraceRecord)]
     rows_written = 0
     if isinstance(source, ClusterTrace):
@@ -347,7 +391,7 @@ def write_csv(source, path, chunk_size: int = 8192) -> int:
                         "(build them with TraceColumns.from_records)"
                     )
                 yield chunk.records
-    with path.open("w", newline="") as handle:
+    with _open_text(path, "w") as (handle, _label):
         writer = csv.writer(handle)
         writer.writerow(field_names)
         for records in record_chunks():
@@ -428,30 +472,69 @@ class MaterializedTraceStream(TraceStream):
 class CsvTraceStream(TraceStream):
     """Incremental CSV parser yielding chunks without loading the whole file.
 
-    The file must be sorted by ``arrival_s`` (true for anything written by
+    The source must be sorted by ``arrival_s`` (true for anything written by
     :meth:`ClusterTrace.to_csv`, whose records are kept in arrival order);
     an out-of-order row raises ``ValueError`` naming the line, because a
-    stream cannot globally re-sort without materialising.  Each
-    :meth:`chunks` call reopens the file, so the stream is re-iterable.
+    stream cannot globally re-sort without materialising.
+
+    ``path`` is a filesystem path or an open text handle (``io.StringIO``,
+    a file object...).  Paths are reopened on each :meth:`chunks` call, so
+    the stream is re-iterable.  Handles are left open and rewound to their
+    position at construction time on each iteration when seekable;
+    non-seekable handles (pipes, sockets) support exactly one iteration and
+    raise ``ValueError`` on the second.
     """
 
     def __init__(self, path, chunk_size: int = 8192,
                  cluster_id: Optional[str] = None) -> None:
-        self.path = Path(path)
         self.chunk_size = self._validate_chunk_size(chunk_size)
-        self.cluster_id = cluster_id if cluster_id is not None else self.path.stem
+        if _is_filelike(path):
+            self.path = None
+            self._handle = path
+            self._label = _stream_label(path)
+            seekable = getattr(path, "seekable", None)
+            self._seekable = bool(seekable()) if callable(seekable) else False
+            self._start_pos = path.tell() if self._seekable else None
+            self._consumed = False
+            default_id = (
+                Path(self._label).stem if self._label != "<stream>"
+                else "csv-stream"
+            )
+        else:
+            self.path = Path(path)
+            self._handle = None
+            self._label = str(self.path)
+            default_id = self.path.stem
+        self.cluster_id = cluster_id if cluster_id is not None else default_id
+
+    @contextmanager
+    def _reader_handle(self):
+        """The source handle for one iteration (reopen, rewind, or one-shot)."""
+        if self._handle is None:
+            with self.path.open("r", newline="") as handle:
+                yield handle
+            return
+        if self._seekable:
+            self._handle.seek(self._start_pos)
+        elif self._consumed:
+            raise ValueError(
+                f"{self._label}: non-seekable handle already consumed; "
+                f"CsvTraceStream can iterate it only once"
+            )
+        self._consumed = True
+        yield self._handle
 
     def chunks(self) -> Iterator[TraceColumns]:
         record_fields = fields(VMTraceRecord)
         buffer: List[VMTraceRecord] = []
         last_arrival = float("-inf")
-        with self.path.open("r", newline="") as handle:
+        with self._reader_handle() as handle:
             reader = csv.DictReader(handle)
             for line, row in enumerate(reader, start=2):
-                record = _record_from_row(self.path, line, row, record_fields)
+                record = _record_from_row(self._label, line, row, record_fields)
                 if record.arrival_s < last_arrival:
                     raise ValueError(
-                        f"{self.path} line {line}: records are not sorted by "
+                        f"{self._label} line {line}: records are not sorted by "
                         f"arrival_s ({record.arrival_s} after {last_arrival}); "
                         f"sort the file or load it via ClusterTrace.from_csv"
                     )

@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.cluster.fleet import (
     FleetSimulator,
     PolicyFactory,
+    PoolTopology,
     pond_policy_factory,
     static_policy_factory,
 )
@@ -89,6 +90,7 @@ def run_end_to_end_study(
     max_workers: Optional[int] = None,
     stream_chunk_size: Optional[int] = 16384,
     provisioning: str = "peaks",
+    pool_scope: str = "cluster",
 ) -> EndToEndStudy:
     """Run the Figure 21 sweep.
 
@@ -107,9 +109,19 @@ def run_end_to_end_study(
     constrained capacity search instead -- per cluster through
     ``PoolDimensioner.evaluate_capacity_search``, or fleet-wide through
     ``FleetSimulator.capacity_search`` when sharded.
+
+    ``pool_scope`` selects where pool groups may live: ``"cluster"``
+    (default) confines every group to one shard, the paper's per-cluster
+    deployment; ``"fleet"`` lets groups span shard boundaries
+    (``PoolTopology.spanning``, requires ``n_shards > 1``) -- the rack-scale
+    regime where one pool serves servers from two clusters.
     """
     if provisioning not in ("peaks", "capacity"):
         raise ValueError("provisioning must be 'peaks' or 'capacity'")
+    if pool_scope not in ("cluster", "fleet"):
+        raise ValueError("pool_scope must be 'cluster' or 'fleet'")
+    if pool_scope == "fleet" and n_shards < 2:
+        raise ValueError("pool_scope='fleet' needs n_shards > 1 to span")
     config = config or PondConfig()
     points = operating_points or DEFAULT_OPERATING_POINTS
     cfg = TraceGenConfig(
@@ -138,6 +150,14 @@ def run_end_to_end_study(
         fleet_kwargs = dict(
             max_workers=max_workers, stream_chunk_size=stream_chunk_size
         )
+
+        def topology_for(size: int) -> Optional[PoolTopology]:
+            if pool_scope != "fleet":
+                return None
+            return PoolTopology.spanning(
+                [n_servers] * n_shards, cfg.server_config.sockets, size
+            )
+
         base_fleet = FleetSimulator.sharded(n_shards, cfg, **fleet_kwargs)
         # Streaming mode regenerates shard traces lazily per replay; the
         # materialised mode pregenerates them once and reuses them.
@@ -145,31 +165,47 @@ def run_end_to_end_study(
             else base_fleet.generate_traces()
         if provisioning == "capacity":
             # One fleet for the whole grid: capacity_search takes the pool
-            # size per call and memoises the pool- and policy-independent
-            # work (rejection budget, no-pool baseline search) across cells.
-            for label, factory in factories.items():
-                savings[label] = []
-                for size in usable_sizes:
-                    search = base_fleet.capacity_search(
-                        factory, traces=fleet_traces, pool_size_sockets=size
-                    )
-                    savings[label].append(search.savings)
-                    mispredictions[label] = (
-                        search.policy_stats.misprediction_percent
-                    )
+            # size (or spanning topology) per call and memoises the pool-
+            # and policy-independent work (rejection budget, no-pool
+            # baseline search) across cells; its probe-pool session is
+            # likewise reused across every cell of the grid and released
+            # when the grid is done (even on failure).
+            with base_fleet:
+                for label, factory in factories.items():
+                    savings[label] = []
+                    for size in usable_sizes:
+                        search = base_fleet.capacity_search(
+                            factory, traces=fleet_traces,
+                            pool_size_sockets=(
+                                size if pool_scope == "cluster" else None
+                            ),
+                            pool_topology=topology_for(size),
+                        )
+                        savings[label].append(search.savings)
+                        mispredictions[label] = (
+                            search.policy_stats.misprediction_percent
+                        )
         else:
             # The no-pooling baseline is pool-size- and policy-independent:
             # replay it once per shard and reuse it across the whole grid.
-            baselines = base_fleet.compute_baselines(fleet_traces)
+            # Per-cell fleets are closed deterministically so their
+            # persistent shard pools never outlive the cell.
+            with base_fleet:
+                baselines = base_fleet.compute_baselines(fleet_traces)
             for label, factory in factories.items():
                 savings[label] = []
                 for size in usable_sizes:
-                    fleet = FleetSimulator.sharded(
-                        n_shards, cfg, pool_size_sockets=size, **fleet_kwargs
-                    )
-                    fleet_result = fleet.run(
-                        factory, traces=fleet_traces, baselines=baselines
-                    )
+                    with FleetSimulator.sharded(
+                        n_shards, cfg,
+                        pool_size_sockets=(
+                            size if pool_scope == "cluster" else 0
+                        ),
+                        pool_topology=topology_for(size),
+                        **fleet_kwargs,
+                    ) as fleet:
+                        fleet_result = fleet.run(
+                            factory, traces=fleet_traces, baselines=baselines
+                        )
                     savings[label].append(fleet_result.savings)
                     mispredictions[label] = (
                         fleet_result.policy_stats.misprediction_percent

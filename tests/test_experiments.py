@@ -153,6 +153,25 @@ class TestEndToEndFleetMode:
             assert study.misprediction_percent[policy] < 10.0
         assert "required overall DRAM" in fig21_end_to_end.format_end_to_end_table(study)
 
+    def test_fleet_pool_scope_spans_shards(self):
+        study = fig21_end_to_end.run_end_to_end_study(
+            n_servers=6, duration_days=0.3, pool_sizes=(4, 8),
+            seed=3, n_shards=2, pool_scope="fleet",
+        )
+        assert study.pool_sizes == [4, 8]
+        for policy in ("pond_182", "pond_222", "static_15pct"):
+            for size in study.pool_sizes:
+                # Spanning provisioning can cost more than it saves at this
+                # tiny scale; the grid just has to be fully populated.
+                assert study.required_dram_percent(policy, size) > 0.0
+
+    def test_pool_scope_validation(self):
+        with pytest.raises(ValueError):
+            fig21_end_to_end.run_end_to_end_study(pool_scope="rack")
+        with pytest.raises(ValueError):
+            fig21_end_to_end.run_end_to_end_study(n_shards=1,
+                                                  pool_scope="fleet")
+
 
 class TestEndToEndExperiment:
     def test_pond_beats_static_at_16_sockets(self):

@@ -1,0 +1,240 @@
+"""Reusable probe-pool sessions: reuse, invalidation, and lifecycle.
+
+The sessions behind ``PoolDimensioner.evaluate_capacity_search`` and
+``FleetSimulator.capacity_search`` used to spawn a fresh
+``ProcessPoolExecutor`` per call; they now live across calls (one worker
+pool, one shipped trace per input set).  The contracts tested here:
+
+* reused sessions return ``PoolSavings`` identical to fresh-executor runs;
+* sessions are invalidated when the trace/input set or the owner's
+  configuration changes;
+* pools shut down on every exception path, ``close()`` is idempotent, and
+  the context-manager protocol closes on exit.
+"""
+
+import pytest
+
+from repro.cluster.fleet import FleetSimulator, static_policy_factory
+from repro.cluster.pool import FixedFractionPolicy, PoolDimensioner
+from repro.cluster.tracegen import TraceGenConfig, TraceGenerator
+
+N_SERVERS = 6
+
+
+@pytest.fixture(scope="module")
+def trace():
+    cfg = TraceGenConfig(cluster_id="sess", n_servers=N_SERVERS,
+                         duration_days=0.3, mean_lifetime_hours=2.0,
+                         target_core_utilization=0.85, seed=11)
+    return TraceGenerator(cfg).generate_bulk()
+
+
+def fleet_config(**kwargs):
+    defaults = dict(cluster_id="sess-fleet", n_servers=4, duration_days=0.25,
+                    mean_lifetime_hours=2.0, target_core_utilization=0.85,
+                    seed=9)
+    defaults.update(kwargs)
+    return TraceGenConfig(**defaults)
+
+
+class BoomPolicy:
+    """Policy whose batch path always fails (exception-path probe)."""
+
+    def __call__(self, record):
+        raise RuntimeError("boom")
+
+    def decide_batch(self, trace):
+        raise RuntimeError("boom")
+
+
+class TestDimensionerSession:
+    def test_sequential_session_reused_across_grid(self, trace):
+        dim = PoolDimensioner(n_servers=N_SERVERS, search_steps=3)
+        policy = FixedFractionPolicy(0.3)
+        first = dim.evaluate_capacity_search(trace, 4, policy)
+        session = dim._probe_session
+        assert session is not None
+        second = dim.evaluate_capacity_search(trace, 8, policy)
+        assert dim._probe_session is session
+        # Fresh dimensioners (fresh sessions) agree exactly.
+        fresh = PoolDimensioner(n_servers=N_SERVERS, search_steps=3)
+        assert first == fresh.evaluate_capacity_search(trace, 4,
+                                                       FixedFractionPolicy(0.3))
+        fresh2 = PoolDimensioner(n_servers=N_SERVERS, search_steps=3)
+        assert second == fresh2.evaluate_capacity_search(
+            trace, 8, FixedFractionPolicy(0.3)
+        )
+
+    def test_parallel_session_reused_and_identical(self, trace):
+        dim = PoolDimensioner(n_servers=N_SERVERS, search_steps=3,
+                              max_workers=2)
+        policy = FixedFractionPolicy(0.3)
+        with dim:
+            first = dim.evaluate_capacity_search(trace, 4, policy)
+            session = dim._probe_session
+            assert session is not None and session.parallel
+            # Same session across pool sizes *and* across policies (the
+            # policy ships with each probe task, not with the executor).
+            second = dim.evaluate_capacity_search(trace, 8, policy)
+            third = dim.evaluate_capacity_search(trace, 4,
+                                                 FixedFractionPolicy(0.15))
+            assert dim._probe_session is session
+        assert dim._probe_session is None  # context manager closed it
+        sequential = PoolDimensioner(n_servers=N_SERVERS, search_steps=3)
+        assert first == sequential.evaluate_capacity_search(
+            trace, 4, FixedFractionPolicy(0.3)
+        )
+        assert second == sequential.evaluate_capacity_search(
+            trace, 8, FixedFractionPolicy(0.3)
+        )
+        assert third == sequential.evaluate_capacity_search(
+            trace, 4, FixedFractionPolicy(0.15)
+        )
+
+    def test_new_trace_invalidates_session(self, trace):
+        dim = PoolDimensioner(n_servers=N_SERVERS, search_steps=2)
+        dim.evaluate_capacity_search(trace, 4, FixedFractionPolicy(0.2))
+        session = dim._probe_session
+        other = TraceGenerator(TraceGenConfig(
+            cluster_id="other", n_servers=N_SERVERS, duration_days=0.2,
+            seed=5,
+        )).generate_bulk()
+        dim.evaluate_capacity_search(other, 4, FixedFractionPolicy(0.2))
+        assert dim._probe_session is not session
+        assert dim._probe_session_trace is other
+
+    def test_config_change_invalidates_memoised_outcomes(self, trace):
+        dim = PoolDimensioner(n_servers=N_SERVERS, search_steps=2)
+        loose = dim.evaluate_capacity_search(trace, 4, FixedFractionPolicy(0.2))
+        session = dim._probe_session
+        # A config change must not let stale memoised outcomes answer for a
+        # different cluster shape.
+        dim.sample_interval_s = 1800.0
+        dim.evaluate_capacity_search(trace, 4, FixedFractionPolicy(0.2))
+        assert dim._probe_session is not session
+        assert dim._probe_session_fingerprint == dim._session_fingerprint()
+        # Sanity: the searches agree with fresh dimensioners at each config.
+        fresh = PoolDimensioner(n_servers=N_SERVERS, search_steps=2)
+        assert loose == fresh.evaluate_capacity_search(
+            trace, 4, FixedFractionPolicy(0.2)
+        )
+
+    def test_inplace_policy_mutation_invalidates_memos(self, trace):
+        """Memo keys are value-based: mutating a policy must not serve the
+        pre-mutation outcome from a reused session."""
+        dim = PoolDimensioner(n_servers=N_SERVERS, search_steps=3)
+        policy = FixedFractionPolicy(0.3)
+        before = dim.evaluate_capacity_search(trace, 4, policy)
+        policy.fraction = 0.05
+        after = dim.evaluate_capacity_search(trace, 4, policy)
+        fresh = PoolDimensioner(n_servers=N_SERVERS, search_steps=3)
+        expected = fresh.evaluate_capacity_search(trace, 4,
+                                                  FixedFractionPolicy(0.05))
+        assert after == expected
+        assert after.average_pool_fraction != before.average_pool_fraction
+
+    def test_inplace_mutation_parallel_session(self, trace):
+        dim = PoolDimensioner(n_servers=N_SERVERS, search_steps=3,
+                              max_workers=2)
+        with dim:
+            policy = FixedFractionPolicy(0.3)
+            dim.evaluate_capacity_search(trace, 4, policy)
+            policy.fraction = 0.05
+            after = dim.evaluate_capacity_search(trace, 4, policy)
+        fresh = PoolDimensioner(n_servers=N_SERVERS, search_steps=3)
+        assert after == fresh.evaluate_capacity_search(
+            trace, 4, FixedFractionPolicy(0.05)
+        )
+
+    def test_exception_closes_session(self, trace):
+        dim = PoolDimensioner(n_servers=N_SERVERS, search_steps=2)
+        with pytest.raises(RuntimeError, match="boom"):
+            dim.evaluate_capacity_search(trace, 4, BoomPolicy())
+        assert dim._probe_session is None
+
+    def test_close_is_idempotent(self, trace):
+        dim = PoolDimensioner(n_servers=N_SERVERS, search_steps=2)
+        dim.evaluate_capacity_search(trace, 4, FixedFractionPolicy(0.2))
+        dim.close()
+        dim.close()
+        assert dim._probe_session is None
+        # Still usable after close: a fresh session is built lazily.
+        result = dim.evaluate_capacity_search(trace, 4, FixedFractionPolicy(0.2))
+        assert result.pool_size_sockets == 4
+
+
+class TestFleetSession:
+    def test_parallel_session_reused_and_identical(self):
+        factory = static_policy_factory(fraction=0.25, seed=1)
+        sequential = FleetSimulator.sharded(2, fleet_config(),
+                                            pool_size_sockets=4)
+        traces = sequential.generate_traces()
+        ref4 = sequential.capacity_search(factory, traces=traces,
+                                          search_steps=3)
+        ref2 = sequential.capacity_search(factory, traces=traces,
+                                          search_steps=3, pool_size_sockets=2)
+
+        with FleetSimulator.sharded(2, fleet_config(), pool_size_sockets=4,
+                                    max_workers=2) as fleet:
+            got4 = fleet.capacity_search(factory, traces=traces,
+                                         search_steps=3)
+            session = fleet._probe_session
+            assert session is not None
+            got2 = fleet.capacity_search(factory, traces=traces,
+                                         search_steps=3, pool_size_sockets=2)
+            assert fleet._probe_session is session
+            # A different policy factory reuses the session too.
+            other = fleet.capacity_search(
+                static_policy_factory(fraction=0.1, seed=2),
+                traces=traces, search_steps=3,
+            )
+            assert fleet._probe_session is session
+        assert got4.savings == ref4.savings
+        assert got2.savings == ref2.savings
+        assert other.savings == sequential.capacity_search(
+            static_policy_factory(fraction=0.1, seed=2),
+            traces=traces, search_steps=3,
+        ).savings
+
+    def test_new_traces_invalidate_session_and_inputs(self):
+        factory = static_policy_factory(fraction=0.25, seed=1)
+        fleet = FleetSimulator.sharded(2, fleet_config(), pool_size_sockets=4,
+                                       max_workers=2)
+        traces = fleet.generate_traces()
+        fleet.capacity_search(factory, traces=traces, search_steps=2)
+        session = fleet._probe_session
+        inputs = fleet._capacity_inputs
+        assert inputs is not None
+        other = fleet.generate_traces()
+        fleet.capacity_search(factory, traces=other, search_steps=2)
+        assert fleet._probe_session is not session
+        assert fleet._capacity_inputs is not inputs
+        fleet.close()
+
+    def test_exception_closes_fleet_session(self):
+        def boom_factory(shard_index):
+            return BoomPolicy()
+
+        fleet = FleetSimulator.sharded(2, fleet_config(), pool_size_sockets=4)
+        traces = fleet.generate_traces()
+        with pytest.raises(RuntimeError, match="boom"):
+            fleet.capacity_search(boom_factory, traces=traces, search_steps=2)
+        assert fleet._probe_session is None
+
+    def test_run_executor_reused_across_calls(self):
+        factory = static_policy_factory(fraction=0.25, seed=1)
+        with FleetSimulator.sharded(2, fleet_config(), pool_size_sockets=4,
+                                    max_workers=2) as fleet:
+            traces = fleet.generate_traces()
+            first = fleet.run(factory, traces=traces)
+            pool = fleet._shard_pool
+            assert pool is not None
+            second = fleet.run(factory, traces=traces)
+            assert fleet._shard_pool is pool
+            baselines = fleet.compute_baselines(traces)
+            assert fleet._shard_pool is pool
+        assert fleet._shard_pool is None
+        assert first.savings == second.savings
+        serial = FleetSimulator.sharded(2, fleet_config(), pool_size_sockets=4)
+        assert serial.run(factory, traces=traces).savings == first.savings
+        assert serial.compute_baselines(traces) == baselines
