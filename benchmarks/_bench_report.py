@@ -21,7 +21,7 @@ import time
 from pathlib import Path
 
 __all__ = ["smoke_mode", "pick", "emit_report", "REQUIRED_REPORT_FIELDS",
-           "validate_report"]
+           "validate_report", "check_perf_floors"]
 
 #: Metadata fields :func:`emit_report` promises in every ``BENCH_*.json``;
 #: the CI bench-smoke job schema-checks every emitted report against this
@@ -55,6 +55,47 @@ def validate_report(path) -> dict:
             f"match file name ({expected_name!r})"
         )
     return report
+
+
+def check_perf_floors(report: dict, name: str = "report") -> list:
+    """Check every ``<metric>_floor`` pair a ``BENCH_*.json`` report carries.
+
+    The benchmarks record each perf floor they assert right next to the
+    measured value (``events_per_s`` / ``events_per_s_floor``, ``speedup``
+    / ``speedup_floor``, ...).  Floors are uniformly *minimums*: the
+    metric must be ``>=`` its floor.  This re-checks the recorded pairs so
+    the CI bench-smoke job catches a report that was emitted before its
+    benchmark's floor assertion fired, or one edited out of step with its
+    measurement.
+
+    Returns the list of ``(metric, value, floor)`` tuples checked (may be
+    empty: not every report asserts a floor); raises ``ValueError`` naming
+    the report and the offending field on a missing metric, a
+    non-numeric pair, or a floor violation.
+    """
+    checked = []
+    for key in sorted(report):
+        if not key.endswith("_floor"):
+            continue
+        metric = key[: -len("_floor")]
+        if metric not in report:
+            raise ValueError(
+                f"{name}: {key} present but metric {metric!r} missing"
+            )
+        value, floor = report[metric], report[key]
+        if not isinstance(value, (int, float)) or not isinstance(
+                floor, (int, float)):
+            raise ValueError(
+                f"{name}: {metric}/{key} must be numeric, got "
+                f"{value!r} / {floor!r}"
+            )
+        if value < floor:
+            raise ValueError(
+                f"{name}: {metric}={value:g} below recorded floor "
+                f"{key}={floor:g}"
+            )
+        checked.append((metric, value, floor))
+    return checked
 
 
 def smoke_mode() -> bool:

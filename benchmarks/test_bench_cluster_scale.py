@@ -46,7 +46,7 @@ MIN_VMS = pick(270_000, 3_000)
 DURATION_DAYS = pick(3.6, 0.5)
 MIN_LINEAR_SPEEDUP = pick(5.0, 2.0)
 MIN_ARRAY_SPEEDUP = pick(2.0, 1.3)
-MIN_EVENTS_PER_S = pick(50_000, 20_000)
+MIN_EVENTS_PER_S = pick(200_000, 20_000)
 #: The capacity-probe replay provisions servers memory-tight (the regime the
 #: dimensioning search's lower bisection candidates probe).
 PROBE_DRAM_PER_SOCKET_GB = 112.0
@@ -188,11 +188,21 @@ def test_bench_array_engine_2x_object_on_capacity_probe(scale_trace):
 
 
 def test_bench_indexed_throughput_floor(scale_trace):
-    """The default (array-engine) hot path must stay above the events/s floor."""
-    result, elapsed = run_once(scale_trace)
+    """The default (array-engine) hot path must stay above the events/s floor.
+
+    Min of three runs: single-shot timings on a shared host wobble by
+    +-30%, which would make a floor near the measured throughput flaky.
+    """
+    result = None
+    times = []
+    for _ in range(3):
+        result, elapsed = run_once(scale_trace)
+        times.append(elapsed)
+    elapsed = min(times)
     events_per_s = 2 * len(scale_trace) / elapsed
     print(f"\narray-engine throughput: {events_per_s:,.0f} events/s "
-          f"({elapsed:.2f}s for {2 * len(scale_trace):,} events)")
+          f"({elapsed:.2f}s best of {len(times)} for "
+          f"{2 * len(scale_trace):,} events)")
     emit_report("cluster_scale_throughput", {
         "n_vms": len(scale_trace),
         "n_servers": N_SERVERS,

@@ -30,8 +30,11 @@ N_SHARDS = pick(4, 2)
 N_SERVERS_PER_SHARD = pick(50, 12)
 MIN_TOTAL_VMS = pick(100_000, 1_500)
 DURATION_DAYS = pick(3.5, 0.5)
-MIN_VMS_PER_S = pick(10_000, 2_000)
+MIN_VMS_PER_S = pick(100_000, 2_000)
 POOL_SIZE_SOCKETS = 16
+#: Timed replays per path; each path's time is the min (interleaved runs
+#: damp the +-30% single-shot noise a shared host shows).
+TIMING_REPS = pick(5, 2)
 
 OPERATING_POINT = CombinedOperatingPoint(
     fp_percent=1.5, op_percent=2.0, li_percent=30.0, um_percent=22.0
@@ -69,20 +72,42 @@ def test_bench_crossshard_spanning_groups_at_scale(fleet_and_traces):
     # Pool-independent baselines, shared by every run below.
     baselines = legacy_fleet.compute_baselines(traces)
 
-    # -- classic shardwise path (the reference) --------------------------------
-    start = time.perf_counter()
-    legacy = legacy_fleet.run(factory, traces=traces, baselines=baselines)
-    legacy_seconds = time.perf_counter() - start
-
-    # -- degenerate topology through the merged cross-shard loop ---------------
     per_shard = PoolTopology.per_shard(shard_sizes, sockets, POOL_SIZE_SOCKETS)
     degenerate_fleet = FleetSimulator.sharded(
         N_SHARDS, base, pool_topology=per_shard
     )
-    start = time.perf_counter()
-    degenerate = degenerate_fleet.run(factory, traces=traces,
-                                      baselines=baselines)
-    degenerate_seconds = time.perf_counter() - start
+    spanning = PoolTopology.spanning(shard_sizes, sockets, POOL_SIZE_SOCKETS)
+    assert len(spanning.spanning_group_ids) >= 1
+    spanning_fleet = FleetSimulator.sharded(
+        N_SHARDS, base, pool_topology=spanning
+    )
+
+    # Interleaved min-of-N timing: one rep runs all three paths back to
+    # back, so a noise spike on the host hits them alike and the per-path
+    # min stays comparable.  Replays are deterministic, so keeping the
+    # last rep's results is exact.
+    legacy_times, degenerate_times, spanning_times = [], [], []
+    legacy = degenerate = result = None
+    for _ in range(TIMING_REPS):
+        # classic shardwise path (the reference)
+        start = time.perf_counter()
+        legacy = legacy_fleet.run(factory, traces=traces, baselines=baselines)
+        legacy_times.append(time.perf_counter() - start)
+        # degenerate topology through the merged cross-shard loop
+        start = time.perf_counter()
+        degenerate = degenerate_fleet.run(factory, traces=traces,
+                                          baselines=baselines)
+        degenerate_times.append(time.perf_counter() - start)
+        # spanning topology: groups cross cluster boundaries
+        start = time.perf_counter()
+        result = spanning_fleet.run(factory, traces=traces,
+                                    baselines=baselines)
+        spanning_times.append(time.perf_counter() - start)
+    legacy_seconds = min(legacy_times)
+    degenerate_seconds = min(degenerate_times)
+    spanning_seconds = min(spanning_times)
+    vms_per_s = total_vms / spanning_seconds
+    events_per_s = 2 * total_vms / spanning_seconds
 
     # Identical savings output, shard for shard: the topology engine is a
     # generalisation of the shardwise path, not an approximation of it.
@@ -92,17 +117,6 @@ def test_bench_crossshard_spanning_groups_at_scale(fleet_and_traces):
     for got, ref in zip(degenerate.shards, legacy.shards):
         assert got.result.server_peak_local_gb == ref.result.server_peak_local_gb
         assert got.result.pool_peak_gb == ref.result.pool_peak_gb
-
-    # -- spanning topology: groups cross cluster boundaries --------------------
-    spanning = PoolTopology.spanning(shard_sizes, sockets, POOL_SIZE_SOCKETS)
-    assert len(spanning.spanning_group_ids) >= 1
-    spanning_fleet = FleetSimulator.sharded(
-        N_SHARDS, base, pool_topology=spanning
-    )
-    start = time.perf_counter()
-    result = spanning_fleet.run(factory, traces=traces, baselines=baselines)
-    spanning_seconds = time.perf_counter() - start
-    vms_per_s = total_vms / spanning_seconds
 
     assert result.placed_vms + result.rejected_vms == total_vms
     assert set(result.fleet_pool_peak_gb) == set(range(spanning.n_groups))
@@ -127,11 +141,14 @@ def test_bench_crossshard_spanning_groups_at_scale(fleet_and_traces):
         "pool_size_sockets": POOL_SIZE_SOCKETS,
         "n_groups": spanning.n_groups,
         "n_spanning_groups": len(spanning.spanning_group_ids),
+        "timing_reps": TIMING_REPS,
         "legacy_seconds": legacy_seconds,
         "degenerate_seconds": degenerate_seconds,
         "spanning_seconds": spanning_seconds,
         "vms_per_s": vms_per_s,
         "vms_per_s_floor": MIN_VMS_PER_S,
+        "events_per_s": events_per_s,
+        "events_per_s_floor": 2 * MIN_VMS_PER_S,
         "degenerate_savings_percent": degenerate.savings.savings_percent,
         "spanning_savings_percent": savings.savings_percent,
     })

@@ -52,6 +52,7 @@ from repro.cluster.engine import resolve_engine
 from repro.cluster.pool import (
     CapacityProbeOutcome,
     PoolSavings,
+    SpeculationStats,
     _ProbeSessionBase,
     _shutdown_executor,
     bisect_min_dram,
@@ -308,6 +309,12 @@ class FleetCapacitySearchResult:
     #: Per-group provisioned pool capacity for topology searches, keyed by
     #: fleet group id (uniform within each provisioning domain).
     pool_capacity_gb_by_group: Optional[Dict[int, float]] = None
+    #: Speculative-probe accounting of this call (parallel searches only;
+    #: ``None`` for sequential searches).  Purely diagnostic -- speculation
+    #: never changes probe verdicts or the returned dimensioning.
+    speculation: Optional[SpeculationStats] = field(
+        default=None, compare=False
+    )
 
 
 @dataclass(frozen=True)
@@ -458,6 +465,66 @@ def _run_fleet_probe(
     return probe_outcome_of(result, policy)
 
 
+def _run_fleet_topology_probe(
+    task: Tuple[Optional[PolicyFactory], PoolTopology,
+                Optional[Tuple[Tuple[int, float], ...]], Optional[float]]
+) -> CapacityProbeOutcome:
+    """Topology probe task: (policy_factory, topology, caps_items, dram).
+
+    A cross-shard replay cannot be split by shard -- its pool groups span
+    shards -- so one task is one **whole-fleet** merged replay; parallelism
+    for topology searches comes from running speculated bisection candidates
+    concurrently, not from sharding.  ``caps_items=None`` is the
+    unconstrained provisioning replay (step 3'); otherwise the candidate
+    replay against the provisioned per-group capacities.  Policies are
+    rebuilt per probe (decisions are digest-keyed, so fresh instances decide
+    identically), making the returned ``policy_stats`` a clean per-probe
+    delta.
+    """
+    factory, topology, caps_items, dram = task
+    state = _FLEET_PROBE_STATE
+    shard_configs = state["shard_configs"]
+    n_shards = len(shard_configs)
+    n_servers_list = [cfg.n_servers for cfg in shard_configs]
+    policies = [
+        factory(i) if factory is not None else None for i in range(n_shards)
+    ]
+    for policy in policies:
+        stats = getattr(policy, "stats", None)
+        if stats is not None:
+            policy.stats = type(stats)()
+    if caps_items is None:
+        server_cfg_list = [cfg.server_config for cfg in shard_configs]
+        capacity: object = float("inf")
+        constrain = False
+    else:
+        candidate = capacity_candidate_config(
+            shard_configs[0].server_config, dram
+        )
+        server_cfg_list = [candidate] * n_shards
+        capacity = dict(caps_items)
+        constrain = True
+    results, ledger = replay_crossshard(
+        state["inputs"], policies, n_servers_list, server_cfg_list,
+        topology, capacity, constrain, state["sample_interval_s"],
+    )
+    merged = None
+    for policy in policies:
+        stats = getattr(policy, "stats", None)
+        if stats is not None:
+            if merged is None:
+                merged = PolicyStats()
+            merged.add(stats)
+    return CapacityProbeOutcome(
+        placed_vms=sum(r.placed_vms for r in results),
+        rejected_vms=sum(r.rejected_vms for r in results),
+        pool_peak_gb=dict(ledger.peak_gb),
+        total_pool_gb=sum(r.total_pool_gb_allocated for r in results),
+        total_memory_gb=sum(r.total_memory_gb_allocated for r in results),
+        policy_stats=merged,
+    )
+
+
 class _FleetProbeSession(_ProbeSessionBase):
     """Memoised fleet capacity-search probes on a process pool.
 
@@ -509,12 +576,13 @@ class _FleetProbeSession(_ProbeSessionBase):
 
     def submit(self, factory: Optional[PolicyFactory], shard: int,
                pool_sockets: int, pool_capacity_gb: float,
-               dram: Optional[float]) -> None:
+               dram: Optional[float], speculative: bool = False) -> None:
         """Submit one shard probe unconditionally.
 
         Deliberately uncapped: :meth:`candidate_rejections` submits probes
         the search *will* block on, so throttling belongs only to the
-        speculative :meth:`prefetch_bisection` path.
+        speculative :meth:`prefetch_bisection` path (which marks its submits
+        ``speculative`` for the adaptive controller's accounting).
         """
         key = (self._token(factory), shard, pool_sockets, pool_capacity_gb,
                dram)
@@ -524,12 +592,15 @@ class _FleetProbeSession(_ProbeSessionBase):
             _run_fleet_probe, (factory, shard, pool_sockets,
                                pool_capacity_gb, dram)
         )
+        if speculative:
+            self._mark_speculative(key)
 
     def outcome(self, factory: Optional[PolicyFactory], shard: int,
                 pool_sockets: int, pool_capacity_gb: float,
                 dram: Optional[float]) -> CapacityProbeOutcome:
         key = (self._token(factory), shard, pool_sockets, pool_capacity_gb,
                dram)
+        self._note_consumed(key)
         cached = self._outcomes.get(key)
         if cached is None:
             future = self._futures.pop(key, None)
@@ -541,6 +612,78 @@ class _FleetProbeSession(_ProbeSessionBase):
             cached = future.result()
             self._record_outcome(key, cached)
         return cached
+
+    # -- whole-fleet topology probes ---------------------------------------------------
+    def _topology_key(self, factory, topology: PoolTopology,
+                      caps_items: Optional[Tuple[Tuple[int, float], ...]],
+                      dram: Optional[float]) -> tuple:
+        # key[0] stays the factory token so _record_outcome's per-token
+        # stat draining covers topology probes too; "topology" disambiguates
+        # from per-shard probe keys.
+        return (self._token(factory), "topology", self._token(topology),
+                caps_items, dram)
+
+    def submit_topology(self, factory: Optional[PolicyFactory],
+                        topology: PoolTopology,
+                        caps_items: Optional[Tuple[Tuple[int, float], ...]],
+                        dram: Optional[float],
+                        speculative: bool = False) -> None:
+        """Submit one whole-fleet cross-shard replay (see
+        :func:`_run_fleet_topology_probe`)."""
+        key = self._topology_key(factory, topology, caps_items, dram)
+        if key in self._outcomes or key in self._futures:
+            return
+        self._futures[key] = self._executor.submit(
+            _run_fleet_topology_probe, (factory, topology, caps_items, dram)
+        )
+        if speculative:
+            self._mark_speculative(key)
+
+    def topology_outcome(self, factory: Optional[PolicyFactory],
+                         topology: PoolTopology,
+                         caps_items: Optional[Tuple[Tuple[int, float], ...]],
+                         dram: Optional[float]) -> CapacityProbeOutcome:
+        """Blocking whole-fleet topology probe result (memoised)."""
+        key = self._topology_key(factory, topology, caps_items, dram)
+        self._note_consumed(key)
+        cached = self._outcomes.get(key)
+        if cached is None:
+            future = self._futures.pop(key, None)
+            if future is None:
+                future = self._executor.submit(
+                    _run_fleet_topology_probe,
+                    (factory, topology, caps_items, dram)
+                )
+            cached = future.result()
+            self._record_outcome(key, cached)
+        return cached
+
+    def prefetch_topology_bisection(
+        self, factory: Optional[PolicyFactory], topology: PoolTopology,
+        caps_items: Optional[Tuple[Tuple[int, float], ...]],
+        lo: float, hi: float, depth: Optional[int] = None,
+    ) -> None:
+        """Speculatively submit whole-fleet replays for upcoming candidates.
+
+        Each speculated candidate costs one merged replay (fanout 1), so
+        topology searches can speculate deeper than the per-shard path for
+        the same worker budget; ``depth=None`` defers to the adaptive
+        controller.
+        """
+        if depth is None:
+            depth = self._adaptive_depth()
+        frontier = [(lo, hi)]
+        for _ in range(depth):
+            next_frontier = []
+            for low, high in frontier:
+                if self._inflight_full():
+                    return
+                mid = (low + high) / 2.0
+                self.submit_topology(factory, topology, caps_items, mid,
+                                     speculative=True)
+                next_frontier.append((low, mid))
+                next_frontier.append((mid, high))
+            frontier = next_frontier
 
     def candidate_rejections(self, factory: Optional[PolicyFactory],
                              dram: float, pool_sockets: int,
@@ -566,8 +709,15 @@ class _FleetProbeSession(_ProbeSessionBase):
     def prefetch_bisection(self, factory: Optional[PolicyFactory],
                            pool_sockets: int,
                            pool_caps: Optional[Sequence[float]],
-                           lo: float, hi: float, depth: int = 2) -> None:
-        """Speculatively submit per-shard probes for upcoming candidates."""
+                           lo: float, hi: float,
+                           depth: Optional[int] = None) -> None:
+        """Speculatively submit per-shard probes for upcoming candidates.
+
+        ``depth=None`` defers to the adaptive controller with a fanout of
+        one candidate = ``n_shards`` probes; an explicit depth pins it.
+        """
+        if depth is None:
+            depth = self._adaptive_depth(fanout=self._n_shards)
         pooled = pool_caps is not None
         frontier = [(lo, hi)]
         for _ in range(depth):
@@ -579,9 +729,10 @@ class _FleetProbeSession(_ProbeSessionBase):
                 for shard in range(self._n_shards):
                     if pooled:
                         self.submit(factory, shard, pool_sockets,
-                                    pool_caps[shard], mid)
+                                    pool_caps[shard], mid, speculative=True)
                     else:
-                        self.submit(None, shard, 0, 0.0, mid)
+                        self.submit(None, shard, 0, 0.0, mid,
+                                    speculative=True)
                 next_frontier.append((low, mid))
                 next_frontier.append((mid, high))
             frontier = next_frontier
@@ -1086,9 +1237,14 @@ class FleetSimulator:
         **cross-shard pool groups** instead: step 3 becomes one unconstrained
         cross-shard replay that sizes every fleet group at ``pool_headroom``
         times its provisioning domain's worst peak, and step 4's probes are
-        full cross-shard constrained replays against that fleet-owned ledger
-        (run serially in this process and memoised per candidate;
-        ``max_workers`` still parallelises the pool-independent steps 1-2).
+        full cross-shard constrained replays against that fleet-owned ledger,
+        memoised per candidate DRAM size.  With ``max_workers > 1`` those
+        replays ship to the persistent probe session as whole-fleet worker
+        tasks: the provisioning replay warm-starts alongside the baseline
+        search, and the bisection speculates bracketing candidates (a merged
+        replay cannot be split by shard, so candidates -- not shards -- are
+        the unit of parallelism).  Parallel and sequential topology searches
+        return identical savings and dimensioning (differential-tested).
         A degenerate per-shard topology reproduces the classic search's
         savings and dimensioning byte-identically (differential-tested);
         ``policy_stats`` remains a diagnostic whose probe multiset differs.
@@ -1158,13 +1314,12 @@ class FleetSimulator:
         inputs = self._capacity_inputs
         parallel = bool(self.max_workers and self.max_workers > 1)
         session = self._ensure_probe_session(inputs) if parallel else None
-        #: Parent-process policy instances: sequential probes, and the
-        #: cross-shard topology replays of steps 3-4 (parallel probes for
-        #: the classic path rebuild their policy inside the worker).
+        #: Parent-process policy instances for sequential probes (parallel
+        #: probes -- per-shard and whole-fleet topology replays alike --
+        #: rebuild their policies inside the worker).
         policies = [
             policy_factory(i)
-            if policy_factory is not None
-            and (not parallel or topology is not None)
+            if policy_factory is not None and not parallel
             else None
             for i in range(n_shards)
         ]
@@ -1187,6 +1342,12 @@ class FleetSimulator:
                         session.submit(
                             policy_factory, shard, pool_size, inf, None
                         )
+                if pool_size and topology is not None:
+                    # The whole-fleet provisioning replay (step 3') depends
+                    # on no verdict either; it overlaps the baseline search.
+                    session.submit_topology(
+                        policy_factory, topology, None, None
+                    )
 
             def replay(shard: int, dram_per_server_gb: Optional[float],
                        pool_sockets: int, pool_capacity_gb: float,
@@ -1301,61 +1462,100 @@ class FleetSimulator:
                     total_vms=total_vms,
                     rejection_budget=budget,
                     policy_stats=merged_stats,
+                    speculation=(
+                        session.drain_speculation_stats()
+                        if session is not None else None
+                    ),
                 )
-
             if topology is not None:
                 # 3'. Provision the fleet's pool groups from one
                 # unconstrained cross-shard replay: every group of a
                 # provisioning domain is sized at headroom times the
-                # domain's worst observed peak.
+                # domain's worst observed peak.  Parallel sessions ran the
+                # replay on the worker pool (warm-started alongside the
+                # baseline search); sequential searches run it here.
                 n_servers_list = [cfg.n_servers for cfg in self.shard_configs]
-                server_cfg_list = [
-                    cfg.server_config for cfg in self.shard_configs
-                ]
-                unconstrained_results, ledger = replay_crossshard(
-                    inputs, policies, n_servers_list, server_cfg_list,
-                    topology, inf, False, self.sample_interval_s,
-                )
-                caps, required_pool_gb = topology.provision_capacities(
-                    ledger.peak_gb, pool_headroom
-                )
-                total_pool_allocated = 0.0
-                total_memory_allocated = 0.0
-                for shard_result in unconstrained_results:
-                    total_pool_allocated += shard_result.total_pool_gb_allocated
-                    total_memory_allocated += (
-                        shard_result.total_memory_gb_allocated
+                if session is not None:
+                    provision = session.topology_outcome(
+                        policy_factory, topology, None, None
                     )
+                    peaks = provision.pool_peak_gb
+                    total_pool_allocated = provision.total_pool_gb
+                    total_memory_allocated = provision.total_memory_gb
+                else:
+                    server_cfg_list = [
+                        cfg.server_config for cfg in self.shard_configs
+                    ]
+                    unconstrained_results, ledger = replay_crossshard(
+                        inputs, policies, n_servers_list, server_cfg_list,
+                        topology, inf, False, self.sample_interval_s,
+                    )
+                    peaks = ledger.peak_gb
+                    total_pool_allocated = 0.0
+                    total_memory_allocated = 0.0
+                    for shard_result in unconstrained_results:
+                        total_pool_allocated += (
+                            shard_result.total_pool_gb_allocated
+                        )
+                        total_memory_allocated += (
+                            shard_result.total_memory_gb_allocated
+                        )
+                caps, required_pool_gb = topology.provision_capacities(
+                    peaks, pool_headroom
+                )
 
                 # 4'. Smallest shared per-server DRAM with the fleet pools
                 # in place.  Every probe is a full cross-shard constrained
                 # replay against the provisioned ledger, memoised per
-                # candidate DRAM size.
-                topo_rejections: Dict[float, int] = {}
+                # candidate DRAM size; the parallel session overlaps each
+                # verdict with speculated bracketing candidates (a merged
+                # replay cannot be split by shard, so candidates -- not
+                # shards -- are the unit of parallelism here).
+                if session is not None:
+                    caps_items = tuple(sorted(caps.items()))
 
-                def topo_candidate_rejections(dram: float) -> int:
-                    cached = topo_rejections.get(dram)
-                    if cached is None:
-                        candidate = capacity_candidate_config(
-                            server_config, dram
+                    def topo_candidate_rejections(dram: float) -> int:
+                        return session.topology_outcome(
+                            policy_factory, topology, caps_items, dram
+                        ).rejected_vms
+
+                    def topo_prefetch(lo: float, hi: float) -> None:
+                        session.prefetch_topology_bisection(
+                            policy_factory, topology, caps_items, lo, hi
                         )
-                        probe_results, _ = replay_crossshard(
-                            inputs, policies, n_servers_list,
-                            [candidate] * n_shards, topology, caps, True,
-                            self.sample_interval_s,
-                        )
-                        cached = sum(r.rejected_vms for r in probe_results)
-                        topo_rejections[dram] = cached
-                    return cached
+                else:
+                    topo_rejections: Dict[float, int] = {}
+
+                    def topo_candidate_rejections(dram: float) -> int:
+                        cached = topo_rejections.get(dram)
+                        if cached is None:
+                            candidate = capacity_candidate_config(
+                                server_config, dram
+                            )
+                            probe_results, _ = replay_crossshard(
+                                inputs, policies, n_servers_list,
+                                [candidate] * n_shards, topology, caps, True,
+                                self.sample_interval_s,
+                            )
+                            cached = sum(
+                                r.rejected_vms for r in probe_results
+                            )
+                            topo_rejections[dram] = cached
+                        return cached
+
+                    topo_prefetch = None
 
                 pooled_per_server = bisect_min_dram(
                     server_config.total_dram_gb, search_steps, budget,
-                    topo_candidate_rejections,
+                    topo_candidate_rejections, topo_prefetch,
                 )
-                for policy in policies:
-                    stats = getattr(policy, "stats", None)
-                    if stats is not None:
-                        merged_stats.add(stats)
+                if session is not None:
+                    merged_stats = session.drain_stats(policy_factory)
+                else:
+                    for policy in policies:
+                        stats = getattr(policy, "stats", None)
+                        if stats is not None:
+                            merged_stats.add(stats)
                 if topology.is_per_shard:
                     per_shard_caps = tuple(
                         caps[topology.groups_of_shard(shard)[0]]
@@ -1386,6 +1586,10 @@ class FleetSimulator:
                     policy_stats=merged_stats,
                     pool_topology=topology,
                     pool_capacity_gb_by_group=caps,
+                    speculation=(
+                        session.drain_speculation_stats()
+                        if session is not None else None
+                    ),
                 )
 
             # 3. Provision each shard's pool groups from its unconstrained
@@ -1447,6 +1651,10 @@ class FleetSimulator:
                 total_vms=total_vms,
                 rejection_budget=budget,
                 policy_stats=merged_stats,
+                speculation=(
+                    session.drain_speculation_stats()
+                    if session is not None else None
+                ),
             )
         except BaseException:
             # Executor lifecycle hardening: a failed search must not leave

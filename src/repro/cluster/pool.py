@@ -45,6 +45,7 @@ __all__ = [
     "uniform_pool_requirement_gb",
     "capacity_candidate_config",
     "CapacityProbeOutcome",
+    "SpeculationStats",
 ]
 
 
@@ -176,6 +177,48 @@ class CapacityProbeOutcome:
         if self.total_memory_gb <= 0:
             return 0.0
         return self.total_pool_gb / self.total_memory_gb
+
+
+@dataclass
+class SpeculationStats:
+    """Speculative-probe accounting for one capacity-search call.
+
+    Probes submitted by the speculative ``prefetch_bisection`` paths are
+    *issued*; an issued probe whose outcome the search later blocks on is a
+    *hit*; issued probes never consumed by the time the call drained its
+    stats are *wasted* (a probe still in flight when drained counts as
+    wasted even if a later call happens to reuse its memoised outcome --
+    the counters are per-call diagnostics, not global truth).  Speculation
+    never changes probe verdicts or dimensioning: probes are deterministic
+    per key, so depth only decides which outcomes are already warm.
+    """
+
+    #: Speculative probes submitted to the worker pool.
+    issued: int = 0
+    #: Issued probes the search actually blocked on.
+    hits: int = 0
+    #: Issued probes not consumed by the end of the call.
+    wasted: int = 0
+    #: The adaptive controller's depth when the call finished.
+    final_depth: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.issued if self.issued else 0.0
+
+    def add(self, other: "SpeculationStats") -> None:
+        self.issued += other.issued
+        self.hits += other.hits
+        self.wasted += other.wasted
+        self.final_depth = other.final_depth
+
+
+#: Adaptive speculation-depth bounds (see ``_ProbeSessionBase._adaptive_depth``).
+_SPEC_DEPTH_MIN = 1
+_SPEC_DEPTH_MAX = 4
+_SPEC_DEPTH_INITIAL = 2
+#: Issued probes per adaptation window.
+_SPEC_WINDOW = 8
 
 
 def capacity_probe_replay(
@@ -342,6 +385,15 @@ class _ProbeSessionBase:
         self._executor: Optional[ProcessPoolExecutor] = None
         self._finalizer = None
         self._max_inflight = 0
+        #: speculative submits not yet consumed by an ``outcome`` call.
+        self._spec_keys: set = set()
+        self._spec_issued = 0
+        self._spec_hits = 0
+        #: adaptive speculation depth, kept warm across calls on a reused
+        #: session (the workload's hit profile rarely changes between calls).
+        self._spec_depth = _SPEC_DEPTH_INITIAL
+        self._spec_window_issued = 0
+        self._spec_window_hits = 0
 
     def _attach_executor(self, executor: ProcessPoolExecutor,
                          max_inflight: int) -> None:
@@ -368,6 +420,64 @@ class _ProbeSessionBase:
         return sum(
             1 for f in self._futures.values() if not f.done()
         ) >= self._max_inflight
+
+    # -- adaptive speculation ----------------------------------------------------------
+    def _mark_speculative(self, key: tuple) -> None:
+        """Count one speculative submit (prefetch paths only)."""
+        self._spec_keys.add(key)
+        self._spec_issued += 1
+        self._spec_window_issued += 1
+
+    def _note_consumed(self, key: tuple) -> None:
+        """A blocking ``outcome`` reached ``key``: a hit if it was speculated."""
+        if key in self._spec_keys:
+            self._spec_keys.discard(key)
+            self._spec_hits += 1
+            self._spec_window_hits += 1
+
+    def _adaptive_depth(self, fanout: int = 1) -> int:
+        """Current speculative-bisection depth.
+
+        Hit-rate driven: every ``_SPEC_WINDOW`` issued probes, the depth
+        deepens when speculation keeps paying off and backs off when most
+        speculated probes go unused.  Occupancy guarded: the frontier a
+        depth implies (``(2**depth - 1) * fanout`` probes, ``fanout`` = probes
+        per candidate) is shrunk to what the pool's idle capacity can absorb,
+        so speculation never starves the probe the search blocks on next.
+        Depth changes which probes are *warm*, never which verdicts the
+        search sees -- probes are deterministic and memoised per key.
+        """
+        if self._executor is None:
+            return 0
+        if self._spec_window_issued >= _SPEC_WINDOW:
+            rate = self._spec_window_hits / self._spec_window_issued
+            if rate >= 0.5 and self._spec_depth < _SPEC_DEPTH_MAX:
+                self._spec_depth += 1
+            elif rate < 0.2 and self._spec_depth > _SPEC_DEPTH_MIN:
+                self._spec_depth -= 1
+            self._spec_window_issued = 0
+            self._spec_window_hits = 0
+        inflight = sum(1 for f in self._futures.values() if not f.done())
+        idle = max(0, self._max_inflight - inflight)
+        depth = self._spec_depth
+        while depth > _SPEC_DEPTH_MIN and \
+                (2 ** depth - 1) * fanout > max(idle, fanout):
+            depth -= 1
+        return depth
+
+    def drain_speculation_stats(self) -> "SpeculationStats":
+        """Pop (once) the speculation counters accumulated since the last
+        drain; still-unconsumed speculative probes count as wasted."""
+        stats = SpeculationStats(
+            issued=self._spec_issued,
+            hits=self._spec_hits,
+            wasted=len(self._spec_keys),
+            final_depth=self._spec_depth,
+        )
+        self._spec_keys.clear()
+        self._spec_issued = 0
+        self._spec_hits = 0
+        return stats
 
     def _record_outcome(self, key: tuple,
                         outcome: CapacityProbeOutcome) -> None:
@@ -452,8 +562,14 @@ class _CapacityProbeSession(_ProbeSessionBase):
         return self._executor is not None
 
     def submit(self, policy: Optional[PoolPolicy], pool_size_sockets: int,
-               pool_capacity_gb: float, dram: Optional[float]) -> None:
-        """Non-blocking speculative probe; no-op when sequential or saturated."""
+               pool_capacity_gb: float, dram: Optional[float],
+               speculative: bool = False) -> None:
+        """Non-blocking probe; no-op when sequential or saturated.
+
+        ``speculative`` marks prefetch-issued probes for the adaptive
+        controller's accounting (warm-start probes the search will certainly
+        need are not speculative).
+        """
         if self._executor is None:
             return
         key = (self._token(policy), pool_size_sockets, pool_capacity_gb, dram)
@@ -465,12 +581,15 @@ class _CapacityProbeSession(_ProbeSessionBase):
             _run_capacity_probe,
             (policy, pool_size_sockets, pool_capacity_gb, dram),
         )
+        if speculative:
+            self._mark_speculative(key)
 
     def outcome(self, policy: Optional[PoolPolicy], pool_size_sockets: int,
                 pool_capacity_gb: float,
                 dram: Optional[float]) -> CapacityProbeOutcome:
         """Blocking probe result (memoised)."""
         key = (self._token(policy), pool_size_sockets, pool_capacity_gb, dram)
+        self._note_consumed(key)
         cached = self._outcomes.get(key)
         if cached is not None:
             return cached
@@ -496,23 +615,29 @@ class _CapacityProbeSession(_ProbeSessionBase):
     def prefetch_bisection(self, policy: Optional[PoolPolicy],
                            pool_size_sockets: int,
                            pool_capacity_gb: float, lo: float, hi: float,
-                           depth: int = 3) -> None:
+                           depth: Optional[int] = None) -> None:
         """Speculatively submit the bisection tree under ``(lo, hi)``.
 
         Breadth-first: the midpoint the search will probe next goes in
         first, then both candidates it could probe after, and so on --
         whichever way each verdict lands, the following probe is already
         running.  Mis-speculated candidates stay memoised in case a later
-        interval revisits them.
+        interval revisits them.  ``depth=None`` (the default) lets the
+        adaptive controller pick the depth from the recent hit rate and the
+        pool's idle capacity (:meth:`_ProbeSessionBase._adaptive_depth`);
+        an explicit depth pins it (tests, ablations).
         """
         if self._executor is None:
             return
+        if depth is None:
+            depth = self._adaptive_depth()
         frontier = [(lo, hi)]
         for _ in range(depth):
             next_frontier = []
             for low, high in frontier:
                 mid = (low + high) / 2.0
-                self.submit(policy, pool_size_sockets, pool_capacity_gb, mid)
+                self.submit(policy, pool_size_sockets, pool_capacity_gb, mid,
+                            speculative=True)
                 next_frontier.append((low, mid))
                 next_frontier.append((mid, high))
             frontier = next_frontier
@@ -631,6 +756,11 @@ class PoolDimensioner:
         self._probe_session: Optional[_CapacityProbeSession] = None
         self._probe_session_trace: Optional[ClusterTrace] = None
         self._probe_session_fingerprint: Optional[tuple] = None
+        #: Speculation accounting of the most recent
+        #: :meth:`evaluate_capacity_search` call (drained per call; all
+        #: zeros for sequential searches).  Purely diagnostic -- speculation
+        #: never changes probe verdicts or the returned savings.
+        self.last_speculation: Optional[SpeculationStats] = None
 
     # -- probe-session lifecycle -------------------------------------------------------
     def _session_fingerprint(self) -> tuple:
@@ -893,6 +1023,7 @@ class PoolDimensioner:
                     session.submit(policy, pool_size_sockets, inf, None)
             baseline = self._baseline_required_dram_gb(trace, session)
             if pool_size_sockets == 0:
+                self.last_speculation = session.drain_speculation_stats()
                 return PoolSavings(
                     pool_size_sockets=0,
                     baseline_dram_gb=baseline,
@@ -925,6 +1056,7 @@ class PoolDimensioner:
                 probe_stats = session.drain_policy_stats(policy)
                 if stats is not None and probe_stats is not None:
                     stats.add(probe_stats)
+            self.last_speculation = session.drain_speculation_stats()
             return PoolSavings(
                 pool_size_sockets=pool_size_sockets,
                 baseline_dram_gb=baseline,

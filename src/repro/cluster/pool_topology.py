@@ -36,7 +36,9 @@ byte-for-byte (enforced by ``tests/test_pool_topology.py``).
 
 from __future__ import annotations
 
+import gc
 import heapq
+from bisect import bisect_left, bisect_right, insort
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -380,6 +382,106 @@ def replay_crossshard(
     spanning topologies report ``pool_peak_gb = {}`` -- a spanned group's
     peak belongs to the fleet, not to any one shard (read it off the
     returned ledger).
+
+    Materialised traces whose departures all fall strictly after their
+    arrivals (and whose VMs all request at least one core), replayed on a
+    fleet of shards sharing one server SKU, run on the **inlined** merged
+    loop (:func:`_replay_crossshard_inlined`): the event heap is replaced by
+    a precomputed global event order and the per-event engine method calls
+    by the hoisted-local hot loop of ``ClusterSimulator._run_array`` (the
+    loop hoists the SKU shape into scalars, hence the uniformity
+    requirement).  Anything else -- streams, hand-built column blocks,
+    degenerate lifetimes, zero-core VMs or mixed-SKU fleets -- keeps the
+    engine-method event loop (:func:`_replay_crossshard_events`), which also
+    serves as the differential reference pinning the inlined loop's
+    byte-identical results.
+    """
+    _validate_crossshard_args(
+        inputs, policies, n_servers_per_shard, server_configs, topology)
+    uniform_sku = len({
+        (cfg.sockets, cfg.cores_per_socket, cfg.dram_per_socket_gb)
+        for cfg in server_configs
+    }) <= 1
+    for trace in inputs:
+        if not uniform_sku or not isinstance(trace, ClusterTrace):
+            break
+        columns = trace.columns()
+        arrivals = columns.arrival_s
+        if arrivals is None:
+            break
+        if arrivals.shape[0] and not (
+            bool((columns.departure_s > arrivals).all())
+            and int(columns.cores.min()) >= 1
+        ):
+            break
+    else:
+        return _replay_crossshard_inlined(
+            inputs, policies, n_servers_per_shard, server_configs, topology,
+            capacity, constrain_memory, sample_interval_s, record_placements)
+    return _replay_crossshard_events(
+        inputs, policies, n_servers_per_shard, server_configs, topology,
+        capacity, constrain_memory, sample_interval_s, record_placements)
+
+
+def _validate_crossshard_args(inputs, policies, n_servers_per_shard,
+                              server_configs, topology) -> None:
+    """Shared shape validation for both cross-shard replay loops."""
+    n_shards = len(inputs)
+    if not (len(policies) == len(n_servers_per_shard) == len(server_configs)
+            == n_shards == topology.n_shards):
+        raise ValueError("inputs/policies/configs/topology shard counts differ")
+    for shard in range(n_shards):
+        if n_servers_per_shard[shard] != topology.shard_sizes[shard]:
+            raise ValueError(
+                f"topology maps {topology.shard_sizes[shard]} servers for "
+                f"shard {shard}, fleet has {n_servers_per_shard[shard]}"
+            )
+
+
+def _crossshard_setup(n_servers_per_shard, server_configs, topology, capacity,
+                      constrain_memory):
+    """Ledger, per-shard engines/results, and derived per-shard views."""
+    n_shards = topology.n_shards
+    ledger = PoolGroupLedger.for_topology(topology, capacity)
+    engines: List[ArrayPlacementEngine] = []
+    results: List[SimulationResult] = []
+    for shard in range(n_shards):
+        engines.append(ArrayPlacementEngine(
+            n_servers_per_shard[shard],
+            effective_server_config(server_configs[shard], constrain_memory),
+            group_of=list(topology.group_of[shard]),
+            pool_free_gb=ledger.free_gb,
+            pool_used_gb=ledger.used_gb,
+            pool_peak_gb=ledger.peak_gb,
+        ))
+        results.append(SimulationResult())
+    shard_groups = [topology.groups_of_shard(s) for s in range(n_shards)]
+    total_cores = [e.total_cores for e in engines]
+    total_dram = [
+        n_servers_per_shard[s] * server_configs[s].total_dram_gb
+        for s in range(n_shards)
+    ]
+    return ledger, engines, results, shard_groups, total_cores, total_dram
+
+
+def _replay_crossshard_events(
+    inputs: Sequence[TraceInput],
+    policies: Sequence[object],
+    n_servers_per_shard: Sequence[int],
+    server_configs: Sequence[ServerConfig],
+    topology: PoolTopology,
+    capacity: Union[float, Dict[int, float]],
+    constrain_memory: bool,
+    sample_interval_s: float,
+    record_placements: bool = False,
+) -> Tuple[List[SimulationResult], PoolGroupLedger]:
+    """The engine-method cross-shard event loop (differential reference).
+
+    Events live in an explicit heap and every placement/removal goes through
+    :class:`ArrayPlacementEngine` methods.  This is the loop the inlined
+    fast path (:func:`_replay_crossshard_inlined`) is differentially pinned
+    against; it also handles inputs the fast path cannot (streams,
+    hand-built blocks, degenerate lifetimes, zero-core VMs).
     """
     n_shards = len(inputs)
     if not (len(policies) == len(n_servers_per_shard) == len(server_configs)
@@ -549,5 +651,723 @@ def replay_crossshard(
         if record_placements:
             res._placed_vm_ids = placed_ids[shard]
             res._placed_server_idx = placed_srv[shard]
+            res._placement_server_ids = eng.server_ids
+    return results, ledger
+
+
+
+
+def _replay_crossshard_inlined(
+    inputs: Sequence[TraceInput],
+    policies: Sequence[object],
+    n_servers_per_shard: Sequence[int],
+    server_configs: Sequence[ServerConfig],
+    topology: PoolTopology,
+    capacity: Union[float, Dict[int, float]],
+    constrain_memory: bool,
+    sample_interval_s: float,
+    record_placements: bool = False,
+) -> Tuple[List[SimulationResult], PoolGroupLedger]:
+    """The inlined cross-shard merged loop (heap-free, flat fleet state).
+
+    Replaces :func:`_replay_crossshard_events`' event heap and per-event
+    engine method calls with structures computed once up front, exploiting
+    what a materialised uniform-SKU fleet already knows:
+
+    * **arrival merge**: a stable ``np.lexsort`` over ``(arrival, shard)``
+      reproduces the k-way merge heap's order exactly (the heap holds one
+      entry per shard at a time, so ties resolve by shard, then by per-shard
+      stream order);
+    * **departures**: a stable argsort of the merged-order departure column
+      is the heap's ``(time, seq)`` order -- the global placement sequence
+      *is* the merged arrival position.  A placement stores its payload at
+      its merged position; the drain walks the precomputed order through a
+      pointer, batched by one ``bisect_right`` per pump bound.  A payload
+      still ``None`` at drain time is a rejected VM (the dispatcher
+      guarantees ``departure > arrival``, so "not yet arrived" is
+      impossible);
+    * **flat fleet state**: every shard engine's per-server and per-NUMA-node
+      lists are concatenated into fleet-wide locals (a shard's server ``i``
+      becomes fleet index ``offset + i``), so the hot loop reads plain
+      locals instead of unpacking a per-shard state tuple per event.  The
+      dispatcher only routes uniform-SKU fleets here, so the server shape
+      (sockets, per-socket cores/DRAM, bucket count) hoists into scalars and
+      a fleet server's first NUMA-node slot is just ``index * sockets``.
+      Bucket entries carry fleet server ids during the run (a constant
+      offset preserves within-shard order, so walk order is unchanged) and
+      are translated back at the end;
+    * **grid samples and horizons**: every shard's grid is the same
+      ``k * sample_interval_s`` sequence, so one shared clock plus per-shard
+      alive flags replaces per-shard heap entries (shards fire in shard
+      order at each tick, exactly the heap's tie-break); horizons activate
+      when their shard's last arrival is processed, matching the heap push,
+      and wait in a tiny heap of their own whose min is cached in a local;
+    * the per-event arithmetic is statement-for-statement
+      :meth:`ArrayPlacementEngine.place` / ``remove``, with the same
+      full-server elision and GC pause as
+      ``ClusterSimulator._run_array_presorted`` (``buckets[0]`` is rebuilt
+      canonically per shard at the end).  Departures of VMs that drew no
+      pool memory skip the pool ledger block entirely: every write in it is
+      a float no-op for ``pool_gb == 0`` (``x - 0.0 == x``; the quantities
+      involved are never ``-0.0``), so results are unchanged.
+
+    Byte-identical to the events loop by construction and pinned by the
+    differential suite in ``tests/test_pool_topology.py``.
+    """
+    n_shards = len(inputs)
+    ledger, engines, results, shard_groups, total_cores, total_dram = (
+        _crossshard_setup(n_servers_per_shard, server_configs, topology,
+                          capacity, constrain_memory)
+    )
+    # Group ids are contiguous 0..n_groups-1, so the shared ledger dicts
+    # flatten into plain lists for the hot loop (a list subscript is ~2-3x
+    # cheaper than a dict lookup); the ledger dicts -- shared with the shard
+    # engines, which this loop never calls -- are refreshed at the end.
+    n_groups = topology.n_groups
+    pool_free = [ledger.free_gb[g] for g in range(n_groups)]
+    pool_used = [ledger.used_gb[g] for g in range(n_groups)]
+    pool_peak = [ledger.peak_gb[g] for g in range(n_groups)]
+
+    # -- uniform server shape, hoisted into scalars --------------------------
+    e0 = engines[0]
+    sockets = e0.sockets
+    cores_ps = e0.cores_per_socket
+    dram_ps = e0.dram_per_socket_gb
+    stc = e0.server_total_cores
+    std = e0.server_total_dram_gb
+    two_sockets = sockets == 2
+
+    # -- flat fleet state: per-shard engine lists concatenated ---------------
+    # (engines are freshly built, so this is a copy of all-zero state plus
+    # the initial full-free bucket, re-keyed to fleet server indices)
+    node_cores: List[int] = []
+    node_gb: List[float] = []
+    used_cores_srv: List[int] = []
+    used_gb_srv: List[float] = []
+    pool_used_srv: List[float] = []
+    peak_local: List[float] = []
+    peak_pool: List[float] = []
+    group_of: List[int] = []
+    srv_off: List[int] = []
+    buckets_l: List[List[List[Tuple[float, int]]]] = []
+    for eng in engines:
+        off = len(used_cores_srv)
+        srv_off.append(off)
+        node_cores.extend(eng.node_used_cores)
+        node_gb.extend(eng.node_used_gb)
+        used_cores_srv.extend(eng.used_cores_srv)
+        used_gb_srv.extend(eng.used_gb_srv)
+        pool_used_srv.extend(eng.pool_used_srv)
+        peak_local.extend(eng.peak_local_gb)
+        peak_pool.extend(eng.peak_pool_gb)
+        group_of.extend(eng.group_of)
+        buckets_l.append([
+            [(key_gb, idx + off) for key_gb, idx in bucket]
+            for bucket in eng._buckets
+        ])
+    n_buckets = len(buckets_l[0])
+
+    append_rows = [r.sample_buffer.append_row for r in results]
+    agg_cores = [0] * n_shards
+    agg_gb = [0.0] * n_shards
+    agg_stranded = [0.0] * n_shards
+    agg_running = [0] * n_shards
+    placed = [0] * n_shards
+    rejected = [0] * n_shards
+    total_memory = [0.0] * n_shards
+    total_pool = [0.0] * n_shards
+    placed_ids: List[List[str]] = [[] for _ in range(n_shards)]
+    placed_srv: List[List[int]] = [[] for _ in range(n_shards)]
+
+    # -- merged arrival order and global presorted departures ----------------
+    arr_parts = []
+    dep_parts = []
+    cores_parts = []
+    mem_parts = []
+    alloc_parts = []
+    shard_parts = []
+    pos_parts = []
+    vm_ids_by_shard: List[Sequence[str]] = []
+    horizons = [0.0] * n_shards
+    remaining = [0] * n_shards
+    for shard in range(n_shards):
+        trace = inputs[shard]
+        block, records, allocations = next(iter(iter_policy_blocks(
+            trace, policies[shard], None, True)))
+        columns = trace.columns()
+        n_s = columns.arrival_s.shape[0]
+        if allocations is None:
+            pol = policies[shard]
+            if pol is not None:
+                # min/max matches np.clip bit-for-bit for finite values
+                # (block_replay_columns' clamp), without the ufunc dispatch.
+                allocations = [
+                    float(min(max(pol(r), 0.0), r.memory_gb)) for r in records
+                ]
+            else:
+                allocations = [0.0] * n_s
+        arr_parts.append(columns.arrival_s)
+        dep_parts.append(columns.departure_s)
+        cores_parts.append(columns.cores)
+        mem_parts.append(columns.memory_gb)
+        alloc_parts.append(np.asarray(allocations, dtype=np.float64))
+        shard_parts.append(np.full(n_s, shard, dtype=np.int64))
+        pos_parts.append(np.arange(n_s, dtype=np.int64))
+        vm_ids_by_shard.append(columns.vm_ids)
+        horizons[shard] = float(columns.arrival_s[n_s - 1]) if n_s else 0.0
+        remaining[shard] = n_s
+
+    arrival_all = np.concatenate(arr_parts)
+    shard_all = np.concatenate(shard_parts)
+    # Stable sort by (arrival, shard): the merge heap holds one entry per
+    # shard, so equal arrivals tie-break by shard and, within a shard, by
+    # stream order -- which lexsort's stability preserves.
+    order = np.lexsort((shard_all, arrival_all))
+    m_arr = arrival_all[order].tolist()
+    m_shard = shard_all[order].tolist()
+    m_cores = np.concatenate(cores_parts)[order].tolist()
+    m_mem = np.concatenate(mem_parts)[order].tolist()
+    m_alloc = np.concatenate(alloc_parts)[order].tolist()
+    m_pos = np.concatenate(pos_parts)[order].tolist() if record_placements else None
+    dep_merged = np.concatenate(dep_parts)[order]
+    # Ties in departure time resolve by merged position == global placement
+    # sequence (rejected VMs leave a None payload and simply drain as
+    # no-ops), exactly the events loop's (time, seq) heap prefix.
+    dep_sort = np.argsort(dep_merged, kind="stable")
+    dep_order = dep_sort.tolist()
+    dep_times = dep_merged[dep_sort].tolist()
+    n_total = len(m_arr)
+    #: Reused walk ranges (one allocation per distinct core count, not
+    #: one per placement); indices past the last bucket walk nothing.
+    max_cr = int(max(m_cores)) if n_total else 0
+    walk_ranges = [
+        range(c, n_buckets) for c in range(max(n_buckets, max_cr + 1))
+    ]
+    payload: List[Optional[Tuple[int, int, int, int, float, float]]] = (
+        [None] * n_total
+    )
+
+    bisect = bisect_left
+    bisect_r = bisect_right
+    insort_ = insort
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    inf = float("inf")
+
+    n_dep = n_total
+    p = 0
+    next_dep = dep_times[0] if n_dep else inf
+    next_sample_time = 0.0
+    last_sample: List[Optional[float]] = [None] * n_shards
+    alive = [True] * n_shards
+    n_alive = n_shards
+    #: Horizons become pending when their shard's arrivals are exhausted
+    #: (matching the events loop's push-after-last-arrival).  ``t_h`` caches
+    #: the heap min (the heap changes at most ``2 * n_shards`` times, so
+    #: maintaining the cache is far cheaper than peeking every pump round).
+    hor_heap: List[Tuple[float, int]] = []
+    for shard in range(n_shards):
+        if not remaining[shard]:
+            heappush(hor_heap, (0.0, shard))
+    t_h = hor_heap[0][0] if hor_heap else inf
+    #: Cached next grid tick (``inf`` once every shard's horizon passed).
+    t_s = 0.0
+    # next_event folds the pump-entry test into one compare per arrival
+    # (the grid starts at 0.0, so the first arrival always pumps).
+    next_event = next_dep if next_dep <= next_sample_time else next_sample_time
+    if t_h < next_event:
+        next_event = t_h
+
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        k = -1
+        for s, arrival_s, cores_r, memory_gb, vm_pool_gb in zip(
+            m_shard, m_arr, m_cores, m_mem, m_alloc
+        ):
+            k += 1
+            # -- pump: all heaped-order events strictly before this arrival --
+            if next_event <= arrival_s:
+                nxt = t_s if t_s <= t_h else t_h
+                if arrival_s < nxt:
+                    # Fast path: only departures fire before this
+                    # arrival (grid ticks and horizons are rare
+                    # next to departure pumps), so skip the full
+                    # pump round-trip machinery.
+                    end = bisect_r(dep_times, arrival_s, p)
+                    for m in dep_order[p:end]:
+                        entry = payload[m]
+                        if entry is None:
+                            continue  # rejected VM: nothing placed
+                        # -- departure (ArrayPlacementEngine.remove) -----
+                        ds, sidx, pos, d_cores, d_local, d_pool = entry
+                        if d_pool:
+                            # place() rejects pool draws on group-less
+                            # servers, so a pool-carrying payload always
+                            # has a real group.
+                            group = group_of[sidx]
+                            remaining_gb = pool_used[group] - d_pool
+                            if remaining_gb < 0.0:
+                                # Clamp tiny negative float drift; real
+                                # imbalances stay loud.
+                                if remaining_gb < -1e-6:
+                                    raise RuntimeError(
+                                        f"pool group {group} accounting "
+                                        f"went negative ({remaining_gb} "
+                                        f"GB) -- simulator bug"
+                                    )
+                                remaining_gb = 0.0
+                            pool_used[group] = remaining_gb
+                            pool_free[group] += d_pool
+                            pool_used_srv[sidx] -= d_pool
+                        before_cores = used_cores_srv[sidx]
+                        old_gb = used_gb_srv[sidx]
+                        node_cores[pos] -= d_cores
+                        node_gb[pos] -= d_local
+                        new_cores = before_cores - d_cores
+                        used_cores_srv[sidx] = new_cores
+                        new_gb = old_gb - d_local
+                        used_gb_srv[sidx] = new_gb
+                        agg_cores[ds] -= d_cores
+                        agg_gb[ds] -= d_local
+                        buckets = buckets_l[ds]
+                        if before_cores >= stc:
+                            # stranded_after is exactly 0.0; full servers
+                            # are unindexed (full-server elision).
+                            agg_stranded[ds] += 0.0 - (std - old_gb)
+                        else:
+                            bucket = buckets[stc - before_cores]
+                            del bucket[
+                                bisect(bucket, (std - old_gb, sidx))
+                            ]
+                        insort_(
+                            buckets[stc - new_cores], (std - new_gb, sidx)
+                        )
+                        agg_running[ds] -= 1
+                    p = end
+                    next_dep = dep_times[p] if p < n_dep else inf
+                    next_event = next_dep if next_dep <= nxt else nxt
+                else:
+                    while True:
+                        # Grid sample (kind 1) outranks horizon (kind 2) at ties.
+                        fire_sample = t_s <= t_h
+                        nxt_t = t_s if fire_sample else t_h
+                        bound = nxt_t if nxt_t <= arrival_s else arrival_s
+                        if next_dep <= bound:
+                            end = bisect_r(dep_times, bound, p)
+                            for m in dep_order[p:end]:
+                                entry = payload[m]
+                                if entry is None:
+                                    continue  # rejected VM: nothing placed
+                                # -- departure (ArrayPlacementEngine.remove) -----
+                                ds, sidx, pos, d_cores, d_local, d_pool = entry
+                                if d_pool:
+                                    # place() rejects pool draws on group-less
+                                    # servers, so a pool-carrying payload always
+                                    # has a real group.
+                                    group = group_of[sidx]
+                                    remaining_gb = pool_used[group] - d_pool
+                                    if remaining_gb < 0.0:
+                                        # Clamp tiny negative float drift; real
+                                        # imbalances stay loud.
+                                        if remaining_gb < -1e-6:
+                                            raise RuntimeError(
+                                                f"pool group {group} accounting "
+                                                f"went negative ({remaining_gb} "
+                                                f"GB) -- simulator bug"
+                                            )
+                                        remaining_gb = 0.0
+                                    pool_used[group] = remaining_gb
+                                    pool_free[group] += d_pool
+                                    pool_used_srv[sidx] -= d_pool
+                                before_cores = used_cores_srv[sidx]
+                                old_gb = used_gb_srv[sidx]
+                                node_cores[pos] -= d_cores
+                                node_gb[pos] -= d_local
+                                new_cores = before_cores - d_cores
+                                used_cores_srv[sidx] = new_cores
+                                new_gb = old_gb - d_local
+                                used_gb_srv[sidx] = new_gb
+                                agg_cores[ds] -= d_cores
+                                agg_gb[ds] -= d_local
+                                buckets = buckets_l[ds]
+                                if before_cores >= stc:
+                                    # stranded_after is exactly 0.0; full servers
+                                    # are unindexed (full-server elision).
+                                    agg_stranded[ds] += 0.0 - (std - old_gb)
+                                else:
+                                    bucket = buckets[stc - before_cores]
+                                    del bucket[
+                                        bisect(bucket, (std - old_gb, sidx))
+                                    ]
+                                insort_(
+                                    buckets[stc - new_cores], (std - new_gb, sidx)
+                                )
+                                agg_running[ds] -= 1
+                            p = end
+                            next_dep = dep_times[p] if p < n_dep else inf
+                        if nxt_t > arrival_s:
+                            break
+                        if fire_sample:
+                            # Grid tick: alive shards sample in shard order (the
+                            # heap's tie-break for equal-time sample events).
+                            for gs in range(n_shards):
+                                if alive[gs]:
+                                    stranded = agg_stranded[gs]
+                                    if stranded < 0.0:
+                                        stranded = 0.0
+                                    used_pool_gb = 0.0
+                                    for g in shard_groups[gs]:
+                                        used_pool_gb += pool_used[g]
+                                    append_rows[gs]((
+                                        t_s,
+                                        agg_cores[gs] / total_cores[gs],
+                                        100.0 * agg_cores[gs] / total_cores[gs],
+                                        agg_gb[gs],
+                                        used_pool_gb,
+                                        stranded,
+                                        100.0 * stranded / total_dram[gs],
+                                        agg_running[gs],
+                                    ))
+                                    last_sample[gs] = t_s
+                            next_sample_time = t_s + sample_interval_s
+                            t_s = next_sample_time
+                        else:
+                            h, hs = heappop(hor_heap)
+                            t_h = hor_heap[0][0] if hor_heap else inf
+                            ls = last_sample[hs]
+                            if ls is None or ls <= h:
+                                if ls == h:
+                                    results[hs].sample_buffer.drop_last()
+                                stranded = agg_stranded[hs]
+                                if stranded < 0.0:
+                                    stranded = 0.0
+                                used_pool_gb = 0.0
+                                for g in shard_groups[hs]:
+                                    used_pool_gb += pool_used[g]
+                                append_rows[hs]((
+                                    h,
+                                    agg_cores[hs] / total_cores[hs],
+                                    100.0 * agg_cores[hs] / total_cores[hs],
+                                    agg_gb[hs],
+                                    used_pool_gb,
+                                    stranded,
+                                    100.0 * stranded / total_dram[hs],
+                                    agg_running[hs],
+                                ))
+                                last_sample[hs] = h
+                            alive[hs] = False
+                            n_alive -= 1
+                            if not n_alive:
+                                t_s = inf
+                    nxt = t_s if t_s <= t_h else t_h
+                    next_event = next_dep if next_dep <= nxt else nxt
+
+            buckets = buckets_l[s]
+            local_gb = memory_gb - vm_pool_gb
+
+            # -- best-fit bucket walk (ArrayPlacementEngine.place) -----------
+            cores_limit = cores_ps - cores_r
+            gb_limit = dram_ps - local_gb + 1e-9
+            need_pool = vm_pool_gb > 0
+            sidx = -1
+            best_node = -1
+            base = 0
+            if two_sockets:
+                for free in walk_ranges[cores_r]:
+                    for _key_gb, idx in buckets[free]:
+                        if need_pool:
+                            group = group_of[idx]
+                            avail = pool_free[group] if group >= 0 else 0.0
+                            if vm_pool_gb > avail + 1e-9:
+                                continue
+                        base = idx + idx
+                        used0 = node_cores[base]
+                        used1 = node_cores[base + 1]
+                        # Fullest feasible node; ties go to node 0
+                        # (find_numa_node's strict ``>`` comparison).
+                        if used1 > used0:
+                            if (used1 <= cores_limit
+                                    and node_gb[base + 1] <= gb_limit):
+                                sidx = idx
+                                best_node = 1
+                                break
+                            if (used0 <= cores_limit
+                                    and node_gb[base] <= gb_limit):
+                                sidx = idx
+                                best_node = 0
+                                break
+                        else:
+                            if (used0 <= cores_limit
+                                    and node_gb[base] <= gb_limit):
+                                sidx = idx
+                                best_node = 0
+                                break
+                            if (used1 <= cores_limit
+                                    and node_gb[base + 1] <= gb_limit):
+                                sidx = idx
+                                best_node = 1
+                                break
+                    if sidx >= 0:
+                        break
+            else:
+                for free in walk_ranges[cores_r]:
+                    for _key_gb, idx in buckets[free]:
+                        if need_pool:
+                            group = group_of[idx]
+                            avail = pool_free[group] if group >= 0 else 0.0
+                            if vm_pool_gb > avail + 1e-9:
+                                continue
+                        base = idx * sockets
+                        cand_node = -1
+                        cand_used = -1
+                        for node in range(sockets):
+                            used = node_cores[base + node]
+                            if (used <= cores_limit and used > cand_used
+                                    and node_gb[base + node] <= gb_limit):
+                                cand_node = node
+                                cand_used = used
+                        if cand_node >= 0:
+                            sidx = idx
+                            best_node = cand_node
+                            break
+                    if sidx >= 0:
+                        break
+            if sidx < 0:
+                rejected[s] += 1
+            else:
+                # -- commit (ArrayPlacementEngine.place, inlined) ------------
+                pos = base + best_node
+                node_cores[pos] += cores_r
+                node_gb[pos] += local_gb
+                before_cores = used_cores_srv[sidx]
+                old_gb = used_gb_srv[sidx]
+                new_cores = before_cores + cores_r
+                used_cores_srv[sidx] = new_cores
+                new_gb = old_gb + local_gb
+                used_gb_srv[sidx] = new_gb
+                if new_gb > peak_local[sidx]:
+                    peak_local[sidx] = new_gb
+                committed = True
+                if need_pool:
+                    pool_srv = pool_used_srv[sidx] + vm_pool_gb
+                    pool_used_srv[sidx] = pool_srv
+                    if pool_srv > peak_pool[sidx]:
+                        peak_pool[sidx] = pool_srv
+                    group = group_of[sidx]
+                    if group < 0:
+                        # Group-less pool request corner (unreachable for
+                        # topology-built engines, where every server has a
+                        # group; kept for exact parity with the events
+                        # loop's PlacementError handling): roll usage back,
+                        # peaks keep the transient placement.
+                        node_cores[pos] -= cores_r
+                        node_gb[pos] -= local_gb
+                        used_cores_srv[sidx] = new_cores - cores_r
+                        used_gb_srv[sidx] = new_gb - local_gb
+                        pool_used_srv[sidx] = pool_srv - vm_pool_gb
+                        rejected[s] += 1
+                        committed = False
+                    else:
+                        pool_free[group] -= vm_pool_gb
+                        g_used = pool_used[group] + vm_pool_gb
+                        pool_used[group] = g_used
+                        if g_used > pool_peak[group]:
+                            pool_peak[group] = g_used
+                if committed:
+                    agg_cores[s] += cores_r
+                    agg_gb[s] += local_gb
+                    # Reindex with the full-server elision (buckets[0] is
+                    # never read by the walk; rebuilt at the end).
+                    bucket = buckets[stc - before_cores]
+                    del bucket[bisect(bucket, (std - old_gb, sidx))]
+                    if new_cores >= stc:
+                        # stranded_before is exactly 0.0 (free core existed).
+                        agg_stranded[s] += (std - new_gb) - 0.0
+                    else:
+                        insort_(buckets[stc - new_cores], (std - new_gb, sidx))
+                    agg_running[s] += 1
+                    placed[s] += 1
+                    if record_placements:
+                        placed_ids[s].append(vm_ids_by_shard[s][m_pos[k]])
+                        placed_srv[s].append(sidx)
+                    total_memory[s] += memory_gb
+                    total_pool[s] += vm_pool_gb
+                    # departure > arrival, so the presorted drain has not
+                    # passed this position yet: storing the payload IS the
+                    # push.
+                    payload[k] = (s, sidx, pos, cores_r, local_gb, vm_pool_gb)
+
+            remaining[s] -= 1
+            if not remaining[s]:
+                # Shard exhausted: its horizon (this arrival's time) becomes
+                # pending, exactly like the events loop's push.
+                h = horizons[s]
+                heappush(hor_heap, (h, s))
+                if h < t_h:
+                    t_h = h
+                if h < next_event:
+                    next_event = h
+
+        # -- drain: remaining grid samples, horizons, departures -------------
+        while True:
+            fire_sample = t_s <= t_h
+            nxt_t = t_s if fire_sample else t_h
+            if next_dep <= nxt_t:
+                end = bisect_r(dep_times, nxt_t, p) if nxt_t != inf else n_dep
+                for m in dep_order[p:end]:
+                    entry = payload[m]
+                    if entry is None:
+                        continue
+                    ds, sidx, pos, d_cores, d_local, d_pool = entry
+                    if d_pool:
+                        group = group_of[sidx]
+                        remaining_gb = pool_used[group] - d_pool
+                        if remaining_gb < 0.0:
+                            if remaining_gb < -1e-6:
+                                raise RuntimeError(
+                                    f"pool group {group} accounting went "
+                                    f"negative ({remaining_gb} GB) -- "
+                                    f"simulator bug"
+                                )
+                            remaining_gb = 0.0
+                        pool_used[group] = remaining_gb
+                        pool_free[group] += d_pool
+                        pool_used_srv[sidx] -= d_pool
+                    before_cores = used_cores_srv[sidx]
+                    old_gb = used_gb_srv[sidx]
+                    node_cores[pos] -= d_cores
+                    node_gb[pos] -= d_local
+                    new_cores = before_cores - d_cores
+                    used_cores_srv[sidx] = new_cores
+                    new_gb = old_gb - d_local
+                    used_gb_srv[sidx] = new_gb
+                    agg_cores[ds] -= d_cores
+                    agg_gb[ds] -= d_local
+                    buckets = buckets_l[ds]
+                    if before_cores >= stc:
+                        agg_stranded[ds] += 0.0 - (std - old_gb)
+                    else:
+                        bucket = buckets[stc - before_cores]
+                        del bucket[bisect(bucket, (std - old_gb, sidx))]
+                    insort_(buckets[stc - new_cores], (std - new_gb, sidx))
+                    agg_running[ds] -= 1
+                p = end
+                next_dep = dep_times[p] if p < n_dep else inf
+            if nxt_t == inf:
+                break
+            if fire_sample:
+                for gs in range(n_shards):
+                    if alive[gs]:
+                        stranded = agg_stranded[gs]
+                        if stranded < 0.0:
+                            stranded = 0.0
+                        used_pool_gb = 0.0
+                        for g in shard_groups[gs]:
+                            used_pool_gb += pool_used[g]
+                        append_rows[gs]((
+                            t_s,
+                            agg_cores[gs] / total_cores[gs],
+                            100.0 * agg_cores[gs] / total_cores[gs],
+                            agg_gb[gs],
+                            used_pool_gb,
+                            stranded,
+                            100.0 * stranded / total_dram[gs],
+                            agg_running[gs],
+                        ))
+                        last_sample[gs] = t_s
+                next_sample_time = t_s + sample_interval_s
+                t_s = next_sample_time
+            else:
+                h, hs = heappop(hor_heap)
+                t_h = hor_heap[0][0] if hor_heap else inf
+                ls = last_sample[hs]
+                if ls is None or ls <= h:
+                    if ls == h:
+                        results[hs].sample_buffer.drop_last()
+                    stranded = agg_stranded[hs]
+                    if stranded < 0.0:
+                        stranded = 0.0
+                    used_pool_gb = 0.0
+                    for g in shard_groups[hs]:
+                        used_pool_gb += pool_used[g]
+                    append_rows[hs]((
+                        h,
+                        agg_cores[hs] / total_cores[hs],
+                        100.0 * agg_cores[hs] / total_cores[hs],
+                        agg_gb[hs],
+                        used_pool_gb,
+                        stranded,
+                        100.0 * stranded / total_dram[hs],
+                        agg_running[hs],
+                    ))
+                    last_sample[hs] = h
+                alive[hs] = False
+                n_alive -= 1
+                if not n_alive:
+                    t_s = inf
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    # Refresh the shared ledger dicts (also referenced by the shard engines)
+    # from the flattened group state before anything reads them back.
+    for g in range(n_groups):
+        ledger.free_gb[g] = pool_free[g]
+        ledger.used_gb[g] = pool_used[g]
+        ledger.peak_gb[g] = pool_peak[g]
+
+    # -- hand the flat state back to the engines -----------------------------
+    for shard in range(n_shards):
+        res = results[shard]
+        eng = engines[shard]
+        off = srv_off[shard]
+        n = eng.n_servers
+        base0 = off * sockets
+        n_nodes = n * sockets
+        eng.node_used_cores[:] = node_cores[base0:base0 + n_nodes]
+        eng.node_used_gb[:] = node_gb[base0:base0 + n_nodes]
+        eng.used_cores_srv[:] = used_cores_srv[off:off + n]
+        eng.used_gb_srv[:] = used_gb_srv[off:off + n]
+        eng.pool_used_srv[:] = pool_used_srv[off:off + n]
+        eng.peak_local_gb[:] = peak_local[off:off + n]
+        eng.peak_pool_gb[:] = peak_pool[off:off + n]
+        buckets = buckets_l[shard]
+        # Rebuild the unmaintained full-server bucket (a full server's key
+        # is its state at fill time, so sorting the recomputed keys is the
+        # canonical index), then translate fleet ids back to shard-local.
+        buckets[0] = sorted(
+            (std - used_gb_srv[i], i)
+            for i in range(off, off + n)
+            if used_cores_srv[i] >= stc
+        )
+        eng._buckets = [
+            [(key_gb, idx - off) for key_gb, idx in bucket]
+            for bucket in buckets
+        ]
+        eng._bucket_key = [
+            (stc - used_cores_srv[off + i], std - used_gb_srv[off + i])
+            for i in range(n)
+        ]
+        eng.used_cores = agg_cores[shard]
+        eng.used_local_gb = agg_gb[shard]
+        eng.stranded_gb = agg_stranded[shard]
+        eng.running_vms = agg_running[shard]
+        res.placed_vms = placed[shard]
+        res.rejected_vms = rejected[shard]
+        res.total_memory_gb_allocated = total_memory[shard]
+        res.total_pool_gb_allocated = total_pool[shard]
+        res.server_peak_local_gb, res.server_peak_total_gb = eng.server_peaks()
+        if topology.is_per_shard:
+            local = topology.local_group_ids(shard)
+            res.pool_peak_gb = {
+                local[g]: ledger.peak_gb[g] for g in shard_groups[shard]
+            }
+        else:
+            res.pool_peak_gb = {}
+        if record_placements:
+            res._placed_vm_ids = placed_ids[shard]
+            res._placed_server_idx = [g - off for g in placed_srv[shard]]
             res._placement_server_ids = eng.server_ids
     return results, ledger

@@ -34,8 +34,9 @@ callables remain supported as the legacy differential-testing path.
 
 from __future__ import annotations
 
+import gc
 import heapq
-from bisect import bisect_left, insort
+from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
@@ -698,7 +699,36 @@ class ClusterSimulator:
     def _run_array(self, trace: TraceInput, policy: Optional[PoolPolicy],
                    horizon_s: Optional[float],
                    pool_gb: Optional[np.ndarray]) -> SimulationResult:
-        """:meth:`run` on the struct-of-arrays engine.
+        """:meth:`run` on the struct-of-arrays engine (dispatcher).
+
+        Materialised traces whose departures all fall strictly after their
+        arrivals -- every real trace -- run on the **presorted-departure**
+        loop (:meth:`_run_array_presorted`): departure order is a stable
+        argsort computed once up front, so the hot loop sheds the calendar
+        queue entirely.  Streams (departure times cross block boundaries)
+        and degenerate traces (zero/negative lifetimes, zero-core VMs) keep
+        the calendar-queue loop (:meth:`_run_array_calendar`).  Both produce
+        byte-identical results (differential-tested, like
+        ``engine="object"``).
+        """
+        if isinstance(trace, ClusterTrace):
+            columns = trace.columns()
+            arrivals = columns.arrival_s
+            if arrivals is not None:
+                n = arrivals.shape[0]
+                if n == 0 or (
+                    bool((columns.departure_s > arrivals).all())
+                    and int(columns.cores.min()) >= 1
+                ):
+                    return self._run_array_presorted(trace, policy, horizon_s,
+                                                     pool_gb)
+        return self._run_array_calendar(trace, policy, horizon_s, pool_gb)
+
+    def _run_array_calendar(self, trace: TraceInput,
+                            policy: Optional[PoolPolicy],
+                            horizon_s: Optional[float],
+                            pool_gb: Optional[np.ndarray]) -> SimulationResult:
+        """:meth:`run` on the struct-of-arrays engine (calendar-queue loop).
 
         Same merged event stream, same event ordering, same arithmetic as the
         object loop -- but the per-event work is fully inlined over local
@@ -1244,3 +1274,522 @@ class ClusterSimulator:
         del bucket[bisect_left(bucket, (std - old_gb, sidx))]
         insort(buckets[stc - new_cores], (std - new_gb, sidx))
         return agg_used_cores, agg_used_gb, agg_stranded, agg_running
+
+    @staticmethod
+    def _release_payload(engine, entry, pooled, agg_used_cores, agg_used_gb,
+                         agg_stranded, agg_running):
+        """Release one presorted-loop placement payload (non-hot sites).
+
+        Same statements as the inlined drain in :meth:`_run_array_presorted`
+        (which handles the per-arrival hot path); used for the horizon
+        advance and the end-of-run drain.  Payload layout is ``(sidx, pos,
+        cores, local_gb, pool_gb)`` -- the node offset is precomputed at
+        placement, unlike the calendar entries :meth:`_release_entry` takes.
+        Observes the presorted loop's full-server elision: servers with no
+        free cores are not indexed (``buckets[0]`` is rebuilt at the end of
+        the run), so a departure from a full server skips the delete.
+        """
+        sidx, pos, d_cores, d_local, d_pool = entry
+        if pooled:
+            group = engine.group_of[sidx]
+            if group >= 0:
+                pool_used = engine.pool_used_gb
+                remaining = pool_used[group] - d_pool
+                if remaining < 0.0:
+                    if remaining < -1e-6:
+                        raise RuntimeError(
+                            f"pool group {group} accounting went negative "
+                            f"({remaining} GB) -- simulator bug"
+                        )
+                    remaining = 0.0
+                pool_used[group] = remaining
+                if d_pool > 0:
+                    engine.pool_free_gb[group] += d_pool
+                engine.pool_used_srv[sidx] -= d_pool
+        used_cores_srv = engine.used_cores_srv
+        used_gb_srv = engine.used_gb_srv
+        stc = engine.server_total_cores
+        std = engine.server_total_dram_gb
+        before_cores = used_cores_srv[sidx]
+        old_gb = used_gb_srv[sidx]
+        engine.node_used_cores[pos] -= d_cores
+        engine.node_used_gb[pos] -= d_local
+        new_cores = before_cores - d_cores
+        used_cores_srv[sidx] = new_cores
+        new_gb = old_gb - d_local
+        used_gb_srv[sidx] = new_gb
+        agg_used_cores -= d_cores
+        agg_used_gb -= d_local
+        if before_cores >= stc:
+            agg_stranded += 0.0 - (std - old_gb)
+        agg_running -= 1
+        buckets = engine._buckets
+        if before_cores < stc:
+            bucket = buckets[stc - before_cores]
+            del bucket[bisect_left(bucket, (std - old_gb, sidx))]
+        insort(buckets[stc - new_cores], (std - new_gb, sidx))
+        return agg_used_cores, agg_used_gb, agg_stranded, agg_running
+
+    def _run_array_presorted(self, trace: ClusterTrace,
+                             policy: Optional[PoolPolicy],
+                             horizon_s: Optional[float],
+                             pool_gb: Optional[np.ndarray]) -> SimulationResult:
+        """:meth:`run` on the struct-of-arrays engine, presorted departures.
+
+        The calendar loop discovers departure order dynamically because a
+        VM's departure enters the queue only when it is placed.  But for a
+        materialised trace every departure time is known up front, and when
+        departures fall strictly after their arrivals the processing order
+        is a **pure function of the trace**: a stable argsort of the
+        departure column orders equal-time departures by trace position,
+        which (placements happen in arrival order) is exactly the calendar
+        loop's ``(time, seq)`` heap order.  On top of that ordering insight
+        the loop makes three structural cuts:
+
+        * placement no longer builds event tuples, bins them, or insorts
+          into an active window -- it stores its payload ``(sidx, pos,
+          cores, local_gb, pool_gb)`` at the VM's trace position, and the
+          drain follows the precomputed order through a pointer.  A drained
+          entry whose payload is still ``None`` is a rejected VM ("not yet
+          arrived" is impossible: the dispatcher guarantees ``departure >
+          arrival``).  Departures drain in **batched slices** bounded by
+          one ``bisect_right`` on the presorted time list, and the
+          pump-entry test folds into a single ``next_event`` compare.
+        * **full-server elision**: the best-fit walk starts at ``free >=
+          cores >= 1``, so ``buckets[0]`` -- servers with no free cores --
+          is never read.  A placement that fills a server skips the insort
+          and a departure from a full server skips the delete (at high
+          utilisation that is the vast majority of reindex traffic, because
+          best-fit deliberately drains buckets to empty); ``buckets[0]`` is
+          rebuilt canonically once at the end, so the engine's indexed
+          state is exactly what method-based placement would have left.
+        * the cyclic GC is paused for the duration of the loop (restored in
+          a ``finally``): the payload and bucket-key tuples allocated per
+          event otherwise trigger repeated young-generation scans over the
+          engine's long-lived state.
+
+        The per-event arithmetic is statement-for-statement the calendar
+        loop's, so results are byte-identical (differential-tested).
+        """
+        use_pool = bool(self.pool_size_sockets)
+        if pool_gb is not None:
+            pool_gb = np.asarray(pool_gb, dtype=np.float64)
+            policy = None  # precomputed allocations replace the callback
+        engine = ArrayPlacementEngine.for_cluster(
+            self.n_servers,
+            self._effective_config(),
+            pool_size_sockets=self.pool_size_sockets,
+            pool_capacity_gb_per_group=self.pool_capacity_gb_per_group,
+            base_sockets=self.server_config.sockets,
+        )
+        result = SimulationResult()
+        buffer = result.sample_buffer
+        append_row = buffer.append_row
+
+        # -- engine state as locals (identical to the calendar loop) ---------
+        node_cores = engine.node_used_cores
+        node_gb = engine.node_used_gb
+        used_cores_srv = engine.used_cores_srv
+        used_gb_srv = engine.used_gb_srv
+        pool_used_srv = engine.pool_used_srv
+        peak_local = engine.peak_local_gb
+        peak_pool = engine.peak_pool_gb
+        group_of = engine.group_of
+        pool_free = engine.pool_free_gb
+        pool_used = engine.pool_used_gb
+        pool_peak = engine.pool_peak_by_group
+        buckets = engine._buckets
+        n_buckets = len(buckets)
+        server_ids = engine.server_ids
+        sockets = engine.sockets
+        two_sockets = sockets == 2
+        cores_per_socket = engine.cores_per_socket
+        dram_per_socket = engine.dram_per_socket_gb
+        stc = engine.server_total_cores
+        std = engine.server_total_dram_gb
+        pooled = bool(pool_free)
+
+        bisect = bisect_left
+        insort_ = insort
+        bisect_r = bisect_right
+
+        agg_used_cores = 0
+        agg_used_gb = 0.0
+        agg_stranded = 0.0
+        agg_running = 0
+        total_cores = engine.total_cores
+        total_dram = self.n_servers * self.server_config.total_dram_gb
+
+        # -- the one block of a materialised trace ---------------------------
+        block, records, allocations = next(
+            iter(self._iter_blocks(trace, policy, pool_gb, use_pool))
+        )
+        vm_ids, arrivals, departs, cores_col, memory_col = (
+            self._block_replay_columns(block, records)
+        )
+        n_block = len(vm_ids)
+        last_arrival = arrivals[n_block - 1] if n_block else 0.0
+        if allocations is None:
+            if policy is not None and use_pool:
+                allocations = [
+                    float(np.clip(policy(r), 0.0, r.memory_gb))
+                    for r in records
+                ]
+            else:
+                allocations = [0.0] * n_block
+
+        # -- presorted departures --------------------------------------------
+        dep_np = trace.columns().departure_s
+        dep_argsort = np.argsort(dep_np, kind="stable")
+        dep_order = dep_argsort.tolist()
+        dep_times = dep_np[dep_argsort].tolist()
+        #: Placement payload at each VM's trace position; ``None`` after the
+        #: arrival was processed means the VM was rejected.
+        payload: List[Optional[Tuple[int, int, int, float, float]]] = (
+            [None] * n_block
+        )
+        n_dep = n_block
+        p = 0
+
+        inf = float("inf")
+        next_dep = dep_times[0] if n_dep else inf
+        sample_interval = self.sample_interval_s
+        next_sample_time = 0.0
+        next_event = next_dep if next_dep <= next_sample_time else next_sample_time
+        last_sample_time: Optional[float] = None
+        record_placements = self.record_placements
+        placed_ids: List[str] = []
+        placed_srv: List[int] = []
+        append_placed_id = placed_ids.append
+        append_placed_srv = placed_srv.append
+        placed_vms = 0
+        rejected_vms = 0
+        total_memory_allocated = 0.0
+        total_pool_allocated = 0.0
+
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            j = -1
+            for vm_id, arrival_s, departure_s, cores_r, memory_gb, vm_pool_gb in zip(
+                vm_ids, arrivals, departs, cores_col, memory_col, allocations
+            ):
+                j += 1
+                # -- merged departures/samples up to arrival_s ---------------
+                if next_event <= arrival_s:
+                    while True:
+                        limit = (
+                            arrival_s
+                            if arrival_s <= next_sample_time
+                            else next_sample_time
+                        )
+                        if next_dep <= limit:
+                            end = bisect_r(dep_times, limit, p)
+                            for m in dep_order[p:end]:
+                                entry = payload[m]
+                                if entry is None:
+                                    continue  # rejected VM: nothing placed
+                                # -- departure (ArrayPlacementEngine.remove) -
+                                sidx, pos, d_cores, d_local, d_pool = entry
+                                if pooled:
+                                    group = group_of[sidx]
+                                    if group >= 0:
+                                        remaining = pool_used[group] - d_pool
+                                        if remaining < 0.0:
+                                            # Clamp tiny negative float
+                                            # drift; real imbalances stay
+                                            # loud.
+                                            if remaining < -1e-6:
+                                                raise RuntimeError(
+                                                    f"pool group {group} "
+                                                    f"accounting went "
+                                                    f"negative ({remaining} "
+                                                    f"GB) -- simulator bug"
+                                                )
+                                            remaining = 0.0
+                                        pool_used[group] = remaining
+                                        if d_pool > 0:
+                                            pool_free[group] += d_pool
+                                        pool_used_srv[sidx] -= d_pool
+                                before_cores = used_cores_srv[sidx]
+                                old_gb = used_gb_srv[sidx]
+                                node_cores[pos] -= d_cores
+                                node_gb[pos] -= d_local
+                                new_cores = before_cores - d_cores
+                                used_cores_srv[sidx] = new_cores
+                                new_gb = old_gb - d_local
+                                used_gb_srv[sidx] = new_gb
+                                agg_used_cores -= d_cores
+                                agg_used_gb -= d_local
+                                if before_cores >= stc:
+                                    # stranded_after is exactly 0.0 here;
+                                    # a full server is also unindexed
+                                    # (full-server elision), so there is no
+                                    # bucket entry to delete.
+                                    agg_stranded += 0.0 - (std - old_gb)
+                                else:
+                                    bucket = buckets[stc - before_cores]
+                                    del bucket[
+                                        bisect(bucket, (std - old_gb, sidx))
+                                    ]
+                                insort_(
+                                    buckets[stc - new_cores],
+                                    (std - new_gb, sidx),
+                                )
+                                agg_running -= 1
+                            p = end
+                            next_dep = dep_times[p] if p < n_dep else inf
+                        if next_sample_time > arrival_s:
+                            break
+                        # ---- grid sample -------------------------------
+                        stranded = agg_stranded
+                        if stranded < 0.0:
+                            stranded = 0.0
+                        append_row((
+                            next_sample_time,
+                            agg_used_cores / total_cores,
+                            100.0 * agg_used_cores / total_cores,
+                            agg_used_gb,
+                            sum(pool_used.values()),
+                            stranded,
+                            100.0 * stranded / total_dram,
+                            agg_running,
+                        ))
+                        last_sample_time = next_sample_time
+                        next_sample_time += sample_interval
+                    next_event = (
+                        next_dep
+                        if next_dep <= next_sample_time
+                        else next_sample_time
+                    )
+
+                local_gb = memory_gb - vm_pool_gb
+
+                # -- best-fit bucket walk (ArrayPlacementEngine.place) -------
+                cores_limit = cores_per_socket - cores_r
+                gb_limit = dram_per_socket - local_gb + 1e-9
+                need_pool = vm_pool_gb > 0
+                sidx = -1
+                best_node = -1
+                base = 0
+                for free in range(cores_r, n_buckets):
+                    for _key_gb, idx in buckets[free]:
+                        if need_pool:
+                            group = group_of[idx]
+                            avail = (
+                                pool_free.get(group, 0.0) if group >= 0 else 0.0
+                            )
+                            if vm_pool_gb > avail + 1e-9:
+                                continue
+                        base = idx * sockets
+                        if two_sockets:
+                            used0 = node_cores[base]
+                            used1 = node_cores[base + 1]
+                            # Fullest feasible node; ties go to node 0
+                            # (find_numa_node's strict ``>`` comparison).
+                            if used1 > used0:
+                                if (used1 <= cores_limit
+                                        and node_gb[base + 1] <= gb_limit):
+                                    sidx = idx
+                                    best_node = 1
+                                    break
+                                if (used0 <= cores_limit
+                                        and node_gb[base] <= gb_limit):
+                                    sidx = idx
+                                    best_node = 0
+                                    break
+                            else:
+                                if (used0 <= cores_limit
+                                        and node_gb[base] <= gb_limit):
+                                    sidx = idx
+                                    best_node = 0
+                                    break
+                                if (used1 <= cores_limit
+                                        and node_gb[base + 1] <= gb_limit):
+                                    sidx = idx
+                                    best_node = 1
+                                    break
+                        else:
+                            cand_node = -1
+                            cand_used = -1
+                            for node in range(sockets):
+                                used = node_cores[base + node]
+                                if (used <= cores_limit and used > cand_used
+                                        and node_gb[base + node] <= gb_limit):
+                                    cand_node = node
+                                    cand_used = used
+                            if cand_node >= 0:
+                                sidx = idx
+                                best_node = cand_node
+                                break
+                    if sidx >= 0:
+                        break
+                if sidx < 0:
+                    rejected_vms += 1
+                    continue
+
+                # -- commit (ArrayPlacementEngine.place, inlined) ------------
+                pos = base + best_node
+                node_cores[pos] += cores_r
+                node_gb[pos] += local_gb
+                before_cores = used_cores_srv[sidx]
+                old_gb = used_gb_srv[sidx]
+                new_cores = before_cores + cores_r
+                used_cores_srv[sidx] = new_cores
+                new_gb = old_gb + local_gb
+                used_gb_srv[sidx] = new_gb
+                if new_gb > peak_local[sidx]:
+                    peak_local[sidx] = new_gb
+                if need_pool:
+                    pool_srv = pool_used_srv[sidx] + vm_pool_gb
+                    pool_used_srv[sidx] = pool_srv
+                    if pool_srv > peak_pool[sidx]:
+                        peak_pool[sidx] = pool_srv
+                    group = group_of[sidx]
+                    if group < 0:
+                        # Group-less pool request corner: the object path
+                        # transiently places, rolls usage back (peaks stay),
+                        # and counts a rejection.
+                        node_cores[pos] -= cores_r
+                        node_gb[pos] -= local_gb
+                        used_cores_srv[sidx] = new_cores - cores_r
+                        used_gb_srv[sidx] = new_gb - local_gb
+                        pool_used_srv[sidx] = pool_srv - vm_pool_gb
+                        rejected_vms += 1
+                        continue
+                    pool_free[group] -= vm_pool_gb
+                    group_used = pool_used[group] + vm_pool_gb
+                    pool_used[group] = group_used
+                    if group_used > pool_peak[group]:
+                        pool_peak[group] = group_used
+
+                agg_used_cores += cores_r
+                agg_used_gb += local_gb
+                # Reindex: the old key is recomputed from the exact
+                # pre-update state (the same floats as when the server was
+                # last indexed).  A placement that fills the server skips
+                # the insert -- buckets[0] is never read by the walk
+                # (full-server elision; rebuilt canonically at the end).
+                bucket = buckets[stc - before_cores]
+                del bucket[bisect(bucket, (std - old_gb, sidx))]
+                if new_cores >= stc:
+                    # stranded_before is exactly 0.0 here (the server had a
+                    # free core); adding "after - 0.0" keeps byte equality.
+                    agg_stranded += (std - new_gb) - 0.0
+                else:
+                    insort_(buckets[stc - new_cores], (std - new_gb, sidx))
+                agg_running += 1
+
+                placed_vms += 1
+                if record_placements:
+                    append_placed_id(vm_id)
+                    append_placed_srv(sidx)
+                total_memory_allocated += memory_gb
+                total_pool_allocated += vm_pool_gb
+                # The departure is already at its presorted position past
+                # the drain pointer (departure > arrival >= every drained
+                # time), so "pushing" it is just storing the payload.
+                payload[j] = (sidx, pos, cores_r, local_gb, vm_pool_gb)
+
+            # -- horizon: finish sampling, replace an on-grid sample ---------
+            end_time = horizon_s if horizon_s is not None else last_arrival
+            while True:
+                limit = (
+                    end_time if end_time <= next_sample_time else next_sample_time
+                )
+                if next_dep <= limit:
+                    end = bisect_r(dep_times, limit, p)
+                    for m in dep_order[p:end]:
+                        entry = payload[m]
+                        if entry is None:
+                            continue
+                        (agg_used_cores, agg_used_gb, agg_stranded,
+                         agg_running) = self._release_payload(
+                            engine, entry, pooled,
+                            agg_used_cores, agg_used_gb, agg_stranded,
+                            agg_running,
+                        )
+                    p = end
+                    next_dep = dep_times[p] if p < n_dep else inf
+                if next_sample_time > end_time:
+                    break
+                stranded = agg_stranded
+                if stranded < 0.0:
+                    stranded = 0.0
+                append_row((
+                    next_sample_time,
+                    agg_used_cores / total_cores,
+                    100.0 * agg_used_cores / total_cores,
+                    agg_used_gb,
+                    sum(pool_used.values()),
+                    stranded,
+                    100.0 * stranded / total_dram,
+                    agg_running,
+                ))
+                last_sample_time = next_sample_time
+                next_sample_time += sample_interval
+            if last_sample_time is None or last_sample_time <= end_time:
+                if last_sample_time is not None and last_sample_time == end_time:
+                    buffer.drop_last()
+                stranded = agg_stranded
+                if stranded < 0.0:
+                    stranded = 0.0
+                append_row((
+                    end_time,
+                    agg_used_cores / total_cores,
+                    100.0 * agg_used_cores / total_cores,
+                    agg_used_gb,
+                    sum(pool_used.values()),
+                    stranded,
+                    100.0 * stranded / total_dram,
+                    agg_running,
+                ))
+            # Drain: remaining departures in presorted (time, trace
+            # position) order -- exactly the calendar drain's (time, seq).
+            for m in dep_order[p:]:
+                entry = payload[m]
+                if entry is None:
+                    continue
+                agg_used_cores, agg_used_gb, agg_stranded, agg_running = (
+                    self._release_payload(
+                        engine, entry, pooled,
+                        agg_used_cores, agg_used_gb, agg_stranded, agg_running,
+                    )
+                )
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+        # Rebuild the unmaintained full-server bucket (full-server elision):
+        # a full server's key is exactly its state at fill time (nothing
+        # changes while it has no free core), so sorting the recomputed keys
+        # reproduces the canonical index byte-for-byte.
+        buckets[0] = sorted(
+            (std - used_gb_srv[i], i)
+            for i in range(self.n_servers)
+            if used_cores_srv[i] >= stc
+        )
+
+        # Hand the mutated aggregates and bucket keys back to the engine so
+        # its state stays coherent for callers inspecting it after the run.
+        engine.used_cores = agg_used_cores
+        engine.used_local_gb = agg_used_gb
+        engine.stranded_gb = agg_stranded
+        engine.running_vms = agg_running
+        engine._bucket_key = [
+            (stc - cores, std - gb)
+            for cores, gb in zip(used_cores_srv, used_gb_srv)
+        ]
+
+        result.placed_vms = placed_vms
+        result.rejected_vms = rejected_vms
+        result.total_memory_gb_allocated = total_memory_allocated
+        result.total_pool_gb_allocated = total_pool_allocated
+        if record_placements:
+            result._placed_vm_ids = placed_ids
+            result._placed_server_idx = placed_srv
+            result._placement_server_ids = server_ids
+        result.server_peak_local_gb, result.server_peak_total_gb = engine.server_peaks()
+        result.pool_peak_gb = dict(engine.pool_peak_by_group)
+        return result

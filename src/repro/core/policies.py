@@ -77,6 +77,14 @@ _mix64_int = splitmix64
 _STREAM_SALTS = tuple(np.uint64(_mix64_int(k + 1)) for k in range(8))
 
 
+#: Digests are pure functions of ``(tag, seed, vm_id)`` but cost one CRC32
+#: per VM; dimensioning sweeps and differential reruns batch-evaluate the
+#: same trace many times (often through *different* policy instances built
+#: by a factory), so memoise per trace at module level -- entries die with
+#: their traces, and being a pure memo it needs no pickling support.
+_DIGEST_MEMO: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
 def stable_vm_digests(vm_ids: Sequence[str], tag: str, seed: int) -> np.ndarray:
     """Stable per-VM digests: CRC32 over ``tag:seed:vm_id``.
 
@@ -159,26 +167,6 @@ class _BatchPolicy:
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed
         self.stats = PolicyStats()
-        # Digests are pure functions of (tag, seed, vm_id) but cost one CRC32
-        # per VM; dimensioning sweeps batch-evaluate the same trace many
-        # times, so cache them per trace (weakly -- entries die with traces).
-        self._digest_cache: "weakref.WeakKeyDictionary[ClusterTrace, np.ndarray]" = (
-            weakref.WeakKeyDictionary()
-        )
-
-    # -- pickling ----------------------------------------------------------------
-    def __getstate__(self):
-        """Drop the weak digest cache: WeakKeyDictionary cannot be pickled,
-        and the cache is a pure memo (rebuilt lazily on first use).  This is
-        what lets policy *instances* ship to capacity-search probe workers;
-        decisions are digest-keyed, so a rebuilt cache changes nothing."""
-        state = self.__dict__.copy()
-        del state["_digest_cache"]
-        return state
-
-    def __setstate__(self, state):
-        self.__dict__.update(state)
-        self._digest_cache = weakref.WeakKeyDictionary()
 
     # -- inputs ------------------------------------------------------------------
     def _trace_arrays(
@@ -187,10 +175,15 @@ class _BatchPolicy:
         """(memory_gb, untouched_fraction, digests) for a trace-like input."""
         if isinstance(trace, ClusterTrace):
             columns = trace.columns()
-            digests = self._digest_cache.get(trace)
+            per_trace = _DIGEST_MEMO.get(trace)
+            if per_trace is None:
+                per_trace = {}
+                _DIGEST_MEMO[trace] = per_trace
+            key = (self._digest_tag, self.seed)
+            digests = per_trace.get(key)
             if digests is None or digests.shape[0] != len(columns.vm_ids):
                 digests = stable_vm_digests(columns.vm_ids, self._digest_tag, self.seed)
-                self._digest_cache[trace] = digests
+                per_trace[key] = digests
             return columns.memory_gb, columns.untouched_fraction, digests
         if isinstance(trace, TraceColumns):
             # One streamed chunk: transient, so digests are not worth caching.

@@ -291,3 +291,134 @@ class TestSpanningSemantics:
         assert search.savings.required_pool_dram_gb == pytest.approx(
             sum(caps.values())
         )
+
+
+class BatchFractionPolicy:
+    """Minimal decide_batch policy with per-shard fractions (no digests)."""
+
+    def __init__(self, fraction):
+        self.fraction = fraction
+
+    def __call__(self, record):
+        return self.fraction * record.memory_gb
+
+    def decide_batch(self, block):
+        cols = block.columns() if hasattr(block, "columns") else block
+        return self.fraction * cols.memory_gb
+
+
+class TestInlinedLoopDifferential:
+    """The inlined cross-shard pump == the engine-method reference loop.
+
+    ``replay_crossshard`` dispatches materialised uniform-SKU inputs to the
+    flat-array inlined loop (`_replay_crossshard_inlined`); the
+    engine-method event loop (`_replay_crossshard_events`) stays as the
+    differential reference.  Everything observable must match byte for
+    byte: placements, rejections, totals, per-server peaks, per-group
+    ledger state, and the full sample matrices.
+    """
+
+    @pytest.fixture(scope="class")
+    def shard_traces(self):
+        from repro.cluster.tracegen import TraceGenerator
+        traces = []
+        for s, n in enumerate([6, 8, 5]):
+            cfg = base_config(cluster_id=f"inl-{s}", n_servers=n,
+                              target_core_utilization=0.93, seed=40 + s)
+            traces.append(TraceGenerator(cfg).generate())
+        return traces
+
+    @staticmethod
+    def _run(fn, traces, topo, policies, capacity):
+        n_servers = [6, 8, 5]
+        cfgs = [ServerConfig() for _ in n_servers]
+        return fn(traces, policies, n_servers, cfgs, topo, capacity,
+                  False, 3600.0, record_placements=True)
+
+    @staticmethod
+    def _assert_identical(a_out, b_out):
+        (ra, la), (rb, lb) = a_out, b_out
+        assert la.capacity_gb == lb.capacity_gb
+        assert la.free_gb == lb.free_gb
+        assert la.used_gb == lb.used_gb
+        assert la.peak_gb == lb.peak_gb
+        for x, y in zip(ra, rb):
+            assert x.placed_vms == y.placed_vms
+            assert x.rejected_vms == y.rejected_vms
+            assert x.total_memory_gb_allocated == y.total_memory_gb_allocated
+            assert x.total_pool_gb_allocated == y.total_pool_gb_allocated
+            assert x.server_peak_local_gb == y.server_peak_local_gb
+            assert x.server_peak_total_gb == y.server_peak_total_gb
+            assert x.pool_peak_gb == y.pool_peak_gb
+            assert x.placements == y.placements
+            assert np.array_equal(x.sample_buffer.rows(),
+                                  y.sample_buffer.rows())
+
+    @pytest.mark.parametrize("topo_name", ["per_shard", "spanning"])
+    @pytest.mark.parametrize("pol_name", ["callable", "batch", "zero"])
+    @pytest.mark.parametrize("capacity", [120.0, 1e6])
+    def test_byte_identical(self, shard_traces, topo_name, pol_name,
+                            capacity):
+        from repro.cluster.pool_topology import _replay_crossshard_events
+        make = (PoolTopology.per_shard if topo_name == "per_shard"
+                else PoolTopology.spanning)
+        topo = make([6, 8, 5], 2, 16)
+        policies = {
+            "callable": [lambda r: 0.4 * r.memory_gb] * 3,
+            "batch": [BatchFractionPolicy(0.3), BatchFractionPolicy(0.5),
+                      BatchFractionPolicy(0.2)],
+            "zero": [lambda r: 0.0] * 3,
+        }[pol_name]
+        self._assert_identical(
+            self._run(replay_crossshard, shard_traces, topo, policies,
+                      capacity),
+            self._run(_replay_crossshard_events, shard_traces, topo,
+                      policies, capacity),
+        )
+
+    def test_byte_identical_dict_capacity(self, shard_traces):
+        from repro.cluster.pool_topology import _replay_crossshard_events
+        topo = PoolTopology.spanning([6, 8, 5], 2, 16)
+        caps = {g: 100.0 + 10.0 * g for g in range(topo.n_groups)}
+        policies = [BatchFractionPolicy(0.4)] * 3
+        self._assert_identical(
+            self._run(replay_crossshard, shard_traces, topo, policies, caps),
+            self._run(_replay_crossshard_events, shard_traces, topo,
+                      policies, caps),
+        )
+
+    def test_dispatcher_uses_inlined_loop(self, shard_traces, monkeypatch):
+        """Materialised uniform-SKU inputs must take the inlined path."""
+        import repro.cluster.pool_topology as pt
+        calls = []
+        inlined = pt._replay_crossshard_inlined
+
+        def spy(*args, **kwargs):
+            calls.append(1)
+            return inlined(*args, **kwargs)
+
+        monkeypatch.setattr(pt, "_replay_crossshard_inlined", spy)
+        topo = PoolTopology.spanning([6, 8, 5], 2, 16)
+        replay_crossshard(
+            shard_traces, [BatchFractionPolicy(0.4)] * 3, [6, 8, 5],
+            [ServerConfig()] * 3, topo, 120.0, False, 3600.0,
+        )
+        assert calls == [1]
+
+    def test_dispatcher_falls_back_on_mixed_skus(self, shard_traces,
+                                                 monkeypatch):
+        """Mixed server SKUs must use the engine-method reference loop."""
+        import repro.cluster.pool_topology as pt
+        monkeypatch.setattr(
+            pt, "_replay_crossshard_inlined",
+            lambda *a, **k: pytest.fail("inlined loop used for mixed SKUs"),
+        )
+        cfgs = [ServerConfig(),
+                ServerConfig(name="fat", dram_per_socket_gb=512.0),
+                ServerConfig()]
+        topo = PoolTopology.spanning([6, 8, 5], 2, 16)
+        results, _ = replay_crossshard(
+            shard_traces, [BatchFractionPolicy(0.4)] * 3, [6, 8, 5],
+            cfgs, topo, 120.0, False, 3600.0,
+        )
+        assert sum(r.placed_vms for r in results) > 0

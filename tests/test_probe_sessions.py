@@ -238,3 +238,116 @@ class TestFleetSession:
         serial = FleetSimulator.sharded(2, fleet_config(), pool_size_sockets=4)
         assert serial.run(factory, traces=traces).savings == first.savings
         assert serial.compute_baselines(traces) == baselines
+
+
+class TestTopologySessionDifferential:
+    """Parallel topology capacity search == sequential, stats drained.
+
+    Spanning topologies route their capacity probes through the fleet
+    probe session as *whole-fleet* worker tasks (a merged cross-shard
+    replay cannot split by shard); the parallel path must reproduce the
+    sequential search verbatim, memoise warm repeats, and surface
+    speculation stats only when a session ran.
+    """
+
+    N_SHARDS = 3
+    N_SERVERS = 8
+
+    @pytest.fixture(scope="class")
+    def shard_configs(self):
+        from repro.cluster.tracegen import fleet_shard_configs
+        base = fleet_config(cluster_id="topo-sess", n_servers=self.N_SERVERS,
+                            duration_days=0.3, mean_lifetime_hours=1.2,
+                            target_core_utilization=0.92, seed=11)
+        return fleet_shard_configs(self.N_SHARDS, base)
+
+    @staticmethod
+    def _factory(shard):
+        from repro.core.policies import StaticFractionPolicy
+        return StaticFractionPolicy(fraction=0.35, seed=1000 + shard)
+
+    def _search(self, fleet, topo):
+        return fleet.capacity_search(policy_factory=self._factory,
+                                     search_steps=3, pool_topology=topo)
+
+    @pytest.mark.parametrize("topo_name", ["per_shard", "spanning"])
+    def test_parallel_matches_sequential(self, shard_configs, topo_name):
+        from repro.cluster.pool_topology import PoolTopology
+        make = (PoolTopology.per_shard if topo_name == "per_shard"
+                else PoolTopology.spanning)
+        topo = make([self.N_SERVERS] * self.N_SHARDS, 2, 16)
+        rs = self._search(FleetSimulator(shard_configs), topo)
+        with FleetSimulator(shard_configs, max_workers=2) as par_fleet:
+            rp = self._search(par_fleet, topo)
+            rp2 = self._search(par_fleet, topo)  # warm: memoised outcomes
+        assert rs.savings == rp.savings
+        assert rs.baseline_per_server_gb == rp.baseline_per_server_gb
+        assert rs.pooled_per_server_gb == rp.pooled_per_server_gb
+        assert rs.per_shard_pool_capacity_gb == rp.per_shard_pool_capacity_gb
+        assert rs.pool_capacity_gb_by_group == rp.pool_capacity_gb_by_group
+        assert rs.rejection_budget == rp.rejection_budget
+        assert rs.total_vms == rp.total_vms
+        assert rp2.savings == rp.savings
+        assert rp2.pooled_per_server_gb == rp.pooled_per_server_gb
+        # Stats contract: sequential searches never speculate; parallel
+        # searches drain a fresh SpeculationStats per call.
+        assert rs.speculation is None
+        assert rp.speculation is not None
+        assert rp.speculation.issued >= 0
+        assert rp2.speculation is not None
+
+
+class TestAdaptiveSpeculationDeterminism:
+    """Speculation depth never changes probe verdicts or dimensioning.
+
+    Probes are deterministic and memoised per key, so speculation only
+    changes which outcomes are warm when the bisection asks for them.
+    Pinning the controller to depths 1/2/4 and letting it adapt must all
+    yield the sequential search's exact ``PoolSavings``.
+    """
+
+    @pytest.fixture(scope="class")
+    def spec_trace(self):
+        cfg = TraceGenConfig(cluster_id="spec", n_servers=8,
+                             duration_days=0.3, mean_lifetime_hours=1.2,
+                             target_core_utilization=0.92, seed=5)
+        return TraceGenerator(cfg).generate()
+
+    def _search(self, trace, workers, depth=None, monkeypatch=None):
+        import repro.cluster.pool as poolmod
+        dim = PoolDimensioner(n_servers=8, search_steps=3,
+                              max_workers=workers)
+        if depth is not None:
+            dim.probe_session(trace)._spec_depth = depth
+            monkeypatch.setattr(poolmod, "_SPEC_WINDOW", 10**9)
+        try:
+            savings = dim.evaluate_capacity_search(
+                trace, 16, FixedFractionPolicy(fraction=0.35))
+            return savings, dim.last_speculation
+        finally:
+            dim.close()
+
+    def test_depth_never_changes_dimensioning(self, spec_trace, monkeypatch):
+        base, spec0 = self._search(spec_trace, None)
+        assert spec0 is not None and spec0.issued == 0  # sequential: zeros
+        for depth in (1, 2, 4):
+            s, spec = self._search(spec_trace, 3, depth, monkeypatch)
+            assert s == base, f"depth={depth} changed the dimensioning"
+            assert spec is not None
+            monkeypatch.undo()
+        s, spec = self._search(spec_trace, 3)  # adaptive controller
+        assert s == base
+        assert spec is not None
+        assert spec.issued == spec.hits + spec.wasted
+
+    def test_last_speculation_drained_per_call(self, spec_trace):
+        with PoolDimensioner(n_servers=8, search_steps=3,
+                             max_workers=2) as dim:
+            dim.evaluate_capacity_search(spec_trace, 16,
+                                         FixedFractionPolicy(fraction=0.35))
+            first = dim.last_speculation
+            dim.evaluate_capacity_search(spec_trace, 16,
+                                         FixedFractionPolicy(fraction=0.35))
+            second = dim.last_speculation
+        assert first is not None and second is not None
+        assert first is not second  # drained, not accumulated
