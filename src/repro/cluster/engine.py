@@ -537,6 +537,74 @@ class ArrayPlacementEngine:
 
         self._free_handles.append(handle)
 
+    # -- online mitigation ----------------------------------------------------------------
+    def migrate_pool_to_local(self, handle: int) -> float:
+        """Move a live VM's pool share onto its NUMA-local node (mitigation).
+
+        The online QoS loop's reconfiguration primitive (paper Section 4.2):
+        the VM keeps its cores and node, its pool allocation is returned to
+        the group ledger, and the same GBs are charged to local DRAM.
+
+        Returns the moved GB; ``0.0`` when the VM has no pool exposure, and
+        ``-1.0`` when the node lacks the DRAM headroom (same ``+ 1e-9``
+        feasibility slack as placement) -- the caller records a failed
+        mitigation and may retry after departures free memory.  Ledger
+        updates reuse the departure path's negative-drift clamp, so
+        ``pool_used`` can never drift negative through mitigations.
+        """
+        sidx = self.vm_server[handle]
+        node = self.vm_node[handle]
+        pool_gb = self.vm_pool_gb[handle]
+        if pool_gb <= 0.0:
+            return 0.0
+        pos = sidx * self.sockets + node
+        std = self.server_total_dram_gb
+        if self.node_used_gb[pos] + pool_gb > self.dram_per_socket_gb + 1e-9:
+            return -1.0
+
+        group = self.group_of[sidx]
+        if group >= 0:
+            pool_used = self.pool_used_gb
+            remaining = pool_used[group] - pool_gb
+            if remaining < 0.0:
+                if remaining < -1e-6:
+                    raise RuntimeError(
+                        f"pool group {group} accounting went negative "
+                        f"({remaining} GB) -- simulator bug"
+                    )
+                remaining = 0.0
+            pool_used[group] = remaining
+            self.pool_free_gb[group] += pool_gb
+        self.pool_used_srv[sidx] -= pool_gb
+
+        used_cores_srv = self.used_cores_srv
+        used_gb_srv = self.used_gb_srv
+        stc = self.server_total_cores
+        cores_now = used_cores_srv[sidx]
+        stranded_before = std - used_gb_srv[sidx] if cores_now >= stc else 0.0
+
+        self.node_used_gb[pos] += pool_gb
+        new_gb = used_gb_srv[sidx] + pool_gb
+        used_gb_srv[sidx] = new_gb
+        if new_gb > self.peak_local_gb[sidx]:
+            self.peak_local_gb[sidx] = new_gb
+
+        self.used_local_gb += pool_gb
+        stranded_after = std - new_gb if cores_now >= stc else 0.0
+        self.stranded_gb += stranded_after - stranded_before
+
+        key = self._bucket_key[sidx]
+        new_key = (stc - cores_now, std - new_gb)
+        if new_key != key:
+            bucket = self._buckets[key[0]]
+            del bucket[bisect_left(bucket, (key[1], sidx))]
+            insort(self._buckets[new_key[0]], (new_key[1], sidx))
+            self._bucket_key[sidx] = new_key
+
+        self.vm_local_gb[handle] = self.vm_local_gb[handle] + pool_gb
+        self.vm_pool_gb[handle] = 0.0
+        return pool_gb
+
     # -- id-addressed API (scheduler facade) ---------------------------------------------
     def place_vm(self, vm_id: str, cores: int, local_gb: float,
                  pool_gb: float) -> int:

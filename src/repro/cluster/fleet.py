@@ -65,10 +65,15 @@ from repro.cluster.pool_topology import PoolTopology, replay_crossshard
 from repro.cluster.simulator import ClusterSimulator, SimulationResult, TraceInput
 from repro.cluster.trace import ClusterTrace
 from repro.cluster.tracegen import TraceGenConfig, TraceGenerator, fleet_shard_configs
+from repro.core.control_plane.online import (
+    OnlineControlConfig,
+    OnlineControlStats,
+)
 from repro.core.policies import (
     AllLocalPolicy,
     PolicyStats,
     PondTracePolicy,
+    PredictionPolicy,
     StaticFractionPolicy,
 )
 from repro.core.prediction.combined import CombinedOperatingPoint
@@ -82,6 +87,7 @@ __all__ = [
     "pond_policy_factory",
     "static_policy_factory",
     "all_local_policy_factory",
+    "prediction_policy_factory",
 ]
 
 #: A policy factory builds one fresh policy per shard (index -> policy); it
@@ -122,6 +128,36 @@ def _build_all_local_policy(shard_index: int) -> AllLocalPolicy:
 def all_local_policy_factory() -> PolicyFactory:
     """Picklable factory producing one ``AllLocalPolicy`` per shard."""
     return _build_all_local_policy
+
+
+def _build_prediction_policy(policy: PredictionPolicy,
+                             shard_index: int) -> PredictionPolicy:
+    # Fresh stats per shard, shared (read-only) trained models: policies
+    # travel to workers by pickle, so the original's counters never alias.
+    return PredictionPolicy(
+        policy.untouched_model,
+        policy.latency_model,
+        slice_gb=policy.slice_gb,
+        touch_violation_probability=policy.touch_violation_probability,
+        seed=policy.seed,
+    )
+
+
+def prediction_policy_factory(policy: Optional[PredictionPolicy] = None,
+                              **train_kwargs) -> PolicyFactory:
+    """Picklable factory producing one ``PredictionPolicy`` per shard.
+
+    Train once, fan out everywhere: the models are trained here (or passed
+    in pre-trained via ``policy``) and shipped to every shard worker by
+    pickle, so all shards decide with identical model state.  Like the other
+    factories, decisions are keyed per VM id -- a VM gets the same zNUMA
+    split no matter which shard evaluates it.
+    """
+    if policy is None:
+        policy = PredictionPolicy.train(**train_kwargs)
+    elif train_kwargs:
+        raise ValueError("pass either a pre-trained policy or train kwargs")
+    return functools.partial(_build_prediction_policy, policy)
 
 
 @dataclass(frozen=True)
@@ -260,6 +296,20 @@ class FleetResult:
         return merged
 
     @property
+    def online_stats(self) -> OnlineControlStats:
+        """Online QoS/mitigation accounting merged across shards.
+
+        All zeros when the fleet ran without ``online=...`` (shards then
+        carry no stats) or with mitigation disabled.
+        """
+        merged = OnlineControlStats()
+        for shard in self.shards:
+            stats = shard.result.online_stats
+            if stats is not None:
+                merged.add(stats)
+        return merged
+
+    @property
     def savings(self) -> PoolSavings:
         """Fleet DRAM savings: the component-wise sum of the shard savings."""
         if not self.shards:
@@ -339,6 +389,9 @@ class _ShardSpec:
     #: When set (and no trace is supplied), the worker replays a lazy
     #: ``GeneratedTraceStream`` of this chunk size instead of materialising.
     stream_chunk_size: Optional[int] = None
+    #: Online QoS/mitigation stage for the pooled replay (array engine only;
+    #: see repro.core.control_plane.online).
+    online: Optional[OnlineControlConfig] = None
 
 
 def _shard_trace_input(cfg: TraceGenConfig, trace: Optional[TraceInput],
@@ -400,9 +453,10 @@ def _run_shard(spec: _ShardSpec) -> FleetShardResult:
     if policy is not None and not spec.batch and hasattr(policy, "decide_batch"):
         # Forced per-VM-callback path (the batch engine's differential /
         # benchmark baseline): hide decide_batch from the simulator.
-        result = simulator.run(trace, policy=policy.__call__)
+        result = simulator.run(trace, policy=policy.__call__,
+                               online=spec.online)
     else:
-        result = simulator.run(trace, policy=policy)
+        result = simulator.run(trace, policy=policy, online=spec.online)
     run_seconds = time.perf_counter() - start
 
     baseline = spec.baseline_required_dram_gb
@@ -997,6 +1051,7 @@ class FleetSimulator:
         batch: bool = True,
         compute_baseline: Optional[bool] = None,
         baselines: Optional[Sequence[float]] = None,
+        online: Optional[OnlineControlConfig] = None,
     ) -> FleetResult:
         """Run every shard and merge the results.
 
@@ -1008,7 +1063,11 @@ class FleetSimulator:
         baseline replay per shard so savings can be computed; it defaults to
         on exactly when the fleet pools memory.  ``baselines`` supplies
         precomputed per-shard baselines (see :meth:`compute_baselines`) and
-        skips those replays entirely.
+        skips those replays entirely.  ``online`` activates the online
+        QoS/mitigation stage in every shard's pooled replay (array engine
+        only); per-shard accounting lands on each
+        ``shard.result.online_stats`` and merges via
+        :attr:`FleetResult.online_stats`.
         """
         if traces is not None and len(traces) != len(self.shard_configs):
             raise ValueError(
@@ -1022,7 +1081,8 @@ class FleetSimulator:
             compute_baseline = bool(self.pool_size_sockets)
         if self.pool_topology is not None:
             return self._run_topology(
-                policy_factory, traces, batch, compute_baseline, baselines
+                policy_factory, traces, batch, compute_baseline, baselines,
+                online,
             )
         specs = [
             _ShardSpec(
@@ -1042,6 +1102,7 @@ class FleetSimulator:
                     baselines[i] if baselines is not None else None
                 ),
                 stream_chunk_size=self.stream_chunk_size,
+                online=online,
             )
             for i, cfg in enumerate(self.shard_configs)
         ]
@@ -1062,6 +1123,7 @@ class FleetSimulator:
         batch: bool,
         compute_baseline: bool,
         baselines: Optional[Sequence[float]],
+        online: Optional[OnlineControlConfig] = None,
     ) -> FleetResult:
         """:meth:`run` over a cross-shard pool topology.
 
@@ -1107,7 +1169,7 @@ class FleetSimulator:
             [cfg.server_config for cfg in self.shard_configs],
             topology, self.pool_capacity_gb_per_group,
             self.constrain_memory, self.sample_interval_s,
-            record_placements=False,
+            record_placements=False, online=online,
         )
         per_shard_seconds = (time.perf_counter() - start) / n_shards
         shards: List[FleetShardResult] = []

@@ -54,6 +54,11 @@ from repro.cluster.simulator import (
     iter_policy_blocks,
 )
 from repro.cluster.trace import ClusterTrace
+from repro.core.control_plane.online import (
+    OnlineControlConfig,
+    OnlineControlStats,
+    estimate_slowdown_batch,
+)
 
 __all__ = ["PoolTopology", "PoolGroupLedger", "replay_crossshard"]
 
@@ -310,10 +315,16 @@ def _shard_arrival_events(
     trace: TraceInput,
     policy,
     use_pool: bool,
+    with_slowdowns: bool = False,
 ) -> Iterator[Tuple[float, float, int, float, str, float]]:
     """One shard's ``(arrival, departure, cores, memory, vm_id, pool_gb)``
     stream, in arrival order, with pool allocations resolved exactly like
-    the single-cluster replay (shared :func:`iter_policy_blocks`)."""
+    the single-cluster replay (shared :func:`iter_policy_blocks`).
+
+    With ``with_slowdowns`` (the online replay's mitigation path) each
+    tuple carries a seventh element: the VM's estimated slowdown percent
+    from :func:`estimate_slowdown_batch` under ``policy``, computed per
+    block exactly like the single-cluster online loop."""
     streaming = not isinstance(trace, ClusterTrace)
     last_arrival = 0.0
     for block, records, allocations in iter_policy_blocks(
@@ -342,8 +353,16 @@ def _shard_arrival_events(
                 ]
             else:
                 allocations = [0.0] * n_block
-        yield from zip(arrivals, departs, cores_col, memory_col, vm_ids,
-                       allocations)
+        if with_slowdowns and n_block:
+            slowdowns = estimate_slowdown_batch(
+                policy, block,
+                np.asarray(allocations, dtype=np.float64),
+            ).tolist()
+            yield from zip(arrivals, departs, cores_col, memory_col, vm_ids,
+                           allocations, slowdowns)
+        else:
+            yield from zip(arrivals, departs, cores_col, memory_col, vm_ids,
+                           allocations)
 
 
 #: Event kinds in the merged heap; at equal timestamps departures fire first,
@@ -365,6 +384,7 @@ def replay_crossshard(
     constrain_memory: bool,
     sample_interval_s: float,
     record_placements: bool = False,
+    online: Optional[OnlineControlConfig] = None,
 ) -> Tuple[List[SimulationResult], PoolGroupLedger]:
     """Replay a fleet as one merged event stream over a shared group ledger.
 
@@ -395,9 +415,24 @@ def replay_crossshard(
     engine-method event loop (:func:`_replay_crossshard_events`), which also
     serves as the differential reference pinning the inlined loop's
     byte-identical results.
+
+    ``online`` activates the online QoS/mitigation stage (DESIGN.md section
+    10): after each shard's grid sample a QoS tick migrates that shard's
+    at-risk pool-exposed VMs to local DRAM, updating the shared ledger.
+    Online replays always run on the engine-method event loop -- mitigation
+    mutates per-VM state mid-replay, which the precomputed-order inlined
+    loop cannot express -- and attach a per-shard
+    :class:`~repro.core.control_plane.online.OnlineControlStats` to each
+    result.  With mitigation disabled the per-shard results are
+    byte-identical to the static replay (differential-tested).
     """
     _validate_crossshard_args(
         inputs, policies, n_servers_per_shard, server_configs, topology)
+    if online is not None:
+        return _replay_crossshard_events(
+            inputs, policies, n_servers_per_shard, server_configs, topology,
+            capacity, constrain_memory, sample_interval_s, record_placements,
+            online=online)
     uniform_sku = len({
         (cfg.sockets, cfg.cores_per_socket, cfg.dram_per_socket_gb)
         for cfg in server_configs
@@ -474,6 +509,7 @@ def _replay_crossshard_events(
     constrain_memory: bool,
     sample_interval_s: float,
     record_placements: bool = False,
+    online: Optional[OnlineControlConfig] = None,
 ) -> Tuple[List[SimulationResult], PoolGroupLedger]:
     """The engine-method cross-shard event loop (differential reference).
 
@@ -481,7 +517,10 @@ def _replay_crossshard_events(
     :class:`ArrayPlacementEngine` methods.  This is the loop the inlined
     fast path (:func:`_replay_crossshard_inlined`) is differentially pinned
     against; it also handles inputs the fast path cannot (streams,
-    hand-built blocks, degenerate lifetimes, zero-core VMs).
+    hand-built blocks, degenerate lifetimes, zero-core VMs) and carries the
+    online QoS/mitigation stage (``online=...``): per-shard QoS ticks fire
+    after that shard's grid samples, exactly like the single-cluster online
+    loop (:meth:`ClusterSimulator._run_array_online`).
     """
     n_shards = len(inputs)
     if not (len(policies) == len(n_servers_per_shard) == len(server_configs)
@@ -523,6 +562,36 @@ def _replay_crossshard_events(
     placed_ids: List[List[str]] = [[] for _ in range(n_shards)]
     placed_srv: List[List[int]] = [[] for _ in range(n_shards)]
 
+    # -- online QoS/mitigation state (one at-risk set + stats per shard) ----
+    mitigate = online is not None and online.mitigation_enabled
+    threshold = online.qos_threshold_percent if online is not None else 0.0
+    cost_per_gb = online.migration_cost_s_per_gb if online is not None else 0.0
+    stats_list: List[Optional[OnlineControlStats]] = [None] * n_shards
+    if online is not None:
+        for shard in range(n_shards):
+            stats_list[shard] = OnlineControlStats()
+            results[shard].online_stats = stats_list[shard]
+    at_risk: List[Dict[int, str]] = [{} for _ in range(n_shards)]
+
+    def qos_tick(shard: int) -> None:
+        stats = stats_list[shard]
+        stats.n_ticks += 1
+        flagged = at_risk[shard]
+        if not flagged:
+            return
+        stats.n_checks += len(flagged)
+        eng = engines[shard]
+        for handle in list(flagged):
+            moved = eng.migrate_pool_to_local(handle)
+            if moved < 0.0:
+                # No node headroom right now; retried next tick.
+                stats.n_failed_mitigations += 1
+                continue
+            stats.n_mitigations += 1
+            stats.migrated_gb += moved
+            stats.migration_time_s += cost_per_gb * moved
+            stats.mitigated_vm_ids.append(flagged.pop(handle))
+
     def take_sample(shard: int, time_s: float) -> None:
         eng = engines[shard]
         stranded = eng.stranded_gb
@@ -560,7 +629,12 @@ def _replay_crossshard_events(
             event = heappop(events)
             kind = event[1]
             if kind == _KIND_DEPARTURE:
-                engines[event[3]].remove(event[4])
+                shard = event[3]
+                # Departed VMs leave the at-risk set before the handle is
+                # recycled, or a later placement reusing the handle would
+                # inherit the stale flag.
+                at_risk[shard].pop(event[4], None)
+                engines[shard].remove(event[4])
             elif kind == _KIND_SAMPLE:
                 shard = event[2]
                 if done[shard]:
@@ -568,6 +642,10 @@ def _replay_crossshard_events(
                 take_sample(shard, event[0])
                 heappush(events, (event[0] + sample_interval_s,
                                   _KIND_SAMPLE, shard))
+                if mitigate:
+                    # QoS tick after the grid sample: samples always show
+                    # the pre-mitigation state (DESIGN.md section 10).
+                    qos_tick(shard)
             else:  # _KIND_HORIZON
                 shard = event[2]
                 end_time = event[0]
@@ -579,7 +657,8 @@ def _replay_crossshard_events(
 
     # -- k-way arrival merge (ties broken by shard index) -------------------
     arrival_iters = [
-        _shard_arrival_events(shard, inputs[shard], policies[shard], True)
+        _shard_arrival_events(shard, inputs[shard], policies[shard], True,
+                              with_slowdowns=mitigate)
         for shard in range(n_shards)
     ]
     shard_end = [0.0] * n_shards
@@ -598,7 +677,7 @@ def _replay_crossshard_events(
     while merge_heap:
         arrival_s, shard, record = heappop(merge_heap)
         pump((arrival_s, _KIND_ARRIVAL))
-        _, departure_s, cores_r, memory_gb, vm_id, vm_pool_gb = record
+        _, departure_s, cores_r, memory_gb, vm_id, vm_pool_gb = record[:6]
         local_gb = memory_gb - vm_pool_gb
         eng = engines[shard]
         try:
@@ -619,6 +698,8 @@ def _replay_crossshard_events(
             seq += 1
             heappush(events,
                      (departure_s, _KIND_DEPARTURE, seq, shard, handle))
+            if mitigate and vm_pool_gb > 0.0 and record[6] > threshold:
+                at_risk[shard][handle] = vm_id
         shard_end[shard] = arrival_s
         nxt = next(arrival_iters[shard], None)
         if nxt is None:

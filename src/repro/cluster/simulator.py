@@ -46,6 +46,11 @@ from repro.cluster.engine import ArrayPlacementEngine, resolve_engine
 from repro.cluster.scheduler import PlacementError, VMScheduler, validate_strategy
 from repro.cluster.server import ClusterServer, ServerConfig
 from repro.cluster.trace import ClusterTrace, TraceStream, VMTraceRecord
+from repro.core.control_plane.online import (
+    OnlineControlConfig,
+    OnlineControlStats,
+    estimate_slowdown_batch,
+)
 
 __all__ = [
     "ClusterSimulator",
@@ -161,6 +166,12 @@ class SimulationResult:
     rejected_vms: int = 0
     total_pool_gb_allocated: float = 0.0
     total_memory_gb_allocated: float = 0.0
+    #: Accounting of the online QoS/mitigation stage; ``None`` for static
+    #: replays.  Excluded from equality so an online replay with mitigation
+    #: disabled compares equal to the static replay it must reproduce.
+    online_stats: Optional[OnlineControlStats] = field(
+        default=None, repr=False, compare=False
+    )
     _samples_cache: Optional[List[SimulationSample]] = field(
         default=None, repr=False, compare=False
     )
@@ -501,7 +512,8 @@ class ClusterSimulator:
     # -- main loop --------------------------------------------------------------------
     def run(self, trace: TraceInput, policy: Optional[PoolPolicy] = None,
             horizon_s: Optional[float] = None,
-            pool_gb: Optional[np.ndarray] = None) -> SimulationResult:
+            pool_gb: Optional[np.ndarray] = None,
+            online: Optional[OnlineControlConfig] = None) -> SimulationResult:
         """Replay ``trace``; ``policy`` decides each VM's pool memory in GB.
 
         ``trace`` is either a materialised :class:`ClusterTrace` or a
@@ -528,7 +540,21 @@ class ClusterSimulator:
         struct-of-arrays engine (:mod:`repro.cluster.engine`); results are
         byte-identical to the object path, which ``engine="object"`` keeps
         for differential testing.
+
+        ``online`` activates the online QoS/mitigation stage (array engine
+        only): after every grid sample a QoS tick scans live pool-exposed
+        VMs whose estimated slowdown exceeds the configured threshold and
+        migrates their pool share to local DRAM (see DESIGN.md section 10).
+        With mitigation disabled (``qos_threshold_percent=inf``) the result
+        is byte-identical to the static replay.
         """
+        if online is not None:
+            if self.engine != "array":
+                raise ValueError(
+                    "the online control loop requires engine='array'"
+                )
+            return self._run_array_online(trace, policy, horizon_s, pool_gb,
+                                          online)
         if self.engine == "array":
             return self._run_array(trace, policy, horizon_s, pool_gb)
         use_pool = bool(self.pool_size_sockets)
@@ -723,6 +749,214 @@ class ClusterSimulator:
                     return self._run_array_presorted(trace, policy, horizon_s,
                                                      pool_gb)
         return self._run_array_calendar(trace, policy, horizon_s, pool_gb)
+
+    def _run_array_online(self, trace: TraceInput,
+                          policy: Optional[PoolPolicy],
+                          horizon_s: Optional[float],
+                          pool_gb: Optional[np.ndarray],
+                          online: OnlineControlConfig) -> SimulationResult:
+        """:meth:`run` with the online QoS/mitigation stage (array engine).
+
+        Same merged event stream and arithmetic as the static loops, driven
+        through :class:`ArrayPlacementEngine` methods (the structure the
+        cross-shard event loop already pins byte-identical to the inlined
+        paths).  One extra event type rides along: after every *grid* sample
+        a QoS tick walks the at-risk set -- live VMs whose pool share is
+        positive and whose estimated slowdown exceeds the threshold -- and
+        migrates each one's pool share to NUMA-local DRAM
+        (:meth:`ArrayPlacementEngine.migrate_pool_to_local`).  The sample
+        row itself is appended *before* the tick, so samples always show the
+        pre-mitigation state; the horizon sample never ticks (the replay is
+        over).  Failed migrations (insufficient node headroom) stay in the
+        at-risk set and are retried on every later tick.
+
+        With mitigation disabled (``qos_threshold_percent=inf``) no tick
+        does any work and the result is byte-identical to the static replay
+        (differential-tested).
+        """
+        use_pool = bool(self.pool_size_sockets)
+        streaming = not isinstance(trace, ClusterTrace)
+        #: The policy keeps estimating slowdowns even when precomputed
+        #: allocations replace its decide path.
+        slowdown_policy = policy
+        if pool_gb is not None:
+            pool_gb = np.asarray(pool_gb, dtype=np.float64)
+            policy = None  # precomputed allocations replace the callback
+        engine = ArrayPlacementEngine.for_cluster(
+            self.n_servers,
+            self._effective_config(),
+            pool_size_sockets=self.pool_size_sockets,
+            pool_capacity_gb_per_group=self.pool_capacity_gb_per_group,
+            base_sockets=self.server_config.sockets,
+        )
+        result = SimulationResult()
+        buffer = result.sample_buffer
+        stats = OnlineControlStats()
+        result.online_stats = stats
+        mitigate = online.mitigation_enabled
+        threshold = online.qos_threshold_percent
+        cost_per_gb = online.migration_cost_s_per_gb
+
+        pool_used = engine.pool_used_gb
+        total_cores = engine.total_cores
+        total_dram = self.n_servers * self.server_config.total_dram_gb
+        inf = float("inf")
+
+        # Departure events: (time, sequence, handle).
+        departures: List[Tuple[float, int, int]] = []
+        seq = 0
+        sample_interval = self.sample_interval_s
+        next_sample_time = 0.0
+        last_sample_time: Optional[float] = None
+        record_placements = self.record_placements
+        placed_ids: List[str] = []
+        placed_srv: List[int] = []
+        #: handle -> vm_id of live VMs flagged at placement time, in
+        #: placement order (mitigation processes oldest flags first).
+        at_risk: Dict[int, str] = {}
+
+        def process_one_departure() -> None:
+            _, _, handle = heapq.heappop(departures)
+            # Departed VMs leave the at-risk set before the handle is
+            # recycled, or a later placement reusing the handle would
+            # inherit the stale flag.
+            at_risk.pop(handle, None)
+            engine.remove(handle)
+
+        def take_sample(time_s: float) -> None:
+            nonlocal last_sample_time
+            used_cores = engine.used_cores
+            stranded = engine.stranded_gb
+            if stranded < 0.0:
+                stranded = 0.0
+            buffer.append_row((
+                time_s,
+                used_cores / total_cores,
+                100.0 * used_cores / total_cores,
+                engine.used_local_gb,
+                sum(pool_used.values()),
+                stranded,
+                100.0 * stranded / total_dram,
+                engine.running_vms,
+            ))
+            last_sample_time = time_s
+
+        def qos_tick() -> None:
+            stats.n_ticks += 1
+            if not at_risk:
+                return
+            stats.n_checks += len(at_risk)
+            for handle in list(at_risk):
+                moved = engine.migrate_pool_to_local(handle)
+                if moved < 0.0:
+                    # No node headroom right now; retried next tick.
+                    stats.n_failed_mitigations += 1
+                    continue
+                stats.n_mitigations += 1
+                stats.migrated_gb += moved
+                stats.migration_time_s += cost_per_gb * moved
+                stats.mitigated_vm_ids.append(at_risk.pop(handle))
+
+        def advance_to(time_s: float) -> None:
+            nonlocal next_sample_time
+            while True:
+                departure_time = departures[0][0] if departures else inf
+                if departure_time <= next_sample_time:
+                    if departure_time > time_s:
+                        return
+                    process_one_departure()
+                else:
+                    if next_sample_time > time_s:
+                        return
+                    take_sample(next_sample_time)
+                    next_sample_time += sample_interval
+                    if mitigate:
+                        qos_tick()
+
+        last_arrival = 0.0
+        for block, records, allocations in self._iter_blocks(
+            trace, policy, pool_gb, use_pool
+        ):
+            vm_ids, arrivals, departs, cores_col, memory_col = (
+                self._block_replay_columns(block, records)
+            )
+            n_block = len(vm_ids)
+            if streaming and n_block:
+                prev = last_arrival
+                for index in range(n_block):
+                    arrival = arrivals[index]
+                    if arrival < prev:
+                        raise ValueError(
+                            f"stream records must be sorted by arrival time "
+                            f"({vm_ids[index]!r} arrives at {arrival} after "
+                            f"{prev})"
+                        )
+                    prev = arrival
+                last_arrival = prev
+            elif n_block:
+                last_arrival = arrivals[n_block - 1]
+            if allocations is None:
+                if policy is not None and use_pool:
+                    allocations = [
+                        float(np.clip(policy(r), 0.0, r.memory_gb))
+                        for r in records
+                    ]
+                else:
+                    allocations = [0.0] * n_block
+
+            slowdowns = None
+            if mitigate and n_block:
+                slowdowns = estimate_slowdown_batch(
+                    slowdown_policy, block,
+                    np.asarray(allocations, dtype=np.float64),
+                ).tolist()
+
+            for index in range(n_block):
+                advance_to(arrivals[index])
+                vm_pool_gb = allocations[index]
+                memory_gb = memory_col[index]
+                local_gb = memory_gb - vm_pool_gb
+                try:
+                    handle = engine.place(cores_col[index], local_gb,
+                                          vm_pool_gb)
+                except PlacementError:
+                    # Group-less pool request corner: counted as a
+                    # rejection, peaks keep the transient placement
+                    # (object-path parity).
+                    handle = -1
+                if handle < 0:
+                    result.rejected_vms += 1
+                    continue
+                result.placed_vms += 1
+                if record_placements:
+                    placed_ids.append(vm_ids[index])
+                    placed_srv.append(engine.vm_server[handle])
+                result.total_memory_gb_allocated += memory_gb
+                result.total_pool_gb_allocated += vm_pool_gb
+                seq += 1
+                heapq.heappush(departures, (departs[index], seq, handle))
+                if (slowdowns is not None and vm_pool_gb > 0.0
+                        and slowdowns[index] > threshold):
+                    at_risk[handle] = vm_ids[index]
+
+        end_time = horizon_s if horizon_s is not None else last_arrival
+        advance_to(end_time)
+        if last_sample_time is None or last_sample_time <= end_time:
+            if last_sample_time is not None and last_sample_time == end_time:
+                buffer.drop_last()
+            take_sample(end_time)
+        while departures:
+            process_one_departure()
+
+        if record_placements:
+            result._placed_vm_ids = placed_ids
+            result._placed_server_idx = placed_srv
+            result._placement_server_ids = engine.server_ids
+        result.server_peak_local_gb, result.server_peak_total_gb = (
+            engine.server_peaks()
+        )
+        result.pool_peak_gb = dict(engine.pool_peak_by_group)
+        return result
 
     def _run_array_calendar(self, trace: TraceInput,
                             policy: Optional[PoolPolicy],

@@ -9,12 +9,19 @@
   running VMs (path B).
 * :mod:`repro.core.control_plane.mitigation` -- the mitigation manager that
   migrates mispredicted VMs to all-local memory.
+* :mod:`repro.core.control_plane.online` -- the fleet-scale projection of
+  paths A+B: config/accounting for the online QoS tick the array-engine
+  replays run per sample interval (DESIGN.md section 10).
 """
 
 from repro.core.control_plane.pool_manager import PoolManager
 from repro.core.control_plane.scheduler import PondScheduler, SchedulingDecision
 from repro.core.control_plane.qos_monitor import QoSMonitor, QoSVerdict
 from repro.core.control_plane.mitigation import MitigationManager
+from repro.core.control_plane.online import (
+    OnlineControlConfig,
+    OnlineControlStats,
+)
 
 __all__ = [
     "PoolManager",
@@ -23,4 +30,6 @@ __all__ = [
     "QoSMonitor",
     "QoSVerdict",
     "MitigationManager",
+    "OnlineControlConfig",
+    "OnlineControlStats",
 ]

@@ -27,7 +27,7 @@ class MitigationRecord:
     """One executed (or failed) mitigation."""
 
     vm_id: str
-    method: str          # "local_copy", "live_migration", or "failed"
+    method: str          # "local_copy", "live_migration", "failed", or "vm_departed"
     moved_gb: float
     duration_s: float
 
@@ -39,14 +39,23 @@ class MitigationManager:
         self.records: List[MitigationRecord] = []
 
     def mitigate(self, host: Host, vm_id: str,
-                 fallback_host: Optional[Host] = None) -> MitigationRecord:
+                 fallback_host: Optional[Host] = None,
+                 missing_ok: bool = False) -> MitigationRecord:
         """Move the VM's pool memory to local DRAM, falling back to migration.
 
         Returns the record of what happened; a record with method ``failed``
         means neither the local copy nor the fallback migration was possible.
+        A VM can legitimately depart between the QoS verdict and the
+        mitigation executing; pass ``missing_ok=True`` to record that race as
+        a ``vm_departed`` no-op instead of raising ``KeyError``.
+        ``vm_departed`` records count as neither mitigations nor failures.
         """
         vm = host.vms.get(vm_id)
         if vm is None:
+            if missing_ok:
+                record = MitigationRecord(vm_id, "vm_departed", 0.0, 0.0)
+                self.records.append(record)
+                return record
             raise KeyError(f"host {host.host_id} has no VM {vm_id!r}")
         pool_gb = vm.pool_memory_gb
         if pool_gb <= 0:
@@ -84,7 +93,8 @@ class MitigationManager:
     # -- accounting -------------------------------------------------------------------------
     @property
     def n_mitigations(self) -> int:
-        return sum(1 for r in self.records if r.method != "failed")
+        return sum(1 for r in self.records
+                   if r.method in ("local_copy", "live_migration"))
 
     @property
     def n_failures(self) -> int:

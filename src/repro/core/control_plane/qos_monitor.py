@@ -16,6 +16,7 @@ The monitor itself never moves memory; it only produces verdicts.
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
@@ -66,7 +67,12 @@ class QoSMonitor:
                 decision = QoSDecision(vm.vm_id, QoSVerdict.OK, 0.0, 0.0)
             else:
                 slowdown = float(self.slowdown_estimator(vm))
-                if slowdown > self.config.pdm_percent:
+                if math.isnan(slowdown):
+                    # Broken telemetry cannot rule out a PDM violation, and a
+                    # NaN loses every comparison -- without this branch it
+                    # would silently read as "spill tolerated".  Mitigate.
+                    verdict = QoSVerdict.MITIGATE
+                elif slowdown > self.config.pdm_percent:
                     verdict = QoSVerdict.MITIGATE
                 else:
                     verdict = QoSVerdict.SPILL_TOLERATED

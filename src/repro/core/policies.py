@@ -55,6 +55,7 @@ __all__ = [
     "AllLocalPolicy",
     "StaticFractionPolicy",
     "PondTracePolicy",
+    "PredictionPolicy",
     "PolicyStats",
     "stable_vm_digests",
     "keyed_uniforms",
@@ -371,3 +372,230 @@ class PondTracePolicy(_BatchPolicy):
             total_gb=float(memory_gb.sum()),
         )
         return pool_gb, delta
+
+
+class PredictionPolicy(_BatchPolicy):
+    """Pond's allocation behaviour driven by the *actual* prediction models.
+
+    Where :class:`PondTracePolicy` models the combined pipeline through its
+    solved operating point (LI/FP/OP rates), this policy runs the real
+    models from :mod:`repro.core.prediction` per VM, vectorized over trace
+    chunks:
+
+    * the quantile-GBM :class:`~repro.core.prediction.untouched_model.
+      UntouchedMemoryPredictor` sizes the zNUMA from scheduling-time
+      metadata (paper Figure 12's path A), and
+    * the RandomForest :class:`~repro.core.prediction.latency_model.
+      LatencyInsensitivityModel` decides which VMs go fully pool-backed.
+
+    Trace records carry no customer metadata or core-PMU telemetry, so both
+    feature vectors are *synthesised deterministically* from the per-VM
+    digest streams (the same counter-based RNG every batch policy uses):
+    the metadata history percentiles track the VM's true untouched fraction
+    plus jitter, and the TMA counters track a latent sensitivity draw.  The
+    decision for a VM is therefore a pure function of ``(vm_id, seed)`` and
+    the fitted models -- independent of chunking, sharding, call order, and
+    ``PYTHONHASHSEED`` -- and the whole policy pickles cleanly for
+    process-pool workers (the models are plain numpy/dataclass trees).
+
+    Unlike :class:`PondTracePolicy`'s expected-value capacity accounting,
+    the pool share here is the *actual* per-VM decision (full memory for
+    insensitive VMs, zNUMA otherwise): the online QoS loop must see and
+    mitigate individual mispredicted VMs, not population averages.
+    """
+
+    _digest_tag = "prediction"
+
+    #: Uniform stream indices per VM.
+    (_STREAM_CORES, _STREAM_FAMILY, _STREAM_OS, _STREAM_REGION,
+     _STREAM_HISTORY, _STREAM_TMA, _STREAM_TOUCH, _STREAM_NOISE) = range(8)
+
+    #: Synthetic TMA feature-vector width (matches :meth:`train`'s corpus).
+    N_TMA_FEATURES = 4
+
+    #: True slowdown (percent) of a fully pool-backed VM with sensitivity
+    #: latent ``s`` is ``SLOWDOWN_SCALE * s**2`` (Figure 5's up-to-~25-50 %
+    #: range, quadratic so most VMs sit well under the PDM).
+    SLOWDOWN_SCALE_PERCENT = 50.0
+
+    #: History-percentile offsets around the true untouched fraction.
+    _HISTORY_OFFSETS = np.linspace(-0.1, 0.1, 5)
+
+    def __init__(
+        self,
+        untouched_model,
+        latency_model,
+        slice_gb: int = 1,
+        touch_violation_probability: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        if slice_gb < 1:
+            raise ValueError("slice_gb must be >= 1")
+        if not 0.0 <= touch_violation_probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        super().__init__(seed=seed)
+        self.untouched_model = untouched_model
+        self.latency_model = latency_model
+        self.slice_gb = slice_gb
+        self.touch_violation_probability = touch_violation_probability
+
+    # -- training -----------------------------------------------------------------
+    @classmethod
+    def train(
+        cls,
+        seed: int = 0,
+        n_samples: int = 512,
+        fp_target_percent: float = 2.0,
+        pdm_percent: float = 5.0,
+        quantile: float = 0.05,
+        slice_gb: int = 1,
+        policy_seed: int = 0,
+    ) -> "PredictionPolicy":
+        """Fit both models on a synthetic corpus and return the policy.
+
+        The corpus is drawn from the same generative process the policy
+        synthesises features from at decide time (history percentiles
+        tracking the untouched fraction; TMA counters tracking a
+        sensitivity latent with true slowdown ``SLOWDOWN_SCALE * s**2``),
+        so the models carry real signal: the GBM's quantile objective keeps
+        overprediction rare, and the forest's threshold is calibrated to
+        the FP-rate target exactly as in Figure 17.
+        """
+        from repro.core.prediction.latency_model import LatencyInsensitivityModel
+        from repro.core.prediction.untouched_model import UntouchedMemoryPredictor
+
+        rng = np.random.default_rng(seed)
+        untouched = rng.uniform(0.0, 0.9, n_samples)
+        jitter = rng.normal(0.0, 0.02, n_samples)
+        rows = []
+        for i in range(n_samples):
+            history = np.clip(
+                untouched[i] + jitter[i] + cls._HISTORY_OFFSETS, 0.0, 1.0
+            )
+            rows.append({
+                "memory_gb": float(rng.choice([8.0, 16.0, 32.0, 64.0, 128.0])),
+                "cores": float(2 ** rng.integers(0, 4)),
+                "vm_family": f"family{rng.integers(0, 4)}",
+                "guest_os": f"os{rng.integers(0, 3)}",
+                "region": f"region{rng.integers(0, 5)}",
+                "history_percentiles": history.tolist(),
+            })
+        untouched_model = UntouchedMemoryPredictor(
+            quantile=quantile, n_estimators=40, min_samples_leaf=20,
+            random_state=seed,
+        ).fit(rows, untouched)
+
+        sensitivity = rng.uniform(0.0, 1.0, n_samples)
+        tma = cls._tma_matrix(sensitivity, rng.uniform(0.0, 1.0, n_samples))
+        slowdowns = cls.SLOWDOWN_SCALE_PERCENT * sensitivity ** 2
+        latency_model = LatencyInsensitivityModel(
+            pdm_percent=pdm_percent, n_estimators=30, max_depth=6,
+            random_state=seed,
+        ).fit(tma, slowdowns)
+        latency_model.calibrate_threshold(tma, slowdowns, fp_target_percent)
+        return cls(untouched_model, latency_model, slice_gb=slice_gb,
+                   seed=policy_seed)
+
+    # -- deterministic feature synthesis --------------------------------------------
+    @staticmethod
+    def _tma_matrix(sensitivity: np.ndarray, noise: np.ndarray) -> np.ndarray:
+        """Synthetic core-PMU features as a function of the latent draws."""
+        out = np.empty((sensitivity.shape[0], PredictionPolicy.N_TMA_FEATURES))
+        out[:, 0] = 0.05 + 0.9 * sensitivity + (noise - 0.5) * 0.04
+        out[:, 1] = 0.02 + 0.7 * sensitivity + (0.5 - noise) * 0.04
+        out[:, 2] = 0.5 * noise
+        out[:, 3] = 0.3 * (1.0 - noise)
+        return out
+
+    def _synth_features(self, memory_gb, untouched_fraction, digests):
+        """(metadata matrix, TMA matrix, uniforms) for a batch of VMs."""
+        uniforms = keyed_uniforms(digests, 8)
+        encoder = self.untouched_model.encoder
+        cores = np.exp2(np.floor(uniforms[:, self._STREAM_CORES] * 4.0))
+        codes = []
+        for stream, name in (
+            (self._STREAM_FAMILY, "vm_family"),
+            (self._STREAM_OS, "guest_os"),
+            (self._STREAM_REGION, "region"),
+        ):
+            n_cats = max(encoder.n_categories(name), 1)
+            codes.append(np.floor(uniforms[:, stream] * n_cats))
+        jitter = (uniforms[:, self._STREAM_HISTORY] - 0.5) * 0.04
+        history = np.clip(
+            untouched_fraction[:, None] + jitter[:, None]
+            + self._HISTORY_OFFSETS[None, :],
+            0.0, 1.0,
+        )
+        metadata = encoder.assemble_matrix(memory_gb, cores, codes, history)
+        tma = self._tma_matrix(
+            uniforms[:, self._STREAM_TMA], uniforms[:, self._STREAM_NOISE]
+        )
+        return metadata, tma, uniforms
+
+    # -- decision core -----------------------------------------------------------
+    def _decide_arrays(self, memory_gb, untouched_fraction, digests):
+        metadata, tma, uniforms = self._synth_features(
+            memory_gb, untouched_fraction, digests
+        )
+        predicted_fraction = self.untouched_model.predict_fraction_from_features(
+            metadata
+        )
+        znuma_gb = np.floor(predicted_fraction * memory_gb / self.slice_gb)
+        znuma_gb *= self.slice_gb
+        znuma_gb = np.minimum(znuma_gb, memory_gb)
+
+        scores = self.latency_model.insensitivity_score(tma)
+        fully_backed = scores >= self.latency_model.threshold_
+        has_znuma = ~fully_backed & (znuma_gb > 0)
+        all_local = ~fully_backed & ~has_znuma
+
+        # Misprediction accounting against the generative ground truth.
+        sensitivity = uniforms[:, self._STREAM_TMA]
+        true_slowdown = self.SLOWDOWN_SCALE_PERCENT * sensitivity ** 2
+        false_positive = fully_backed & (
+            true_slowdown > self.latency_model.pdm_percent
+        )
+        untouched_gb = memory_gb * untouched_fraction
+        spills = has_znuma & (znuma_gb > untouched_gb + 1e-9) & (
+            uniforms[:, self._STREAM_TOUCH] < self.touch_violation_probability
+        )
+
+        pool_gb = np.where(fully_backed, memory_gb, znuma_gb)
+        delta = PolicyStats(
+            n_vms=memory_gb.shape[0],
+            n_fully_pool_backed=int(fully_backed.sum()),
+            n_znuma=int(has_znuma.sum()),
+            n_all_local=int(all_local.sum()),
+            n_mispredictions=int(false_positive.sum() + spills.sum()),
+            pool_gb=float(pool_gb.sum()),
+            total_gb=float(memory_gb.sum()),
+        )
+        return pool_gb, delta
+
+    # -- online QoS estimator -----------------------------------------------------
+    def predict_slowdown_batch(self, trace: TraceLike,
+                               pool_gb: np.ndarray) -> np.ndarray:
+        """Estimated slowdown percent per VM under the given pool shares.
+
+        This is the QoS monitor's model view (path B in Figure 11): the
+        latency forest is re-evaluated on the VM's (synthesised) telemetry
+        and weighted by the pool exposure observed at runtime -- the full
+        memory for a fully pool-backed VM, the spilled fraction (pool share
+        beyond the actual untouched set, i.e. the untouched-fraction
+        telemetry column) for a zNUMA VM.  A pure function of the digests
+        and the fitted models, so every engine and shard count computes the
+        same estimates.
+        """
+        memory_gb, untouched_fraction, digests = self._trace_arrays(trace)
+        pool_gb = np.asarray(pool_gb, dtype=np.float64)
+        _, tma, _ = self._synth_features(memory_gb, untouched_fraction, digests)
+        scores = self.latency_model.insensitivity_score(tma)
+        spilled_gb = np.maximum(
+            pool_gb - untouched_fraction * memory_gb, 0.0
+        )
+        exposure = np.where(
+            pool_gb >= memory_gb - 1e-9,
+            1.0,
+            spilled_gb / np.maximum(memory_gb, 1e-12),
+        )
+        return self.SLOWDOWN_SCALE_PERCENT * (1.0 - scores) * exposure

@@ -106,6 +106,49 @@ class VMMetadataEncoder:
     def encode(self, rows: Sequence[Dict]) -> np.ndarray:
         return np.vstack([self.encode_row(row) for row in rows])
 
+    def assemble_matrix(
+        self,
+        memory_gb: np.ndarray,
+        cores: np.ndarray,
+        categorical_codes: Sequence[np.ndarray],
+        history: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized feature-matrix assembly from already-encoded columns.
+
+        The batch-policy hot path synthesises metadata as numeric arrays
+        (per-VM digest draws), so building dict rows only to tear them back
+        apart in :meth:`encode_row` would dominate the prediction cost.
+        This assembles the same ``(n, n_features)`` layout directly:
+        ``categorical_codes`` must already be table codes (use
+        :meth:`n_categories` to draw valid ones; -1 is the unknown bucket)
+        in ``METADATA_CATEGORICAL_FIELDS`` order, and ``history`` is the
+        ``(n, n_history_percentiles)`` block.
+        """
+        if not self._fitted:
+            raise RuntimeError("encoder must be fitted before encoding")
+        if len(categorical_codes) != len(METADATA_CATEGORICAL_FIELDS):
+            raise ValueError(
+                f"need {len(METADATA_CATEGORICAL_FIELDS)} categorical code "
+                f"columns, got {len(categorical_codes)}"
+            )
+        history = np.asarray(history, dtype=float)
+        n = len(memory_gb)
+        if history.shape != (n, self.n_history_percentiles):
+            raise ValueError(
+                f"history must have shape ({n}, {self.n_history_percentiles})"
+            )
+        out = np.empty((n, self.n_features), dtype=float)
+        out[:, 0] = memory_gb
+        out[:, 1] = cores
+        for j, codes in enumerate(categorical_codes):
+            out[:, 2 + j] = codes
+        out[:, 2 + len(categorical_codes):] = history
+        return out
+
+    def n_categories(self, name: str) -> int:
+        """Fitted category count for one of METADATA_CATEGORICAL_FIELDS."""
+        return self._tables[name].n_categories
+
     @property
     def feature_names(self) -> List[str]:
         names = ["memory_gb", "cores"]

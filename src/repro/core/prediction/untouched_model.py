@@ -82,6 +82,24 @@ class UntouchedMemoryPredictor:
         features = self.encoder.encode(metadata_rows)
         return np.clip(self.gbm.predict(features), 0.0, 0.99)
 
+    def predict_fraction_from_features(self, features: np.ndarray) -> np.ndarray:
+        """Predicted untouched fraction from an already-assembled matrix.
+
+        The vectorized policy path builds its feature matrix with
+        :meth:`VMMetadataEncoder.assemble_matrix` (no dict rows); this is
+        the matching predict entry point, with the same [0, 0.99) clip as
+        :meth:`predict_fraction`.
+        """
+        if not self._fitted:
+            raise RuntimeError("model has not been fitted")
+        features = np.asarray(features, dtype=float)
+        if features.ndim != 2 or features.shape[1] != self.encoder.n_features:
+            raise ValueError(
+                f"expected a (n, {self.encoder.n_features}) feature matrix, "
+                f"got shape {features.shape}"
+            )
+        return np.clip(self.gbm.predict(features), 0.0, 0.99)
+
     def predict_znuma_gb(self, metadata_row: Dict, memory_gb: float,
                          slice_gb: int = 1) -> float:
         """GB-aligned zNUMA (pool) size for one VM, rounded down."""

@@ -35,11 +35,16 @@ from repro.cluster.fleet import (
     PolicyFactory,
     PoolTopology,
     pond_policy_factory,
+    prediction_policy_factory,
     static_policy_factory,
 )
 from repro.cluster.pool import PoolDimensioner, PoolSavings
 from repro.cluster.tracegen import TraceGenConfig, TraceGenerator
 from repro.core.config import PondConfig
+from repro.core.control_plane.online import (
+    OnlineControlConfig,
+    OnlineControlStats,
+)
 from repro.core.prediction.combined import CombinedOperatingPoint
 
 __all__ = ["EndToEndStudy", "run_end_to_end_study", "format_end_to_end_table"]
@@ -66,6 +71,9 @@ class EndToEndStudy:
     savings: Dict[str, List[PoolSavings]]
     #: policy label -> scheduling misprediction percent observed.
     misprediction_percent: Dict[str, float]
+    #: policy label -> online QoS/mitigation accounting accumulated over the
+    #: pool-size sweep (``mode="online"`` runs only; ``None`` otherwise).
+    online_stats: Optional[Dict[str, OnlineControlStats]] = None
 
     def required_dram_percent(self, policy: str, pool_size: int) -> float:
         for entry in self.savings[policy]:
@@ -91,6 +99,9 @@ def run_end_to_end_study(
     stream_chunk_size: Optional[int] = 16384,
     provisioning: str = "peaks",
     pool_scope: str = "cluster",
+    mode: str = "static",
+    qos_threshold_percent: float = 5.0,
+    migration_cost_s_per_gb: float = 0.2,
 ) -> EndToEndStudy:
     """Run the Figure 21 sweep.
 
@@ -115,6 +126,15 @@ def run_end_to_end_study(
     deployment; ``"fleet"`` lets groups span shard boundaries
     (``PoolTopology.spanning``, requires ``n_shards > 1``) -- the rack-scale
     regime where one pool serves servers from two clusters.
+
+    ``mode="online"`` runs the full prediction-driven control loop instead
+    of the one-shot allocation replay: a trained
+    :class:`~repro.core.policies.PredictionPolicy` joins the policy grid
+    (label ``"prediction"``), every pooled replay runs with the online
+    QoS/mitigation stage (``qos_threshold_percent`` /
+    ``migration_cost_s_per_gb``), and per-policy mitigation accounting is
+    returned in :attr:`EndToEndStudy.online_stats`.  Online mode uses peak
+    provisioning (the capacity search replays are static by construction).
     """
     if provisioning not in ("peaks", "capacity"):
         raise ValueError("provisioning must be 'peaks' or 'capacity'")
@@ -122,6 +142,16 @@ def run_end_to_end_study(
         raise ValueError("pool_scope must be 'cluster' or 'fleet'")
     if pool_scope == "fleet" and n_shards < 2:
         raise ValueError("pool_scope='fleet' needs n_shards > 1 to span")
+    if mode not in ("static", "online"):
+        raise ValueError("mode must be 'static' or 'online'")
+    online: Optional[OnlineControlConfig] = None
+    if mode == "online":
+        if provisioning != "peaks":
+            raise ValueError("mode='online' requires provisioning='peaks'")
+        online = OnlineControlConfig(
+            qos_threshold_percent=qos_threshold_percent,
+            migration_cost_s_per_gb=migration_cost_s_per_gb,
+        )
     config = config or PondConfig()
     points = operating_points or DEFAULT_OPERATING_POINTS
     cfg = TraceGenConfig(
@@ -143,10 +173,19 @@ def run_end_to_end_study(
             fraction=static_fraction, seed=seed + 2
         ),
     }
+    if mode == "online":
+        # Trained once here; the models ship to every shard worker with the
+        # factory, so all shards decide from identical model state.
+        factories["prediction"] = prediction_policy_factory(
+            seed=seed, policy_seed=seed + 3
+        )
 
     savings: Dict[str, List[PoolSavings]] = {}
     mispredictions: Dict[str, float] = {}
-    if n_shards > 1:
+    online_stats: Optional[Dict[str, OnlineControlStats]] = (
+        {} if online is not None else None
+    )
+    if n_shards > 1 or online is not None:
         fleet_kwargs = dict(
             max_workers=max_workers, stream_chunk_size=stream_chunk_size
         )
@@ -204,12 +243,17 @@ def run_end_to_end_study(
                         **fleet_kwargs,
                     ) as fleet:
                         fleet_result = fleet.run(
-                            factory, traces=fleet_traces, baselines=baselines
+                            factory, traces=fleet_traces, baselines=baselines,
+                            online=online,
                         )
                     savings[label].append(fleet_result.savings)
                     mispredictions[label] = (
                         fleet_result.policy_stats.misprediction_percent
                     )
+                    if online_stats is not None:
+                        online_stats.setdefault(
+                            label, OnlineControlStats()
+                        ).add(fleet_result.online_stats)
     else:
         trace = TraceGenerator(cfg).generate_bulk()
         dimensioner = PoolDimensioner(n_servers=n_servers)
@@ -230,6 +274,7 @@ def run_end_to_end_study(
         pool_sizes=list(usable_sizes),
         savings=savings,
         misprediction_percent=mispredictions,
+        online_stats=online_stats,
     )
 
 
@@ -247,4 +292,13 @@ def format_end_to_end_table(study: EndToEndStudy) -> str:
     lines.append("")
     for policy, rate in study.misprediction_percent.items():
         lines.append(f"  {policy}: {rate:.2f}% scheduling mispredictions")
+    if study.online_stats:
+        lines.append("")
+        for policy, stats in study.online_stats.items():
+            lines.append(
+                f"  {policy}: {stats.n_mitigations} mitigations "
+                f"({stats.migrated_gb:.0f} GB pool->local, "
+                f"{stats.mean_mitigation_s:.2f} s each, "
+                f"{stats.n_failed_mitigations} deferred)"
+            )
     return "\n".join(lines)

@@ -116,6 +116,7 @@ class GradientBoostingRegressor:
                 mask = leaf_of_row == id(leaf)
                 if mask.any():
                     leaf.value = np.array([self._leaf_update(residual[mask])])
+            tree._flat = None  # leaf refinement invalidates the flattened form
             update = tree.predict(X)
             pred = pred + self.learning_rate * update
             self.estimators_.append(tree)

@@ -107,6 +107,7 @@ class _BaseDecisionTree:
         self.random_state = random_state
         self.root_: Optional[TreeNode] = None
         self.n_features_: Optional[int] = None
+        self._flat = None
 
     # -- subclass hooks -----------------------------------------------------
     def _leaf_value(self, y: np.ndarray) -> np.ndarray:
@@ -132,6 +133,7 @@ class _BaseDecisionTree:
         self._rng = np.random.default_rng(self.random_state)
         self._prepare_targets(y)
         self.root_ = self._grow(X, self._encoded_y, depth=0)
+        self._flat = None
         return self
 
     def _prepare_targets(self, y: np.ndarray) -> None:
@@ -188,10 +190,61 @@ class _BaseDecisionTree:
         node.right = self._grow(X[~mask], y[~mask], depth + 1)
         return node
 
+    # -- pickling -----------------------------------------------------------
+    def __getstate__(self):
+        """Pickle only the model's value, never fit/predict scratch state.
+
+        ``_flat`` (lazy prediction cache), ``_rng`` and ``_encoded_y``
+        (fit-time scratch) are derivable or dead weight, and keeping them
+        would make two pickles of the same trained tree differ -- e.g.
+        before and after the first vectorised predict -- which breaks the
+        value-based probe-memo fingerprints built on pickled model state.
+        """
+        state = {k: v for k, v in self.__dict__.items()
+                 if k not in ("_rng", "_encoded_y")}
+        state["_flat"] = None
+        return state
+
     # -- prediction ---------------------------------------------------------
     def _check_fitted(self) -> None:
         if self.root_ is None:
             raise RuntimeError("this tree has not been fitted yet")
+
+    def _flattened(self):
+        """Array form of the fitted tree for vectorised prediction.
+
+        Built lazily at first predict (the GBM relabels leaf values between
+        ``fit`` and the first ``predict``, so flattening cannot happen in
+        ``fit``) and invalidated by refitting.  Leaves carry ``feature ==
+        -1``; internal nodes carry their child indices.
+        """
+        flat = getattr(self, "_flat", None)
+        if flat is not None:
+            return flat
+        order: list = []
+        stack = [self.root_]
+        while stack:
+            node = stack.pop()
+            order.append(node)
+            if not node.is_leaf:
+                stack.append(node.right)
+                stack.append(node.left)
+        index = {id(node): i for i, node in enumerate(order)}
+        n_nodes = len(order)
+        feature = np.full(n_nodes, -1, dtype=np.int64)
+        threshold = np.zeros(n_nodes, dtype=float)
+        left = np.zeros(n_nodes, dtype=np.int64)
+        right = np.zeros(n_nodes, dtype=np.int64)
+        values = np.empty((n_nodes,) + self.root_.value.shape, dtype=float)
+        for i, node in enumerate(order):
+            values[i] = node.value
+            if not node.is_leaf:
+                feature[i] = node.feature
+                threshold[i] = node.threshold
+                left[i] = index[id(node.left)]
+                right[i] = index[id(node.right)]
+        self._flat = (feature, threshold, left, right, values)
+        return self._flat
 
     def _node_values(self, X: np.ndarray) -> np.ndarray:
         self._check_fitted()
@@ -202,13 +255,23 @@ class _BaseDecisionTree:
             raise ValueError(
                 f"X has {X.shape[1]} features, expected {self.n_features_}"
             )
-        out = np.empty((X.shape[0],) + self.root_.value.shape, dtype=float)
-        for i, row in enumerate(X):
-            node = self.root_
-            while not node.is_leaf:
-                node = node.left if row[node.feature] <= node.threshold else node.right
-            out[i] = node.value
-        return out
+        # Vectorised routing over the flattened tree: every row walks one
+        # level per iteration (bounded by tree depth), with the exact same
+        # ``x[feature] <= threshold`` comparisons as a nodewise walk --
+        # bit-identical results, orders of magnitude faster at fleet scale.
+        feature, threshold, left, right, values = self._flattened()
+        idx = np.zeros(X.shape[0], dtype=np.int64)
+        if feature[0] >= 0:
+            rows = np.arange(X.shape[0])
+            while True:
+                feats = feature[idx]
+                active = feats >= 0
+                if not active.any():
+                    break
+                go_left = X[rows, np.where(active, feats, 0)] <= threshold[idx]
+                nxt = np.where(go_left, left[idx], right[idx])
+                idx = np.where(active, nxt, idx)
+        return values[idx]
 
     # -- introspection ------------------------------------------------------
     def node_count(self) -> int:

@@ -351,3 +351,85 @@ class TestAdaptiveSpeculationDeterminism:
             second = dim.last_speculation
         assert first is not None and second is not None
         assert first is not second  # drained, not accumulated
+
+
+class TestModelStateFingerprints:
+    """Probe memo keys must track prediction-model state.
+
+    Reused sessions memoise capacity probes keyed on a value-based
+    fingerprint of the policy factory (``_probe_fingerprint``).  The
+    prediction factory binds trained GBM/forest models, so retraining a
+    model **in place** must change the fingerprint -- otherwise a reused
+    session would keep serving capacity outcomes computed with the stale
+    model.  Conversely the fingerprint must NOT change when only lazy
+    prediction caches are populated, or every memo would be spuriously
+    invalidated by the first predict call.
+    """
+
+    @staticmethod
+    def _trained_policy(seed):
+        from repro.core.policies import PredictionPolicy
+
+        return PredictionPolicy.train(seed=seed, n_samples=256)
+
+    def test_fingerprint_stable_across_predict(self, trace):
+        import numpy as np
+
+        from repro.cluster.pool import _probe_fingerprint
+
+        policy = self._trained_policy(3)
+        before = _probe_fingerprint(policy)
+        assert before is not None
+        policy.predict_slowdown_batch(trace, np.zeros(len(trace)))
+        policy.decide_batch(trace)
+        assert _probe_fingerprint(policy) == before
+
+    def test_factory_fingerprint_tracks_in_place_retrain(self):
+        from repro.cluster.fleet import prediction_policy_factory
+        from repro.cluster.pool import _probe_fingerprint
+
+        policy = self._trained_policy(3)
+        factory = prediction_policy_factory(policy=policy)
+        before = _probe_fingerprint(factory)
+        assert before is not None  # partials must stay fingerprintable
+        # Retrain the bound untouched-memory model in place: same objects,
+        # new fitted state (as a real ``fit`` call would leave behind).
+        other = self._trained_policy(4)
+        policy.untouched_model.gbm.__dict__.update(
+            other.untouched_model.gbm.__dict__)
+        after = _probe_fingerprint(factory)
+        assert after is not None
+        assert after != before
+
+    def test_session_token_invalidates_on_retrain(self):
+        from repro.cluster.fleet import prediction_policy_factory
+        from repro.cluster.pool import _ProbeSessionBase
+
+        policy = self._trained_policy(3)
+        factory = prediction_policy_factory(policy=policy)
+        session = _ProbeSessionBase()
+        token_before = session._token(factory)
+        other = self._trained_policy(4)
+        policy.untouched_model.gbm.__dict__.update(
+            other.untouched_model.gbm.__dict__)
+        assert session._token(factory) != token_before
+
+    def test_tree_pickles_exclude_fit_scratch(self):
+        import pickle
+
+        import numpy as np
+
+        from repro.ml.tree import DecisionTreeRegressor
+
+        rng = np.random.default_rng(0)
+        X = rng.random((64, 3))
+        y = X @ np.array([1.0, -2.0, 0.5])
+        tree = DecisionTreeRegressor(max_depth=3, random_state=0).fit(X, y)
+        before = pickle.dumps(tree, protocol=pickle.HIGHEST_PROTOCOL)
+        tree.predict(X)  # populates the lazy _flat arrays
+        after = pickle.dumps(tree, protocol=pickle.HIGHEST_PROTOCOL)
+        assert before == after
+        restored = pickle.loads(after)
+        assert not hasattr(restored, "_encoded_y")
+        assert restored._flat is None
+        assert np.array_equal(restored.predict(X), tree.predict(X))
