@@ -33,9 +33,14 @@ The paper's stranding analysis (Section 3.1) and end-to-end savings results
 * :mod:`repro.cluster.pool_topology` -- fleet-level pool topologies: pool
   groups that span cluster shards, a fleet-owned group ledger, and the
   merged cross-shard event replay behind ``FleetSimulator(pool_topology=)``.
+* :mod:`repro.cluster.faults` -- deterministic EMC fault injection: seeded
+  ``FaultSchedule`` timelines, graceful pool-group degradation through the
+  ledger, the mitigate/migrate/kill degradation ladder, and per-replay
+  ``FaultImpactStats`` (DESIGN.md section 11).
 """
 
 from repro.cluster.engine import ArrayPlacementEngine, PLACEMENT_ENGINES
+from repro.cluster.faults import FaultEvent, FaultImpactStats, FaultSchedule
 from repro.cluster.server import ServerConfig, ClusterServer
 from repro.cluster.vm_types import VMType, VM_TYPE_CATALOG, sample_vm_type
 from repro.cluster.pool_topology import PoolGroupLedger, PoolTopology
@@ -77,6 +82,9 @@ __all__ = [
     "FleetCapacitySearchResult",
     "ArrayPlacementEngine",
     "PLACEMENT_ENGINES",
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultImpactStats",
     "PoolTopology",
     "PoolGroupLedger",
     "write_csv",

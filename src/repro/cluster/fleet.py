@@ -49,6 +49,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.engine import resolve_engine
+from repro.cluster.faults import FaultImpactStats, FaultSchedule
 from repro.cluster.pool import (
     CapacityProbeOutcome,
     PoolSavings,
@@ -310,6 +311,20 @@ class FleetResult:
         return merged
 
     @property
+    def fault_stats(self) -> FaultImpactStats:
+        """EMC fault-impact accounting merged across shards.
+
+        All zeros when the fleet ran without ``faults=...`` (shards then
+        carry no stats) or when no scheduled event fired.
+        """
+        merged = FaultImpactStats()
+        for shard in self.shards:
+            stats = shard.result.fault_stats
+            if stats is not None:
+                merged.add(stats)
+        return merged
+
+    @property
     def savings(self) -> PoolSavings:
         """Fleet DRAM savings: the component-wise sum of the shard savings."""
         if not self.shards:
@@ -392,6 +407,10 @@ class _ShardSpec:
     #: Online QoS/mitigation stage for the pooled replay (array engine only;
     #: see repro.core.control_plane.online).
     online: Optional[OnlineControlConfig] = None
+    #: EMC fault-injection schedule for the pooled replay, already filtered
+    #: to this shard's local events (array engine only; see
+    #: repro.cluster.faults and DESIGN.md section 11).
+    faults: Optional[FaultSchedule] = None
 
 
 def _shard_trace_input(cfg: TraceGenConfig, trace: Optional[TraceInput],
@@ -454,9 +473,10 @@ def _run_shard(spec: _ShardSpec) -> FleetShardResult:
         # Forced per-VM-callback path (the batch engine's differential /
         # benchmark baseline): hide decide_batch from the simulator.
         result = simulator.run(trace, policy=policy.__call__,
-                               online=spec.online)
+                               online=spec.online, faults=spec.faults)
     else:
-        result = simulator.run(trace, policy=policy, online=spec.online)
+        result = simulator.run(trace, policy=policy, online=spec.online,
+                               faults=spec.faults)
     run_seconds = time.perf_counter() - start
 
     baseline = spec.baseline_required_dram_gb
@@ -1052,6 +1072,7 @@ class FleetSimulator:
         compute_baseline: Optional[bool] = None,
         baselines: Optional[Sequence[float]] = None,
         online: Optional[OnlineControlConfig] = None,
+        faults: Optional[FaultSchedule] = None,
     ) -> FleetResult:
         """Run every shard and merge the results.
 
@@ -1067,7 +1088,14 @@ class FleetSimulator:
         QoS/mitigation stage in every shard's pooled replay (array engine
         only); per-shard accounting lands on each
         ``shard.result.online_stats`` and merges via
-        :attr:`FleetResult.online_stats`.
+        :attr:`FleetResult.online_stats`.  ``faults`` injects a seeded EMC
+        fault schedule (see :mod:`repro.cluster.faults`): on the classic
+        shardwise path each shard replays the events addressed to it via
+        ``FaultSchedule.for_shard``; on a topology run the whole schedule
+        feeds the merged cross-shard pump, where ``FaultEvent.group`` ids
+        are fleet group ids and the ``shard`` field is ignored.  Impact
+        accounting lands on each ``shard.result.fault_stats`` and merges
+        via :attr:`FleetResult.fault_stats`.
         """
         if traces is not None and len(traces) != len(self.shard_configs):
             raise ValueError(
@@ -1082,7 +1110,7 @@ class FleetSimulator:
         if self.pool_topology is not None:
             return self._run_topology(
                 policy_factory, traces, batch, compute_baseline, baselines,
-                online,
+                online, faults,
             )
         specs = [
             _ShardSpec(
@@ -1103,6 +1131,7 @@ class FleetSimulator:
                 ),
                 stream_chunk_size=self.stream_chunk_size,
                 online=online,
+                faults=faults.for_shard(i) if faults is not None else None,
             )
             for i, cfg in enumerate(self.shard_configs)
         ]
@@ -1124,6 +1153,7 @@ class FleetSimulator:
         compute_baseline: bool,
         baselines: Optional[Sequence[float]],
         online: Optional[OnlineControlConfig] = None,
+        faults: Optional[FaultSchedule] = None,
     ) -> FleetResult:
         """:meth:`run` over a cross-shard pool topology.
 
@@ -1169,7 +1199,7 @@ class FleetSimulator:
             [cfg.server_config for cfg in self.shard_configs],
             topology, self.pool_capacity_gb_per_group,
             self.constrain_memory, self.sample_interval_s,
-            record_placements=False, online=online,
+            record_placements=False, online=online, faults=faults,
         )
         per_shard_seconds = (time.perf_counter() - start) / n_shards
         shards: List[FleetShardResult] = []

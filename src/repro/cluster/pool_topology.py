@@ -44,6 +44,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.cluster.engine import ArrayPlacementEngine
+from repro.cluster.faults import FaultImpactStats, FaultInjector, FaultSchedule
 from repro.cluster.scheduler import PlacementError
 from repro.cluster.server import ServerConfig
 from repro.cluster.simulator import (
@@ -293,6 +294,78 @@ class PoolGroupLedger:
         self.free_gb: Dict[int, float] = dict(capacities)
         self.used_gb: Dict[int, float] = {g: 0.0 for g in capacities}
         self.peak_gb: Dict[int, float] = {g: 0.0 for g in capacities}
+        #: group -> healthy capacity while degraded (fault injection);
+        #: absent means the group is healthy.  See DESIGN.md section 11.
+        self._healthy_capacity_gb: Dict[int, float] = {}
+
+    # -- fault degradation (EMC failures; see repro.cluster.faults) ---------------
+    @property
+    def degraded_groups(self) -> Tuple[int, ...]:
+        """Groups currently running at degraded capacity (insertion order)."""
+        return tuple(self._healthy_capacity_gb)
+
+    def is_degraded(self, group: int) -> bool:
+        return group in self._healthy_capacity_gb
+
+    def degrade(self, group: int, loss_fraction: float) -> float:
+        """Cut ``group`` to ``(1 - loss_fraction)`` of its *healthy* capacity.
+
+        Repeated fails re-derive from the healthy capacity (losses do not
+        compound -- a fail event states how much of the EMC is gone, not a
+        delta).  A total loss (``loss_fraction >= 1``) zeroes the group even
+        when its healthy capacity is infinite; a partial loss of an
+        infinite group is a no-op (``inf * fraction`` is still ``inf``).
+
+        While degraded, ``free_gb`` is pinned to ``max(0, capacity - used)``
+        so the feasibility checks in placement see the surviving capacity;
+        returns the **deficit** (``max(0, used - capacity)``): demand the
+        failure strands until it is evacuated, killed, or repaired.
+        """
+        if group not in self.capacity_gb:
+            raise KeyError(f"unknown pool group {group}")
+        if not 0.0 < loss_fraction <= 1.0:
+            raise ValueError("loss_fraction must be in (0, 1]")
+        healthy = self._healthy_capacity_gb.setdefault(
+            group, self.capacity_gb[group])
+        if loss_fraction >= 1.0:
+            capacity = 0.0
+        else:
+            capacity = healthy * (1.0 - loss_fraction)
+        self.capacity_gb[group] = capacity
+        used = self.used_gb[group]
+        free = capacity - used
+        self.free_gb[group] = free if free > 0.0 else 0.0
+        deficit = used - capacity
+        return deficit if deficit > 0.0 else 0.0
+
+    def repair(self, group: int) -> None:
+        """Restore a degraded group to its healthy capacity.
+
+        ``free_gb`` becomes ``max(0, healthy - used)`` -- live draws made
+        while degraded stay accounted.  Repairing a healthy group is a
+        no-op.
+        """
+        healthy = self._healthy_capacity_gb.pop(group, None)
+        if healthy is None:
+            return
+        self.capacity_gb[group] = healthy
+        used = self.used_gb[group]
+        free = healthy - used
+        self.free_gb[group] = free if free > 0.0 else 0.0
+
+    def resync(self, group: int) -> None:
+        """Re-pin a *degraded* group's ``free_gb`` to ``capacity - used``.
+
+        The placement engines return released pool memory with an
+        unmediated ``free += gb``; on a degraded group that can overshoot
+        the surviving capacity.  The fault injector calls this after any
+        release it observes.  Healthy groups are left alone -- their free
+        counter is the engines' incremental truth.
+        """
+        if group not in self._healthy_capacity_gb:
+            return
+        free = self.capacity_gb[group] - self.used_gb[group]
+        self.free_gb[group] = free if free > 0.0 else 0.0
 
     @classmethod
     def for_topology(
@@ -366,12 +439,14 @@ def _shard_arrival_events(
 
 
 #: Event kinds in the merged heap; at equal timestamps departures fire first,
-#: then grid samples, then horizon samples, then (outside the heap) arrivals
-#: -- the single-cluster simulator's ordering, per shard.
+#: then fault events, then grid samples, then horizon samples, then (outside
+#: the heap) arrivals -- the single-cluster simulator's ordering, per shard
+#: (DESIGN.md sections 10 and 11).
 _KIND_DEPARTURE = 0
-_KIND_SAMPLE = 1
-_KIND_HORIZON = 2
-_KIND_ARRIVAL = 3  # sentinel used only in pump limits; arrivals are not heaped
+_KIND_FAULT = 1
+_KIND_SAMPLE = 2
+_KIND_HORIZON = 3
+_KIND_ARRIVAL = 4  # sentinel used only in pump limits; arrivals are not heaped
 
 
 def replay_crossshard(
@@ -385,6 +460,7 @@ def replay_crossshard(
     sample_interval_s: float,
     record_placements: bool = False,
     online: Optional[OnlineControlConfig] = None,
+    faults: Optional[FaultSchedule] = None,
 ) -> Tuple[List[SimulationResult], PoolGroupLedger]:
     """Replay a fleet as one merged event stream over a shared group ledger.
 
@@ -425,14 +501,26 @@ def replay_crossshard(
     :class:`~repro.core.control_plane.online.OnlineControlStats` to each
     result.  With mitigation disabled the per-shard results are
     byte-identical to the static replay (differential-tested).
+
+    ``faults`` activates deterministic EMC fault injection (DESIGN.md
+    section 11): :class:`~repro.cluster.faults.FaultSchedule` events (fleet
+    group ids) merge into the event heap -- after departures, before grid
+    samples at equal timestamps -- degrading the shared ledger and running
+    the degradation ladder over affected VMs; per-shard evacuation-retry
+    ticks fire after each shard's QoS tick (or directly after its grid
+    sample when ``online`` is off).  Like online replays, faulted replays
+    always run on the engine-method event loop; with an empty schedule the
+    per-shard results stay byte-identical to the static replay
+    (differential-tested).  Impact accounting lands on each result's
+    ``fault_stats`` (group-level counters on the group's home shard).
     """
     _validate_crossshard_args(
         inputs, policies, n_servers_per_shard, server_configs, topology)
-    if online is not None:
+    if online is not None or faults is not None:
         return _replay_crossshard_events(
             inputs, policies, n_servers_per_shard, server_configs, topology,
             capacity, constrain_memory, sample_interval_s, record_placements,
-            online=online)
+            online=online, faults=faults)
     uniform_sku = len({
         (cfg.sockets, cfg.cores_per_socket, cfg.dram_per_socket_gb)
         for cfg in server_configs
@@ -510,6 +598,7 @@ def _replay_crossshard_events(
     sample_interval_s: float,
     record_placements: bool = False,
     online: Optional[OnlineControlConfig] = None,
+    faults: Optional[FaultSchedule] = None,
 ) -> Tuple[List[SimulationResult], PoolGroupLedger]:
     """The engine-method cross-shard event loop (differential reference).
 
@@ -573,6 +662,20 @@ def _replay_crossshard_events(
             results[shard].online_stats = stats_list[shard]
     at_risk: List[Dict[int, str]] = [{} for _ in range(n_shards)]
 
+    # -- fault injection (shared ledger degradation; DESIGN.md section 11) --
+    if faults is not None:
+        fstats = [FaultImpactStats() for _ in range(n_shards)]
+        for shard in range(n_shards):
+            results[shard].fault_stats = fstats[shard]
+        injector = FaultInjector(
+            faults, ledger, engines, at_risk, fstats,
+            group_shards={g: topology.group_shards[g]
+                          for g in range(topology.n_groups)},
+            done=done,
+        )
+    else:
+        injector = None
+
     def qos_tick(shard: int) -> None:
         stats = stats_list[shard]
         stats.n_ticks += 1
@@ -591,6 +694,10 @@ def _replay_crossshard_events(
             stats.migrated_gb += moved
             stats.migration_time_s += cost_per_gb * moved
             stats.mitigated_vm_ids.append(flagged.pop(handle))
+        if injector is not None:
+            # Engine releases credit the ledger's free pool unconditionally;
+            # re-clamp any degraded group to its surviving capacity.
+            injector.resync_degraded()
 
     def take_sample(shard: int, time_s: float) -> None:
         eng = engines[shard]
@@ -612,13 +719,18 @@ def _replay_crossshard_events(
         ))
         last_sample[shard] = time_s
 
-    # -- merged event heap: departures, per-shard sample grids, horizons ----
-    # Entries: (time, _KIND_DEPARTURE, seq, shard, handle)
+    # -- merged event heap: departures, faults, sample grids, horizons ------
+    # Entries: (time, _KIND_DEPARTURE, seq, shard, handle-or-token)
+    #          (time, _KIND_FAULT, event_index)
     #          (time, _KIND_SAMPLE, shard)
     #          (time, _KIND_HORIZON, shard)
     # The (time, kind, tie) prefix is unique, so heap order is total and
-    # deterministic (seq is global, preserving per-shard placement order).
+    # deterministic (seq is global, preserving per-shard placement order;
+    # fault events at one timestamp fire in schedule order).
     events: list = [(0.0, _KIND_SAMPLE, shard) for shard in range(n_shards)]
+    if faults is not None:
+        for index, fault_event in enumerate(faults.events):
+            events.append((fault_event.time_s, _KIND_FAULT, index))
     heapq.heapify(events)
     heappush = heapq.heappush
     heappop = heapq.heappop
@@ -629,12 +741,23 @@ def _replay_crossshard_events(
             event = heappop(events)
             kind = event[1]
             if kind == _KIND_DEPARTURE:
+                if injector is not None:
+                    # Token-indirected (kills void the mapping, live
+                    # migrations rewrite it; degraded groups re-clamped).
+                    injector.on_departure(event[4])
+                    continue
                 shard = event[3]
                 # Departed VMs leave the at-risk set before the handle is
                 # recycled, or a later placement reusing the handle would
                 # inherit the stale flag.
                 at_risk[shard].pop(event[4], None)
                 engines[shard].remove(event[4])
+            elif kind == _KIND_FAULT:
+                # Heap order matches schedule order, so the cursor fires
+                # exactly this event; groups whose shards are all past
+                # their horizons are skipped inside (per-shard parity with
+                # the single-cluster replay's bounded fault stream).
+                injector.fire_next()
             elif kind == _KIND_SAMPLE:
                 shard = event[2]
                 if done[shard]:
@@ -646,6 +769,10 @@ def _replay_crossshard_events(
                     # QoS tick after the grid sample: samples always show
                     # the pre-mitigation state (DESIGN.md section 10).
                     qos_tick(shard)
+                if injector is not None:
+                    # Evacuation-retry tick after the QoS tick, scoped to
+                    # this shard's pending VMs (DESIGN.md section 11).
+                    injector.retry_tick(shard)
             else:  # _KIND_HORIZON
                 shard = event[2]
                 end_time = event[0]
@@ -696,8 +823,15 @@ def _replay_crossshard_events(
             total_memory[shard] += memory_gb
             total_pool[shard] += vm_pool_gb
             seq += 1
-            heappush(events,
-                     (departure_s, _KIND_DEPARTURE, seq, shard, handle))
+            if injector is not None:
+                # Token indirection: kills and live migrations change or
+                # void the handle before the departure fires.
+                token = injector.note_place(shard, handle, vm_id, vm_pool_gb)
+                heappush(events,
+                         (departure_s, _KIND_DEPARTURE, seq, shard, token))
+            else:
+                heappush(events,
+                         (departure_s, _KIND_DEPARTURE, seq, shard, handle))
             if mitigate and vm_pool_gb > 0.0 and record[6] > threshold:
                 at_risk[shard][handle] = vm_id
         shard_end[shard] = arrival_s
@@ -713,6 +847,8 @@ def _replay_crossshard_events(
     # to its own horizon, then the horizon samples themselves; grid events
     # past a fired horizon are discarded by ``pump``.
     pump((float("inf"),))
+    if injector is not None:
+        injector.finalize()
 
     for shard in range(n_shards):
         res = results[shard]

@@ -43,6 +43,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Un
 import numpy as np
 
 from repro.cluster.engine import ArrayPlacementEngine, resolve_engine
+from repro.cluster.faults import FaultImpactStats, FaultInjector, FaultSchedule
 from repro.cluster.scheduler import PlacementError, VMScheduler, validate_strategy
 from repro.cluster.server import ClusterServer, ServerConfig
 from repro.cluster.trace import ClusterTrace, TraceStream, VMTraceRecord
@@ -170,6 +171,12 @@ class SimulationResult:
     #: replays.  Excluded from equality so an online replay with mitigation
     #: disabled compares equal to the static replay it must reproduce.
     online_stats: Optional[OnlineControlStats] = field(
+        default=None, repr=False, compare=False
+    )
+    #: Accounting of EMC fault injection (``faults=...``); ``None`` for
+    #: fault-free replays.  Excluded from equality so a replay with an
+    #: empty schedule compares equal to the static replay it reproduces.
+    fault_stats: Optional[FaultImpactStats] = field(
         default=None, repr=False, compare=False
     )
     _samples_cache: Optional[List[SimulationSample]] = field(
@@ -513,7 +520,8 @@ class ClusterSimulator:
     def run(self, trace: TraceInput, policy: Optional[PoolPolicy] = None,
             horizon_s: Optional[float] = None,
             pool_gb: Optional[np.ndarray] = None,
-            online: Optional[OnlineControlConfig] = None) -> SimulationResult:
+            online: Optional[OnlineControlConfig] = None,
+            faults: Optional[FaultSchedule] = None) -> SimulationResult:
         """Replay ``trace``; ``policy`` decides each VM's pool memory in GB.
 
         ``trace`` is either a materialised :class:`ClusterTrace` or a
@@ -547,14 +555,23 @@ class ClusterSimulator:
         migrates their pool share to local DRAM (see DESIGN.md section 10).
         With mitigation disabled (``qos_threshold_percent=inf``) the result
         is byte-identical to the static replay.
+
+        ``faults`` activates deterministic EMC fault injection (array
+        engine only): a :class:`~repro.cluster.faults.FaultSchedule` fires
+        timed fail/repair events for pool groups inside the merged event
+        stream, degrading the group ledger and running the degradation
+        ladder over affected VMs (DESIGN.md section 11).  With an empty
+        schedule the replay is byte-identical to the static replay
+        (differential-tested); impact accounting lands on
+        ``result.fault_stats``.
         """
-        if online is not None:
+        if online is not None or faults is not None:
             if self.engine != "array":
-                raise ValueError(
-                    "the online control loop requires engine='array'"
-                )
+                what = ("the online control loop" if online is not None
+                        else "fault injection")
+                raise ValueError(f"{what} requires engine='array'")
             return self._run_array_online(trace, policy, horizon_s, pool_gb,
-                                          online)
+                                          online, faults)
         if self.engine == "array":
             return self._run_array(trace, policy, horizon_s, pool_gb)
         use_pool = bool(self.pool_size_sockets)
@@ -754,7 +771,9 @@ class ClusterSimulator:
                           policy: Optional[PoolPolicy],
                           horizon_s: Optional[float],
                           pool_gb: Optional[np.ndarray],
-                          online: OnlineControlConfig) -> SimulationResult:
+                          online: Optional[OnlineControlConfig],
+                          faults: Optional[FaultSchedule] = None,
+                          ) -> SimulationResult:
         """:meth:`run` with the online QoS/mitigation stage (array engine).
 
         Same merged event stream and arithmetic as the static loops, driven
@@ -773,6 +792,16 @@ class ClusterSimulator:
         With mitigation disabled (``qos_threshold_percent=inf``) no tick
         does any work and the result is byte-identical to the static replay
         (differential-tested).
+
+        ``faults`` adds deterministic EMC fault injection (``online`` may
+        then be ``None``).  Fault events merge into the same stream --
+        after departures, before the grid sample at equal timestamps -- and
+        an evacuation-retry tick runs after each grid sample's QoS tick;
+        fault events past the replay horizon never fire (DESIGN.md section
+        11).  The departure heap then stores injector *tokens* instead of
+        raw handles, so live migrations and kills mid-replay cannot corrupt
+        recycled handles.  With an empty schedule the loop's arithmetic is
+        untouched and the result stays byte-identical to the static replay.
         """
         use_pool = bool(self.pool_size_sockets)
         streaming = not isinstance(trace, ClusterTrace)
@@ -782,27 +811,63 @@ class ClusterSimulator:
         if pool_gb is not None:
             pool_gb = np.asarray(pool_gb, dtype=np.float64)
             policy = None  # precomputed allocations replace the callback
-        engine = ArrayPlacementEngine.for_cluster(
-            self.n_servers,
-            self._effective_config(),
-            pool_size_sockets=self.pool_size_sockets,
-            pool_capacity_gb_per_group=self.pool_capacity_gb_per_group,
-            base_sockets=self.server_config.sockets,
-        )
         result = SimulationResult()
         buffer = result.sample_buffer
-        stats = OnlineControlStats()
-        result.online_stats = stats
-        mitigate = online.mitigation_enabled
-        threshold = online.qos_threshold_percent
-        cost_per_gb = online.migration_cost_s_per_gb
+        if online is not None:
+            stats = OnlineControlStats()
+            result.online_stats = stats
+            mitigate = online.mitigation_enabled
+            threshold = online.qos_threshold_percent
+            cost_per_gb = online.migration_cost_s_per_gb
+        else:
+            stats = None
+            mitigate = False
+            threshold = cost_per_gb = 0.0
+
+        if faults is None:
+            injector = None
+            engine = ArrayPlacementEngine.for_cluster(
+                self.n_servers,
+                self._effective_config(),
+                pool_size_sockets=self.pool_size_sockets,
+                pool_capacity_gb_per_group=self.pool_capacity_gb_per_group,
+                base_sockets=self.server_config.sockets,
+            )
+        else:
+            # Build the engine over a PoolGroupLedger so fault events can
+            # transition group capacity.  The capacity dict is built with
+            # for_cluster's exact setdefault-in-server-order idiom: sample
+            # rows sum pool usage in dict insertion order, so a reordered
+            # dict would change float summation order and break the
+            # empty-schedule byte-identity contract.
+            from repro.cluster.pool_topology import PoolGroupLedger
+
+            group_of: Optional[List[int]] = None
+            capacities: Dict[int, float] = {}
+            if self.pool_size_sockets:
+                servers_per_group = max(
+                    1, self.pool_size_sockets // self.server_config.sockets)
+                group_of = [i // servers_per_group
+                            for i in range(self.n_servers)]
+                for group in group_of:
+                    capacities.setdefault(
+                        group, self.pool_capacity_gb_per_group)
+            ledger = PoolGroupLedger(capacities)
+            engine = ArrayPlacementEngine(
+                self.n_servers,
+                self._effective_config(),
+                group_of=group_of,
+                pool_free_gb=ledger.free_gb,
+                pool_used_gb=ledger.used_gb,
+                pool_peak_gb=ledger.peak_gb,
+            )
 
         pool_used = engine.pool_used_gb
         total_cores = engine.total_cores
         total_dram = self.n_servers * self.server_config.total_dram_gb
         inf = float("inf")
 
-        # Departure events: (time, sequence, handle).
+        # Departure events: (time, sequence, handle-or-token).
         departures: List[Tuple[float, int, int]] = []
         seq = 0
         sample_interval = self.sample_interval_s
@@ -814,14 +879,25 @@ class ClusterSimulator:
         #: handle -> vm_id of live VMs flagged at placement time, in
         #: placement order (mitigation processes oldest flags first).
         at_risk: Dict[int, str] = {}
+        if faults is not None:
+            fstats = FaultImpactStats()
+            result.fault_stats = fstats
+            injector = FaultInjector(
+                faults, ledger, [engine], [at_risk], [fstats])
 
         def process_one_departure() -> None:
-            _, _, handle = heapq.heappop(departures)
+            _, _, token = heapq.heappop(departures)
+            if injector is not None:
+                # Token-indirected: kills void the mapping, live migrations
+                # rewrite it, and the injector re-clamps degraded groups
+                # after the release.
+                injector.on_departure(token)
+                return
             # Departed VMs leave the at-risk set before the handle is
             # recycled, or a later placement reusing the handle would
             # inherit the stale flag.
-            at_risk.pop(handle, None)
-            engine.remove(handle)
+            at_risk.pop(token, None)
+            engine.remove(token)
 
         def take_sample(time_s: float) -> None:
             nonlocal last_sample_time
@@ -856,15 +932,33 @@ class ClusterSimulator:
                 stats.migrated_gb += moved
                 stats.migration_time_s += cost_per_gb * moved
                 stats.mitigated_vm_ids.append(at_risk.pop(handle))
+            if injector is not None:
+                # QoS mitigations release pool memory with an unmediated
+                # free += gb; re-clamp any degraded group.
+                injector.resync_degraded()
 
         def advance_to(time_s: float) -> None:
+            """Apply departures, fault events, and samples up to ``time_s``.
+
+            At equal timestamps: departures, then fault events, then the
+            grid sample, then the QoS tick, then the evacuation-retry tick
+            (DESIGN.md sections 10 and 11).  With no fault schedule the
+            fault clauses never fire and the stream reduces to the online
+            loop's two-way merge.
+            """
             nonlocal next_sample_time
             while True:
                 departure_time = departures[0][0] if departures else inf
-                if departure_time <= next_sample_time:
+                fault_time = injector.next_time if injector is not None else inf
+                if departure_time <= next_sample_time and \
+                        departure_time <= fault_time:
                     if departure_time > time_s:
                         return
                     process_one_departure()
+                elif fault_time <= next_sample_time:
+                    if fault_time > time_s:
+                        return
+                    injector.fire_next()
                 else:
                     if next_sample_time > time_s:
                         return
@@ -872,6 +966,8 @@ class ClusterSimulator:
                     next_sample_time += sample_interval
                     if mitigate:
                         qos_tick()
+                    if injector is not None:
+                        injector.retry_tick(0)
 
         last_arrival = 0.0
         for block, records, allocations in self._iter_blocks(
@@ -934,7 +1030,12 @@ class ClusterSimulator:
                 result.total_memory_gb_allocated += memory_gb
                 result.total_pool_gb_allocated += vm_pool_gb
                 seq += 1
-                heapq.heappush(departures, (departs[index], seq, handle))
+                if injector is not None:
+                    token = injector.note_place(0, handle, vm_ids[index],
+                                                vm_pool_gb)
+                    heapq.heappush(departures, (departs[index], seq, token))
+                else:
+                    heapq.heappush(departures, (departs[index], seq, handle))
                 if (slowdowns is not None and vm_pool_gb > 0.0
                         and slowdowns[index] > threshold):
                     at_risk[handle] = vm_ids[index]
@@ -947,6 +1048,8 @@ class ClusterSimulator:
             take_sample(end_time)
         while departures:
             process_one_departure()
+        if injector is not None:
+            injector.finalize()
 
         if record_placements:
             result._placed_vm_ids = placed_ids

@@ -27,7 +27,10 @@ class MitigationRecord:
     """One executed (or failed) mitigation."""
 
     vm_id: str
-    method: str          # "local_copy", "live_migration", "failed", or "vm_departed"
+    #: "local_copy", "live_migration", "failed", "vm_departed", or "killed"
+    #: (the recorded end of the fault-degradation ladder, DESIGN.md
+    #: section 11 -- never a silent drop).
+    method: str
     moved_gb: float
     duration_s: float
 
@@ -90,6 +93,19 @@ class MitigationManager:
         duration = LIVE_MIGRATION_S_PER_GB * request.memory_gb
         return MitigationRecord(vm.vm_id, "live_migration", request.memory_gb, duration)
 
+    def record_kill(self, vm_id: str, memory_gb: float) -> MitigationRecord:
+        """Record a VM killed at the end of the degradation ladder.
+
+        When an EMC failure strands a VM and both rungs of the ladder
+        (pool-to-local reconfiguration, then live migration) exhaust their
+        retry budget, the VM is terminated -- recorded here so no outcome
+        is ever silently dropped (DESIGN.md section 11).  ``moved_gb`` is
+        the VM's full memory footprint: the capacity the kill released.
+        """
+        record = MitigationRecord(vm_id, "killed", float(memory_gb), 0.0)
+        self.records.append(record)
+        return record
+
     # -- accounting -------------------------------------------------------------------------
     @property
     def n_mitigations(self) -> int:
@@ -99,6 +115,10 @@ class MitigationManager:
     @property
     def n_failures(self) -> int:
         return sum(1 for r in self.records if r.method == "failed")
+
+    @property
+    def n_kills(self) -> int:
+        return sum(1 for r in self.records if r.method == "killed")
 
     def total_moved_gb(self) -> float:
         return sum(r.moved_gb for r in self.records)

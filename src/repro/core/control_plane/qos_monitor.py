@@ -90,11 +90,24 @@ class QoSMonitor:
 
     # -- accounting -----------------------------------------------------------------------
     def mitigation_rate_percent(self) -> float:
-        """Share of checks that resulted in a mitigation verdict."""
+        """Share of *distinct checked VMs* flagged for mitigation.
+
+        A VM whose mitigation fails (no host headroom) keeps spilling and is
+        re-flagged on every later tick; counting raw verdicts would let one
+        stuck VM inflate both numerator and denominator without bound --
+        and at a different rate than VMs that are checked but never flagged,
+        so the ratio depended on how often each call site polled.  The rate
+        is therefore defined over distinct VM ids: flagged VMs over checked
+        VMs, each counted once, matching the paper's "% of VMs needing
+        mitigation" framing (Section 4.4).
+        """
         if not self.history:
             return 0.0
-        mitigations = sum(1 for d in self.history if d.verdict is QoSVerdict.MITIGATE)
-        return 100.0 * mitigations / len(self.history)
+        checked = {d.vm_id for d in self.history}
+        flagged = {
+            d.vm_id for d in self.history if d.verdict is QoSVerdict.MITIGATE
+        }
+        return 100.0 * len(flagged) / len(checked)
 
     def within_mitigation_budget(self) -> bool:
         """Whether mitigations stay within the configured QoS budget."""

@@ -92,7 +92,16 @@ class EMCDevice:
         raise EMCError(f"no free CXL port on EMC {self.emc_id}")
 
     def detach_host(self, host_id: str) -> None:
-        """Detach a host; all of its slices are returned to the free pool."""
+        """Detach a host; all of its slices are returned to the free pool.
+
+        Slice release happens *before* the port is freed, in ascending
+        slice order, so no ``_SliceState`` is ever left owned by a departed
+        host: after this returns the host holds no slices, its port is
+        reusable, and a later :meth:`attach_host` of the same id starts
+        from a clean state.  Raises :class:`EMCError` when ``host_id`` is
+        not attached (detaching is not idempotent -- a double detach is a
+        control-plane bug worth surfacing).
+        """
         if host_id not in self._attached_hosts():
             raise EMCError(f"host {host_id!r} is not attached to {self.emc_id}")
         for slice_index in sorted(self._host_slices.get(host_id, set())):

@@ -20,6 +20,7 @@ harness.
 | :mod:`repro.experiments.fig20_combined`  | Figure 20                  |
 | :mod:`repro.experiments.fig21_end_to_end` | Figure 21                 |
 | :mod:`repro.experiments.offlining`       | Finding 10                 |
+| :mod:`repro.experiments.fig_failure_domains` | Section 4.1 (EMC failure domains) |
 """
 
 from repro.experiments.runner import run_all_experiments

@@ -20,6 +20,7 @@ from repro.experiments import fig17_latency_model
 from repro.experiments import fig18_19_untouched
 from repro.experiments import fig20_combined
 from repro.experiments import fig21_end_to_end
+from repro.experiments import fig_failure_domains
 from repro.experiments import offlining
 from repro.experiments import untouched_distribution
 from repro.workloads.catalog import build_catalog
@@ -167,6 +168,18 @@ def run_all_experiments(quick: bool = True, seed: int = 7) -> ExperimentReport:
     )
     report.results["fig21_end_to_end"] = end_to_end
     report.formatted["fig21_end_to_end"] = fig21_end_to_end.format_end_to_end_table(end_to_end)
+
+    # Section 4.1 -- EMC failure domains and survivability.
+    failure_domains = fig_failure_domains.run_failure_domain_study(
+        duration_days=0.6 if quick else 2.0,
+        pool_sizes=(8,) if quick else (8, 16),
+        mtbf_hours=(4.0,) if quick else (4.0, 12.0),
+        seed=seed,
+    )
+    report.results["failure_domains"] = failure_domains
+    report.formatted["failure_domains"] = (
+        fig_failure_domains.format_failure_domain_table(failure_domains)
+    )
 
     # Finding 10 -- offlining speeds.
     offline_study = offlining.run_offlining_study(

@@ -244,3 +244,67 @@ class TestQoSMonitorAndMitigation:
         host = make_host()
         with pytest.raises(KeyError):
             MitigationManager().mitigate(host, "ghost")
+
+    def test_mitigation_rate_counts_distinct_vms(self):
+        """Regression: a stuck VM re-flagged every tick must not skew the
+        rate.
+
+        A failed mitigation leaves the VM spilling, so every later QoS tick
+        re-flags it; the old verdict-count rate drifted upward with each
+        re-check of the stuck VM (and downward with each re-check of a
+        healthy one), so the reported rate depended on polling cadence.
+        The rate is now flagged-VMs over checked-VMs, distinct ids each.
+        """
+        host, stuck = self.place_znuma_vm()
+        stuck.record_touch(24.0)
+        healthy = host.place_vm(
+            VMRequest.create(cores=2, memory_gb=8.0), local_gb=8.0,
+            pool_gb=0.0)
+        monitor = QoSMonitor(PondConfig(pdm_percent=5.0),
+                             slowdown_estimator=lambda v: 12.0)
+        for _ in range(5):  # five ticks: one stuck VM, one healthy VM
+            monitor.check_all({stuck.vm_id: stuck, healthy.vm_id: healthy})
+        assert len(monitor.history) == 10
+        # 1 flagged VM of 2 checked VMs -- not 5 verdicts of 10 checks
+        # drifting with the tick count.
+        assert monitor.mitigation_rate_percent() == pytest.approx(50.0)
+        more = host.place_vm(
+            VMRequest.create(cores=2, memory_gb=8.0), local_gb=8.0,
+            pool_gb=0.0)
+        monitor.check_vm(more)
+        assert monitor.mitigation_rate_percent() == pytest.approx(100.0 / 3)
+
+    def test_mitigation_budget_consistent_under_failures(self):
+        """within_mitigation_budget follows the distinct-VM rate exactly."""
+        host, vm = self.place_znuma_vm()
+        vm.record_touch(24.0)
+        config = PondConfig(pdm_percent=5.0,
+                            qos_mitigation_budget_percent=60.0)
+        monitor = QoSMonitor(config, slowdown_estimator=lambda v: 12.0)
+        for _ in range(10):
+            monitor.check_vm(vm)  # same VM, re-flagged every tick
+        assert monitor.mitigation_rate_percent() == pytest.approx(100.0)
+        assert not monitor.within_mitigation_budget()
+        ok = host.place_vm(
+            VMRequest.create(cores=2, memory_gb=8.0), local_gb=8.0,
+            pool_gb=0.0)
+        monitor.check_vm(ok)  # a second distinct, healthy VM: rate -> 50%
+        assert monitor.mitigation_rate_percent() == pytest.approx(50.0)
+        assert monitor.within_mitigation_budget()
+
+    def test_empty_history_rate_is_zero(self):
+        monitor = QoSMonitor(PondConfig(), slowdown_estimator=lambda v: 0.0)
+        assert monitor.mitigation_rate_percent() == 0.0
+        assert monitor.within_mitigation_budget()
+
+    def test_record_kill_accounted_not_silent(self):
+        """The degradation ladder's last rung is recorded, never dropped."""
+        manager = MitigationManager()
+        record = manager.record_kill("vm-doomed", 48.0)
+        assert record.method == "killed"
+        assert record.moved_gb == pytest.approx(48.0)
+        assert manager.n_kills == 1
+        # Kills are neither successful mitigations nor failed attempts.
+        assert manager.n_mitigations == 0
+        assert manager.n_failures == 0
+        assert record in manager.records

@@ -1,0 +1,148 @@
+"""EMC device-model lockdown: port lifecycle, slice ownership, permissions.
+
+The EMC (paper Section 4.1) is the failure domain the fault-injection
+subsystem kills (``repro.cluster.faults``), so its management-plane
+contract must be airtight:
+
+* ``attach_host`` — duplicate attach and port exhaustion both raise
+  ``EMCError``; an attach never steals another host's port.
+* ``detach_host`` — releases *every* slice the host owned before freeing
+  the port (no orphaned ``_SliceState`` owners), and a double detach
+  raises instead of silently passing.
+* ``check_access`` — non-owner access is the fatal
+  ``SlicePermissionError``, including after the owner detached.
+"""
+
+import pytest
+
+from repro.cxl.emc import EMCDevice, EMCError, SlicePermissionError
+
+
+def make_emc(capacity_gb=8, n_ports=2):
+    return EMCDevice("emc-0", capacity_gb=capacity_gb, n_ports=n_ports)
+
+
+class TestAttachHost:
+    def test_attach_assigns_first_free_port(self):
+        emc = make_emc()
+        assert emc.attach_host("h0") == 0
+        assert emc.attach_host("h1") == 1
+        assert emc.attached_hosts == ["h0", "h1"]
+
+    def test_duplicate_attach_raises(self):
+        emc = make_emc()
+        emc.attach_host("h0")
+        with pytest.raises(EMCError, match="already attached"):
+            emc.attach_host("h0")
+
+    def test_port_exhaustion_raises(self):
+        emc = make_emc(n_ports=2)
+        emc.attach_host("h0")
+        emc.attach_host("h1")
+        with pytest.raises(EMCError, match="no free CXL port"):
+            emc.attach_host("h2")
+        # The failed attach must not leave partial state behind.
+        assert emc.attached_hosts == ["h0", "h1"]
+        assert emc.slices_of("h2") == []
+
+    def test_detach_frees_port_for_reuse(self):
+        emc = make_emc(n_ports=1)
+        emc.attach_host("h0")
+        emc.detach_host("h0")
+        assert emc.attach_host("h1") == 0
+
+
+class TestDetachHost:
+    def test_detach_releases_all_slices(self):
+        emc = make_emc(capacity_gb=8)
+        emc.attach_host("h0")
+        held = [emc.assign_slice("h0") for _ in range(3)]
+        assert emc.free_slices == emc.n_slices - 3
+        emc.detach_host("h0")
+        # No orphaned owners: every slice is free and reassignable.
+        assert emc.free_slices == emc.n_slices
+        for index in held:
+            assert emc.owner_of(index) is None
+        assert "h0" not in emc.attached_hosts
+
+    def test_released_slices_are_reassignable(self):
+        emc = make_emc()
+        emc.attach_host("h0")
+        index = emc.assign_slice("h0")
+        emc.detach_host("h0")
+        emc.attach_host("h1")
+        assert emc.assign_slice("h1", index) == index
+        assert emc.owner_of(index) == "h1"
+
+    def test_reattach_starts_clean(self):
+        emc = make_emc()
+        emc.attach_host("h0")
+        emc.assign_slice("h0")
+        emc.detach_host("h0")
+        emc.attach_host("h0")
+        assert emc.slices_of("h0") == []
+
+    def test_detach_unknown_host_raises(self):
+        emc = make_emc()
+        with pytest.raises(EMCError, match="not attached"):
+            emc.detach_host("ghost")
+
+    def test_double_detach_raises(self):
+        emc = make_emc()
+        emc.attach_host("h0")
+        emc.detach_host("h0")
+        with pytest.raises(EMCError, match="not attached"):
+            emc.detach_host("h0")
+
+    def test_detach_leaves_other_hosts_untouched(self):
+        emc = make_emc()
+        emc.attach_host("h0")
+        emc.attach_host("h1")
+        kept = emc.assign_slice("h1")
+        emc.detach_host("h0")
+        assert emc.owner_of(kept) == "h1"
+        assert emc.slices_of("h1") == [kept]
+        assert emc.attached_hosts == ["h1"]
+
+
+class TestSlicePermissions:
+    def test_owner_access_passes(self):
+        emc = make_emc()
+        emc.attach_host("h0")
+        index = emc.assign_slice("h0")
+        emc.check_access("h0", index)  # must not raise
+
+    def test_non_owner_access_is_fatal(self):
+        emc = make_emc()
+        emc.attach_host("h0")
+        emc.attach_host("h1")
+        index = emc.assign_slice("h0")
+        with pytest.raises(SlicePermissionError):
+            emc.check_access("h1", index)
+
+    def test_access_to_free_slice_is_fatal(self):
+        emc = make_emc()
+        emc.attach_host("h0")
+        with pytest.raises(SlicePermissionError):
+            emc.check_access("h0", 0)
+
+    def test_access_after_owner_detached_is_fatal(self):
+        """A departed host's stale mapping must hit the permission table."""
+        emc = make_emc()
+        emc.attach_host("h0")
+        index = emc.assign_slice("h0")
+        emc.detach_host("h0")
+        with pytest.raises(SlicePermissionError):
+            emc.check_access("h0", index)
+
+    def test_permission_error_is_an_emc_error(self):
+        assert issubclass(SlicePermissionError, EMCError)
+
+    def test_release_by_non_owner_raises(self):
+        emc = make_emc()
+        emc.attach_host("h0")
+        emc.attach_host("h1")
+        index = emc.assign_slice("h0")
+        with pytest.raises(EMCError, match="owned by"):
+            emc.release_slice("h1", index)
+        assert emc.owner_of(index) == "h0"
