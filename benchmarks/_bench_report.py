@@ -10,6 +10,11 @@ uploads them as artifacts).
 speedup floors: small enough for a per-PR CI job, still asserting the same
 *shape* of result (identical outputs, speedup above a floor) so hot-path
 regressions surface before the full-scale run ever executes.
+
+The validation side (report schema, recorded perf floors) lives in
+:mod:`repro.analysis.perf_floors` -- shared with the ``python -m
+repro.analysis perf-floors`` subcommand -- and is re-exported here so the
+benchmark scripts keep one import surface.
 """
 
 from __future__ import annotations
@@ -17,85 +22,26 @@ from __future__ import annotations
 import json
 import os
 import platform
+import sys
 import time
 from pathlib import Path
 
+try:
+    from repro.analysis.perf_floors import (
+        REQUIRED_REPORT_FIELDS,
+        check_perf_floors,
+        validate_report,
+    )
+except ImportError:  # invoked without PYTHONPATH=src: resolve the repo layout
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+    from repro.analysis.perf_floors import (
+        REQUIRED_REPORT_FIELDS,
+        check_perf_floors,
+        validate_report,
+    )
+
 __all__ = ["smoke_mode", "pick", "emit_report", "REQUIRED_REPORT_FIELDS",
            "validate_report", "check_perf_floors"]
-
-#: Metadata fields :func:`emit_report` promises in every ``BENCH_*.json``;
-#: the CI bench-smoke job schema-checks every emitted report against this
-#: list (plus ``benchmark`` matching the file name).
-REQUIRED_REPORT_FIELDS = (
-    "benchmark",
-    "smoke",
-    "unix_time",
-    "python",
-    "platform",
-    "cpu_count",
-)
-
-
-def validate_report(path) -> dict:
-    """Load one ``BENCH_*.json`` and check the emit_report schema.
-
-    Returns the parsed report; raises ``ValueError`` naming the file and the
-    missing/mismatched field otherwise.  Used by the CI schema check so the
-    promise stays enforced, not aspirational.
-    """
-    path = Path(path)
-    report = json.loads(path.read_text())
-    missing = [f for f in REQUIRED_REPORT_FIELDS if f not in report]
-    if missing:
-        raise ValueError(f"{path.name}: missing required fields {missing}")
-    expected_name = path.stem[len("BENCH_"):]
-    if report["benchmark"] != expected_name:
-        raise ValueError(
-            f"{path.name}: benchmark field {report['benchmark']!r} does not "
-            f"match file name ({expected_name!r})"
-        )
-    return report
-
-
-def check_perf_floors(report: dict, name: str = "report") -> list:
-    """Check every ``<metric>_floor`` pair a ``BENCH_*.json`` report carries.
-
-    The benchmarks record each perf floor they assert right next to the
-    measured value (``events_per_s`` / ``events_per_s_floor``, ``speedup``
-    / ``speedup_floor``, ...).  Floors are uniformly *minimums*: the
-    metric must be ``>=`` its floor.  This re-checks the recorded pairs so
-    the CI bench-smoke job catches a report that was emitted before its
-    benchmark's floor assertion fired, or one edited out of step with its
-    measurement.
-
-    Returns the list of ``(metric, value, floor)`` tuples checked (may be
-    empty: not every report asserts a floor); raises ``ValueError`` naming
-    the report and the offending field on a missing metric, a
-    non-numeric pair, or a floor violation.
-    """
-    checked = []
-    for key in sorted(report):
-        if not key.endswith("_floor"):
-            continue
-        metric = key[: -len("_floor")]
-        if metric not in report:
-            raise ValueError(
-                f"{name}: {key} present but metric {metric!r} missing"
-            )
-        value, floor = report[metric], report[key]
-        if not isinstance(value, (int, float)) or not isinstance(
-                floor, (int, float)):
-            raise ValueError(
-                f"{name}: {metric}/{key} must be numeric, got "
-                f"{value!r} / {floor!r}"
-            )
-        if value < floor:
-            raise ValueError(
-                f"{name}: {metric}={value:g} below recorded floor "
-                f"{key}={floor:g}"
-            )
-        checked.append((metric, value, floor))
-    return checked
 
 
 def smoke_mode() -> bool:

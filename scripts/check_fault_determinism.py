@@ -1,130 +1,20 @@
 #!/usr/bin/env python
-"""Print canonical fault-impact stats for a fixed set of seeded replays.
+"""Thin shim: the fault-determinism check moved into ``repro.analysis``.
 
-CI runs this script twice with different ``PYTHONHASHSEED`` values and
-diffs the outputs: seeded fault injection must be hash-seed independent
-(DESIGN.md section 11).  The script covers every replay path that can
-carry a :class:`~repro.cluster.faults.FaultSchedule`:
-
-* a single-cluster array replay,
-* cross-shard replays on both topologies (per-shard and spanning, with
-  the shard sizes chosen so spanning groups cross the shard seam),
-* a fleet run, serial vs process-pool (shardwise ``for_shard`` routing).
-
-Output is canonical JSON (sorted keys) on stdout, one object per line,
-so ``diff`` of two runs is meaningful.  Exits non-zero if the serial and
-process-pool fleets disagree with each other within the same process.
+``python -m repro.analysis determinism`` is the front door now (the replay
+set and constants live in :mod:`repro.analysis.determinism`); this script
+stays so existing CI invocations and muscle memory keep working, with
+byte-identical stdout.
 """
 
-import json
 import sys
+from pathlib import Path
 
-from repro.cluster import ClusterSimulator, TraceGenConfig, TraceGenerator
-from repro.cluster.faults import FaultSchedule
-from repro.cluster.fleet import FleetSimulator, static_policy_factory
-from repro.cluster.pool_topology import PoolTopology, replay_crossshard
-from repro.cluster.server import ServerConfig
-from repro.core.policies import StaticFractionPolicy
-
-N_SERVERS = 10
-DURATION_DAYS = 0.5
-POOL_CAPACITY_GB_PER_GROUP = 300.0
-SEED = 21
-
-SERVER_CONFIG = ServerConfig(
-    name="fault-determinism", sockets=2, cores_per_socket=24,
-    dram_per_socket_gb=48.0,
-)
-
-
-def make_config(index):
-    return TraceGenConfig(
-        cluster_id=f"det-{index:02d}", n_servers=N_SERVERS,
-        duration_days=DURATION_DAYS, mean_lifetime_hours=4.0,
-        target_core_utilization=0.95, seed=SEED + index,
-        server_config=SERVER_CONFIG,
-    )
-
-
-def make_schedule(n_groups, shard=0):
-    return FaultSchedule.seeded(
-        groups=range(n_groups),
-        horizon_s=DURATION_DAYS * 86400.0,
-        mean_time_between_failures_s=3.0 * 3600.0,
-        repair_delay_s=3600.0,
-        seed=SEED,
-        shard=shard,
-        migration_retry_budget=1,
-    )
-
-
-def emit(label, stats):
-    print(json.dumps({"replay": label, "stats": stats.as_dict()},
-                     sort_keys=True))
-
-
-def main():
-    traces = [TraceGenerator(make_config(i)).generate_bulk()
-              for i in range(2)]
-    policy = StaticFractionPolicy(fraction=0.6, seed=SEED)
-
-    # Single-cluster array replay.
-    sim = ClusterSimulator(
-        n_servers=N_SERVERS, pool_size_sockets=8,
-        pool_capacity_gb_per_group=POOL_CAPACITY_GB_PER_GROUP,
-        constrain_memory=True, sample_interval_s=3600.0,
-        server_config=SERVER_CONFIG,
-    )
-    n_groups = -(-N_SERVERS * SERVER_CONFIG.sockets // 8)  # ceil
-    single = sim.run(traces[0], policy, faults=make_schedule(n_groups))
-    emit("single_cluster", single.fault_stats)
-
-    # Cross-shard replays, both topologies.  N_SERVERS=10 with pool size 8
-    # (4 servers/group) leaves spanning group 2 straddling the shard seam.
-    shard_sizes = [N_SERVERS, N_SERVERS]
-    configs = [SERVER_CONFIG, SERVER_CONFIG]
-    policies = [StaticFractionPolicy(fraction=0.6, seed=SEED)
-                for _ in range(2)]
-    for scope in ("per_shard", "spanning"):
-        topology = getattr(PoolTopology, scope)(
-            shard_sizes, SERVER_CONFIG.sockets, 8
-        )
-        results, _ = replay_crossshard(
-            traces, policies, shard_sizes, configs, topology,
-            POOL_CAPACITY_GB_PER_GROUP, True, 3600.0,
-            faults=make_schedule(topology.n_groups),
-        )
-        for shard, result in enumerate(results):
-            emit(f"crossshard_{scope}_shard{shard}", result.fault_stats)
-
-    # Fleet, serial vs process pool: shardwise for_shard routing.
-    events = []
-    for shard in range(2):
-        events.extend(make_schedule(2, shard=shard).events)
-    schedule = FaultSchedule(events=tuple(events), migration_retry_budget=1)
-    fleet_stats = []
-    for workers in (None, 2):
-        fleet = FleetSimulator(
-            shard_configs=[make_config(i) for i in range(2)],
-            pool_size_sockets=8,
-            pool_capacity_gb_per_group=POOL_CAPACITY_GB_PER_GROUP,
-            constrain_memory=True,
-            max_workers=workers,
-        )
-        with fleet:
-            result = fleet.run(
-                static_policy_factory(fraction=0.6, seed=SEED),
-                compute_baseline=False, faults=schedule,
-            )
-        fleet_stats.append(result.fault_stats.as_dict())
-        label = "serial" if workers is None else f"pool{workers}"
-        emit(f"fleet_{label}", result.fault_stats)
-    if fleet_stats[0] != fleet_stats[1]:
-        print("FAIL: serial and process-pool fleets disagree",
-              file=sys.stderr)
-        return 1
-    return 0
-
+try:
+    from repro.analysis.determinism import main
+except ImportError:  # invoked without PYTHONPATH=src: resolve the repo layout
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+    from repro.analysis.determinism import main
 
 if __name__ == "__main__":
     sys.exit(main())

@@ -16,4 +16,11 @@ setup(
     python_requires=">=3.8",
     # The simulator, trace generator, and ML stack all import numpy.
     install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            # Front door for the determinism/pickle/contract lint suite
+            # (same as `python -m repro.analysis`).
+            "repro-lint = repro.analysis.cli:main",
+        ],
+    },
 )

@@ -26,3 +26,23 @@ Quickstart::
 __version__ = "1.0.0"
 
 __all__ = ["__version__"]
+
+
+def _maybe_enable_sanitizer() -> None:
+    """Opt-in runtime invariant checks: ``REPRO_SANITIZE=1``.
+
+    Installed at import time so process-pool workers (which inherit the
+    environment) sanitize their replays too.  Free when the variable is
+    unset: one ``os.environ`` lookup, no analysis imports.
+    """
+    import os
+
+    if os.environ.get("REPRO_SANITIZE", "").strip().lower() in (
+        "1", "true", "yes", "on"
+    ):
+        from repro.analysis.sanitizer import install
+
+        install()
+
+
+_maybe_enable_sanitizer()

@@ -1,0 +1,353 @@
+"""Event-ordering contract checker for the replay loops.
+
+DESIGN.md sections 10-12 promise one tie-breaking contract at equal
+timestamps, in both the single-cluster online loop and the cross-shard
+merged pump:
+
+    departures -> fault events -> grid sample -> QoS tick -> evacuation
+    retries
+
+Differential tests pin the *outputs* of that ordering, but the ordering
+itself lives in two hand-scheduled loops (``simulator._run_array_online``'s
+``advance_to`` and ``pool_topology._replay_crossshard_events``'s ``pump``)
+that are exactly the code perf PRs keep rewriting.  This checker reads the
+loops' ASTs and verifies the documented dispatch order directly, so the
+docs cannot silently rot:
+
+========  ==========================================================
+``ORD001``  contract anchor missing (function/loop/dispatch not found) --
+            the checker fails loudly rather than vacuously passing
+``ORD002``  departures must win ties against samples *and* faults
+            (``<=`` comparisons, departure branch first)
+``ORD003``  fault events must win ties against samples
+``ORD004``  sample arm must run take_sample -> QoS tick -> retry tick,
+            in that order
+``ORD005``  heap kind priorities must order departure < fault < sample <
+            horizon < arrival
+``ORD006``  pump dispatch must test departure, then fault, then sample
+``ORD007``  pump sample arm must run take_sample -> reschedule -> QoS
+            tick -> retry tick
+========  ==========================================================
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.findings import Finding
+
+__all__ = ["ORDER_RULES", "check_contracts", "check_simulator", "check_pump"]
+
+ORDER_RULES: Dict[str, Tuple[str, str]] = {
+    "ORD001": (
+        "contract anchor missing",
+        "the loop this contract pins was renamed or restructured; update "
+        "repro.analysis.contracts (and DESIGN.md sections 10-12) together "
+        "with the loop",
+    ),
+    "ORD002": (
+        "departure events must win ties",
+        "at equal timestamps departures release capacity before faults "
+        "fire and samples read state: keep 'departure_time <= "
+        "next_sample_time and departure_time <= fault_time' as the first "
+        "branch",
+    ),
+    "ORD003": (
+        "fault events must precede the sample at equal timestamps",
+        "samples must observe post-fault state: keep 'fault_time <= "
+        "next_sample_time' ahead of the sample arm",
+    ),
+    "ORD004": (
+        "sample arm order take_sample -> qos_tick -> retry_tick",
+        "samples always show the pre-mitigation state and evacuation "
+        "retries run after mitigation frees headroom (DESIGN.md sections "
+        "10-11)",
+    ),
+    "ORD005": (
+        "heap kind priorities out of order",
+        "the merged heap's total order encodes the tie contract: "
+        "_KIND_DEPARTURE < _KIND_FAULT < _KIND_SAMPLE < _KIND_HORIZON < "
+        "_KIND_ARRIVAL",
+    ),
+    "ORD006": (
+        "pump dispatch order departure -> fault -> sample",
+        "keep the kind dispatch chain aligned with the heap priorities so "
+        "readers can audit the contract in one place",
+    ),
+    "ORD007": (
+        "pump sample arm order take_sample -> reschedule -> qos_tick -> "
+        "retry_tick",
+        "the next grid sample must be rescheduled from the sampled time "
+        "before mitigation mutates state; QoS tick precedes the "
+        "evacuation-retry tick",
+    ),
+}
+
+_KIND_ORDER = ("_KIND_DEPARTURE", "_KIND_FAULT", "_KIND_SAMPLE",
+               "_KIND_HORIZON", "_KIND_ARRIVAL")
+
+
+def _find_function(node: ast.AST, name: str) -> Optional[ast.AST]:
+    for sub in ast.walk(node):
+        if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                and sub.name == name:
+            return sub
+    return None
+
+
+def _find_while(node: ast.AST) -> Optional[ast.While]:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.While):
+            return sub
+    return None
+
+
+def _ordered_calls(nodes: Sequence[ast.AST]) -> List[Tuple[str, int]]:
+    """``(callee, lineno)`` for every call, in source (pre-)order."""
+    out: List[Tuple[str, int]] = []
+
+    def visit(node: ast.AST) -> None:
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name):
+                out.append((func.id, node.lineno))
+            elif isinstance(func, ast.Attribute):
+                out.append((func.attr, node.lineno))
+        for child in ast.iter_child_nodes(node):
+            visit(child)
+
+    for node in nodes:
+        visit(node)
+    return out
+
+
+def _calls_in_order(calls: List[Tuple[str, int]],
+                    expected: Sequence[str]) -> bool:
+    """True when ``expected`` appears as a subsequence of the call names."""
+    position = 0
+    for name, _line in calls:
+        if position < len(expected) and name == expected[position]:
+            position += 1
+    return position == len(expected)
+
+
+def _compare_names(test: ast.expr) -> List[Tuple[str, str, str]]:
+    """Flatten ``a <= b``-style comparisons to ``(left, op, right)``."""
+    out: List[Tuple[str, str, str]] = []
+    for sub in ast.walk(test):
+        if (isinstance(sub, ast.Compare) and len(sub.ops) == 1
+                and isinstance(sub.left, ast.Name)
+                and isinstance(sub.comparators[0], ast.Name)):
+            out.append((sub.left.id, type(sub.ops[0]).__name__,
+                        sub.comparators[0].id))
+    return out
+
+
+def _anchor_missing(path: str, line: int, what: str) -> Finding:
+    return Finding(
+        rule="ORD001", path=path, line=line,
+        message=f"contract anchor missing: {what}",
+        hint=ORDER_RULES["ORD001"][1], snippet=what,
+    )
+
+
+# -- single-cluster online loop ----------------------------------------------------
+
+
+def check_simulator(path) -> List[Finding]:
+    """Verify ``advance_to``'s tie-breaking in ``_run_array_online``."""
+    path = Path(path)
+    posix = path.as_posix()
+    tree = ast.parse(path.read_text(), filename=str(path))
+    findings: List[Finding] = []
+
+    outer = _find_function(tree, "_run_array_online")
+    if outer is None:
+        return [_anchor_missing(posix, 1, "function _run_array_online")]
+    advance = _find_function(outer, "advance_to")
+    if advance is None:
+        return [_anchor_missing(posix, outer.lineno,
+                                "inner function advance_to")]
+    loop = _find_while(advance)
+    if loop is None:
+        return [_anchor_missing(posix, advance.lineno,
+                                "while loop in advance_to")]
+    dispatch = next((s for s in loop.body if isinstance(s, ast.If)), None)
+    if dispatch is None:
+        return [_anchor_missing(posix, loop.lineno,
+                                "if/elif/else dispatch in advance_to")]
+
+    # Arm 1: departures win ties against both samples and faults (ORD002).
+    compares = _compare_names(dispatch.test)
+    departure_first = (
+        ("departure_time", "LtE", "next_sample_time") in compares
+        and ("departure_time", "LtE", "fault_time") in compares
+        and _calls_in_order(_ordered_calls(dispatch.body),
+                            ["process_one_departure"])
+    )
+    if not departure_first:
+        findings.append(Finding(
+            rule="ORD002", path=posix, line=dispatch.lineno,
+            message="first advance_to branch does not give departures the "
+                    "tie against samples and faults",
+            hint=ORDER_RULES["ORD002"][1],
+            snippet=ast.unparse(dispatch.test),
+        ))
+
+    # Arm 2: faults beat the sample at equal timestamps (ORD003).
+    arm2 = dispatch.orelse
+    sample_arm: Sequence[ast.stmt] = []
+    if len(arm2) == 1 and isinstance(arm2[0], ast.If):
+        inner = arm2[0]
+        fault_ok = (
+            ("fault_time", "LtE", "next_sample_time")
+            in _compare_names(inner.test)
+            and _calls_in_order(_ordered_calls(inner.body), ["fire_next"])
+        )
+        if not fault_ok:
+            findings.append(Finding(
+                rule="ORD003", path=posix, line=inner.lineno,
+                message="fault branch does not win the tie against the "
+                        "sample arm",
+                hint=ORDER_RULES["ORD003"][1],
+                snippet=ast.unparse(inner.test),
+            ))
+        sample_arm = inner.orelse
+    else:
+        findings.append(Finding(
+            rule="ORD003", path=posix, line=dispatch.lineno,
+            message="advance_to has no fault branch between departures "
+                    "and the sample arm",
+            hint=ORDER_RULES["ORD003"][1], snippet="",
+        ))
+
+    # Sample arm: take_sample -> qos_tick -> retry_tick (ORD004).
+    calls = _ordered_calls(sample_arm)
+    if not _calls_in_order(calls, ["take_sample", "qos_tick", "retry_tick"]):
+        findings.append(Finding(
+            rule="ORD004", path=posix,
+            line=sample_arm[0].lineno if sample_arm else dispatch.lineno,
+            message="sample arm does not run take_sample, qos_tick, "
+                    "retry_tick in contract order",
+            hint=ORDER_RULES["ORD004"][1],
+            snippet=" -> ".join(name for name, _ in calls),
+        ))
+    return findings
+
+
+# -- cross-shard merged pump -------------------------------------------------------
+
+
+def check_pump(path) -> List[Finding]:
+    """Verify heap priorities and dispatch order in the cross-shard pump."""
+    path = Path(path)
+    posix = path.as_posix()
+    tree = ast.parse(path.read_text(), filename=str(path))
+    findings: List[Finding] = []
+
+    # ORD005: module-level kind priorities encode the contract.
+    kinds: Dict[str, int] = {}
+    kind_lines: Dict[str, int] = {}
+    for node in tree.body:
+        if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id in _KIND_ORDER
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, int)):
+            kinds[node.targets[0].id] = node.value.value
+            kind_lines[node.targets[0].id] = node.lineno
+    missing = [name for name in _KIND_ORDER if name not in kinds]
+    if missing:
+        findings.append(_anchor_missing(
+            posix, 1, f"heap kind constants {', '.join(missing)}"))
+    else:
+        values = [kinds[name] for name in _KIND_ORDER]
+        if values != sorted(values) or len(set(values)) != len(values):
+            findings.append(Finding(
+                rule="ORD005", path=posix,
+                line=kind_lines[_KIND_ORDER[0]],
+                message="heap kind priorities do not strictly order "
+                        "departure < fault < sample < horizon < arrival",
+                hint=ORDER_RULES["ORD005"][1],
+                snippet=", ".join(f"{k}={kinds[k]}" for k in _KIND_ORDER),
+            ))
+
+    outer = _find_function(tree, "_replay_crossshard_events")
+    if outer is None:
+        findings.append(_anchor_missing(
+            posix, 1, "function _replay_crossshard_events"))
+        return findings
+    pump = _find_function(outer, "pump")
+    if pump is None:
+        findings.append(_anchor_missing(posix, outer.lineno,
+                                        "inner function pump"))
+        return findings
+    loop = _find_while(pump)
+    dispatch = None
+    if loop is not None:
+        dispatch = next((s for s in loop.body if isinstance(s, ast.If)), None)
+    if dispatch is None:
+        findings.append(_anchor_missing(
+            posix, pump.lineno, "kind dispatch chain in pump"))
+        return findings
+
+    # Flatten the elif chain to (kind-constant, body) arms.
+    arms: List[Tuple[Optional[str], Sequence[ast.stmt], int]] = []
+    node: Optional[ast.stmt] = dispatch
+    while isinstance(node, ast.If):
+        kind_name = None
+        for left, op, right in _compare_names(node.test):
+            if op == "Eq" and left == "kind" and right in _KIND_ORDER:
+                kind_name = right
+        arms.append((kind_name, node.body, node.lineno))
+        orelse = node.orelse
+        if len(orelse) == 1 and isinstance(orelse[0], ast.If):
+            node = orelse[0]
+        else:
+            arms.append((None, orelse, node.lineno))
+            node = None
+
+    tested = [kind for kind, _body, _line in arms if kind is not None]
+    if tested != ["_KIND_DEPARTURE", "_KIND_FAULT", "_KIND_SAMPLE"]:
+        findings.append(Finding(
+            rule="ORD006", path=posix, line=dispatch.lineno,
+            message="pump dispatch does not test departure, fault, sample "
+                    "in contract order",
+            hint=ORDER_RULES["ORD006"][1],
+            snippet=" -> ".join(tested) or "(no kind tests found)",
+        ))
+        return findings
+
+    by_kind = {kind: body for kind, body, _line in arms if kind is not None}
+    if not _calls_in_order(_ordered_calls(by_kind["_KIND_FAULT"]),
+                           ["fire_next"]):
+        findings.append(Finding(
+            rule="ORD006", path=posix, line=dispatch.lineno,
+            message="pump fault arm does not fire the scheduled event",
+            hint=ORDER_RULES["ORD006"][1], snippet="",
+        ))
+    sample_calls = _ordered_calls(by_kind["_KIND_SAMPLE"])
+    if not _calls_in_order(sample_calls,
+                           ["take_sample", "heappush", "qos_tick",
+                            "retry_tick"]):
+        findings.append(Finding(
+            rule="ORD007", path=posix, line=dispatch.lineno,
+            message="pump sample arm does not run take_sample, reschedule, "
+                    "qos_tick, retry_tick in contract order",
+            hint=ORDER_RULES["ORD007"][1],
+            snippet=" -> ".join(name for name, _ in sample_calls),
+        ))
+    return findings
+
+
+def check_contracts(simulator_path=None, pool_topology_path=None
+                    ) -> List[Finding]:
+    """Check both replay loops; default paths resolve inside the package."""
+    cluster = Path(__file__).resolve().parents[1] / "cluster"
+    if simulator_path is None:
+        simulator_path = cluster / "simulator.py"
+    if pool_topology_path is None:
+        pool_topology_path = cluster / "pool_topology.py"
+    return check_simulator(simulator_path) + check_pump(pool_topology_path)

@@ -1,0 +1,506 @@
+"""The determinism lint: AST rules over library code.
+
+Every rule encodes one determinism incident class from this repo's history:
+
+========  ==========================================================
+``DET001``  ``hash()`` in a key or fingerprint (``PYTHONHASHSEED``-dependent
+            for str/bytes; PR 2's policy RNG draws).
+``DET002``  ``id()`` used as a mapping key, memo key, or identity fingerprint
+            (recycled addresses alias entries; PR 1's dimensioner caches).
+``DET003``  unseeded RNG construction reachable from library code --
+            ``default_rng()`` / ``Random()`` with no seed, a literal ``None``,
+            or a parameter whose default is ``None`` and is not proven
+            non-None first.
+``DET004``  conditional RNG fallback (``default_rng(seed) if seed is not
+            None else None``): ``seed=None`` silently switches behaviour.
+``DET005``  iteration over a ``set`` feeding ordered accumulation or emitted
+            results (hash-order-dependent output).
+``DET006``  wall-clock reads (``time.time`` / ``datetime.now``) in simulation
+            logic (replay results must not depend on when they run).
+``DET007``  dict-view iteration feeding ordered accumulation: safe only when
+            the dict's *insertion order* is itself deterministic; the
+            suppression reason must say why it is.
+========  ==========================================================
+
+Findings are suppressed inline with ``# repro: noqa DET00x -- reason``
+(see :mod:`repro.analysis.findings`).  ``time.perf_counter`` is deliberately
+not flagged: elapsed-time telemetry does not feed simulation results.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.findings import Finding, apply_suppressions
+
+__all__ = ["RULES", "lint_source", "lint_file", "lint_paths", "iter_python_files"]
+
+#: rule code -> (summary, fix-it hint).  The lint report and DESIGN.md
+#: section 12 both render from this table.
+RULES: Dict[str, Tuple[str, str]] = {
+    "DET001": (
+        "hash() in a key or fingerprint",
+        "hash() of str/bytes changes with PYTHONHASHSEED; use zlib.crc32 or "
+        "hashlib over canonical bytes (see repro.core.policies digests)",
+    ),
+    "DET002": (
+        "id() used as a key or fingerprint",
+        "id() values are recycled addresses: entries alias once the object "
+        "dies; key on the value, a weakref (PR 1 fix), or pin the object "
+        "alive for the mapping's lifetime",
+    ),
+    "DET003": (
+        "unseeded RNG construction in library code",
+        "pass an explicit seed; if None must be accepted, make the None "
+        "contract explicit at one documented place instead of falling "
+        "through to OS entropy",
+    ),
+    "DET004": (
+        "conditional RNG fallback on an optional seed",
+        "seed=None silently switches behaviour (no noise vs OS entropy); "
+        "centralise the None contract in one documented helper",
+    ),
+    "DET005": (
+        "set iteration feeding ordered accumulation",
+        "set order follows the hash seed; iterate sorted(...) or keep a "
+        "dict/list keyed in insertion order",
+    ),
+    "DET006": (
+        "wall-clock read in simulation logic",
+        "replay results must not depend on when they run; take times from "
+        "the event stream (time.perf_counter is fine for telemetry)",
+    ),
+    "DET007": (
+        "dict-view iteration feeding ordered accumulation",
+        "dict order is insertion order: deterministic only if insertions "
+        "are; sort, or suppress with a reason stating the insertion-order "
+        "provenance",
+    ),
+}
+
+_RNG_CTOR_ATTRS = {"default_rng", "Random", "RandomState"}
+_KEYED_METHODS = {"get", "setdefault", "pop"}
+_ORDER_SINKS = {"append", "extend", "insert"}
+#: calls whose result does not depend on the argument's iteration order.
+_ORDER_FREE_CALLS = {"sorted", "min", "max", "len", "any", "all", "set",
+                     "frozenset", "sum"}
+
+
+# -- small AST helpers -------------------------------------------------------------
+
+
+def _is_name_call(node: ast.AST, names: Set[str]) -> bool:
+    return (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id in names)
+
+
+def _is_rng_ctor(node: ast.AST) -> bool:
+    """Call to ``default_rng`` / ``random.Random`` / ``RandomState``."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id in _RNG_CTOR_ATTRS
+    if isinstance(func, ast.Attribute):
+        return func.attr in _RNG_CTOR_ATTRS
+    return False
+
+
+def _is_none(node: Optional[ast.AST]) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    return isinstance(node, ast.Set) or _is_name_call(node, {"set", "frozenset"})
+
+
+def _is_dict_view(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)
+            and node.func.attr in {"values", "keys", "items"}
+            and not node.args and not node.keywords)
+
+
+def _none_compare(test: ast.AST) -> Optional[Tuple[str, bool]]:
+    """``(name, is_not)`` for a ``<name> is [not] None`` test, else None."""
+    if (isinstance(test, ast.Compare) and len(test.ops) == 1
+            and isinstance(test.left, ast.Name) and _is_none(test.comparators[0])):
+        if isinstance(test.ops[0], ast.IsNot):
+            return test.left.id, True
+        if isinstance(test.ops[0], ast.Is):
+            return test.left.id, False
+    return None
+
+
+def _terminates(stmts: Sequence[ast.stmt]) -> bool:
+    return bool(stmts) and isinstance(
+        stmts[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break)
+    )
+
+
+def _contains_id_call(node: ast.AST) -> Optional[ast.Call]:
+    for sub in ast.walk(node):
+        if _is_name_call(sub, {"id"}):
+            return sub
+    return None
+
+
+class _ParentMap:
+    def __init__(self, tree: ast.AST) -> None:
+        self._parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(node)
+
+    def lineage(self, node: ast.AST) -> Iterable[Tuple[ast.AST, ast.AST]]:
+        """Yield ``(child, parent)`` pairs climbing until a statement."""
+        child = node
+        while True:
+            parent = self._parents.get(child)
+            if parent is None:
+                return
+            yield child, parent
+            if isinstance(parent, ast.stmt):
+                return
+            child = parent
+
+
+def _in_key_position(node: ast.AST, parents: _ParentMap) -> bool:
+    """True when ``node`` sits in a mapping-key / membership position."""
+    for child, parent in parents.lineage(node):
+        if isinstance(parent, ast.Subscript) and child is parent.slice:
+            return True
+        if isinstance(parent, (ast.Dict, ast.DictComp)):
+            keys = parent.keys if isinstance(parent, ast.Dict) else [parent.key]
+            if child in keys:
+                return True
+        if isinstance(parent, ast.Compare):
+            return True
+        if (isinstance(parent, ast.Call)
+                and isinstance(parent.func, ast.Attribute)
+                and parent.func.attr in _KEYED_METHODS
+                and child in parent.args):
+            return True
+    return False
+
+
+def _order_exempt(node: ast.AST, parents: _ParentMap) -> bool:
+    """True when an unordered iterable feeds an order-insensitive consumer."""
+    for child, parent in parents.lineage(node):
+        if (isinstance(parent, ast.Call) and isinstance(parent.func, ast.Name)
+                and parent.func.id in _ORDER_FREE_CALLS
+                and child in parent.args):
+            return True
+    return False
+
+
+def _feeds_order(body: Sequence[ast.stmt]) -> bool:
+    """Loop body appends/extends/yields -- builds an ordered result."""
+    for stmt in body:
+        for sub in ast.walk(stmt):
+            if isinstance(sub, (ast.Yield, ast.YieldFrom)):
+                return True
+            if (isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr in _ORDER_SINKS):
+                return True
+    return False
+
+
+def _wall_clock_call(node: ast.Call) -> Optional[str]:
+    """Dotted name for a wall-clock read, or None."""
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    base = func.value
+    base_name = None
+    if isinstance(base, ast.Name):
+        base_name = base.id
+    elif isinstance(base, ast.Attribute):
+        base_name = base.attr
+    if func.attr in {"time", "time_ns"} and base_name == "time":
+        return f"time.{func.attr}"
+    if func.attr in {"now", "utcnow"} and base_name in {"datetime", "date"}:
+        return f"{base_name}.{func.attr}"
+    if func.attr == "today" and base_name in {"datetime", "date"}:
+        return f"{base_name}.today"
+    return None
+
+
+# -- the lint pass -----------------------------------------------------------------
+
+
+class _DetLinter:
+    def __init__(self, source: str, path: str) -> None:
+        self.path = path
+        self.lines = source.splitlines()
+        self.findings: List[Finding] = []
+        self._seen: Set[Tuple[str, int]] = set()
+        #: RNG-ctor call nodes already reported as part of a DET004 pattern.
+        self._det004_calls: Set[int] = set()
+
+    def _snippet(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def _add(self, rule: str, node: ast.AST, message: str) -> None:
+        key = (rule, node.lineno)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.findings.append(Finding(
+            rule=rule, path=self.path, line=node.lineno, message=message,
+            hint=RULES[rule][1], snippet=self._snippet(node.lineno),
+        ))
+
+    # -- pass A: parent-map rules --------------------------------------------------
+    def run(self, tree: ast.AST) -> List[Finding]:
+        parents = _ParentMap(tree)
+
+        # DET004 first, so its RNG calls are excluded from DET003.
+        for node in ast.walk(tree):
+            if isinstance(node, ast.IfExp):
+                arms = ((node.body, node.orelse), (node.orelse, node.body))
+                for rng_arm, none_arm in arms:
+                    if _is_rng_ctor(rng_arm) and _is_none(none_arm):
+                        self._add(
+                            "DET004", node,
+                            "RNG constructed on one branch, None on the "
+                            "other: the optional seed silently switches "
+                            "behaviour",
+                        )
+                        self._det004_calls.add(id(rng_arm))
+
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                self._check_call(node, parents)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                self._check_for(node, parents)
+            elif isinstance(node, ast.ListComp):
+                self._check_listcomp(node, parents)
+
+        # DET002 via taint + DET003 maybe-None params need scope walks.
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._check_id_taint(node, parents)
+                self._check_optional_seed(node)
+
+        self.findings.sort(key=lambda f: (f.line, f.rule))
+        return self.findings
+
+    def _check_call(self, node: ast.Call, parents: _ParentMap) -> None:
+        if _is_name_call(node, {"hash"}):
+            self._add("DET001", node,
+                      "hash() is PYTHONHASHSEED-dependent for str/bytes")
+        if _is_name_call(node, {"id"}) and _in_key_position(node, parents):
+            self._add("DET002", node,
+                      "id() used as a key: recycled addresses alias entries")
+        if _is_rng_ctor(node) and id(node) not in self._det004_calls:  # repro: noqa DET002 -- AST node identity within one in-memory pass; the tree pins every node alive
+            if not node.args and not node.keywords:
+                self._add("DET003", node,
+                          "RNG constructed without a seed (OS entropy)")
+            elif node.args and _is_none(node.args[0]):
+                self._add("DET003", node,
+                          "RNG constructed with literal None seed (OS entropy)")
+        clock = _wall_clock_call(node)
+        if clock is not None:
+            self._add("DET006", node,
+                      f"{clock}() read in library code: results depend on "
+                      "when the run happens")
+        # list(set(...)) / tuple(set(...)) emit hash-ordered sequences.
+        if (_is_name_call(node, {"list", "tuple"}) and len(node.args) == 1
+                and _is_set_expr(node.args[0])):
+            self._add("DET005", node,
+                      f"{node.func.id}() over a set emits hash-ordered "  # type: ignore[attr-defined]
+                      "elements")
+
+    def _check_for(self, node: ast.stmt, parents: _ParentMap) -> None:
+        iter_expr = node.iter  # type: ignore[attr-defined]
+        body = node.body  # type: ignore[attr-defined]
+        if _order_exempt(iter_expr, parents) or not _feeds_order(body):
+            return
+        if _is_set_expr(iter_expr):
+            self._add("DET005", node,
+                      "loop over a set feeds ordered accumulation")
+        elif _is_dict_view(iter_expr):
+            self._add("DET007", node,
+                      "loop over a dict view feeds ordered accumulation; "
+                      "order is whatever the insertions were")
+
+    def _check_listcomp(self, node: ast.ListComp, parents: _ParentMap) -> None:
+        if _order_exempt(node, parents):
+            return
+        for gen in node.generators:
+            if _is_set_expr(gen.iter):
+                self._add("DET005", node,
+                          "list built by iterating a set is hash-ordered")
+            elif _is_dict_view(gen.iter):
+                self._add("DET007", node,
+                          "list built by iterating a dict view follows "
+                          "insertion order")
+
+    # -- DET002 taint: name = id(...), later used as a key -------------------------
+    def _check_id_taint(self, fn: ast.AST, parents: _ParentMap) -> None:
+        tainted: Set[str] = set()
+        for stmt in self._own_statements(fn):
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name) and _contains_id_call(stmt.value):
+                    tainted.add(target.id)
+        if not tainted:
+            return
+        for stmt in self._own_statements(fn):
+            for sub in ast.walk(stmt):
+                if (isinstance(sub, ast.Name) and sub.id in tainted
+                        and isinstance(sub.ctx, ast.Load)
+                        and _in_key_position(sub, parents)):
+                    self._add(
+                        "DET002", sub,
+                        f"{sub.id!r} holds an id() and is used as a key: "
+                        "recycled addresses alias entries",
+                    )
+
+    def _own_statements(self, fn: ast.AST) -> Iterable[ast.stmt]:
+        """Statements of ``fn``, not descending into nested defs/classes."""
+        stack = list(fn.body)  # type: ignore[attr-defined]
+        while stack:
+            stmt = stack.pop()
+            yield stmt
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.stmt):
+                    stack.append(child)
+                else:
+                    stack.extend(
+                        c for c in ast.walk(child) if isinstance(c, ast.stmt)
+                    )
+
+    # -- DET003 maybe-None seed params, with narrowing -----------------------------
+    def _check_optional_seed(self, fn: ast.AST) -> None:
+        args = fn.args  # type: ignore[attr-defined]
+        optional: Set[str] = set()
+        positional = args.posonlyargs + args.args
+        for arg, default in zip(positional[len(positional) - len(args.defaults):],
+                                args.defaults):
+            if _is_none(default):
+                optional.add(arg.arg)
+        for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+            if default is not None and _is_none(default):
+                optional.add(arg.arg)
+        if not optional:
+            return
+        self._walk_block(fn.body, optional, set())  # type: ignore[attr-defined]
+
+    def _walk_block(self, stmts: Sequence[ast.stmt], optional: Set[str],
+                    narrowed: Set[str]) -> None:
+        narrowed = set(narrowed)
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue  # nested scopes check their own params
+            if isinstance(stmt, ast.If):
+                cond = _none_compare(stmt.test)
+                if cond is not None:
+                    name, is_not = cond
+                    if is_not:
+                        self._scan_expr(stmt.test, optional, narrowed)
+                        self._walk_block(stmt.body, optional, narrowed | {name})
+                        self._walk_block(stmt.orelse, optional, narrowed)
+                    else:
+                        self._scan_expr(stmt.test, optional, narrowed)
+                        self._walk_block(stmt.body, optional, narrowed)
+                        self._walk_block(stmt.orelse, optional,
+                                         narrowed | {name})
+                        if _terminates(stmt.body):
+                            narrowed.add(name)
+                    continue
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.stmt):
+                    continue
+                if isinstance(child, ast.expr):
+                    self._scan_expr(child, optional, narrowed)
+            for attr in ("body", "orelse", "finalbody"):
+                inner = getattr(stmt, attr, None)
+                if isinstance(inner, list) and inner and \
+                        isinstance(inner[0], ast.stmt):
+                    self._walk_block(inner, optional, narrowed)
+            for handler in getattr(stmt, "handlers", ()):
+                self._walk_block(handler.body, optional, narrowed)
+
+    def _scan_expr(self, node: ast.expr, optional: Set[str],
+                   narrowed: Set[str]) -> None:
+        if isinstance(node, ast.IfExp):
+            cond = _none_compare(node.test)
+            self._scan_expr(node.test, optional, narrowed)
+            if cond is not None:
+                name, is_not = cond
+                body_narrow = narrowed | {name} if is_not else narrowed
+                orelse_narrow = narrowed if is_not else narrowed | {name}
+                self._scan_expr(node.body, optional, body_narrow)
+                self._scan_expr(node.orelse, optional, orelse_narrow)
+            else:
+                self._scan_expr(node.body, optional, narrowed)
+                self._scan_expr(node.orelse, optional, narrowed)
+            return
+        if (_is_rng_ctor(node) and id(node) not in self._det004_calls  # repro: noqa DET002 -- AST node identity within one in-memory pass; the tree pins every node alive
+                and node.args and isinstance(node.args[0], ast.Name)):  # type: ignore[attr-defined]
+            seed = node.args[0].id  # type: ignore[attr-defined]
+            if seed in optional and seed not in narrowed:
+                self._add(
+                    "DET003", node,
+                    f"RNG seeded from {seed!r}, whose default is None: "
+                    "callers fall through to OS entropy",
+                )
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._scan_expr(child, optional, narrowed)
+            elif isinstance(child, ast.comprehension):
+                self._scan_expr(child.iter, optional, narrowed)
+                for cond in child.ifs:
+                    self._scan_expr(cond, optional, narrowed)
+
+
+# -- entry points ------------------------------------------------------------------
+
+
+def lint_source(source: str, path: str = "<string>",
+                suppress: bool = True) -> List[Finding]:
+    """Lint one python source; returns findings (post-suppression)."""
+    tree = ast.parse(source, filename=path)
+    findings = _DetLinter(source, path).run(tree)
+    if suppress:
+        known = set(RULES) | {"NOQ001", "NOQ002"}
+        findings = apply_suppressions(findings, source, path, known=known)
+    return findings
+
+
+def lint_file(path, suppress: bool = True) -> List[Finding]:
+    path = Path(path)
+    return lint_source(path.read_text(), path.as_posix(), suppress=suppress)
+
+
+def iter_python_files(paths: Sequence) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[Path] = []
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            out.extend(sorted(entry.rglob("*.py")))
+        elif entry.suffix == ".py":
+            out.append(entry)
+    return out
+
+
+def lint_paths(paths: Sequence, suppress: bool = True) -> List[Finding]:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    findings: List[Finding] = []
+    for file in iter_python_files(paths):
+        findings.extend(lint_file(file, suppress=suppress))
+    return findings

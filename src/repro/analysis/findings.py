@@ -1,0 +1,220 @@
+"""Finding records, inline suppressions, and the checked-in baseline.
+
+A *finding* is one rule violation at one source location.  Two escape
+hatches keep the lint adoptable on a living codebase:
+
+* **Inline suppressions** -- a ``# repro: noqa DET002 -- reason`` comment on
+  the flagged line silences that rule there.  The reason is mandatory
+  (``NOQ001`` otherwise) and a suppression that matches no finding is itself
+  flagged (``NOQ002``), so the suppression inventory cannot silently rot.
+* **Baseline** -- a committed JSON file of known findings
+  (``repro_analysis_baseline.json``).  CI fails only on findings *not* in
+  the baseline, so new hazards are caught without demanding a big-bang
+  cleanup.  Baseline entries are keyed by ``(rule, path, snippet)`` rather
+  than line numbers, so unrelated edits do not invalidate them.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import re
+import tokenize
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Collection, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Finding",
+    "Suppression",
+    "parse_suppressions",
+    "apply_suppressions",
+    "load_baseline",
+    "write_baseline",
+    "diff_against_baseline",
+    "BASELINE_DEFAULT",
+]
+
+#: Default baseline path, relative to the invocation directory (repo root).
+BASELINE_DEFAULT = "repro_analysis_baseline.json"
+
+#: Matches comments of the form ``repro: noqa DET001, DET002 -- reason``
+#: behind a hash (reason mandatory).
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa\b(?P<rest>.*)$")
+_CODE_RE = re.compile(r"\b[A-Z]{3}\d{3}\b")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str  #: rule code, e.g. ``"DET002"``
+    path: str  #: posix-style path as given to the analyzer
+    line: int  #: 1-indexed source line
+    message: str  #: what is wrong
+    hint: str = ""  #: fix-it hint (how to make it deterministic/safe)
+    snippet: str = ""  #: stripped source line, used for baseline keying
+
+    def fingerprint(self) -> Tuple[str, str, str]:
+        """Line-number-free identity used by the baseline."""
+        return (self.rule, self.path, self.snippet)
+
+    def format(self, show_hint: bool = True) -> str:
+        text = f"{self.path}:{self.line}: {self.rule} {self.message}"
+        if show_hint and self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+@dataclass
+class Suppression:
+    """One parsed ``# repro: noqa`` comment."""
+
+    line: int
+    codes: Tuple[str, ...]
+    reason: str
+    used: bool = field(default=False, compare=False)
+
+    @property
+    def valid(self) -> bool:
+        return bool(self.codes) and bool(self.reason.strip())
+
+
+def parse_suppressions(source: str) -> Dict[int, Suppression]:
+    """Extract ``# repro: noqa`` suppressions, keyed by 1-indexed line.
+
+    Only genuine comment tokens count -- a docstring or string literal
+    *mentioning* the syntax is not a suppression.
+    """
+    out: Dict[int, Suppression] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):
+        return out
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _NOQA_RE.search(token.string)
+        if match is None:
+            continue
+        lineno = token.start[0]
+        rest = match.group("rest")
+        codes_part, sep, reason = rest.partition("--")
+        codes = tuple(_CODE_RE.findall(codes_part))
+        out[lineno] = Suppression(
+            line=lineno, codes=codes, reason=reason.strip() if sep else ""
+        )
+    return out
+
+
+def apply_suppressions(
+    findings: Sequence[Finding], source: str, path: str,
+    known: Optional[Collection[str]] = None,
+) -> List[Finding]:
+    """Filter suppressed findings; flag malformed and unused suppressions.
+
+    Returns the surviving findings plus any ``NOQ001`` (suppression without
+    codes or reason) and ``NOQ002`` (suppression matching no finding on its
+    line) findings, sorted by line.
+
+    ``known`` is the set of rule codes the calling pass can produce; it
+    scopes the hygiene findings so passes don't flag each other's
+    suppressions: ``NOQ002`` is emitted only for suppressions naming a
+    known code, and ``NOQ001`` only when the pass owns it (``"NOQ001" in
+    known``, or ``known is None`` meaning "all rules").
+    """
+    suppressions = parse_suppressions(source)
+    kept: List[Finding] = []
+    for finding in findings:
+        suppression = suppressions.get(finding.line)
+        if (suppression is not None and suppression.valid
+                and finding.rule in suppression.codes):
+            suppression.used = True
+            continue
+        kept.append(finding)
+
+    lines = source.splitlines()
+    for suppression in suppressions.values():  # repro: noqa DET007 -- keyed by line number; the tokenizer inserts in line order and the result is re-sorted below
+        snippet = lines[suppression.line - 1].strip()
+        if not suppression.valid:
+            if known is not None and "NOQ001" not in known:
+                continue
+            kept.append(Finding(
+                rule="NOQ001", path=path, line=suppression.line,
+                message="suppression needs codes and a reason: "
+                        "'# repro: noqa DET00x -- reason'",
+                hint="state which rule is suppressed and why, or delete "
+                     "the comment",
+                snippet=snippet,
+            ))
+        elif not suppression.used:
+            if known is not None and not any(
+                code in known for code in suppression.codes
+            ):
+                continue
+            kept.append(Finding(
+                rule="NOQ002", path=path, line=suppression.line,
+                message=f"suppression for {', '.join(suppression.codes)} "
+                        "matches no finding on this line",
+                hint="the code it excused is gone or moved; delete or move "
+                     "the comment",
+                snippet=snippet,
+            ))
+    kept.sort(key=lambda f: (f.line, f.rule))
+    return kept
+
+
+# -- baseline ----------------------------------------------------------------------
+
+
+def load_baseline(path) -> Counter:
+    """Load a baseline file into a ``Counter`` of finding fingerprints.
+
+    A missing file is an empty baseline (everything is a new finding).
+    """
+    path = Path(path)
+    if not path.is_file():
+        return Counter()
+    data = json.loads(path.read_text())
+    if data.get("version") != 1:
+        raise ValueError(f"{path}: unknown baseline version {data.get('version')!r}")
+    counts: Counter = Counter()
+    for entry in data.get("findings", ()):
+        key = (entry["rule"], entry["path"], entry["snippet"])
+        counts[key] += int(entry.get("count", 1))
+    return counts
+
+
+def write_baseline(findings: Iterable[Finding], path) -> None:
+    """Write the baseline file for the given findings (sorted, counted)."""
+    counts = Counter(f.fingerprint() for f in findings)
+    entries = [
+        {"rule": rule, "path": fpath, "snippet": snippet, "count": count}
+        for (rule, fpath, snippet), count in sorted(counts.items())
+    ]
+    payload = {
+        "version": 1,
+        "comment": (
+            "Known repro.analysis findings; CI fails only on findings not "
+            "listed here.  Regenerate with: "
+            "python -m repro.analysis lint src --update-baseline"
+        ),
+        "findings": entries,
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+
+
+def diff_against_baseline(
+    findings: Sequence[Finding], baseline: Counter
+) -> List[Finding]:
+    """Findings not covered by the baseline (per-fingerprint counted)."""
+    budget = Counter(baseline)
+    new: List[Finding] = []
+    for finding in findings:
+        key = finding.fingerprint()
+        if budget[key] > 0:
+            budget[key] -= 1
+        else:
+            new.append(finding)
+    return new

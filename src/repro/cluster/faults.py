@@ -451,7 +451,7 @@ class FaultInjector:
             stats.n_recoveries += 1
         # Pending evacuations of a repaired group are cancelled: the VMs
         # keep running against the restored capacity.
-        for token in [t for t, g in self._token_group.items()
+        for token in [t for t, g in self._token_group.items()  # repro: noqa DET007 -- tokens are inserted in placement order, which is deterministic replay order
                       if g == group and t in self._pending]:
             self._pending.pop(token, None)
 

@@ -409,10 +409,10 @@ class _ProbeSessionBase:
         digest = _probe_fingerprint(obj)
         if digest is not None:
             return digest
-        token = self._id_tokens.get(id(obj))
-        if token is None:
+        token = self._id_tokens.get(id(obj))  # repro: noqa DET002 -- _pinned keeps every keyed object alive for the session, so its address cannot be recycled
+        if token is None:  # repro: noqa DET002 -- token is a synthetic ("id", ordinal) tuple, not a raw address
             token = ("id", len(self._pinned))
-            self._id_tokens[id(obj)] = token
+            self._id_tokens[id(obj)] = token  # repro: noqa DET002 -- _pinned keeps every keyed object alive for the session, so its address cannot be recycled
             self._pinned.append(obj)
         return token
 

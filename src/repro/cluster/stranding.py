@@ -91,7 +91,7 @@ class StrandingAnalyzer:
     def fleet_percentile(self, percentile: float) -> float:
         """Percentile of stranding across all samples of all clusters."""
         values = np.concatenate(
-            [r.sample_array("stranded_percent") for r in self.results.values()
+            [r.sample_array("stranded_percent") for r in self.results.values()  # repro: noqa DET007 -- results are inserted in cluster-id submission order, fixed by the study config
              if r.n_samples]
         )
         if values.size == 0:

@@ -82,7 +82,7 @@ class QoSMonitor:
 
     def check_all(self, vms: Dict[str, VMInstance]) -> List[QoSDecision]:
         """Evaluate every running VM; returns only the mitigation candidates."""
-        return [
+        return [  # repro: noqa DET007 -- VM registry is inserted in arrival order, deterministic for a given trace
             decision
             for vm in vms.values()
             if (decision := self.check_vm(vm)).verdict is QoSVerdict.MITIGATE

@@ -52,7 +52,7 @@ def run_znuma_study(
     workloads = workloads or INTERNAL_WORKLOADS
     pool_ns = pond_pool_latency_ns(pool_sockets)
     results: List[ZNUMAWorkloadResult] = []
-    for name, params in workloads.items():
+    for name, params in workloads.items():  # repro: noqa DET007 -- INTERNAL_WORKLOADS is a module-level literal with fixed insertion order
         vm_memory = float(params["vm_memory_gb"])
         working_set = float(params["working_set_gb"])
         if working_set > vm_memory:

@@ -83,11 +83,11 @@ def format_latency_model_table(study: LatencyModelStudy) -> str:
         f"Figure 17 -- latency insensitivity model (PDM = {study.pdm_percent:.0f}%)",
         f"{'predictor':>14} {'insensitive @ 2% FP':>21}",
     ]
-    for name, value in study.insensitive_at_2pct_fp.items():
+    for name, value in study.insensitive_at_2pct_fp.items():  # repro: noqa DET007 -- keyed in the study's fixed predictor order
         lines.append(f"{name:>14} {value:>20.1f}%")
     lines.append("")
     lines.append("trade-off curves (insensitive% -> FP%):")
-    for name, curve in study.curves.items():
+    for name, curve in study.curves.items():  # repro: noqa DET007 -- keyed in the study's fixed predictor order
         points = list(zip(curve.insensitive_percent, curve.false_positive_percent))
         sampled = points[:: max(1, len(points) // 6)]
         rendered = ", ".join(f"{x:.0f}%->{y:.1f}%" for x, y in sampled)

@@ -210,7 +210,7 @@ def run_end_to_end_study(
             # likewise reused across every cell of the grid and released
             # when the grid is done (even on failure).
             with base_fleet:
-                for label, factory in factories.items():
+                for label, factory in factories.items():  # repro: noqa DET007 -- policy grid dict is built in fixed literal order
                     savings[label] = []
                     for size in usable_sizes:
                         search = base_fleet.capacity_search(
@@ -231,7 +231,7 @@ def run_end_to_end_study(
             # persistent shard pools never outlive the cell.
             with base_fleet:
                 baselines = base_fleet.compute_baselines(fleet_traces)
-            for label, factory in factories.items():
+            for label, factory in factories.items():  # repro: noqa DET007 -- policy grid dict is built in fixed literal order
                 savings[label] = []
                 for size in usable_sizes:
                     with FleetSimulator.sharded(
@@ -290,11 +290,11 @@ def format_end_to_end_table(study: EndToEndStudy) -> str:
             row.append(f"{study.required_dram_percent(policy, size):>7.1f}")
         lines.append(" ".join(row))
     lines.append("")
-    for policy, rate in study.misprediction_percent.items():
+    for policy, rate in study.misprediction_percent.items():  # repro: noqa DET007 -- keyed in the study's fixed policy order
         lines.append(f"  {policy}: {rate:.2f}% scheduling mispredictions")
     if study.online_stats:
         lines.append("")
-        for policy, stats in study.online_stats.items():
+        for policy, stats in study.online_stats.items():  # repro: noqa DET007 -- keyed in the study's fixed policy order
             lines.append(
                 f"  {policy}: {stats.n_mitigations} mitigations "
                 f"({stats.migrated_gb:.0f} GB pool->local, "

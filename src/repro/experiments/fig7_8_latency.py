@@ -78,7 +78,7 @@ def format_latency_table(study: LatencyStudy) -> str:
         )
     lines.append("")
     lines.append("Latency breakdown (Figure 7):")
-    for size, breakdown in study.pond_breakdowns.items():
+    for size, breakdown in study.pond_breakdowns.items():  # repro: noqa DET007 -- keyed by pool size in the study's fixed sweep order
         parts = ", ".join(f"{name}={ns:.0f}ns" for name, ns in breakdown.items)
         lines.append(f"  {size}-socket Pond: {parts} -> {breakdown.total_ns:.0f}ns")
     return "\n".join(lines)

@@ -38,7 +38,7 @@ class UntouchedDistributionStudy:
 
     def min_cluster_share_above(self, threshold_fraction: float) -> float:
         """Across clusters, the minimum share of VMs above the threshold."""
-        shares = [
+        shares = [  # repro: noqa DET007 -- feeds min() below, which is iteration-order insensitive
             float((values > threshold_fraction).mean())
             for values in self.per_cluster.values()
         ]

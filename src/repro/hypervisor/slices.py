@@ -16,7 +16,7 @@ Finding 10 (offlining stays below 1 GB/s for 99.99 % of VM starts).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 
@@ -45,7 +45,7 @@ class SliceTransitionModel:
         self,
         offline_ms_per_gb_range: Sequence[float] = (10.0, 100.0),
         online_us_per_gb_range: Sequence[float] = (1.0, 10.0),
-        seed: Optional[int] = None,
+        seed: int = 0,
     ) -> None:
         lo, hi = offline_ms_per_gb_range
         if lo <= 0 or hi < lo:

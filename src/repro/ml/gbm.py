@@ -113,9 +113,9 @@ class GradientBoostingRegressor:
             leaf_of_row = _assign_leaves(tree, X)
             residual = y - pred
             for leaf in _iter_leaves(tree.root_):
-                mask = leaf_of_row == id(leaf)
+                mask = leaf_of_row == id(leaf)  # repro: noqa DET002 -- leaf ids captured and compared within one fit pass; the tree keeps every leaf alive
                 if mask.any():
-                    leaf.value = np.array([self._leaf_update(residual[mask])])
+                    leaf.value = np.array([self._leaf_update(residual[mask])])  # repro: noqa DET002 -- mask is the boolean array from the comparison above, not an address key
             tree._flat = None  # leaf refinement invalidates the flattened form
             update = tree.predict(X)
             pred = pred + self.learning_rate * update

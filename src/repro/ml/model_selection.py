@@ -32,7 +32,7 @@ def train_test_split(*arrays, test_size: float = 0.5, random_state: Optional[int
             raise ValueError("all arrays must have the same length")
     if n < 2:
         raise ValueError("need at least two samples to split")
-    rng = np.random.default_rng(random_state)
+    rng = np.random.default_rng(random_state)  # repro: noqa DET003 -- sklearn-style random_state contract; library callers pass explicit seeds
     perm = rng.permutation(n)
     n_test = max(1, int(round(test_size * n)))
     n_test = min(n_test, n - 1)
@@ -83,7 +83,7 @@ def repeated_random_split(
     """
     if n_samples < 2:
         raise ValueError("need at least two samples")
-    rng = np.random.default_rng(random_state)
+    rng = np.random.default_rng(random_state)  # repro: noqa DET003 -- sklearn-style random_state contract; library callers pass explicit seeds
     n_test = max(1, int(round(test_size * n_samples)))
     n_test = min(n_test, n_samples - 1)
     for _ in range(n_repeats):

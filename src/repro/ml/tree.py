@@ -229,7 +229,7 @@ class _BaseDecisionTree:
             if not node.is_leaf:
                 stack.append(node.right)
                 stack.append(node.left)
-        index = {id(node): i for i, node in enumerate(order)}
+        index = {id(node): i for i, node in enumerate(order)}  # repro: noqa DET002 -- transient flatten mapping; `order` pins every node alive for its lifetime
         n_nodes = len(order)
         feature = np.full(n_nodes, -1, dtype=np.int64)
         threshold = np.zeros(n_nodes, dtype=float)
@@ -241,8 +241,8 @@ class _BaseDecisionTree:
             if not node.is_leaf:
                 feature[i] = node.feature
                 threshold[i] = node.threshold
-                left[i] = index[id(node.left)]
-                right[i] = index[id(node.right)]
+                left[i] = index[id(node.left)]  # repro: noqa DET002 -- transient flatten mapping; `order` pins every node alive for its lifetime
+                right[i] = index[id(node.right)]  # repro: noqa DET002 -- transient flatten mapping; `order` pins every node alive for its lifetime
         self._flat = (feature, threshold, left, right, values)
         return self._flat
 

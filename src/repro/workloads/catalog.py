@@ -251,7 +251,7 @@ def build_catalog(seed: int = 7, n_workloads: Optional[int] = None) -> WorkloadC
 
     workloads: List[Workload] = []
     cursor = 0
-    for workload_class, size in CLASS_SIZES.items():
+    for workload_class, size in CLASS_SIZES.items():  # repro: noqa DET007 -- CLASS_SIZES is a module-level literal; insertion order is part of the catalog contract
         names = list(_CLASS_NAMES[workload_class])[:size]
         if len(names) < size:
             names += [f"{workload_class.value}-extra-{i}" for i in range(size - len(names))]

@@ -32,6 +32,7 @@ __all__ = [
     "LatencyScenario",
     "SCENARIO_182",
     "SCENARIO_222",
+    "noise_generator",
     "slowdown_under_latency",
     "slowdown_under_spill",
     "scenario_for_pool_size",
@@ -169,13 +170,26 @@ def scenario_for_pool_size(
     )
 
 
+def noise_generator(seed: Optional[int]) -> Optional[np.random.Generator]:
+    """The one documented seed-``None`` contract for sensitivity noise.
+
+    ``None`` means *no measurement noise at all* (the deterministic analytic
+    slowdown), never "noise from OS entropy".  Every optional-seed path in
+    the sensitivity studies routes through here so the fallback cannot
+    silently drift back to an unseeded RNG (lint rule DET004).
+    """
+    if seed is None:
+        return None
+    return np.random.default_rng(seed)
+
+
 def slowdown_distribution(
     workloads: Sequence[Workload],
     scenario: LatencyScenario,
     seed: Optional[int] = None,
 ) -> np.ndarray:
     """Slowdowns (percent) of a workload collection under ``scenario``."""
-    rng = np.random.default_rng(seed) if seed is not None else None
+    rng = noise_generator(seed)
     return np.array(
         [slowdown_under_latency(w, scenario, noise_rng=rng) for w in workloads]
     )
